@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the computational kernels: DCT, entropy
+//! coders, mask generation, squeeze, and the transformer forward pass.
+//! These are the per-operation numbers behind the latency model constants.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use easz_codecs::dct::{dct16, dct8};
+use easz_codecs::entropy::huffman::{encode_stream, histogram, HuffmanTable};
+use easz_codecs::entropy::range::{BitModel, RangeEncoder};
+use easz_core::{
+    patch_tokens, squeeze_patch, MaskKind, Orientation, PatchGeometry, Reconstructor,
+    ReconstructorConfig, RowSamplerConfig, TokenBatch,
+};
+use easz_data::Dataset;
+
+fn bench_dct(c: &mut Criterion) {
+    let block8: Vec<f32> = (0..64).map(|i| (i as f32 * 0.13).sin()).collect();
+    let block16: Vec<f32> = (0..256).map(|i| (i as f32 * 0.07).cos()).collect();
+    c.bench_function("dct8_forward", |b| b.iter(|| dct8().forward(std::hint::black_box(&block8))));
+    c.bench_function("dct16_forward", |b| {
+        b.iter(|| dct16().forward(std::hint::black_box(&block16)))
+    });
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let symbols: Vec<u8> = (0..4096u32).map(|i| ((i * 7) % 23) as u8).collect();
+    let table = HuffmanTable::from_frequencies(&histogram(&symbols));
+    c.bench_function("huffman_encode_4k", |b| {
+        b.iter(|| encode_stream(std::hint::black_box(&table), std::hint::black_box(&symbols)))
+    });
+    let bits: Vec<u8> = (0..8192).map(|i| u8::from(i % 5 == 0)).collect();
+    c.bench_function("range_encode_8k", |b| {
+        b.iter_batched(
+            || (RangeEncoder::new(), BitModel::new()),
+            |(mut enc, mut m)| {
+                for &bit in &bits {
+                    enc.encode(bit, &mut m);
+                }
+                enc.finish()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mask_and_squeeze(c: &mut Criterion) {
+    let cfg = RowSamplerConfig::with_ratio(8, 0.25);
+    c.bench_function("mask_row_conditional_8", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            MaskKind::RowConditional(cfg).generate(seed)
+        })
+    });
+    let img = Dataset::KodakLike.image(0).crop(0, 0, 32, 32);
+    let geometry = PatchGeometry::new(32, 4);
+    let mask = MaskKind::RowConditional(cfg).generate(1);
+    c.bench_function("squeeze_patch_32", |b| {
+        b.iter(|| {
+            squeeze_patch(
+                std::hint::black_box(&img),
+                geometry,
+                std::hint::black_box(&mask),
+                Orientation::Horizontal,
+            )
+        })
+    });
+}
+
+fn bench_model_forward(c: &mut Criterion) {
+    let model = Reconstructor::new(ReconstructorConfig::fast());
+    let geometry = model.config().geometry();
+    let img = Dataset::KodakLike.image(1).crop(0, 0, 64, 64);
+    let patched = easz_core::Patchified::from_image(&img, geometry);
+    let tokens: Vec<Vec<Vec<f32>>> =
+        patched.patches.iter().map(|p| patch_tokens(p, geometry)).collect();
+    let batch = TokenBatch::from_patches(&tokens);
+    let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(8, 0.25)).generate(2);
+    c.bench_function("reconstruct_4_patches", |b| {
+        b.iter(|| model.reconstruct_tokens(std::hint::black_box(&batch), &mask))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dct, bench_entropy, bench_mask_and_squeeze, bench_model_forward
+}
+criterion_main!(kernels);

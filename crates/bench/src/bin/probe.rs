@@ -1,0 +1,27 @@
+//! Scratch probe for calibration (not part of the benchmark suite).
+use easz_bench::{bench_model, kodak_eval_set, mean};
+use easz_codecs::{ImageCodec, JpegLikeCodec, Quality};
+use easz_core::{EaszConfig, EaszPipeline};
+use easz_metrics::brisque;
+
+fn main() {
+    let images = kodak_eval_set(2, 256, 192);
+    let model = bench_model();
+    let pipe = EaszPipeline::new(&model, EaszConfig::default());
+    let codec = JpegLikeCodec::new();
+    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "q", "jpeg bpp", "jpeg brq", "easz bpp", "easz brq");
+    for q in [1u8, 3, 5, 10, 20, 40, 70] {
+        let (mut jb, mut jq, mut eb, mut eq) = (vec![], vec![], vec![], vec![]);
+        for img in &images {
+            let bytes = codec.encode(img, Quality::new(q)).unwrap();
+            let dec = codec.decode(&bytes).unwrap();
+            jb.push(bytes.len() as f64 * 8.0 / (img.width() * img.height()) as f64);
+            jq.push(brisque(&dec));
+            let enc = pipe.compress(img, &codec, Quality::new(q)).unwrap();
+            let out = pipe.decompress(&enc, &codec).unwrap();
+            eb.push(enc.bpp());
+            eq.push(brisque(&out));
+        }
+        println!("{:<6} {:>10.3} {:>10.1} {:>10.3} {:>10.1}", q, mean(&jb), mean(&jq), mean(&eb), mean(&eq));
+    }
+}

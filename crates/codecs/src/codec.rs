@@ -1,0 +1,192 @@
+//! The codec abstraction every compressor in the repo implements, plus
+//! rate-targeting helpers used by the paper's BPP-matched comparisons.
+
+use easz_image::ImageF32;
+use std::error::Error;
+use std::fmt;
+
+/// Quality knob, 1 (worst/smallest) to 100 (best/largest).
+///
+/// Each codec maps this onto its native parameter (JPEG quality factor,
+/// BPG-like quantiser, neural-sim rate point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Quality(u8);
+
+impl Quality {
+    /// Creates a quality setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `1..=100`.
+    pub fn new(value: u8) -> Self {
+        assert!((1..=100).contains(&value), "quality must be in 1..=100, got {value}");
+        Self(value)
+    }
+
+    /// The raw 1..=100 value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Quality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Error from encoding or decoding.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The bitstream is malformed or truncated.
+    Format(String),
+    /// The input image violates a codec requirement.
+    Unsupported(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Format(m) => write!(f, "malformed bitstream: {m}"),
+            Self::Unsupported(m) => write!(f, "unsupported input: {m}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// A lossy image codec producing a self-contained bitstream.
+pub trait ImageCodec {
+    /// Short display name (`"jpeg-like"`, `"bpg-like"`, ...).
+    fn name(&self) -> &str;
+
+    /// Encodes `img` at the given quality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Unsupported`] for inputs the codec cannot
+    /// handle (e.g. zero-sized images).
+    fn encode(&self, img: &ImageF32, quality: Quality) -> Result<Vec<u8>, CodecError>;
+
+    /// Decodes a bitstream produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Format`] for malformed bitstreams.
+    fn decode(&self, bytes: &[u8]) -> Result<ImageF32, CodecError>;
+}
+
+/// An encoded image together with its rate accounting.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// The bitstream.
+    pub bytes: Vec<u8>,
+    /// Source width in pixels.
+    pub width: usize,
+    /// Source height in pixels.
+    pub height: usize,
+}
+
+impl Encoded {
+    /// Bits per pixel of the bitstream *relative to the given canvas*
+    /// (callers pass the original image size so squeezed images are charged
+    /// fairly, as the paper does).
+    pub fn bpp_for(&self, width: usize, height: usize) -> f64 {
+        self.bytes.len() as f64 * 8.0 / (width * height) as f64
+    }
+
+    /// Bits per pixel relative to the encoded image itself.
+    pub fn bpp(&self) -> f64 {
+        self.bpp_for(self.width, self.height)
+    }
+}
+
+/// Encodes `img` with `codec`, wrapping the result with rate accounting.
+///
+/// # Errors
+///
+/// Propagates the codec's error.
+pub fn encode_with(
+    codec: &dyn ImageCodec,
+    img: &ImageF32,
+    quality: Quality,
+) -> Result<Encoded, CodecError> {
+    Ok(Encoded {
+        bytes: codec.encode(img, quality)?,
+        width: img.width(),
+        height: img.height(),
+    })
+}
+
+/// Searches the quality knob (binary search over 1..=100) for the encode
+/// whose BPP (relative to `(rate_w, rate_h)`) is closest to `target_bpp`
+/// without the search exceeding `max_iters` probes.
+///
+/// Returns the chosen quality and its encode.
+///
+/// # Errors
+///
+/// Propagates codec errors from probe encodes.
+pub fn encode_to_bpp(
+    codec: &dyn ImageCodec,
+    img: &ImageF32,
+    target_bpp: f64,
+    rate_w: usize,
+    rate_h: usize,
+    max_iters: usize,
+) -> Result<(Quality, Encoded), CodecError> {
+    let mut lo = 1u8;
+    let mut hi = 100u8;
+    let mut best: Option<(f64, Quality, Encoded)> = None;
+    let mut iters = 0usize;
+    while lo <= hi && iters < max_iters {
+        let mid = lo + (hi - lo) / 2;
+        let q = Quality::new(mid);
+        let enc = encode_with(codec, img, q)?;
+        let bpp = enc.bpp_for(rate_w, rate_h);
+        let err = (bpp - target_bpp).abs();
+        if best.as_ref().map(|(e, _, _)| err < *e).unwrap_or(true) {
+            best = Some((err, q, enc));
+        }
+        if bpp > target_bpp {
+            if mid == 1 {
+                break;
+            }
+            hi = mid - 1;
+        } else {
+            if mid == 100 {
+                break;
+            }
+            lo = mid + 1;
+        }
+        iters += 1;
+    }
+    let (_, q, enc) = best.expect("at least one probe ran");
+    Ok((q, enc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_bounds() {
+        assert_eq!(Quality::new(1).value(), 1);
+        assert_eq!(Quality::new(100).value(), 100);
+        assert_eq!(Quality::new(50).to_string(), "q50");
+    }
+
+    #[test]
+    #[should_panic(expected = "quality must be in 1..=100")]
+    fn quality_zero_rejected() {
+        let _ = Quality::new(0);
+    }
+
+    #[test]
+    fn bpp_accounting() {
+        let e = Encoded { bytes: vec![0; 1000], width: 100, height: 80 };
+        assert!((e.bpp() - 1.0).abs() < 1e-9);
+        // Charged against a larger canvas, the rate drops.
+        assert!((e.bpp_for(200, 80) - 0.5).abs() < 1e-9);
+    }
+}

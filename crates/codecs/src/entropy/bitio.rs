@@ -1,0 +1,147 @@
+//! Bit-level I/O used by the Huffman layer of the JPEG-like codec.
+
+/// Most-significant-bit-first bit writer.
+///
+/// ```
+/// use easz_codecs::entropy::bitio::{BitReader, BitWriter};
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xFF, 8);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3), Some(0b101));
+/// assert_eq!(r.read_bits(8), Some(0xFF));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    current: u8,
+    filled: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn write_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "cannot write more than 32 bits at once");
+        for i in (0..count).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.current = (self.current << 1) | bit;
+            self.filled += 1;
+            if self.filled == 8 {
+                self.bytes.push(self.current);
+                self.current = 0;
+                self.filled = 0;
+            }
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.filled as usize
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.current <<= 8 - self.filled;
+            self.bytes.push(self.current);
+        }
+        self.bytes
+    }
+}
+
+/// Most-significant-bit-first bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bit: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over a byte buffer.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0, bit: 0 }
+    }
+
+    /// Reads one bit; `None` at end of input.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<u8> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let b = (self.bytes[self.pos] >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Some(b)
+    }
+
+    /// Reads `count` bits MSB-first; `None` if input is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn read_bits(&mut self, count: u8) -> Option<u32> {
+        assert!(count <= 32, "cannot read more than 32 bits at once");
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit()? as u32;
+        }
+        Some(v)
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_read(&self) -> usize {
+        self.pos * 8 + self.bit as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let values = [(0u32, 1u8), (1, 1), (5, 3), (255, 8), (1023, 10), (0xDEAD, 16), (1, 32)];
+        let mut w = BitWriter::new();
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let total_bits: usize = values.iter().map(|&(_, n)| n as usize).sum();
+        assert_eq!(w.bit_len(), total_bits);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n), Some(v), "width {n}");
+        }
+        assert_eq!(r.bits_read(), total_bits);
+    }
+
+    #[test]
+    fn read_past_end_returns_none() {
+        let mut r = BitReader::new(&[0xAA]);
+        assert_eq!(r.read_bits(8), Some(0xAA));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(4), None);
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+}

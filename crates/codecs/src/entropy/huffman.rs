@@ -1,0 +1,267 @@
+//! Canonical, length-limited Huffman coding over byte symbols.
+//!
+//! The JPEG-like codec builds one table per image from symbol histograms,
+//! ships the 256 code lengths in the header, and entropy-codes the
+//! (run, size) symbol stream with it — structurally the same flow as
+//! baseline JPEG with optimized tables.
+
+use super::bitio::{BitReader, BitWriter};
+
+/// Maximum code length (JPEG's limit).
+pub const MAX_CODE_LEN: u8 = 16;
+
+/// A canonical Huffman code over the 256 byte symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanTable {
+    /// Code length per symbol (0 = symbol unused).
+    lengths: [u8; 256],
+    /// Canonical code value per symbol.
+    codes: [u16; 256],
+}
+
+impl HuffmanTable {
+    /// Builds a length-limited canonical code from symbol frequencies.
+    ///
+    /// Symbols with zero frequency get no code. At least one symbol must be
+    /// present; a single-symbol alphabet gets a 1-bit code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all frequencies are zero.
+    pub fn from_frequencies(freqs: &[u64; 256]) -> Self {
+        let active: Vec<usize> = (0..256).filter(|&s| freqs[s] > 0).collect();
+        assert!(!active.is_empty(), "huffman table needs at least one symbol");
+        let mut lengths = [0u8; 256];
+        if active.len() == 1 {
+            lengths[active[0]] = 1;
+            return Self::from_lengths(lengths);
+        }
+
+        // Package-merge would be exact; a simpler approach that is fully
+        // adequate here: build a standard Huffman tree, then clamp lengths to
+        // MAX_CODE_LEN and repair the Kraft sum.
+        #[derive(Clone)]
+        struct Item {
+            weight: u64,
+            symbols: Vec<usize>,
+        }
+        let mut heap: Vec<Item> = active
+            .iter()
+            .map(|&s| Item { weight: freqs[s], symbols: vec![s] })
+            .collect();
+        while heap.len() > 1 {
+            heap.sort_by(|a, b| b.weight.cmp(&a.weight));
+            let a = heap.pop().expect("heap has >= 2 items");
+            let b = heap.pop().expect("heap has >= 2 items");
+            for &s in a.symbols.iter().chain(&b.symbols) {
+                lengths[s] += 1;
+            }
+            let mut symbols = a.symbols;
+            symbols.extend(b.symbols);
+            heap.push(Item { weight: a.weight + b.weight, symbols });
+        }
+
+        // Clamp overlong codes and repair Kraft inequality.
+        let mut count_at = [0u32; (MAX_CODE_LEN + 1) as usize];
+        for &s in &active {
+            lengths[s] = lengths[s].min(MAX_CODE_LEN);
+            count_at[lengths[s] as usize] += 1;
+        }
+        // Kraft sum in units of 2^-MAX_CODE_LEN.
+        let unit = 1u64 << MAX_CODE_LEN;
+        let kraft =
+            |count_at: &[u32]| -> u64 {
+                (1..=MAX_CODE_LEN as usize)
+                    .map(|l| count_at[l] as u64 * (unit >> l))
+                    .sum()
+            };
+        while kraft(&count_at) > unit {
+            // Find a symbol with the longest length < MAX and demote... the
+            // standard fix: take a code at the deepest non-max level and
+            // lengthen it.
+            let mut fixed = false;
+            for l in (1..MAX_CODE_LEN as usize).rev() {
+                if count_at[l] > 0 {
+                    if let Some(&s) =
+                        active.iter().find(|&&s| lengths[s] == l as u8)
+                    {
+                        lengths[s] += 1;
+                        count_at[l] -= 1;
+                        count_at[l + 1] += 1;
+                        fixed = true;
+                        break;
+                    }
+                }
+            }
+            assert!(fixed, "kraft repair failed");
+        }
+        Self::from_lengths(lengths)
+    }
+
+    /// Builds the canonical code from explicit lengths (as read from a
+    /// bitstream header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a length exceeds [`MAX_CODE_LEN`] or the lengths violate the
+    /// Kraft inequality.
+    pub fn from_lengths(lengths: [u8; 256]) -> Self {
+        let unit = 1u64 << MAX_CODE_LEN;
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| {
+                assert!(l <= MAX_CODE_LEN, "code length {l} too long");
+                unit >> l
+            })
+            .sum();
+        assert!(kraft <= unit, "code lengths violate kraft inequality");
+        // Canonical assignment: sort by (length, symbol).
+        let mut order: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
+        order.sort_by_key(|&s| (lengths[s], s));
+        let mut codes = [0u16; 256];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &s in &order {
+            code <<= lengths[s] - prev_len;
+            codes[s] = code as u16;
+            code += 1;
+            prev_len = lengths[s];
+        }
+        Self { lengths, codes }
+    }
+
+    /// Code lengths (for serialising the table).
+    pub fn lengths(&self) -> &[u8; 256] {
+        &self.lengths
+    }
+
+    /// Writes the code for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code (zero frequency at build time).
+    pub fn encode(&self, symbol: u8, w: &mut BitWriter) {
+        let len = self.lengths[symbol as usize];
+        assert!(len > 0, "symbol {symbol} has no code");
+        w.write_bits(self.codes[symbol as usize] as u32, len);
+    }
+
+    /// Reads one symbol; `None` on malformed input or end of stream.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u8> {
+        let mut code = 0u32;
+        let mut len = 0u8;
+        loop {
+            code = (code << 1) | r.read_bit()? as u32;
+            len += 1;
+            if len > MAX_CODE_LEN {
+                return None;
+            }
+            // Linear scan is fine at our symbol counts; tables are small and
+            // this path is not the bottleneck (DCT is).
+            for s in 0..256usize {
+                if self.lengths[s] == len && self.codes[s] as u32 == code {
+                    return Some(s as u8);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: Huffman-encodes a symbol stream, returning the bit payload.
+pub fn encode_stream(table: &HuffmanTable, symbols: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for &s in symbols {
+        table.encode(s, &mut w);
+    }
+    w.finish()
+}
+
+/// Convenience: decodes exactly `count` symbols.
+pub fn decode_stream(table: &HuffmanTable, bytes: &[u8], count: usize) -> Option<Vec<u8>> {
+    let mut r = BitReader::new(bytes);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(table.decode(&mut r)?);
+    }
+    Some(out)
+}
+
+/// Histogram of a byte stream.
+pub fn histogram(symbols: &[u8]) -> [u64; 256] {
+    let mut h = [0u64; 256];
+    for &s in symbols {
+        h[s as usize] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_skewed_distribution() {
+        let mut symbols = Vec::new();
+        for i in 0..2000u32 {
+            symbols.push(if i % 10 == 0 { (i % 37) as u8 } else { 0 });
+        }
+        let table = HuffmanTable::from_frequencies(&histogram(&symbols));
+        let bits = encode_stream(&table, &symbols);
+        let back = decode_stream(&table, &bits, symbols.len()).expect("decode");
+        assert_eq!(symbols, back);
+        // Skewed stream should compress well below 8 bits/symbol.
+        assert!(bits.len() < symbols.len() / 2, "compressed {} bytes", bits.len());
+    }
+
+    #[test]
+    fn round_trip_uniform_distribution() {
+        let symbols: Vec<u8> = (0..4096u32).map(|i| (i * 7 + 3) as u8).collect();
+        let table = HuffmanTable::from_frequencies(&histogram(&symbols));
+        let bits = encode_stream(&table, &symbols);
+        let back = decode_stream(&table, &bits, symbols.len()).expect("decode");
+        assert_eq!(symbols, back);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let symbols = vec![42u8; 100];
+        let table = HuffmanTable::from_frequencies(&histogram(&symbols));
+        let bits = encode_stream(&table, &symbols);
+        let back = decode_stream(&table, &bits, 100).expect("decode");
+        assert_eq!(symbols, back);
+    }
+
+    #[test]
+    fn lengths_round_trip_through_header() {
+        let symbols: Vec<u8> = (0..500u32).map(|i| (i % 11) as u8).collect();
+        let t1 = HuffmanTable::from_frequencies(&histogram(&symbols));
+        let t2 = HuffmanTable::from_lengths(*t1.lengths());
+        assert_eq!(t1, t2, "canonical rebuild from lengths must match");
+    }
+
+    #[test]
+    fn decode_of_garbage_fails_gracefully() {
+        let mut freqs = [0u64; 256];
+        freqs[1] = 10;
+        freqs[2] = 10;
+        let table = HuffmanTable::from_frequencies(&freqs);
+        // A stream of too few bits yields None, not a panic.
+        let out = decode_stream(&table, &[], 1);
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn average_length_near_entropy() {
+        // Geometric-ish distribution: H ~ 2 bits.
+        let mut symbols = Vec::new();
+        for i in 0..10_000u32 {
+            let s = (i.trailing_zeros().min(7)) as u8;
+            symbols.push(s);
+        }
+        let table = HuffmanTable::from_frequencies(&histogram(&symbols));
+        let bits = encode_stream(&table, &symbols);
+        let avg = bits.len() as f64 * 8.0 / symbols.len() as f64;
+        assert!(avg < 2.3, "average code length {avg} too far above entropy (~2)");
+    }
+}

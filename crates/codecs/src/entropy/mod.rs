@@ -1,0 +1,7 @@
+//! Entropy-coding primitives: bit I/O, canonical Huffman coding (JPEG-like
+//! codec) and an adaptive binary range coder (BPG-like and simulated neural
+//! codecs).
+
+pub mod bitio;
+pub mod huffman;
+pub mod range;

@@ -1,0 +1,370 @@
+//! Adaptive binary range coder (the arithmetic-coding engine of the
+//! BPG-like codec and the simulated neural codecs).
+//!
+//! LZMA-style binary range coder: 32-bit range, carry propagation through a
+//! cache/pending-0xFF counter on the encoder side, 12-bit adaptive
+//! probability models, byte-wise renormalisation.
+
+/// Probability precision (12-bit, CABAC-like).
+const PROB_BITS: u32 = 12;
+const PROB_ONE: u16 = 1 << PROB_BITS;
+/// Adaptation rate: higher = slower adaptation.
+const ADAPT_SHIFT: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// An adaptive probability model for a single binary context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitModel {
+    /// Probability of the bit being 0, in `1/PROB_ONE` units.
+    p0: u16,
+}
+
+impl Default for BitModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitModel {
+    /// Creates a model starting at p(0) = 0.5.
+    pub fn new() -> Self {
+        Self { p0: PROB_ONE / 2 }
+    }
+
+    #[inline]
+    fn update(&mut self, bit: u8) {
+        if bit == 0 {
+            self.p0 += (PROB_ONE - self.p0) >> ADAPT_SHIFT;
+        } else {
+            self.p0 -= self.p0 >> ADAPT_SHIFT;
+        }
+        // Keep probabilities away from 0/1 so rare symbols stay codable.
+        self.p0 = self.p0.clamp(32, PROB_ONE - 32);
+    }
+}
+
+/// Range encoder producing a byte buffer.
+///
+/// ```
+/// use easz_codecs::entropy::range::{BitModel, RangeDecoder, RangeEncoder};
+/// let bits = [1u8, 0, 0, 1, 1, 1, 0, 1, 0, 0];
+/// let mut enc = RangeEncoder::new();
+/// let mut m = BitModel::new();
+/// for &b in &bits { enc.encode(b, &mut m); }
+/// let bytes = enc.finish();
+/// let mut dec = RangeDecoder::new(&bytes);
+/// let mut m = BitModel::new();
+/// for &b in &bits { assert_eq!(dec.decode(&mut m), b); }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    /// Number of pending bytes (the cache byte plus any 0xFF run awaiting
+    /// carry resolution).
+    cache_size: u64,
+    bytes: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self { low: 0, range: u32::MAX, cache: 0, cache_size: 1, bytes: Vec::new() }
+    }
+
+    #[inline]
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000u64 || self.low >= 0x1_0000_0000u64 {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            loop {
+                self.bytes.push(byte.wrapping_add(carry));
+                byte = 0xFF;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = ((self.low >> 24) & 0xFF) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Encodes one bit under `model`, adapting the model.
+    pub fn encode(&mut self, bit: u8, model: &mut BitModel) {
+        let bound = (self.range >> PROB_BITS) * model.p0 as u32;
+        if bit == 0 {
+            self.range = bound;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+        }
+        model.update(bit);
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    /// Encodes a raw bit at p = 0.5 without a model (bypass coding).
+    pub fn encode_bypass(&mut self, bit: u8) {
+        self.range >>= 1;
+        if bit != 0 {
+            self.low += self.range as u64;
+        }
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    /// Flushes the final state and returns the bitstream.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.bytes
+    }
+
+    /// Bytes emitted so far (excluding pending carry bytes and final flush).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Range decoder over an encoded byte buffer.
+#[derive(Debug, Clone)]
+pub struct RangeDecoder<'a> {
+    range: u32,
+    code: u32,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Creates a decoder, priming the code register.
+    ///
+    /// The first encoder byte is always the initial zero cache; it is
+    /// skipped, then four bytes fill the code register.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        let mut d = Self { range: u32::MAX, code: 0, bytes, pos: 1 };
+        for _ in 0..4 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        d
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decodes one bit under `model`, adapting the model identically to the
+    /// encoder.
+    pub fn decode(&mut self, model: &mut BitModel) -> u8 {
+        let bound = (self.range >> PROB_BITS) * model.p0 as u32;
+        let bit = if self.code < bound {
+            self.range = bound;
+            0u8
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            1u8
+        };
+        model.update(bit);
+        while self.range < TOP {
+            self.code = (self.code << 8) | self.next_byte() as u32;
+            self.range <<= 8;
+        }
+        bit
+    }
+
+    /// Decodes a bypass (p = 0.5) bit.
+    pub fn decode_bypass(&mut self) -> u8 {
+        self.range >>= 1;
+        let bit = if self.code >= self.range {
+            self.code -= self.range;
+            1u8
+        } else {
+            0u8
+        };
+        while self.range < TOP {
+            self.code = (self.code << 8) | self.next_byte() as u32;
+            self.range <<= 8;
+        }
+        bit
+    }
+}
+
+/// Encodes a non-negative integer with exp-Golomb binarisation under a
+/// shared prefix model and bypass suffix bits.
+pub fn encode_ue(enc: &mut RangeEncoder, prefix_models: &mut [BitModel], value: u32) {
+    // Unary prefix for the bucket index, then fixed bits within the bucket.
+    let bucket = 32 - (value + 1).leading_zeros() - 1; // floor(log2(v+1))
+    for i in 0..bucket {
+        let m = prefix_models.len().min(i as usize + 1) - 1;
+        enc.encode(1, &mut prefix_models[m]);
+    }
+    let m = prefix_models.len().min(bucket as usize + 1) - 1;
+    enc.encode(0, &mut prefix_models[m]);
+    let offset = value + 1 - (1 << bucket);
+    for i in (0..bucket).rev() {
+        enc.encode_bypass(((offset >> i) & 1) as u8);
+    }
+}
+
+/// Decodes a value written by [`encode_ue`].
+pub fn decode_ue(dec: &mut RangeDecoder<'_>, prefix_models: &mut [BitModel]) -> u32 {
+    let mut bucket = 0u32;
+    loop {
+        let m = prefix_models.len().min(bucket as usize + 1) - 1;
+        if dec.decode(&mut prefix_models[m]) == 0 {
+            break;
+        }
+        bucket += 1;
+        if bucket > 31 {
+            return 0; // corrupted stream; fail soft
+        }
+    }
+    let mut offset = 0u32;
+    for _ in 0..bucket {
+        offset = (offset << 1) | dec.decode_bypass() as u32;
+    }
+    (1 << bucket) + offset - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_stream_round_trip_and_compresses() {
+        // 95% zeros: should compress far below 1 bit/symbol.
+        let bits: Vec<u8> = (0..20_000).map(|i| u8::from(i % 20 == 0)).collect();
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        for &b in &bits {
+            enc.encode(b, &mut m);
+        }
+        let bytes = enc.finish();
+        assert!(
+            bytes.len() < bits.len() / 12,
+            "biased stream compressed to {} bytes",
+            bytes.len()
+        );
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut m = BitModel::new();
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode(&mut m), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn alternating_contexts_round_trip() {
+        let bits: Vec<u8> = (0..5000).map(|i| ((i * i + i / 3) % 2) as u8).collect();
+        let mut enc = RangeEncoder::new();
+        let mut ms = [BitModel::new(); 4];
+        for (i, &b) in bits.iter().enumerate() {
+            enc.encode(b, &mut ms[i % 4]);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut ms = [BitModel::new(); 4];
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode(&mut ms[i % 4]), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn bypass_bits_round_trip() {
+        let bits: Vec<u8> = (0..1000).map(|i| ((i * 2654435761u64) >> 13 & 1) as u8).collect();
+        let mut enc = RangeEncoder::new();
+        for &b in &bits {
+            enc.encode_bypass(b);
+        }
+        let bytes = enc.finish();
+        // Bypass coding of random bits should cost ~1 bit/bit.
+        assert!(bytes.len() >= bits.len() / 8, "too small: {}", bytes.len());
+        let mut dec = RangeDecoder::new(&bytes);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode_bypass(), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn exp_golomb_round_trip() {
+        let values: Vec<u32> =
+            (0..2000).map(|i| ((i * 2654435761u64) % 500) as u32).chain([0, 1, 2, 1023]).collect();
+        let mut enc = RangeEncoder::new();
+        let mut models = vec![BitModel::new(); 8];
+        for &v in &values {
+            encode_ue(&mut enc, &mut models, v);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut models = vec![BitModel::new(); 8];
+        for &v in &values {
+            assert_eq!(decode_ue(&mut dec, &mut models), v);
+        }
+    }
+
+    #[test]
+    fn mixed_model_and_bypass_round_trip() {
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        let pattern: Vec<(bool, u8)> =
+            (0..3000).map(|i| ((i % 3) == 0, ((i * 7 + i / 5) % 2) as u8)).collect();
+        for &(use_model, bit) in &pattern {
+            if use_model {
+                enc.encode(bit, &mut m);
+            } else {
+                enc.encode_bypass(bit);
+            }
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut m = BitModel::new();
+        for (i, &(use_model, bit)) in pattern.iter().enumerate() {
+            let got = if use_model { dec.decode(&mut m) } else { dec.decode_bypass() };
+            assert_eq!(got, bit, "position {i}");
+        }
+    }
+
+    #[test]
+    fn carry_propagation_stress() {
+        // Long runs of 1-bits at high probability drive `low` towards the
+        // carry boundary; this is the pattern that breaks carry-less coders.
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        let bits: Vec<u8> = (0..50_000)
+            .map(|i: u64| {
+                let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 61;
+                u8::from(x != 0) // ~87% ones
+            })
+            .collect();
+        for &b in &bits {
+            enc.encode(b, &mut m);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut m = BitModel::new();
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode(&mut m), b, "bit {i}");
+        }
+    }
+}

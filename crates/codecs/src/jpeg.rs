@@ -1,0 +1,490 @@
+//! A from-scratch baseline-JPEG-style codec.
+//!
+//! Pipeline (the same stages as libjpeg baseline): RGB → YCbCr, 4:2:0 chroma
+//! subsampling, 8×8 orthonormal DCT, quality-scaled quantisation with the
+//! Annex-K tables, zigzag scan, DC prediction, (run, size) run-length
+//! symbols and per-image canonical Huffman tables. The bitstream is
+//! self-contained (not interchange-format JPEG — see DESIGN.md §1).
+
+use crate::codec::{CodecError, ImageCodec, Quality};
+use crate::dct::{dct8, zigzag_order};
+use crate::entropy::bitio::{BitReader, BitWriter};
+use crate::entropy::huffman::{histogram, HuffmanTable};
+use easz_image::resample::{resize, Filter};
+use easz_image::{color, Channels, ImageF32};
+
+const MAGIC: &[u8; 4] = b"EJPG";
+
+/// JPEG Annex-K luminance quantisation table (raster order).
+const LUMA_QTABLE: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
+    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// JPEG Annex-K chrominance quantisation table (raster order).
+const CHROMA_QTABLE: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99,
+    99, 47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Scales an Annex-K table by the libjpeg quality rule.
+fn scaled_qtable(base: &[u16; 64], quality: Quality) -> [f32; 64] {
+    let q = quality.value() as i32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut out = [0f32; 64];
+    for i in 0..64 {
+        let v = ((base[i] as i32 * scale + 50) / 100).clamp(1, 255);
+        // The orthonormal DCT of a [-0.5, 0.5]-ranged block has DC up to 4;
+        // rescale the integer table into that value range (divide by 255*8,
+        // the scale of the classical JPEG pipeline on 0..255 pixels).
+        out[i] = v as f32 / (255.0 * 8.0);
+    }
+    out
+}
+
+/// A quantised 8×8 block in zigzag order.
+fn quantize_block(coeffs: &[f32], qtable: &[f32; 64], zz: &[usize]) -> Vec<i32> {
+    zz.iter().map(|&i| (coeffs[i] / qtable[i]).round() as i32).collect()
+}
+
+fn dequantize_block(q: &[i32], qtable: &[f32; 64], zz: &[usize]) -> Vec<f32> {
+    let mut out = vec![0f32; 64];
+    for (k, &i) in zz.iter().enumerate() {
+        out[i] = q[k] as f32 * qtable[i];
+    }
+    out
+}
+
+/// JPEG "size" category of a value (bits needed for |v|).
+fn bit_size(v: i32) -> u8 {
+    let a = v.unsigned_abs();
+    (32 - a.leading_zeros()) as u8
+}
+
+/// JPEG amplitude encoding: negative values are stored as v + 2^size - 1.
+fn amplitude_bits(v: i32, size: u8) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v + (1i32 << size) - 1) as u32
+    }
+}
+
+fn amplitude_decode(bits: u32, size: u8) -> i32 {
+    if size == 0 {
+        return 0;
+    }
+    let half = 1u32 << (size - 1);
+    if bits >= half {
+        bits as i32
+    } else {
+        bits as i32 - (1i32 << size) + 1
+    }
+}
+
+/// One colour plane prepared for block coding.
+struct Plane {
+    img: ImageF32,
+    chroma: bool,
+}
+
+/// The symbol + raw-bit stream of the whole image (two-pass encoding).
+#[derive(Default)]
+struct SymbolStream {
+    /// (huffman symbol, amplitude bit count, amplitude bits)
+    dc: Vec<(u8, u8, u32)>,
+    ac: Vec<(u8, u8, u32)>,
+    /// Interleaving order: true = next symbol comes from `dc`.
+    order: Vec<bool>,
+}
+
+/// The from-scratch JPEG-style codec.
+///
+/// ```
+/// use easz_codecs::{ImageCodec, JpegLikeCodec, Quality};
+/// use easz_image::{Channels, ImageF32};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let img = ImageF32::new(32, 24, Channels::Rgb);
+/// let codec = JpegLikeCodec::new();
+/// let bytes = codec.encode(&img, Quality::new(75))?;
+/// let decoded = codec.decode(&bytes)?;
+/// assert_eq!(decoded.width(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JpegLikeCodec {
+    _private: (),
+}
+
+impl JpegLikeCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn planes(img: &ImageF32) -> Vec<Plane> {
+        match img.channels() {
+            Channels::Gray => vec![Plane { img: img.clone(), chroma: false }],
+            Channels::Rgb => {
+                let ycc = color::image_rgb_to_ycbcr(img);
+                let y = ycc.channel(0);
+                let half_w = img.width().div_ceil(2).max(1);
+                let half_h = img.height().div_ceil(2).max(1);
+                let cb = resize(&ycc.channel(1), half_w, half_h, Filter::Bilinear);
+                let cr = resize(&ycc.channel(2), half_w, half_h, Filter::Bilinear);
+                vec![
+                    Plane { img: y, chroma: false },
+                    Plane { img: cb, chroma: true },
+                    Plane { img: cr, chroma: true },
+                ]
+            }
+        }
+    }
+
+    fn encode_plane(
+        plane: &Plane,
+        quality: Quality,
+        zz: &[usize],
+        stream: &mut SymbolStream,
+    ) {
+        let qtable = scaled_qtable(if plane.chroma { &CHROMA_QTABLE } else { &LUMA_QTABLE }, quality);
+        let basis = dct8();
+        let grid = easz_image::blocks::BlockGrid::new(plane.img.width(), plane.img.height(), 8);
+        let mut prev_dc = 0i32;
+        for by in 0..grid.rows() {
+            for bx in 0..grid.cols() {
+                let mut block = easz_image::blocks::extract_block(&plane.img, grid, bx, by, 0);
+                for v in &mut block {
+                    *v -= 0.5; // centre around zero like JPEG's -128
+                }
+                let coeffs = basis.forward(&block);
+                let q = quantize_block(&coeffs, &qtable, zz);
+                // DC: delta-coded.
+                let diff = q[0] - prev_dc;
+                prev_dc = q[0];
+                let size = bit_size(diff);
+                stream.dc.push((size, size, amplitude_bits(diff, size)));
+                stream.order.push(true);
+                // AC: run-length of zeros.
+                let mut run = 0u8;
+                let last_nonzero = (1..64).rev().find(|&k| q[k] != 0);
+                let end = last_nonzero.map(|k| k + 1).unwrap_or(1);
+                for &v in &q[1..end] {
+                    if v == 0 {
+                        run += 1;
+                        if run == 16 {
+                            stream.ac.push((0xF0, 0, 0)); // ZRL
+                            stream.order.push(false);
+                            run = 0;
+                        }
+                        continue;
+                    }
+                    let size = bit_size(v);
+                    stream.ac.push(((run << 4) | size, size, amplitude_bits(v, size)));
+                    stream.order.push(false);
+                    run = 0;
+                }
+                if end < 64 {
+                    stream.ac.push((0x00, 0, 0)); // EOB
+                    stream.order.push(false);
+                }
+            }
+        }
+    }
+
+    fn decode_plane(
+        width: usize,
+        height: usize,
+        chroma: bool,
+        quality: Quality,
+        zz: &[usize],
+        dc_table: &HuffmanTable,
+        ac_table: &HuffmanTable,
+        reader: &mut BitReader<'_>,
+    ) -> Result<ImageF32, CodecError> {
+        let qtable = scaled_qtable(if chroma { &CHROMA_QTABLE } else { &LUMA_QTABLE }, quality);
+        let basis = dct8();
+        let mut img = ImageF32::new(width, height, Channels::Gray);
+        let grid = easz_image::blocks::BlockGrid::new(width, height, 8);
+        let mut prev_dc = 0i32;
+        let bad = || CodecError::Format("truncated entropy stream".into());
+        for by in 0..grid.rows() {
+            for bx in 0..grid.cols() {
+                let mut q = vec![0i32; 64];
+                let size = dc_table.decode(reader).ok_or_else(bad)?;
+                let bits = reader.read_bits(size).ok_or_else(bad)?;
+                prev_dc += amplitude_decode(bits, size);
+                q[0] = prev_dc;
+                let mut k = 1usize;
+                while k < 64 {
+                    let sym = ac_table.decode(reader).ok_or_else(bad)?;
+                    if sym == 0x00 {
+                        break; // EOB
+                    }
+                    if sym == 0xF0 {
+                        k += 16;
+                        continue;
+                    }
+                    let run = (sym >> 4) as usize;
+                    let size = sym & 0x0F;
+                    k += run;
+                    if k >= 64 {
+                        return Err(CodecError::Format("ac index overflow".into()));
+                    }
+                    let bits = reader.read_bits(size).ok_or_else(bad)?;
+                    q[k] = amplitude_decode(bits, size);
+                    k += 1;
+                }
+                let coeffs = dequantize_block(&q, &qtable, zz);
+                let mut block = basis.inverse(&coeffs);
+                for v in &mut block {
+                    *v += 0.5;
+                }
+                easz_image::blocks::place_block(&mut img, grid, bx, by, 0, &block);
+            }
+        }
+        Ok(img)
+    }
+}
+
+fn write_table(out: &mut Vec<u8>, table: &HuffmanTable) {
+    let entries: Vec<(u8, u8)> = table
+        .lengths()
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l > 0)
+        .map(|(s, &l)| (s as u8, l))
+        .collect();
+    out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+    for (s, l) in entries {
+        out.push(s);
+        out.push(l);
+    }
+}
+
+fn read_table(bytes: &[u8], pos: &mut usize) -> Result<HuffmanTable, CodecError> {
+    let need = |p: usize, n: usize| {
+        if p + n > bytes.len() {
+            Err(CodecError::Format("truncated header".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(*pos, 2)?;
+    let count = u16::from_le_bytes([bytes[*pos], bytes[*pos + 1]]) as usize;
+    *pos += 2;
+    need(*pos, count * 2)?;
+    let mut lengths = [0u8; 256];
+    for _ in 0..count {
+        let s = bytes[*pos];
+        let l = bytes[*pos + 1];
+        *pos += 2;
+        lengths[s as usize] = l;
+    }
+    Ok(HuffmanTable::from_lengths(lengths))
+}
+
+impl ImageCodec for JpegLikeCodec {
+    fn name(&self) -> &str {
+        "jpeg-like"
+    }
+
+    fn encode(&self, img: &ImageF32, quality: Quality) -> Result<Vec<u8>, CodecError> {
+        if img.width() == 0 || img.height() == 0 {
+            return Err(CodecError::Unsupported("empty image".into()));
+        }
+        let zz = zigzag_order(8);
+        let planes = Self::planes(img);
+        let mut stream = SymbolStream::default();
+        for plane in &planes {
+            Self::encode_plane(plane, quality, &zz, &mut stream);
+        }
+        // Build Huffman tables from the symbol histograms.
+        let mut dc_freq = histogram(&stream.dc.iter().map(|&(s, _, _)| s).collect::<Vec<_>>());
+        let mut ac_freq = histogram(&stream.ac.iter().map(|&(s, _, _)| s).collect::<Vec<_>>());
+        // Ensure the tables are non-empty even for degenerate images.
+        if dc_freq.iter().all(|&f| f == 0) {
+            dc_freq[0] = 1;
+        }
+        if ac_freq.iter().all(|&f| f == 0) {
+            ac_freq[0] = 1;
+        }
+        let dc_table = HuffmanTable::from_frequencies(&dc_freq);
+        let ac_table = HuffmanTable::from_frequencies(&ac_freq);
+
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+        out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+        out.push(img.channels().count() as u8);
+        out.push(quality.value());
+        write_table(&mut out, &dc_table);
+        write_table(&mut out, &ac_table);
+
+        // Entropy-coded payload: interleave symbols in generation order.
+        let mut w = BitWriter::new();
+        let (mut di, mut ai) = (0usize, 0usize);
+        for &is_dc in &stream.order {
+            if is_dc {
+                let (sym, size, bits) = stream.dc[di];
+                di += 1;
+                dc_table.encode(sym, &mut w);
+                w.write_bits(bits, size);
+            } else {
+                let (sym, size, bits) = stream.ac[ai];
+                ai += 1;
+                ac_table.encode(sym, &mut w);
+                w.write_bits(bits, size);
+            }
+        }
+        out.extend_from_slice(&w.finish());
+        Ok(out)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<ImageF32, CodecError> {
+        if bytes.len() < 14 || &bytes[..4] != MAGIC {
+            return Err(CodecError::Format("bad magic".into()));
+        }
+        let width = u32::from_le_bytes(bytes[4..8].try_into().expect("slice")) as usize;
+        let height = u32::from_le_bytes(bytes[8..12].try_into().expect("slice")) as usize;
+        let nchan = bytes[12];
+        let quality = Quality::new(bytes[13].clamp(1, 100));
+        if width == 0 || height == 0 || width > 1 << 20 || height > 1 << 20 {
+            return Err(CodecError::Format(format!("implausible size {width}x{height}")));
+        }
+        let mut pos = 14usize;
+        let dc_table = read_table(bytes, &mut pos)?;
+        let ac_table = read_table(bytes, &mut pos)?;
+        let zz = zigzag_order(8);
+        let mut reader = BitReader::new(&bytes[pos..]);
+        match nchan {
+            1 => Self::decode_plane(width, height, false, quality, &zz, &dc_table, &ac_table, &mut reader),
+            3 => {
+                let y = Self::decode_plane(
+                    width, height, false, quality, &zz, &dc_table, &ac_table, &mut reader,
+                )?;
+                let half_w = width.div_ceil(2).max(1);
+                let half_h = height.div_ceil(2).max(1);
+                let cb = Self::decode_plane(
+                    half_w, half_h, true, quality, &zz, &dc_table, &ac_table, &mut reader,
+                )?;
+                let cr = Self::decode_plane(
+                    half_w, half_h, true, quality, &zz, &dc_table, &ac_table, &mut reader,
+                )?;
+                let cb = resize(&cb, width, height, Filter::Bilinear);
+                let cr = resize(&cr, width, height, Filter::Bilinear);
+                let ycc = ImageF32::from_planes(&y, &cb, &cr);
+                let mut rgb = color::image_ycbcr_to_rgb(&ycc);
+                rgb.clamp01();
+                Ok(rgb)
+            }
+            other => Err(CodecError::Format(format!("bad channel count {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_with;
+
+    fn test_image(w: usize, h: usize) -> ImageF32 {
+        let mut img = ImageF32::new(w, h, Channels::Rgb);
+        for y in 0..h {
+            for x in 0..w {
+                let r = 0.5 + 0.4 * ((x as f32 * 0.17).sin() * (y as f32 * 0.11).cos());
+                let g = 0.3 + 0.3 * ((x + y) as f32 / (w + h) as f32);
+                let b = if (x / 8 + y / 8) % 2 == 0 { 0.8 } else { 0.2 };
+                img.set(x, y, 0, r.clamp(0.0, 1.0));
+                img.set(x, y, 1, g.clamp(0.0, 1.0));
+                img.set(x, y, 2, b);
+            }
+        }
+        img
+    }
+
+    fn mse(a: &ImageF32, b: &ImageF32) -> f32 {
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            / a.data().len() as f32
+    }
+
+    #[test]
+    fn round_trip_dimensions_and_quality() {
+        let img = test_image(48, 40);
+        let codec = JpegLikeCodec::new();
+        let bytes = codec.encode(&img, Quality::new(90)).expect("encode");
+        let dec = codec.decode(&bytes).expect("decode");
+        assert_eq!(dec.width(), 48);
+        assert_eq!(dec.height(), 40);
+        assert!(mse(&img, &dec) < 0.01, "q90 mse {}", mse(&img, &dec));
+    }
+
+    #[test]
+    fn higher_quality_means_lower_error_and_more_bits() {
+        let img = test_image(64, 64);
+        let codec = JpegLikeCodec::new();
+        let lo = codec.encode(&img, Quality::new(10)).expect("encode");
+        let hi = codec.encode(&img, Quality::new(95)).expect("encode");
+        assert!(hi.len() > lo.len(), "rate must grow with quality");
+        let dlo = codec.decode(&lo).expect("decode");
+        let dhi = codec.decode(&hi).expect("decode");
+        assert!(mse(&img, &dhi) < mse(&img, &dlo), "distortion must fall with quality");
+    }
+
+    #[test]
+    fn grayscale_round_trip() {
+        let rgb = test_image(32, 32);
+        let img = color::luma(&rgb);
+        let codec = JpegLikeCodec::new();
+        let bytes = codec.encode(&img, Quality::new(80)).expect("encode");
+        let dec = codec.decode(&bytes).expect("decode");
+        assert_eq!(dec.channels(), Channels::Gray);
+        assert!(mse(&img, &dec) < 0.01);
+    }
+
+    #[test]
+    fn non_multiple_of_8_sizes() {
+        for (w, h) in [(17, 9), (33, 31), (8, 8), (7, 7)] {
+            let img = test_image(w, h);
+            let codec = JpegLikeCodec::new();
+            let bytes = codec.encode(&img, Quality::new(85)).expect("encode");
+            let dec = codec.decode(&bytes).expect("decode");
+            assert_eq!((dec.width(), dec.height()), (w, h));
+        }
+    }
+
+    #[test]
+    fn flat_image_is_tiny() {
+        let img = ImageF32::new(128, 128, Channels::Rgb);
+        let codec = JpegLikeCodec::new();
+        let enc = encode_with(&codec, &img, Quality::new(50)).expect("encode");
+        assert!(enc.bpp() < 0.1, "flat image bpp {}", enc.bpp());
+    }
+
+    #[test]
+    fn garbage_input_rejected() {
+        let codec = JpegLikeCodec::new();
+        assert!(codec.decode(b"not a bitstream").is_err());
+        assert!(codec.decode(b"EJPG").is_err());
+        let mut fake = Vec::from(&b"EJPG"[..]);
+        fake.extend_from_slice(&[0u8; 64]);
+        assert!(codec.decode(&fake).is_err());
+    }
+
+    #[test]
+    fn empty_image_unsupported() {
+        let img = ImageF32::new(0, 0, Channels::Rgb);
+        let codec = JpegLikeCodec::new();
+        assert!(matches!(
+            codec.encode(&img, Quality::new(50)),
+            Err(CodecError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! # easz-core
+//!
+//! The Easz framework (Mao et al., DAC 2025): agile, edge-compute-free
+//! image compression via **erase-and-squeeze** on the sender and a
+//! **lightweight transformer reconstructor** on the receiver.
+//!
+//! The pieces, mirroring the paper's §III:
+//!
+//! * [`EraseMask`] / [`MaskKind`] — erase masks over the sub-patch grid,
+//!   including the proposed row-based conditional sampler with intra-row
+//!   (`δ`) and inter-row (`Δ`) distance constraints, plus the diagonal,
+//!   uniform-2× and unconstrained-random degenerate/baseline cases.
+//! * [`PatchGeometry`] / [`Patchified`] — the two-stage patchify that
+//!   bounds attention cost (the 256×256/n=32/b=4 example reproduces the
+//!   paper's complexity reduction).
+//! * [`squeeze_patch`] / [`unsqueeze_patch`] — rectangular squeeze thanks
+//!   to the equal-erasure-per-row invariant.
+//! * [`Reconstructor`] — the ~8.7 MB transformer encoder-decoder (two
+//!   blocks each) that in-paints erased sub-patches at any erase ratio with
+//!   a single weight set.
+//! * [`Trainer`] — AdamW pretraining/fine-tuning with the paper's Eq. 2
+//!   loss (`L1 + 0.3 · perceptual`).
+//! * [`EaszPipeline`] — the full edge→codec→server flow, compatible with
+//!   every codec in `easz-codecs`.
+//! * [`zoo`] — a deterministic pretrained-weights cache shared by tests,
+//!   examples and benches.
+//!
+//! ```no_run
+//! use easz_core::{zoo, EaszConfig, EaszPipeline};
+//! use easz_codecs::{JpegLikeCodec, Quality};
+//! use easz_data::Dataset;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = zoo::pretrained(zoo::PretrainSpec::quick());
+//! let pipeline = EaszPipeline::new(&model, EaszConfig::default());
+//! let image = Dataset::KodakLike.image(0);
+//! let codec = JpegLikeCodec::new();
+//! let encoded = pipeline.compress(&image, &codec, Quality::new(75))?;
+//! println!("{:.3} bpp (mask side-channel included)", encoded.bpp());
+//! let restored = pipeline.decompress(&encoded, &codec)?;
+//! assert_eq!(restored.width(), image.width());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod mask;
+mod model;
+mod patchify;
+mod pipeline;
+mod squeeze;
+mod train;
+pub mod zoo;
+
+pub use mask::{EraseMask, MaskKind, RowSamplerConfig};
+pub use model::{ForwardPass, Reconstructor, ReconstructorConfig, TokenBatch};
+pub use patchify::{
+    attention_cost_reduction, extract_token, patch_tokens, place_token, PatchGeometry, Patchified,
+};
+pub use pipeline::{EaszConfig, EaszEncoded, EaszPipeline, MaskStrategy};
+pub use squeeze::{pixel_saving_ratio, squeeze_patch, unsqueeze_patch, FillMethod, Orientation};
+pub use train::{erased_region_mse, TrainConfig, Trainer};

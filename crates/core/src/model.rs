@@ -1,0 +1,497 @@
+//! The receiver-side lightweight transformer reconstructor (paper §III-B,
+//! Fig. 5).
+//!
+//! An asymmetric encoder-decoder: the **encoder** (two transformer blocks)
+//! sees only the un-erased sub-patch tokens; the **decoder** (two blocks)
+//! sees the encoder features scattered back to their grid positions plus a
+//! shared learned mask token in each erased slot, and predicts pixel values
+//! for every position. One model serves *every* erase ratio — the paper's
+//! key flexibility claim — because the mask enters only through the token
+//! scatter, never through the weights.
+
+use crate::mask::EraseMask;
+use crate::patchify::PatchGeometry;
+use easz_image::Channels;
+use easz_tensor::{init, nn, Gradients, Graph, ParamSet, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the reconstructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconstructorConfig {
+    /// Patch geometry the model is built for (fixes the token count).
+    pub n: usize,
+    /// Sub-patch side length.
+    pub b: usize,
+    /// Colour channels.
+    pub color: bool,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward hidden width.
+    pub ffn: usize,
+    /// Encoder blocks (paper: 2).
+    pub encoder_blocks: usize,
+    /// Decoder blocks (paper: 2).
+    pub decoder_blocks: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl ReconstructorConfig {
+    /// The paper-scale model: ~8-9 MB serialized (Table I's 8.7 MB row).
+    pub fn paper() -> Self {
+        Self {
+            n: 32,
+            b: 4,
+            color: true,
+            d_model: 240,
+            heads: 4,
+            ffn: 480,
+            encoder_blocks: 2,
+            decoder_blocks: 2,
+            seed: 42,
+        }
+    }
+
+    /// A small configuration for tests and fast benches (same structure,
+    /// ~100x fewer weights).
+    pub fn fast() -> Self {
+        Self {
+            n: 32,
+            b: 4,
+            color: true,
+            d_model: 64,
+            heads: 4,
+            ffn: 128,
+            encoder_blocks: 2,
+            decoder_blocks: 2,
+            seed: 42,
+        }
+    }
+
+    /// The geometry this model reconstructs.
+    pub fn geometry(&self) -> PatchGeometry {
+        PatchGeometry::new(self.n, self.b)
+    }
+
+    /// Channel layout.
+    pub fn channels(&self) -> Channels {
+        if self.color {
+            Channels::Rgb
+        } else {
+            Channels::Gray
+        }
+    }
+
+    /// Token vector width (`b² · C`).
+    pub fn token_dim(&self) -> usize {
+        self.geometry().token_dim(self.channels())
+    }
+
+    /// Tokens per patch.
+    pub fn seq_len(&self) -> usize {
+        self.geometry().tokens_per_patch()
+    }
+}
+
+/// The transformer reconstructor with its parameters.
+pub struct Reconstructor {
+    cfg: ReconstructorConfig,
+    params: ParamSet,
+    in_proj: nn::Linear,
+    enc_pos: easz_tensor::ParamId,
+    enc_blocks: Vec<nn::TransformerBlock>,
+    mask_token: easz_tensor::ParamId,
+    dec_pos: easz_tensor::ParamId,
+    dec_blocks: Vec<nn::TransformerBlock>,
+    out_proj: nn::Linear,
+}
+
+impl std::fmt::Debug for Reconstructor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reconstructor")
+            .field("cfg", &self.cfg)
+            .field("params", &self.params.len())
+            .field("scalars", &self.params.num_scalars())
+            .finish()
+    }
+}
+
+/// A batch of patches prepared for the model: tokens are centred to
+/// `[-0.5, 0.5]` and stacked `[batch * seq, token_dim]`.
+#[derive(Debug, Clone)]
+pub struct TokenBatch {
+    /// Number of patches in the batch.
+    pub batch: usize,
+    /// Tokens per patch.
+    pub seq: usize,
+    /// `[batch * seq, token_dim]` centred token values.
+    pub tokens: Tensor,
+}
+
+impl TokenBatch {
+    /// Builds a batch from raw token vectors (values in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if patch token lists are ragged or empty.
+    pub fn from_patches(patches: &[Vec<Vec<f32>>]) -> Self {
+        assert!(!patches.is_empty(), "empty batch");
+        let seq = patches[0].len();
+        let dim = patches[0][0].len();
+        let mut data = Vec::with_capacity(patches.len() * seq * dim);
+        for p in patches {
+            assert_eq!(p.len(), seq, "ragged batch");
+            for tok in p {
+                assert_eq!(tok.len(), dim, "ragged token");
+                data.extend(tok.iter().map(|&v| v - 0.5));
+            }
+        }
+        Self {
+            batch: patches.len(),
+            seq,
+            tokens: Tensor::from_vec(data, &[patches.len() * seq, dim]),
+        }
+    }
+}
+
+/// Output of a forward pass, with handles needed to build losses.
+pub struct ForwardPass {
+    /// Predicted centred tokens `[batch * seq, token_dim]`.
+    pub predictions: Var,
+}
+
+impl Reconstructor {
+    /// Builds a model with fresh (seeded) weights.
+    pub fn new(cfg: ReconstructorConfig) -> Self {
+        let mut params = ParamSet::new();
+        let mut rng = init::rng(cfg.seed);
+        let d = cfg.d_model;
+        let token_dim = cfg.token_dim();
+        let seq = cfg.seq_len();
+        let in_proj = nn::Linear::new(&mut params, &mut rng, "in_proj", token_dim, d);
+        let enc_pos = params.add("enc_pos", init::normal_trunc(&mut rng, &[seq, d], 0.02));
+        let enc_blocks = (0..cfg.encoder_blocks)
+            .map(|i| {
+                nn::TransformerBlock::new(&mut params, &mut rng, &format!("enc.{i}"), d, cfg.heads, cfg.ffn)
+            })
+            .collect();
+        let mask_token = params.add("mask_token", init::normal_trunc(&mut rng, &[1, d], 0.02));
+        let dec_pos = params.add("dec_pos", init::normal_trunc(&mut rng, &[seq, d], 0.02));
+        let dec_blocks = (0..cfg.decoder_blocks)
+            .map(|i| {
+                nn::TransformerBlock::new(&mut params, &mut rng, &format!("dec.{i}"), d, cfg.heads, cfg.ffn)
+            })
+            .collect();
+        let out_proj = nn::Linear::new(&mut params, &mut rng, "out_proj", d, token_dim);
+        Self { cfg, params, in_proj, enc_pos, enc_blocks, mask_token, dec_pos, dec_blocks, out_proj }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ReconstructorConfig {
+        &self.cfg
+    }
+
+    /// Parameter set (for optimisers and serialization).
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Mutable parameter set (for optimisers and weight loading).
+    pub fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    /// Serialized model size in bytes (the paper's 8.7 MB accounting).
+    pub fn model_bytes(&self) -> usize {
+        easz_tensor::serialized_size(&self.params)
+    }
+
+    /// Forward pass over a token batch under one shared erase mask.
+    ///
+    /// The graph is created by the caller so losses can be appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch geometry does not match the model.
+    pub fn forward(&self, g: &mut Graph<'_>, batch: &TokenBatch, mask: &EraseMask) -> ForwardPass {
+        let cfg = &self.cfg;
+        assert_eq!(batch.seq, cfg.seq_len(), "sequence length mismatch");
+        assert_eq!(mask.n_grid() * mask.n_grid(), batch.seq, "mask size mismatch");
+        let seq = batch.seq;
+        let bsz = batch.batch;
+
+        // Positions kept by the mask, in grid-raster order.
+        let kept: Vec<usize> = mask
+            .iter()
+            .filter_map(|(r, c, erased)| (!erased).then_some(r * mask.n_grid() + c))
+            .collect();
+        let m = kept.len();
+        assert!(m > 0, "mask erases everything");
+
+        // --- Encoder: only un-erased tokens. ---
+        // Gather kept rows for every batch element.
+        let all = g.input(batch.tokens.clone());
+        let kept_rows: Vec<usize> = (0..bsz)
+            .flat_map(|bi| kept.iter().map(move |&p| bi * seq + p))
+            .collect();
+        let enc_in = g.gather_rows(all, &kept_rows);
+        let x = self.in_proj.forward(g, enc_in);
+        // Positional embedding of the kept positions (tiled per batch).
+        let pos = g.param(self.enc_pos);
+        let pos_kept = g.gather_rows(pos, &kept);
+        let mut x = g.add_broadcast_rows(x, pos_kept);
+        for block in &self.enc_blocks {
+            x = block.forward(g, x, bsz, m);
+        }
+
+        // --- Decoder input: scatter encoder features + mask tokens. ---
+        let mask_tok = g.param(self.mask_token);
+        let mut map: Vec<Option<usize>> = Vec::with_capacity(bsz * seq);
+        for bi in 0..bsz {
+            let mut rank = 0usize;
+            for p in 0..seq {
+                if kept.binary_search(&p).is_ok() {
+                    map.push(Some(bi * m + rank));
+                    rank += 1;
+                } else {
+                    map.push(None);
+                }
+            }
+        }
+        let composed = g.compose_tokens(x, mask_tok, &map);
+        let dec_pos = g.param(self.dec_pos);
+        let mut y = g.add_broadcast_rows(composed, dec_pos);
+        for block in &self.dec_blocks {
+            y = block.forward(g, y, bsz, seq);
+        }
+        let predictions = self.out_proj.forward(g, y);
+        ForwardPass { predictions }
+    }
+
+    /// Convenience inference: reconstructs the erased tokens of a batch.
+    ///
+    /// Returns, per patch, per grid position, the predicted token values in
+    /// `[0, 1]` (kept positions return the model's re-prediction, which the
+    /// pipeline discards in favour of the decoded pixels).
+    pub fn reconstruct_tokens(&self, batch: &TokenBatch, mask: &EraseMask) -> Vec<Vec<Vec<f32>>> {
+        let mut g = Graph::new(&self.params);
+        let fwd = self.forward(&mut g, batch, mask);
+        let out = g.value(fwd.predictions);
+        let mut result = Vec::with_capacity(batch.batch);
+        for bi in 0..batch.batch {
+            let mut patch = Vec::with_capacity(batch.seq);
+            for s in 0..batch.seq {
+                let row = out.row(bi * batch.seq + s);
+                patch.push(row.iter().map(|&v| (v + 0.5).clamp(0.0, 1.0)).collect());
+            }
+            result.push(patch);
+        }
+        result
+    }
+
+    /// Builds the paper's training loss (Eq. 2): `L1 + λ · perceptual` where
+    /// the perceptual term is a frequency-weighted error in the sub-patch
+    /// DCT basis (the differentiable LPIPS stand-in, DESIGN.md §1).
+    ///
+    /// Returns the scalar loss node.
+    pub fn loss(
+        &self,
+        g: &mut Graph<'_>,
+        fwd: &ForwardPass,
+        target: &TokenBatch,
+        lambda: f32,
+    ) -> Var {
+        let l1 = g.l1_loss(fwd.predictions, &target.tokens);
+        if lambda == 0.0 {
+            return l1;
+        }
+        let (k, w) = dct_weighting(self.cfg.b, self.cfg.channels().count());
+        let kt = g.input(k.clone());
+        let pred_freq = g.matmul(fwd.predictions, kt);
+        let target_freq = target.tokens.matmul(&k);
+        let rows = target.tokens.shape()[0];
+        let mut weights = Tensor::zeros(&[rows, w.len()]);
+        for r in 0..rows {
+            let dst = &mut weights.data_mut()[r * w.len()..(r + 1) * w.len()];
+            dst.copy_from_slice(&w);
+        }
+        let perceptual = g.weighted_mse_loss(pred_freq, &target_freq, &weights);
+        let scaled = g.scale(perceptual, lambda);
+        g.add(l1, scaled)
+    }
+
+    /// Runs backward for a loss node (thin wrapper so callers don't touch
+    /// the graph API).
+    pub fn backward(&self, g: &Graph<'_>, loss: Var) -> Gradients {
+        g.backward(loss)
+    }
+}
+
+/// The sub-patch DCT operator `K` (`token_dim × token_dim`, channel
+/// block-diagonal) and per-coefficient perceptual weights.
+///
+/// Low frequencies carry the perceptually dominant structure, so weights
+/// fall off with the 2-D frequency index like JPEG's quantisation tables
+/// rise with it.
+fn dct_weighting(b: usize, channels: usize) -> (Tensor, Vec<f32>) {
+    // 1-D orthonormal DCT basis for size b.
+    let mut c = vec![0f32; b * b];
+    for k in 0..b {
+        for i in 0..b {
+            let s = if k == 0 { (1.0 / b as f64).sqrt() } else { (2.0 / b as f64).sqrt() };
+            c[k * b + i] = (s
+                * ((std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k as f64) / (2.0 * b as f64))
+                    .cos()) as f32;
+        }
+    }
+    let dim = b * b * channels;
+    // Token layout: pixel raster-major, channels interleaved. K maps token
+    // vectors to per-channel 2-D DCT coefficients (same layout).
+    // K[col = (i*b+j)*C + ch][row? ] -> we build K so that freq = token * K
+    // (row vector convention): K[(p, ch), (k, ch)] = C2d[k][p].
+    let mut kmat = Tensor::zeros(&[dim, dim]);
+    for ku in 0..b {
+        for kv in 0..b {
+            for i in 0..b {
+                for j in 0..b {
+                    let coeff = c[ku * b + i] * c[kv * b + j];
+                    for ch in 0..channels {
+                        let col = (ku * b + kv) * channels + ch;
+                        let row = (i * b + j) * channels + ch;
+                        kmat.data_mut()[row * dim + col] = coeff;
+                    }
+                }
+            }
+        }
+    }
+    let mut weights = vec![0f32; dim];
+    for ku in 0..b {
+        for kv in 0..b {
+            let w = 1.0 / (1.0 + (ku + kv) as f32);
+            for ch in 0..channels {
+                weights[(ku * b + kv) * channels + ch] = w;
+            }
+        }
+    }
+    (kmat, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::{MaskKind, RowSamplerConfig};
+
+    fn small_cfg() -> ReconstructorConfig {
+        ReconstructorConfig { n: 16, b: 4, d_model: 32, heads: 2, ffn: 64, ..ReconstructorConfig::fast() }
+    }
+
+    fn random_batch(cfg: &ReconstructorConfig, bsz: usize, seed: u64) -> TokenBatch {
+        let mut s = seed;
+        let seq = cfg.seq_len();
+        let dim = cfg.token_dim();
+        let patches: Vec<Vec<Vec<f32>>> = (0..bsz)
+            .map(|_| {
+                (0..seq)
+                    .map(|_| {
+                        (0..dim)
+                            .map(|_| {
+                                s ^= s << 13;
+                                s ^= s >> 7;
+                                s ^= s << 17;
+                                ((s >> 40) as f32 / (1u64 << 24) as f32).clamp(0.0, 1.0)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        TokenBatch::from_patches(&patches)
+    }
+
+    fn mask_for(cfg: &ReconstructorConfig, seed: u64) -> EraseMask {
+        MaskKind::RowConditional(RowSamplerConfig::with_ratio(cfg.geometry().grid(), 0.25))
+            .generate(seed)
+    }
+
+    #[test]
+    fn forward_shapes_and_finiteness() {
+        let cfg = small_cfg();
+        let model = Reconstructor::new(cfg);
+        let batch = random_batch(&cfg, 3, 1);
+        let mask = mask_for(&cfg, 2);
+        let mut g = Graph::new(model.params());
+        let fwd = model.forward(&mut g, &batch, &mask);
+        let out = g.value(fwd.predictions);
+        assert_eq!(out.shape(), &[3 * cfg.seq_len(), cfg.token_dim()]);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn same_model_handles_multiple_erase_ratios() {
+        // The paper's flexibility claim: one weight set, any erase ratio.
+        let cfg = small_cfg();
+        let model = Reconstructor::new(cfg);
+        let batch = random_batch(&cfg, 2, 3);
+        for ratio in [0.25, 0.5] {
+            let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(
+                cfg.geometry().grid(),
+                ratio,
+            ))
+            .generate(1);
+            let out = model.reconstruct_tokens(&batch, &mask);
+            assert_eq!(out.len(), 2);
+            assert_eq!(out[0].len(), cfg.seq_len());
+        }
+    }
+
+    #[test]
+    fn loss_backward_reaches_all_parameters() {
+        let cfg = small_cfg();
+        let model = Reconstructor::new(cfg);
+        let batch = random_batch(&cfg, 2, 5);
+        let mask = mask_for(&cfg, 7);
+        let mut g = Graph::new(model.params());
+        let fwd = model.forward(&mut g, &batch, &mask);
+        let loss = model.loss(&mut g, &fwd, &batch, 0.3);
+        assert!(g.value(loss).item().is_finite());
+        let grads = model.backward(&g, loss);
+        assert_eq!(grads.len(), model.params().len(), "every parameter should get gradients");
+    }
+
+    #[test]
+    fn paper_config_model_size_is_about_9mb() {
+        let model = Reconstructor::new(ReconstructorConfig::paper());
+        let mb = model.model_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(
+            (7.0..11.0).contains(&mb),
+            "paper config should serialize near 8.7 MB, got {mb:.2} MB"
+        );
+    }
+
+    #[test]
+    fn dct_weighting_is_orthonormal_per_channel() {
+        let (k, w) = dct_weighting(4, 3);
+        // K^T K = I (orthonormal transform).
+        let ktk = k.transpose2().matmul(&k);
+        let dim = 48;
+        for i in 0..dim {
+            for j in 0..dim {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                let got = ktk.data()[i * dim + j];
+                assert!((got - expect).abs() < 1e-4, "K^T K [{i},{j}] = {got}");
+            }
+        }
+        // DC weight is the largest.
+        assert!(w[0] >= w.iter().fold(0.0f32, |a, &b| a.max(b)) - 1e-9);
+    }
+
+    #[test]
+    fn token_batch_centres_values() {
+        let patches = vec![vec![vec![1.0f32, 0.0, 0.5]; 4]; 2];
+        let b = TokenBatch::from_patches(&patches);
+        assert_eq!(b.tokens.shape(), &[8, 3]);
+        assert_eq!(b.tokens.row(0), &[0.5, -0.5, 0.0]);
+    }
+}

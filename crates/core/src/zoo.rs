@@ -1,0 +1,159 @@
+//! Pretrained-model registry with an on-disk weight cache.
+//!
+//! Pretraining is deterministic (seeded data, seeded masks, seeded init),
+//! so a weight file is fully described by its configuration. Tests, benches
+//! and examples share one pretraining run per configuration: the first
+//! caller trains and saves under `target/easz-weights/`, everyone else
+//! loads.
+
+use crate::model::{Reconstructor, ReconstructorConfig};
+use crate::train::{TrainConfig, Trainer};
+use easz_data::Dataset;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// A fully specified pretraining recipe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PretrainSpec {
+    /// Model architecture.
+    pub model: ReconstructorConfig,
+    /// Optimisation hyper-parameters.
+    pub train: TrainConfig,
+    /// Number of optimisation steps.
+    pub steps: usize,
+    /// Number of CIFAR-like corpus images.
+    pub corpus: usize,
+}
+
+impl PretrainSpec {
+    /// The quick recipe used by tests and benches: a `fast()` model trained
+    /// a few hundred steps — enough for clearly-better-than-fill quality at
+    /// seconds-scale cost.
+    pub fn quick() -> Self {
+        Self {
+            model: ReconstructorConfig {
+                d_model: 96,
+                ffn: 192,
+                ..ReconstructorConfig::fast()
+            },
+            train: TrainConfig { batch_size: 16, lr: 1.2e-3, ..TrainConfig::default() },
+            steps: 800,
+            corpus: 64,
+        }
+    }
+
+    /// Cache key (stable across processes for identical specs).
+    fn key(&self) -> String {
+        let m = &self.model;
+        let t = &self.train;
+        format!(
+            "n{}b{}c{}d{}h{}f{}e{}x{}s{}-lr{:e}wd{:e}er{}bs{}l{:e}ts{}-st{}co{}",
+            m.n,
+            m.b,
+            u8::from(m.color),
+            m.d_model,
+            m.heads,
+            m.ffn,
+            m.encoder_blocks,
+            m.decoder_blocks,
+            m.seed,
+            t.lr,
+            t.weight_decay,
+            t.erase_ratio,
+            t.batch_size,
+            t.lambda,
+            t.seed,
+            self.steps,
+            self.corpus
+        )
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    // Anchor at the workspace target dir regardless of the runner's cwd.
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    PathBuf::from(manifest).join("../../target/easz-weights")
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Arc<Reconstructor>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<Reconstructor>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the pretrained model for `spec`, training it (once) on the
+/// synthetic CIFAR-like corpus if no cached weights exist.
+///
+/// The returned model is shared; training happens at most once per spec per
+/// machine (in-memory registry + on-disk cache).
+pub fn pretrained(spec: PretrainSpec) -> Arc<Reconstructor> {
+    let key = spec.key();
+    // Fast path: in-memory.
+    if let Some(model) = registry().lock().get(&key).cloned() {
+        return model;
+    }
+    // Build (outside the registry lock only for the training path; the
+    // brief double-train risk is acceptable and deterministic).
+    let path = cache_dir().join(format!("{key}.bin"));
+    let mut model = Reconstructor::new(spec.model);
+    let loaded = easz_tensor::load_params_file(model.params_mut(), &path).is_ok();
+    if !loaded {
+        let corpus = Dataset::CifarLike.images(spec.corpus);
+        let mut trainer = Trainer::new(model, spec.train);
+        trainer.train(&corpus, spec.steps);
+        model = trainer.into_model();
+        if let Err(err) = easz_tensor::save_params_file(model.params(), &path) {
+            // Cache writes are best-effort (e.g. read-only target dirs).
+            eprintln!("warning: could not cache weights at {}: {err}", path.display());
+        }
+    }
+    let arc = Arc::new(model);
+    registry().lock().entry(key).or_insert_with(|| arc.clone());
+    arc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_spec_is_stable() {
+        let a = PretrainSpec::quick().key();
+        let b = PretrainSpec::quick().key();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_specs_have_different_keys() {
+        let a = PretrainSpec::quick();
+        let mut b = a;
+        b.steps += 1;
+        assert_ne!(a.key(), b.key());
+        let mut c = a;
+        c.model.d_model *= 2;
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn registry_returns_shared_instance() {
+        // Use a minuscule spec so the test trains in milliseconds even on a
+        // cold cache.
+        let spec = PretrainSpec {
+            model: ReconstructorConfig {
+                n: 16,
+                b: 4,
+                d_model: 16,
+                heads: 2,
+                ffn: 32,
+                ..ReconstructorConfig::fast()
+            },
+            train: TrainConfig { batch_size: 2, ..TrainConfig::default() },
+            steps: 2,
+            corpus: 2,
+        };
+        let a = pretrained(spec);
+        let b = pretrained(spec);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the registry");
+    }
+}

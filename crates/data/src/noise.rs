@@ -1,0 +1,167 @@
+//! Seeded value noise (single-octave and fractal) used to give synthetic
+//! images natural-texture statistics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic value-noise field over a 2-D lattice.
+///
+/// ```
+/// use easz_data::noise::ValueNoise;
+/// let n = ValueNoise::new(7, 16.0);
+/// let a = n.sample(1.5, 2.5);
+/// let b = n.sample(1.5, 2.5);
+/// assert_eq!(a, b); // deterministic
+/// assert!((0.0..=1.0).contains(&a));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueNoise {
+    seed: u64,
+    /// Lattice cell size in pixels.
+    scale: f32,
+}
+
+impl ValueNoise {
+    /// Creates a noise field with the given seed and lattice scale (pixels
+    /// per lattice cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn new(seed: u64, scale: f32) -> Self {
+        assert!(scale > 0.0, "noise scale must be positive");
+        Self { seed, scale }
+    }
+
+    /// Hash of a lattice point to a value in `[0, 1]`.
+    fn lattice(&self, xi: i64, yi: i64) -> f32 {
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((xi as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((yi as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Samples the noise at pixel coordinates (smoothstep-interpolated).
+    pub fn sample(&self, x: f32, y: f32) -> f32 {
+        let fx = x / self.scale;
+        let fy = y / self.scale;
+        let x0 = fx.floor();
+        let y0 = fy.floor();
+        let tx = smooth(fx - x0);
+        let ty = smooth(fy - y0);
+        let (xi, yi) = (x0 as i64, y0 as i64);
+        let v00 = self.lattice(xi, yi);
+        let v10 = self.lattice(xi + 1, yi);
+        let v01 = self.lattice(xi, yi + 1);
+        let v11 = self.lattice(xi + 1, yi + 1);
+        let a = v00 + (v10 - v00) * tx;
+        let b = v01 + (v11 - v01) * tx;
+        a + (b - a) * ty
+    }
+}
+
+fn smooth(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Fractal (multi-octave) value noise in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct FractalNoise {
+    octaves: Vec<ValueNoise>,
+    amplitudes: Vec<f32>,
+    norm: f32,
+}
+
+impl FractalNoise {
+    /// Builds `octaves` layers starting at `base_scale` pixels, halving the
+    /// scale and the amplitude (persistence 0.5) per octave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octaves` is zero or `base_scale` is not positive.
+    pub fn new(seed: u64, base_scale: f32, octaves: usize) -> Self {
+        assert!(octaves > 0, "need at least one octave");
+        let mut layers = Vec::with_capacity(octaves);
+        let mut amplitudes = Vec::with_capacity(octaves);
+        let mut scale = base_scale;
+        let mut amp = 1.0f32;
+        for i in 0..octaves {
+            layers.push(ValueNoise::new(seed.wrapping_add(i as u64 * 7919), scale.max(1.0)));
+            amplitudes.push(amp);
+            scale /= 2.0;
+            amp /= 2.0;
+        }
+        let norm = amplitudes.iter().sum();
+        Self { octaves: layers, amplitudes, norm }
+    }
+
+    /// Samples the fractal noise at pixel coordinates.
+    pub fn sample(&self, x: f32, y: f32) -> f32 {
+        let mut acc = 0.0;
+        for (layer, &amp) in self.octaves.iter().zip(&self.amplitudes) {
+            acc += amp * layer.sample(x, y);
+        }
+        acc / self.norm
+    }
+}
+
+/// A convenience seeded RNG for dataset generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws a random sub-seed from an RNG (to decorrelate generator stages).
+pub fn sub_seed(rng: &mut StdRng) -> u64 {
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_in_unit_range() {
+        let n = FractalNoise::new(3, 32.0, 4);
+        for i in 0..500 {
+            let v = n.sample(i as f32 * 0.73, i as f32 * 1.31);
+            assert!((0.0..=1.0).contains(&v), "sample {v}");
+        }
+    }
+
+    #[test]
+    fn noise_is_smooth_locally() {
+        let n = ValueNoise::new(9, 16.0);
+        let a = n.sample(10.0, 10.0);
+        let b = n.sample(10.5, 10.0);
+        assert!((a - b).abs() < 0.25, "adjacent samples differ too much: {a} vs {b}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ValueNoise::new(1, 8.0);
+        let b = ValueNoise::new(2, 8.0);
+        let diffs = (0..100)
+            .filter(|&i| {
+                let x = i as f32 * 3.7;
+                (a.sample(x, x) - b.sample(x, x)).abs() > 1e-3
+            })
+            .count();
+        assert!(diffs > 50, "seeds should decorrelate, only {diffs} samples differ");
+    }
+
+    #[test]
+    fn noise_has_variance() {
+        let n = ValueNoise::new(4, 8.0);
+        let samples: Vec<f32> = (0..256).map(|i| n.sample((i % 16) as f32 * 5.0, (i / 16) as f32 * 5.0)).collect();
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var = samples.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / samples.len() as f32;
+        assert!(var > 0.01, "noise variance too small: {var}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Block decomposition utilities shared by the DCT codecs and the Easz
+//! two-stage patchify.
+
+use crate::image::ImageF32;
+
+/// An iterator position over non-overlapping `size`×`size` blocks of an
+/// image in raster order, with edge replication for partial blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockGrid {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Block side length in pixels.
+    pub size: usize,
+}
+
+impl BlockGrid {
+    /// Creates a grid covering an image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(width: usize, height: usize, size: usize) -> Self {
+        assert!(size > 0, "block size must be nonzero");
+        Self { width, height, size }
+    }
+
+    /// Number of block columns (ceiling division).
+    pub fn cols(&self) -> usize {
+        self.width.div_ceil(self.size)
+    }
+
+    /// Number of block rows (ceiling division).
+    pub fn rows(&self) -> usize {
+        self.height.div_ceil(self.size)
+    }
+
+    /// Total number of blocks.
+    pub fn count(&self) -> usize {
+        self.cols() * self.rows()
+    }
+
+    /// Pixel origin of block `(bx, by)`.
+    pub fn origin(&self, bx: usize, by: usize) -> (usize, usize) {
+        (bx * self.size, by * self.size)
+    }
+}
+
+/// Extracts block `(bx, by)` of one channel as a row-major `size*size`
+/// buffer, replicating edges for blocks that overhang the image.
+pub fn extract_block(img: &ImageF32, grid: BlockGrid, bx: usize, by: usize, c: usize) -> Vec<f32> {
+    let (x0, y0) = grid.origin(bx, by);
+    let mut out = vec![0.0f32; grid.size * grid.size];
+    for dy in 0..grid.size {
+        for dx in 0..grid.size {
+            out[dy * grid.size + dx] =
+                img.get_clamped((x0 + dx) as isize, (y0 + dy) as isize, c);
+        }
+    }
+    out
+}
+
+/// Writes a block buffer back into the image (clipping at image bounds).
+pub fn place_block(
+    img: &mut ImageF32,
+    grid: BlockGrid,
+    bx: usize,
+    by: usize,
+    c: usize,
+    block: &[f32],
+) {
+    assert_eq!(block.len(), grid.size * grid.size, "block buffer size");
+    let (x0, y0) = grid.origin(bx, by);
+    for dy in 0..grid.size {
+        let y = y0 + dy;
+        if y >= img.height() {
+            break;
+        }
+        for dx in 0..grid.size {
+            let x = x0 + dx;
+            if x >= img.width() {
+                break;
+            }
+            img.set(x, y, c, block[dy * grid.size + dx]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Channels;
+
+    fn checker(w: usize, h: usize) -> ImageF32 {
+        let mut img = ImageF32::new(w, h, Channels::Gray);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, 0, ((x + y) % 2) as f32);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = BlockGrid::new(17, 9, 8);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.count(), 6);
+        assert_eq!(g.origin(2, 1), (16, 8));
+    }
+
+    #[test]
+    fn extract_place_round_trip_interior() {
+        let img = checker(16, 16);
+        let g = BlockGrid::new(16, 16, 8);
+        let block = extract_block(&img, g, 1, 1, 0);
+        let mut out = ImageF32::new(16, 16, Channels::Gray);
+        place_block(&mut out, g, 1, 1, 0, &block);
+        for y in 8..16 {
+            for x in 8..16 {
+                assert_eq!(out.get(x, y, 0), img.get(x, y, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_blocks_replicate_and_clip() {
+        let img = checker(10, 10);
+        let g = BlockGrid::new(10, 10, 8);
+        // Block (1,1) covers pixels 8..16; only 8..10 exist.
+        let block = extract_block(&img, g, 1, 1, 0);
+        assert_eq!(block[0], img.get(8, 8, 0));
+        // Out-of-range region replicates the last row/column.
+        assert_eq!(block[7], img.get(9, 8, 0));
+        let mut out = checker(10, 10);
+        place_block(&mut out, g, 1, 1, 0, &block); // must not panic
+        assert_eq!(out.get(9, 9, 0), img.get(9, 9, 0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Colour-space conversion (full-range BT.601, the JPEG convention).
+
+use crate::image::{Channels, ImageF32};
+
+/// Converts one RGB pixel (each in `[0, 1]`) to YCbCr (each in `[0, 1]`,
+/// chroma centred at 0.5).
+#[inline]
+pub fn rgb_to_ycbcr(r: f32, g: f32, b: f32) -> (f32, f32, f32) {
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 0.5 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+    let cr = 0.5 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+    (y, cb, cr)
+}
+
+/// Inverse of [`rgb_to_ycbcr`].
+#[inline]
+pub fn ycbcr_to_rgb(y: f32, cb: f32, cr: f32) -> (f32, f32, f32) {
+    let cb = cb - 0.5;
+    let cr = cr - 0.5;
+    let r = y + 1.402 * cr;
+    let g = y - 0.344_136 * cb - 0.714_136 * cr;
+    let b = y + 1.772 * cb;
+    (r, g, b)
+}
+
+/// Converts a whole RGB image to YCbCr (same container, channel meaning
+/// changes).
+///
+/// Gray images pass through unchanged.
+pub fn image_rgb_to_ycbcr(img: &ImageF32) -> ImageF32 {
+    if img.channels() == Channels::Gray {
+        return img.clone();
+    }
+    let mut out = img.clone();
+    for i in 0..img.pixels() {
+        let d = img.data();
+        let (y, cb, cr) = rgb_to_ycbcr(d[i * 3], d[i * 3 + 1], d[i * 3 + 2]);
+        let o = out.data_mut();
+        o[i * 3] = y;
+        o[i * 3 + 1] = cb;
+        o[i * 3 + 2] = cr;
+    }
+    out
+}
+
+/// Converts a whole YCbCr image back to RGB, clamping to `[0, 1]`.
+///
+/// Gray images pass through unchanged.
+pub fn image_ycbcr_to_rgb(img: &ImageF32) -> ImageF32 {
+    if img.channels() == Channels::Gray {
+        return img.clone();
+    }
+    let mut out = img.clone();
+    for i in 0..img.pixels() {
+        let d = img.data();
+        let (r, g, b) = ycbcr_to_rgb(d[i * 3], d[i * 3 + 1], d[i * 3 + 2]);
+        let o = out.data_mut();
+        o[i * 3] = r.clamp(0.0, 1.0);
+        o[i * 3 + 1] = g.clamp(0.0, 1.0);
+        o[i * 3 + 2] = b.clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Luma (Y) plane of an image; for gray images this is the image itself.
+pub fn luma(img: &ImageF32) -> ImageF32 {
+    match img.channels() {
+        Channels::Gray => img.clone(),
+        Channels::Rgb => {
+            let mut out = ImageF32::new(img.width(), img.height(), Channels::Gray);
+            for i in 0..img.pixels() {
+                let d = img.data();
+                out.data_mut()[i] = 0.299 * d[i * 3] + 0.587 * d[i * 3 + 1] + 0.114 * d[i * 3 + 2];
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_round_trip() {
+        for &(r, g, b) in
+            &[(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0), (1.0, 1.0, 1.0), (0.0, 0.0, 0.0)]
+        {
+            let (y, cb, cr) = rgb_to_ycbcr(r, g, b);
+            let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
+            assert!((r - r2).abs() < 1e-3, "r {r} -> {r2}");
+            assert!((g - g2).abs() < 1e-3, "g {g} -> {g2}");
+            assert!((b - b2).abs() < 1e-3, "b {b} -> {b2}");
+        }
+    }
+
+    #[test]
+    fn gray_has_centered_chroma() {
+        let (y, cb, cr) = rgb_to_ycbcr(0.5, 0.5, 0.5);
+        assert!((y - 0.5).abs() < 1e-4);
+        assert!((cb - 0.5).abs() < 1e-4);
+        assert!((cr - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn image_round_trip_error_small() {
+        let mut img = ImageF32::new(8, 8, Channels::Rgb);
+        for (i, v) in img.data_mut().iter_mut().enumerate() {
+            *v = ((i * 37 + 11) % 256) as f32 / 255.0;
+        }
+        let back = image_ycbcr_to_rgb(&image_rgb_to_ycbcr(&img));
+        let max_err = img
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 2e-3, "max error {max_err}");
+    }
+
+    #[test]
+    fn luma_of_gray_is_identity() {
+        let mut img = ImageF32::new(4, 4, Channels::Gray);
+        img.data_mut()[5] = 0.7;
+        assert_eq!(luma(&img), img);
+    }
+}

@@ -1,0 +1,394 @@
+//! Image containers used across the Easz stack.
+
+use std::fmt;
+
+/// Number of colour channels in an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channels {
+    /// Single-channel (luma) image.
+    Gray,
+    /// Three-channel RGB (or YCbCr) image.
+    Rgb,
+}
+
+impl Channels {
+    /// Channel count as a number.
+    pub fn count(self) -> usize {
+        match self {
+            Channels::Gray => 1,
+            Channels::Rgb => 3,
+        }
+    }
+}
+
+/// A floating-point image with interleaved channels and values nominally in
+/// `[0, 1]`.
+///
+/// This is the working representation for every transform in the repo:
+/// erase-and-squeeze, DCT codecs, metrics and the reconstruction model all
+/// operate on `ImageF32`. 8-bit import/export lives at the edges.
+///
+/// ```
+/// use easz_image::{Channels, ImageF32};
+/// let img = ImageF32::new(4, 3, Channels::Rgb);
+/// assert_eq!(img.width(), 4);
+/// assert_eq!(img.height(), 3);
+/// assert_eq!(img.data().len(), 4 * 3 * 3);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct ImageF32 {
+    width: usize,
+    height: usize,
+    channels: Channels,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for ImageF32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ImageF32({}x{}, {:?})", self.width, self.height, self.channels)
+    }
+}
+
+impl ImageF32 {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize, channels: Channels) -> Self {
+        Self { width, height, channels, data: vec![0.0; width * height * channels.count()] }
+    }
+
+    /// Wraps raw interleaved data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height * channels`.
+    pub fn from_vec(width: usize, height: usize, channels: Channels, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            width * height * channels.count(),
+            "image data length mismatch for {width}x{height} {channels:?}"
+        );
+        Self { width, height, channels, data }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Channel layout.
+    pub fn channels(&self) -> Channels {
+        self.channels
+    }
+
+    /// Total pixel count (width × height).
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Interleaved sample buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable interleaved sample buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Sample at `(x, y)` for channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, c: usize) -> f32 {
+        let cc = self.channels.count();
+        assert!(x < self.width && y < self.height && c < cc, "pixel ({x},{y},{c}) out of bounds");
+        self.data[(y * self.width + x) * cc + c]
+    }
+
+    /// Sets the sample at `(x, y)` for channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, c: usize, v: f32) {
+        let cc = self.channels.count();
+        assert!(x < self.width && y < self.height && c < cc, "pixel ({x},{y},{c}) out of bounds");
+        self.data[(y * self.width + x) * cc + c] = v;
+    }
+
+    /// Sample with edge replication for out-of-range coordinates.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize, c: usize) -> f32 {
+        let xi = x.clamp(0, self.width as isize - 1) as usize;
+        let yi = y.clamp(0, self.height as isize - 1) as usize;
+        self.get(xi, yi, c)
+    }
+
+    /// Extracts one channel as a planar gray image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn channel(&self, c: usize) -> ImageF32 {
+        let cc = self.channels.count();
+        assert!(c < cc, "channel {c} out of range");
+        let mut out = ImageF32::new(self.width, self.height, Channels::Gray);
+        for i in 0..self.pixels() {
+            out.data[i] = self.data[i * cc + c];
+        }
+        out
+    }
+
+    /// Builds an RGB image from three gray planes of identical size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if planes differ in size or are not gray.
+    pub fn from_planes(r: &ImageF32, g: &ImageF32, b: &ImageF32) -> ImageF32 {
+        for p in [r, g, b] {
+            assert_eq!(p.channels, Channels::Gray, "planes must be gray");
+            assert_eq!((p.width, p.height), (r.width, r.height), "plane size mismatch");
+        }
+        let mut out = ImageF32::new(r.width, r.height, Channels::Rgb);
+        for i in 0..r.pixels() {
+            out.data[i * 3] = r.data[i];
+            out.data[i * 3 + 1] = g.data[i];
+            out.data[i * 3 + 2] = b.data[i];
+        }
+        out
+    }
+
+    /// Clamps every sample to `[0, 1]` in place.
+    pub fn clamp01(&mut self) {
+        for v in &mut self.data {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Crops a rectangle. Coordinates must be fully inside the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle exceeds the image bounds.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> ImageF32 {
+        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        let cc = self.channels.count();
+        let mut out = ImageF32::new(w, h, self.channels);
+        for y in 0..h {
+            let src = ((y0 + y) * self.width + x0) * cc;
+            let dst = y * w * cc;
+            out.data[dst..dst + w * cc].copy_from_slice(&self.data[src..src + w * cc]);
+        }
+        out
+    }
+
+    /// Pastes `other` at `(x0, y0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` does not fit or channel layouts differ.
+    pub fn paste(&mut self, other: &ImageF32, x0: usize, y0: usize) {
+        assert_eq!(self.channels, other.channels, "paste channel mismatch");
+        assert!(
+            x0 + other.width <= self.width && y0 + other.height <= self.height,
+            "paste out of bounds"
+        );
+        let cc = self.channels.count();
+        for y in 0..other.height {
+            let dst = ((y0 + y) * self.width + x0) * cc;
+            let src = y * other.width * cc;
+            self.data[dst..dst + other.width * cc]
+                .copy_from_slice(&other.data[src..src + other.width * cc]);
+        }
+    }
+
+    /// Pads to `(new_w, new_h)` by replicating the right/bottom edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new size is smaller than the current size.
+    pub fn pad_replicate(&self, new_w: usize, new_h: usize) -> ImageF32 {
+        assert!(new_w >= self.width && new_h >= self.height, "pad must enlarge");
+        let cc = self.channels.count();
+        let mut out = ImageF32::new(new_w, new_h, self.channels);
+        for y in 0..new_h {
+            let sy = y.min(self.height - 1);
+            for x in 0..new_w {
+                let sx = x.min(self.width - 1);
+                for c in 0..cc {
+                    out.set(x, y, c, self.get(sx, sy, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to 8-bit with rounding and saturation.
+    pub fn to_u8(&self) -> ImageU8 {
+        ImageU8 {
+            width: self.width,
+            height: self.height,
+            channels: self.channels,
+            data: self
+                .data
+                .iter()
+                .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+                .collect(),
+        }
+    }
+
+    /// Mean over all samples.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+}
+
+/// An 8-bit image with interleaved channels (the storage/transmission form).
+#[derive(Clone, PartialEq)]
+pub struct ImageU8 {
+    width: usize,
+    height: usize,
+    channels: Channels,
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for ImageU8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ImageU8({}x{}, {:?})", self.width, self.height, self.channels)
+    }
+}
+
+impl ImageU8 {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize, channels: Channels) -> Self {
+        Self { width, height, channels, data: vec![0; width * height * channels.count()] }
+    }
+
+    /// Wraps raw interleaved data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height * channels`.
+    pub fn from_vec(width: usize, height: usize, channels: Channels, data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            width * height * channels.count(),
+            "image data length mismatch for {width}x{height} {channels:?}"
+        );
+        Self { width, height, channels, data }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Channel layout.
+    pub fn channels(&self) -> Channels {
+        self.channels
+    }
+
+    /// Interleaved sample buffer.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable interleaved sample buffer.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Converts to floating point in `[0, 1]`.
+    pub fn to_f32(&self) -> ImageF32 {
+        ImageF32 {
+            width: self.width,
+            height: self.height,
+            channels: self.channels,
+            data: self.data.iter().map(|&v| v as f32 / 255.0).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: usize, h: usize) -> ImageF32 {
+        let mut img = ImageF32::new(w, h, Channels::Rgb);
+        for y in 0..h {
+            for x in 0..w {
+                for c in 0..3 {
+                    img.set(x, y, c, (x + y + c) as f32 / (w + h + 3) as f32);
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn u8_f32_round_trip() {
+        let img = gradient(8, 6).to_u8();
+        let back = img.to_f32().to_u8();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn crop_paste_round_trip() {
+        let img = gradient(16, 12);
+        let crop = img.crop(4, 2, 8, 6);
+        assert_eq!(crop.width(), 8);
+        let mut canvas = ImageF32::new(16, 12, Channels::Rgb);
+        canvas.paste(&crop, 4, 2);
+        for y in 2..8 {
+            for x in 4..12 {
+                assert_eq!(canvas.get(x, y, 1), img.get(x, y, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn channel_split_merge() {
+        let img = gradient(5, 5);
+        let (r, g, b) = (img.channel(0), img.channel(1), img.channel(2));
+        let merged = ImageF32::from_planes(&r, &g, &b);
+        assert_eq!(merged, img);
+    }
+
+    #[test]
+    fn pad_replicates_edges() {
+        let img = gradient(4, 4);
+        let padded = img.pad_replicate(6, 7);
+        assert_eq!(padded.get(5, 2, 0), img.get(3, 2, 0));
+        assert_eq!(padded.get(2, 6, 0), img.get(2, 3, 0));
+        assert_eq!(padded.get(5, 6, 0), img.get(3, 3, 0));
+    }
+
+    #[test]
+    fn clamped_access() {
+        let img = gradient(4, 4);
+        assert_eq!(img.get_clamped(-3, -3, 0), img.get(0, 0, 0));
+        assert_eq!(img.get_clamped(9, 9, 0), img.get(3, 3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "crop out of bounds")]
+    fn crop_rejects_oob() {
+        let _ = gradient(4, 4).crop(2, 2, 4, 4);
+    }
+}

@@ -1,0 +1,191 @@
+//! Minimal NetPBM (PPM/PGM binary) image I/O for examples and debugging.
+
+use crate::image::{Channels, ImageU8};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Error reading or writing a NetPBM file.
+#[derive(Debug)]
+pub enum PnmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or unsupported file contents.
+    Format(String),
+}
+
+impl fmt::Display for PnmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "pnm i/o error: {e}"),
+            Self::Format(m) => write!(f, "invalid pnm file: {m}"),
+        }
+    }
+}
+
+impl Error for PnmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PnmError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes an image as binary PPM (`P6`, RGB) or PGM (`P5`, gray).
+///
+/// # Errors
+///
+/// Returns [`PnmError::Io`] on write failure.
+pub fn write_pnm<W: Write>(img: &ImageU8, mut writer: W) -> Result<(), PnmError> {
+    let magic = match img.channels() {
+        Channels::Rgb => "P6",
+        Channels::Gray => "P5",
+    };
+    write!(writer, "{magic}\n{} {}\n255\n", img.width(), img.height())?;
+    writer.write_all(img.data())?;
+    Ok(())
+}
+
+/// Writes an image to a `.ppm`/`.pgm` file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns [`PnmError::Io`] on filesystem failure.
+pub fn save_pnm(img: &ImageU8, path: impl AsRef<Path>) -> Result<(), PnmError> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    write_pnm(img, std::io::BufWriter::new(file))
+}
+
+fn read_token<R: BufRead>(reader: &mut R) -> Result<String, PnmError> {
+    let mut tok = String::new();
+    let mut in_comment = false;
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof && !tok.is_empty() => break,
+            Err(e) => return Err(e.into()),
+        }
+        let c = byte[0] as char;
+        if in_comment {
+            if c == '\n' {
+                in_comment = false;
+            }
+            continue;
+        }
+        if c == '#' {
+            in_comment = true;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            if tok.is_empty() {
+                continue;
+            }
+            break;
+        }
+        tok.push(c);
+    }
+    Ok(tok)
+}
+
+/// Reads a binary PPM/PGM image.
+///
+/// # Errors
+///
+/// Returns [`PnmError::Format`] for malformed headers or truncated payloads.
+pub fn read_pnm<R: BufRead>(mut reader: R) -> Result<ImageU8, PnmError> {
+    let magic = read_token(&mut reader)?;
+    let channels = match magic.as_str() {
+        "P6" => Channels::Rgb,
+        "P5" => Channels::Gray,
+        other => return Err(PnmError::Format(format!("unsupported magic {other:?}"))),
+    };
+    let parse = |s: String| -> Result<usize, PnmError> {
+        s.parse().map_err(|_| PnmError::Format(format!("bad integer {s:?}")))
+    };
+    let width = parse(read_token(&mut reader)?)?;
+    let height = parse(read_token(&mut reader)?)?;
+    let maxval = parse(read_token(&mut reader)?)?;
+    if maxval != 255 {
+        return Err(PnmError::Format(format!("only maxval 255 supported, got {maxval}")));
+    }
+    let mut data = vec![0u8; width * height * channels.count()];
+    reader
+        .read_exact(&mut data)
+        .map_err(|_| PnmError::Format("truncated pixel payload".into()))?;
+    Ok(ImageU8::from_vec(width, height, channels, data))
+}
+
+/// Loads a `.ppm`/`.pgm` file.
+///
+/// # Errors
+///
+/// See [`read_pnm`].
+pub fn load_pnm(path: impl AsRef<Path>) -> Result<ImageU8, PnmError> {
+    let file = std::fs::File::open(path)?;
+    read_pnm(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(channels: Channels) -> ImageU8 {
+        let mut img = ImageU8::new(5, 3, channels);
+        for (i, v) in img.data_mut().iter_mut().enumerate() {
+            *v = (i * 17 % 256) as u8;
+        }
+        img
+    }
+
+    #[test]
+    fn ppm_round_trip() {
+        let img = sample(Channels::Rgb);
+        let mut buf = Vec::new();
+        write_pnm(&img, &mut buf).expect("write");
+        let back = read_pnm(&buf[..]).expect("read");
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = sample(Channels::Gray);
+        let mut buf = Vec::new();
+        write_pnm(&img, &mut buf).expect("write");
+        let back = read_pnm(&buf[..]).expect("read");
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let img = sample(Channels::Gray);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"P5\n# a comment\n5 3\n# another\n255\n");
+        buf.extend_from_slice(img.data());
+        let back = read_pnm(&buf[..]).expect("read");
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn bad_magic_is_error() {
+        let err = read_pnm(&b"P9\n1 1\n255\nx"[..]).unwrap_err();
+        assert!(matches!(err, PnmError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let err = read_pnm(&b"P5\n4 4\n255\nxx"[..]).unwrap_err();
+        assert!(matches!(err, PnmError::Format(_)));
+    }
+}

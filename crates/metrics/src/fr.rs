@@ -1,0 +1,221 @@
+//! Full-reference metrics: MSE, PSNR, SSIM and MS-SSIM.
+
+use easz_image::resample::downsample2;
+use easz_image::{color, ImageF32};
+
+/// Mean squared error between two same-shaped images (on `[0,1]` values).
+///
+/// # Panics
+///
+/// Panics if the images differ in size or channel count.
+pub fn mse(a: &ImageF32, b: &ImageF32) -> f64 {
+    assert_eq!(
+        (a.width(), a.height(), a.channels()),
+        (b.width(), b.height(), b.channels()),
+        "mse needs identical shapes"
+    );
+    if a.data().is_empty() {
+        return 0.0;
+    }
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.data().len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB (peak = 1.0).
+///
+/// Returns `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if the images differ in shape.
+pub fn psnr(a: &ImageF32, b: &ImageF32) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * m.log10()
+    }
+}
+
+/// Structural similarity (mean SSIM over an 8×8 sliding grid on luma).
+///
+/// Uses the standard constants `C1 = (0.01)²`, `C2 = (0.03)²`.
+///
+/// # Panics
+///
+/// Panics if the images differ in shape or are smaller than 8×8.
+pub fn ssim(a: &ImageF32, b: &ImageF32) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "ssim needs identical sizes"
+    );
+    assert!(a.width() >= 8 && a.height() >= 8, "ssim needs at least 8x8 input");
+    let ya = color::luma(a);
+    let yb = color::luma(b);
+    let c1 = 0.01f64 * 0.01;
+    let c2 = 0.03f64 * 0.03;
+    let win = 8usize;
+    let mut acc = 0.0f64;
+    let mut count = 0usize;
+    let step = 4usize; // stride-4 sliding window: dense enough, 4x faster
+    let mut y0 = 0;
+    while y0 + win <= a.height() {
+        let mut x0 = 0;
+        while x0 + win <= a.width() {
+            let (mut ma, mut mb) = (0.0f64, 0.0f64);
+            for dy in 0..win {
+                for dx in 0..win {
+                    ma += ya.get(x0 + dx, y0 + dy, 0) as f64;
+                    mb += yb.get(x0 + dx, y0 + dy, 0) as f64;
+                }
+            }
+            let n = (win * win) as f64;
+            ma /= n;
+            mb /= n;
+            let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+            for dy in 0..win {
+                for dx in 0..win {
+                    let da = ya.get(x0 + dx, y0 + dy, 0) as f64 - ma;
+                    let db = yb.get(x0 + dx, y0 + dy, 0) as f64 - mb;
+                    va += da * da;
+                    vb += db * db;
+                    cov += da * db;
+                }
+            }
+            va /= n - 1.0;
+            vb /= n - 1.0;
+            cov /= n - 1.0;
+            let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+            acc += s;
+            count += 1;
+            x0 += step;
+        }
+        y0 += step;
+    }
+    acc / count.max(1) as f64
+}
+
+/// Multi-scale SSIM with the standard 5-scale weights.
+///
+/// Falls back to fewer scales when the image becomes smaller than 16 pixels
+/// on a side, renormalising the weights.
+///
+/// # Panics
+///
+/// Panics if the images differ in shape or are smaller than 8×8.
+pub fn ms_ssim(a: &ImageF32, b: &ImageF32) -> f64 {
+    const WEIGHTS: [f64; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+    let mut ca = a.clone();
+    let mut cb = b.clone();
+    let mut acc = 0.0f64;
+    let mut wsum = 0.0f64;
+    for (level, &w) in WEIGHTS.iter().enumerate() {
+        acc += w * ssim(&ca, &cb).max(1e-6).ln();
+        wsum += w;
+        if level + 1 < WEIGHTS.len() {
+            if ca.width() / 2 < 16 || ca.height() / 2 < 16 {
+                break;
+            }
+            ca = downsample2(&ca);
+            cb = downsample2(&cb);
+        }
+    }
+    (acc / wsum).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easz_image::Channels;
+
+    fn gradient(w: usize, h: usize) -> ImageF32 {
+        let mut img = ImageF32::new(w, h, Channels::Rgb);
+        for y in 0..h {
+            for x in 0..w {
+                for c in 0..3 {
+                    img.set(x, y, c, ((x * 3 + y * 2 + c * 17) % 97) as f32 / 96.0);
+                }
+            }
+        }
+        img
+    }
+
+    fn noisy(img: &ImageF32, amp: f32, seed: u64) -> ImageF32 {
+        let mut out = img.clone();
+        let mut s = seed;
+        for v in out.data_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let n = ((s >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 2.0 * amp;
+            *v = (*v + n).clamp(0.0, 1.0);
+        }
+        out
+    }
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = gradient(32, 32);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert!(psnr(&img, &img).is_infinite());
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+        assert!((ms_ssim(&img, &img) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn psnr_matches_known_mse() {
+        let a = gradient(16, 16);
+        let mut b = a.clone();
+        for v in b.data_mut() {
+            *v = (*v + 0.1).clamp(0.0, 1.0);
+        }
+        let m = mse(&a, &b);
+        let p = psnr(&a, &b);
+        assert!((p - (-10.0 * m.log10())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_degrade_with_noise() {
+        let img = gradient(64, 64);
+        let small = noisy(&img, 0.02, 1);
+        let big = noisy(&img, 0.2, 2);
+        assert!(psnr(&img, &small) > psnr(&img, &big));
+        assert!(ssim(&img, &small) > ssim(&img, &big));
+        assert!(ms_ssim(&img, &small) > ms_ssim(&img, &big));
+    }
+
+    #[test]
+    fn ssim_penalises_structure_loss_more_than_bias() {
+        // Constant luminance shift preserves structure: SSIM stays high.
+        let img = gradient(64, 64);
+        let mut shifted = img.clone();
+        for v in shifted.data_mut() {
+            *v = (*v + 0.05).min(1.0);
+        }
+        let shuffled = noisy(&img, 0.25, 3);
+        assert!(ssim(&img, &shifted) > ssim(&img, &shuffled));
+    }
+
+    #[test]
+    fn ms_ssim_handles_small_images() {
+        let img = gradient(24, 24);
+        let other = noisy(&img, 0.1, 4);
+        let v = ms_ssim(&img, &other);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn mse_rejects_shape_mismatch() {
+        let _ = mse(&gradient(8, 8), &gradient(9, 8));
+    }
+}

@@ -1,0 +1,344 @@
+//! MSCN (mean-subtracted contrast-normalised) coefficients and
+//! (asymmetric) generalised Gaussian fitting — the feature substrate of
+//! BRISQUE and NIQE (Mittal et al., TIP 2012).
+
+use easz_image::{color, Channels, ImageF32};
+
+/// Gaussian weights for the 7×7 local window (sigma = 7/6, as in BRISQUE).
+fn gaussian_kernel7() -> [f32; 7] {
+    let sigma = 7.0f32 / 6.0;
+    let mut k = [0f32; 7];
+    let mut sum = 0.0;
+    for (i, v) in k.iter_mut().enumerate() {
+        let x = i as f32 - 3.0;
+        *v = (-x * x / (2.0 * sigma * sigma)).exp();
+        sum += *v;
+    }
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Computes the MSCN coefficient map of an image's luma plane.
+///
+/// `mscn(x) = (I(x) - mu(x)) / (sigma(x) + C)` with a separable 7×7
+/// Gaussian window and `C = 1/255`.
+pub fn mscn_map(img: &ImageF32) -> ImageF32 {
+    let y = color::luma(img);
+    let (w, h) = (y.width(), y.height());
+    let k = gaussian_kernel7();
+    // Separable filtering for mu.
+    let mut mu_row = ImageF32::new(w, h, Channels::Gray);
+    for yy in 0..h {
+        for xx in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in k.iter().enumerate() {
+                acc += kv * y.get_clamped(xx as isize + i as isize - 3, yy as isize, 0);
+            }
+            mu_row.set(xx, yy, 0, acc);
+        }
+    }
+    let mut mu = ImageF32::new(w, h, Channels::Gray);
+    for yy in 0..h {
+        for xx in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in k.iter().enumerate() {
+                acc += kv * mu_row.get_clamped(xx as isize, yy as isize + i as isize - 3, 0);
+            }
+            mu.set(xx, yy, 0, acc);
+        }
+    }
+    // sigma via E[x^2] - mu^2 with the same window.
+    let mut sq_row = ImageF32::new(w, h, Channels::Gray);
+    for yy in 0..h {
+        for xx in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in k.iter().enumerate() {
+                let v = y.get_clamped(xx as isize + i as isize - 3, yy as isize, 0);
+                acc += kv * v * v;
+            }
+            sq_row.set(xx, yy, 0, acc);
+        }
+    }
+    let mut out = ImageF32::new(w, h, Channels::Gray);
+    const C: f32 = 1.0 / 255.0;
+    for yy in 0..h {
+        for xx in 0..w {
+            let mut esq = 0.0;
+            for (i, &kv) in k.iter().enumerate() {
+                esq += kv * sq_row.get_clamped(xx as isize, yy as isize + i as isize - 3, 0);
+            }
+            let m = mu.get(xx, yy, 0);
+            let var = (esq - m * m).max(0.0);
+            out.set(xx, yy, 0, (y.get(xx, yy, 0) - m) / (var.sqrt() + C));
+        }
+    }
+    out
+}
+
+/// Parameters of a generalised Gaussian fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GgdFit {
+    /// Shape parameter (2 = Gaussian, 1 = Laplacian; smaller = heavier tail).
+    pub alpha: f64,
+    /// Variance.
+    pub sigma_sq: f64,
+}
+
+/// Parameters of an asymmetric generalised Gaussian fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggdFit {
+    /// Shape parameter.
+    pub alpha: f64,
+    /// Mean term `eta` (captures the asymmetry of product coefficients).
+    pub eta: f64,
+    /// Left-tail variance.
+    pub sigma_l_sq: f64,
+    /// Right-tail variance.
+    pub sigma_r_sq: f64,
+}
+
+fn gamma_fn(x: f64) -> f64 {
+    // Lanczos approximation, good to ~1e-10 over our range.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// The GGD moment-ratio function `r(alpha) = Γ(2/a)² / (Γ(1/a)Γ(3/a))`.
+fn ggd_ratio(alpha: f64) -> f64 {
+    let g1 = gamma_fn(1.0 / alpha);
+    let g2 = gamma_fn(2.0 / alpha);
+    let g3 = gamma_fn(3.0 / alpha);
+    g2 * g2 / (g1 * g3)
+}
+
+/// Inverts `ggd_ratio` by bisection over `alpha ∈ [0.2, 10]`.
+fn invert_ggd_ratio(target: f64) -> f64 {
+    let (mut lo, mut hi) = (0.2f64, 10.0f64);
+    // ggd_ratio is increasing in alpha.
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if ggd_ratio(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Fits a symmetric GGD to samples via moment matching.
+///
+/// Returns a Gaussian fallback for degenerate (near-constant) inputs.
+pub fn fit_ggd(samples: &[f32]) -> GgdFit {
+    let mut n = 0.0f64;
+    let mut mean_abs = 0.0f64;
+    let mut var = 0.0f64;
+    for &v in samples {
+        if !v.is_finite() {
+            continue; // robust to degenerate inputs
+        }
+        let v = v as f64;
+        n += 1.0;
+        mean_abs += v.abs();
+        var += v * v;
+    }
+    if n == 0.0 {
+        return GgdFit { alpha: 2.0, sigma_sq: 0.0 };
+    }
+    mean_abs /= n;
+    var /= n;
+    if var < 1e-12 || mean_abs < 1e-12 {
+        return GgdFit { alpha: 2.0, sigma_sq: var };
+    }
+    let rho = mean_abs * mean_abs / var;
+    GgdFit { alpha: invert_ggd_ratio(rho), sigma_sq: var }
+}
+
+/// Fits an asymmetric GGD to samples via the BRISQUE moment estimator.
+pub fn fit_aggd(samples: &[f32]) -> AggdFit {
+    let mut nl = 0usize;
+    let mut nr = 0usize;
+    let mut sl = 0.0f64;
+    let mut sr = 0.0f64;
+    let mut mean_abs = 0.0f64;
+    let mut n = 0.0f64;
+    for &v in samples {
+        if !v.is_finite() {
+            continue; // robust to degenerate inputs
+        }
+        let v = v as f64;
+        n += 1.0;
+        mean_abs += v.abs();
+        if v < 0.0 {
+            nl += 1;
+            sl += v * v;
+        } else {
+            nr += 1;
+            sr += v * v;
+        }
+    }
+    if n == 0.0 || (sl + sr) < 1e-12 {
+        return AggdFit { alpha: 2.0, eta: 0.0, sigma_l_sq: 0.0, sigma_r_sq: 0.0 };
+    }
+    mean_abs /= n;
+    let sigma_l_sq = if nl > 0 { sl / nl as f64 } else { 1e-12 };
+    let sigma_r_sq = if nr > 0 { sr / nr as f64 } else { 1e-12 };
+    let gamma_hat = (sigma_l_sq.sqrt() / sigma_r_sq.sqrt()).max(1e-6);
+    let r_hat = mean_abs * mean_abs / ((sl + sr) / n);
+    let rr_hat = r_hat * (gamma_hat.powi(3) + 1.0) * (gamma_hat + 1.0)
+        / (gamma_hat * gamma_hat + 1.0).powi(2);
+    let alpha = invert_ggd_ratio(rr_hat.clamp(1e-6, 0.999));
+    let g1 = gamma_fn(1.0 / alpha);
+    let g2 = gamma_fn(2.0 / alpha);
+    let eta = (sigma_r_sq.sqrt() - sigma_l_sq.sqrt()) * g2 / g1;
+    AggdFit { alpha, eta, sigma_l_sq, sigma_r_sq }
+}
+
+/// The four neighbour-product maps of an MSCN map: horizontal, vertical and
+/// the two diagonals.
+pub fn paired_products(mscn: &ImageF32) -> [Vec<f32>; 4] {
+    let (w, h) = (mscn.width(), mscn.height());
+    let mut hp = Vec::with_capacity(w.saturating_sub(1) * h);
+    let mut vp = Vec::with_capacity(w * h.saturating_sub(1));
+    let mut d1 = Vec::new();
+    let mut d2 = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = mscn.get(x, y, 0);
+            if x + 1 < w {
+                hp.push(v * mscn.get(x + 1, y, 0));
+            }
+            if y + 1 < h {
+                vp.push(v * mscn.get(x, y + 1, 0));
+            }
+            if x + 1 < w && y + 1 < h {
+                d1.push(v * mscn.get(x + 1, y + 1, 0));
+            }
+            if x >= 1 && y + 1 < h {
+                d2.push(v * mscn.get(x - 1, y + 1, 0));
+            }
+        }
+    }
+    [hp, vp, d1, d2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma_fn(2.0) - 1.0).abs() < 1e-9);
+        assert!((gamma_fn(3.0) - 2.0).abs() < 1e-9);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ggd_fit_recovers_gaussian() {
+        // Box-Muller Gaussian samples -> alpha should be near 2.
+        let mut s = 12345u64;
+        let mut samples = Vec::with_capacity(20_000);
+        for _ in 0..10_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let u1 = ((s >> 40) as f64 + 1.0) / (1u64 << 24) as f64;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let u2 = (s >> 40) as f64 / (1u64 << 24) as f64;
+            let r = (-2.0 * u1.ln()).sqrt();
+            samples.push((r * (2.0 * std::f64::consts::PI * u2).cos()) as f32);
+            samples.push((r * (2.0 * std::f64::consts::PI * u2).sin()) as f32);
+        }
+        let fit = fit_ggd(&samples);
+        assert!((fit.alpha - 2.0).abs() < 0.25, "alpha {}", fit.alpha);
+        assert!((fit.sigma_sq - 1.0).abs() < 0.1, "var {}", fit.sigma_sq);
+    }
+
+    #[test]
+    fn ggd_fit_recovers_laplacian() {
+        // Inverse-CDF Laplacian samples -> alpha near 1.
+        let mut s = 777u64;
+        let samples: Vec<f32> = (0..20_000)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                // Offset by half a ULP so |u| < 0.5 strictly (ln(0) guard).
+                let u = ((s >> 40) as f64 + 0.5) / (1u64 << 24) as f64 - 0.5;
+                (-(1.0 - 2.0 * u.abs()).ln() * u.signum()) as f32
+            })
+            .collect();
+        let fit = fit_ggd(&samples);
+        assert!((fit.alpha - 1.0).abs() < 0.2, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn aggd_detects_asymmetry() {
+        // Right-skewed: positive values twice as spread as negative.
+        let mut s = 999u64;
+        let samples: Vec<f32> = (0..20_000)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let u = ((s >> 40) as f64 + 0.5) / (1u64 << 24) as f64 - 0.5;
+                let v = -(1.0 - 2.0 * u.abs()).ln() * u.signum();
+                (if v > 0.0 { v * 2.0 } else { v }) as f32
+            })
+            .collect();
+        let fit = fit_aggd(&samples);
+        assert!(fit.sigma_r_sq > fit.sigma_l_sq * 2.0, "{fit:?}");
+        assert!(fit.eta > 0.0, "eta {}", fit.eta);
+    }
+
+    #[test]
+    fn mscn_of_natural_like_image_is_decorrelated() {
+        use easz_data::Dataset;
+        let img = Dataset::CifarLike.image(0);
+        let m = mscn_map(&img);
+        let vals = m.data();
+        let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+        // MSCN coefficients should be roughly zero-mean with unit-ish scale.
+        assert!(mean.abs() < 0.25, "mscn mean {mean}");
+        let var = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+        assert!(var > 0.05 && var < 5.0, "mscn var {var}");
+    }
+
+    #[test]
+    fn paired_products_lengths() {
+        use easz_data::Dataset;
+        let img = Dataset::CifarLike.image(1);
+        let m = mscn_map(&img);
+        let [hp, vp, d1, d2] = paired_products(&m);
+        assert_eq!(hp.len(), 31 * 32);
+        assert_eq!(vp.len(), 32 * 31);
+        assert_eq!(d1.len(), 31 * 31);
+        assert_eq!(d2.len(), 31 * 31);
+    }
+}

@@ -1,0 +1,67 @@
+//! Weight initialisation helpers (seeded, reproducible).
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for weight initialisation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform Xavier/Glorot initialisation for a `[fan_in, fan_out]` matrix.
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data: Vec<f32> = (0..fan_in * fan_out).map(|_| rng.gen_range(-limit..limit)).collect();
+    Tensor::from_vec(data, &[fan_in, fan_out])
+}
+
+/// Truncated-normal-ish initialisation (clamped at 2 sigma) for embeddings.
+pub fn normal_trunc(rng: &mut StdRng, shape: &[usize], std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            // Box-Muller transform; clamp to +/- 2 sigma.
+            let u1: f32 = rng.gen_range(1e-7f32..1.0);
+            let u2: f32 = rng.gen_range(0.0f32..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            (z * std).clamp(-2.0 * std, 2.0 * std)
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Uniform values in `[lo, hi)`.
+pub fn uniform(rng: &mut StdRng, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_is_seeded_and_bounded() {
+        let a = xavier_uniform(&mut rng(42), 16, 32);
+        let b = xavier_uniform(&mut rng(42), 16, 32);
+        assert_eq!(a, b, "same seed must reproduce identical weights");
+        let limit = (6.0 / 48.0f32).sqrt();
+        assert!(a.data().iter().all(|&x| x >= -limit && x < limit));
+    }
+
+    #[test]
+    fn normal_trunc_is_clamped() {
+        let t = normal_trunc(&mut rng(7), &[1024], 0.02);
+        assert!(t.max_abs() <= 0.04 + 1e-6);
+        // Should not collapse to a constant.
+        assert!(t.sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn uniform_range() {
+        let t = uniform(&mut rng(3), &[128], -1.0, 1.0);
+        assert!(t.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+}

@@ -1,0 +1,53 @@
+//! # easz-tensor
+//!
+//! A from-scratch `f32` tensor library with reverse-mode automatic
+//! differentiation, written as the neural-network substrate of the Easz
+//! image-compression reproduction (Mao et al., DAC 2025).
+//!
+//! The paper's reconstruction network is a small transformer encoder-decoder
+//! trained with AdamW; this crate provides exactly the pieces that network
+//! needs and nothing more:
+//!
+//! * [`Tensor`] — dense row-major storage plus the raw kernels (matmul,
+//!   batched matmul, permutation) with thread-parallel inner loops.
+//! * [`Graph`] — a tape-based autodiff engine over a fixed op vocabulary
+//!   (matmul, layer norm, softmax, GELU, token scatter/gather, losses).
+//! * [`nn`] — `Linear`, `LayerNorm`, `MultiHeadAttention`, `FeedForward`
+//!   and `TransformerBlock` layers mirroring Fig. 5 of the paper.
+//! * [`AdamW`] — decoupled weight decay Adam with optional gradient clipping.
+//! * [`io`](crate::load_params) — a tiny binary weight format used for the
+//!   paper's model-size accounting (the 8.7 MB claim) and for caching
+//!   pretrained weights.
+//!
+//! ```
+//! use easz_tensor::{Graph, ParamSet, Tensor, init, nn};
+//!
+//! # fn main() {
+//! let mut params = ParamSet::new();
+//! let mut rng = init::rng(42);
+//! let block = nn::TransformerBlock::new(&mut params, &mut rng, "blk", 16, 4, 32);
+//! let mut graph = Graph::new(&params);
+//! let tokens = graph.input(Tensor::zeros(&[2 * 8, 16])); // 2 patches x 8 tokens
+//! let out = block.forward(&mut graph, tokens, 2, 8);
+//! assert_eq!(graph.value(out).shape(), &[16, 16]);
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+pub mod init;
+mod io;
+pub mod nn;
+mod optim;
+mod parallel;
+mod params;
+mod tensor;
+
+pub use graph::{Gradients, Graph, Var};
+pub use io::{
+    load_params, load_params_file, save_params, save_params_file, serialized_size, WeightsError,
+};
+pub use optim::{AdamW, AdamWConfig};
+pub use params::{ParamId, ParamSet};
+pub use tensor::{inverse_permutation, strides_of, Tensor};

@@ -1,0 +1,162 @@
+//! Thread-parallel matmul kernels.
+//!
+//! The Easz reconstruction model trains on CPU, so the matrix products that
+//! dominate its forward/backward passes are split across a scoped thread pool
+//! (via `crossbeam::thread::scope`) once they are large enough to amortise
+//! the spawn cost. Small products run single-threaded.
+
+/// Work threshold (in multiply-accumulate ops) below which a product stays
+/// single-threaded.
+const PAR_THRESHOLD: usize = 1 << 17;
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+}
+
+/// `C[m,n] = A[m,k] * B[k,n]`, parallelised across row blocks of `A`/`C`.
+pub fn par_matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let workers = worker_count();
+    if m * n * k < PAR_THRESHOLD || workers <= 1 || m < 2 {
+        matmul_rows(a, b, c, 0, m, k, n);
+        return;
+    }
+    let chunk = m.div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        let mut rest = &mut c[..];
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows = chunk.min(m - row0);
+            let (head, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let a_block = &a[row0 * k..(row0 + rows) * k];
+            s.spawn(move |_| matmul_rows(a_block, b, head, 0, rows, k, n));
+            row0 += rows;
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+/// Sequential `ikj` kernel over a row range of the output.
+fn matmul_rows(a: &[f32], b: &[f32], c: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    for i in row0..row0 + rows {
+        let crow = &mut c[(i - row0) * n..(i - row0 + 1) * n];
+        crow.fill(0.0);
+        let arow = &a[(i - row0) * k..(i - row0 + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..kk * n + n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Batched `C[g,m,n] = A[g,m,k] * B[g,k,n]`, parallelised across the batch.
+pub fn par_batch_matmul(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    g: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), g * m * k);
+    debug_assert_eq!(b.len(), g * k * n);
+    debug_assert_eq!(c.len(), g * m * n);
+    let workers = worker_count();
+    if g * m * n * k < PAR_THRESHOLD || workers <= 1 || g < 2 {
+        for bi in 0..g {
+            matmul_rows(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * k * n..(bi + 1) * k * n],
+                &mut c[bi * m * n..(bi + 1) * m * n],
+                0,
+                m,
+                k,
+                n,
+            );
+        }
+        return;
+    }
+    let per = g.div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        let mut rest = &mut c[..];
+        let mut g0 = 0usize;
+        while g0 < g {
+            let batches = per.min(g - g0);
+            let (head, tail) = rest.split_at_mut(batches * m * n);
+            rest = tail;
+            let a0 = g0;
+            s.spawn(move |_| {
+                for bi in 0..batches {
+                    matmul_rows(
+                        &a[(a0 + bi) * m * k..(a0 + bi + 1) * m * k],
+                        &b[(a0 + bi) * k * n..(a0 + bi + 1) * k * n],
+                        &mut head[bi * m * n..(bi + 1) * m * n],
+                        0,
+                        m,
+                        k,
+                        n,
+                    );
+                }
+            });
+            g0 += batches;
+        }
+    })
+    .expect("batch matmul worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn parallel_matches_naive_large() {
+        // Big enough to trigger the parallel path.
+        let (m, k, n) = (96, 64, 96);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 31 + 7) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 17 + 3) % 11) as f32 - 5.0).collect();
+        let mut c = vec![0.0f32; m * n];
+        par_matmul(&a, &b, &mut c, m, k, n);
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_naive() {
+        let (g, m, k, n) = (16, 24, 16, 24);
+        let a: Vec<f32> = (0..g * m * k).map(|i| ((i * 7 + 1) % 9) as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..g * k * n).map(|i| ((i * 5 + 2) % 7) as f32 * 0.25).collect();
+        let mut c = vec![0.0f32; g * m * n];
+        par_batch_matmul(&a, &b, &mut c, g, m, k, n);
+        for bi in 0..g {
+            let expect = naive(&a[bi * m * k..(bi + 1) * m * k], &b[bi * k * n..(bi + 1) * k * n], m, k, n);
+            for (x, y) in c[bi * m * n..(bi + 1) * m * n].iter().zip(expect.iter()) {
+                assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+}

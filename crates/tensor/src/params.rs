@@ -1,0 +1,130 @@
+//! Named parameter storage shared by the model, the optimiser and the
+//! weight (de)serialisation code.
+
+use crate::tensor::Tensor;
+use std::fmt;
+
+/// Opaque handle to a parameter inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+/// An ordered collection of named parameter tensors.
+///
+/// Order is creation order, which makes the binary weight format stable for
+/// a fixed model-construction sequence.
+///
+/// ```
+/// use easz_tensor::{ParamSet, Tensor};
+/// let mut params = ParamSet::new();
+/// let id = params.add("embed.weight", Tensor::zeros(&[4, 8]));
+/// assert_eq!(params.name(id), "embed.weight");
+/// assert_eq!(params.num_scalars(), 32);
+/// ```
+#[derive(Default)]
+pub struct ParamSet {
+    names: Vec<String>,
+    tensors: Vec<Tensor>,
+}
+
+impl fmt::Debug for ParamSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParamSet")
+            .field("params", &self.names.len())
+            .field("scalars", &self.num_scalars())
+            .finish()
+    }
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tensor under `name`, returning its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "parameter name {name:?} registered twice"
+        );
+        self.names.push(name);
+        self.tensors.push(tensor);
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the set holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar values across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::numel).sum()
+    }
+
+    /// Serialized size in bytes of the f32 payload (excluding headers).
+    pub fn payload_bytes(&self) -> usize {
+        self.num_scalars() * 4
+    }
+
+    /// The value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to a parameter value (used by optimisers and loaders).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Iterates over all parameter handles in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.tensors.len()).map(ParamId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = ParamSet::new();
+        let a = p.add("a", Tensor::zeros(&[2]));
+        let b = p.add("b", Tensor::zeros(&[3]));
+        assert_eq!(p.id_of("a"), Some(a));
+        assert_eq!(p.id_of("b"), Some(b));
+        assert_eq!(p.id_of("c"), None);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_scalars(), 5);
+        assert_eq!(p.payload_bytes(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let mut p = ParamSet::new();
+        p.add("a", Tensor::zeros(&[1]));
+        p.add("a", Tensor::zeros(&[1]));
+    }
+}

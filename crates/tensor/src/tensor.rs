@@ -1,0 +1,431 @@
+//! Dense, row-major `f32` tensors and the raw (non-differentiable) kernels
+//! the autodiff layer is built on.
+
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Shapes are dynamic (rank 0 through 4 are used throughout the Easz stack).
+/// The type is deliberately plain — no views, no strides — because every
+/// kernel in the reconstruction model operates on contiguous data and the
+/// simplicity keeps the autodiff engine auditable.
+///
+/// ```
+/// use easz_tensor::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.numel(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:.4}, {:.4}, ...]", self.data[0], self.data[1])
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// Creates a zero-filled tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Creates a tensor filled with a constant value.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self { data: vec![value], shape: vec![] }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The scalar value of a rank-0 or single-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        self.data[0]
+    }
+
+    /// Returns a reshaped copy sharing the same element order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshaped(&self, shape: &[usize]) -> Self {
+        Self::from_vec(self.data.clone(), shape)
+    }
+
+    /// Reshapes in place (no data movement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        let numel: usize = shape.iter().product();
+        assert_eq!(self.data.len(), numel, "reshape to {:?} from {:?}", shape, self.shape);
+        self.shape = shape.to_vec();
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Self {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Adds `other * scale` into `self` in place (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, scale: f32, other: &Self) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute element (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Uses a cache-friendly `ikj` loop; large products are parallelised
+    /// across row blocks by [`crate::parallel::par_matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; m * n];
+        crate::parallel::par_matmul(&self.data, &other.data, &mut out, m, k, n);
+        Self { data: out, shape: vec![m, n] }
+    }
+
+    /// Batched matrix product `[g, m, k] x [g, k, n] -> [g, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank 3 with matching batch and inner dims.
+    pub fn batch_matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 3, "batch_matmul lhs rank");
+        assert_eq!(other.rank(), 3, "batch_matmul rhs rank");
+        let (g, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (g2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(g, g2, "batch_matmul batch dims");
+        assert_eq!(k, k2, "batch_matmul inner dims");
+        let mut out = vec![0.0f32; g * m * n];
+        crate::parallel::par_batch_matmul(&self.data, &other.data, &mut out, g, m, k, n);
+        Self { data: out, shape: vec![g, m, n] }
+    }
+
+    /// Rank-2 transpose `[m, n] -> [n, m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2(&self) -> Self {
+        assert_eq!(self.rank(), 2, "transpose2 needs rank 2, got {:?}", self.shape);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Self { data: out, shape: vec![n, m] }
+    }
+
+    /// Batched transpose of the last two dims: `[g, m, n] -> [g, n, m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3.
+    pub fn transpose_last2(&self) -> Self {
+        assert_eq!(self.rank(), 3, "transpose_last2 needs rank 3");
+        let (g, m, n) = (self.shape[0], self.shape[1], self.shape[2]);
+        let mut out = vec![0.0f32; g * m * n];
+        for b in 0..g {
+            let src = &self.data[b * m * n..(b + 1) * m * n];
+            let dst = &mut out[b * m * n..(b + 1) * m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+        Self { data: out, shape: vec![g, n, m] }
+    }
+
+    /// General axis permutation (forward of the autodiff `Permute` op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes` is not a permutation of `0..rank`.
+    pub fn permuted(&self, axes: &[usize]) -> Self {
+        let r = self.rank();
+        assert_eq!(axes.len(), r, "permute axes length");
+        let mut seen = vec![false; r];
+        for &a in axes {
+            assert!(a < r && !seen[a], "permute axes must be a permutation, got {axes:?}");
+            seen[a] = true;
+        }
+        let old_shape = &self.shape;
+        let new_shape: Vec<usize> = axes.iter().map(|&a| old_shape[a]).collect();
+        let old_strides = strides_of(old_shape);
+        let new_strides = strides_of(&new_shape);
+        let mut out = vec![0.0f32; self.data.len()];
+        // Walk output linearly; compute source index through the permutation.
+        let mut idx = vec![0usize; r];
+        for (lin, slot) in out.iter_mut().enumerate() {
+            let mut rem = lin;
+            for d in 0..r {
+                idx[d] = rem / new_strides[d];
+                rem %= new_strides[d];
+            }
+            let mut src = 0;
+            for d in 0..r {
+                src += idx[d] * old_strides[axes[d]];
+            }
+            *slot = self.data[src];
+        }
+        Self { data: out, shape: new_shape }
+    }
+
+    /// Row `i` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not rank 2 or `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.rank(), 2, "row() needs rank 2");
+        let n = self.shape[1];
+        &self.data[i * n..(i + 1) * n]
+    }
+
+    /// Stacks rank-1 rows of equal length into a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let n = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * n);
+        for r in rows {
+            assert_eq!(r.len(), n, "ragged rows in from_rows");
+            data.extend_from_slice(r);
+        }
+        Self { data, shape: vec![rows.len(), n] }
+    }
+}
+
+/// Row-major strides for a shape (empty shape -> empty strides).
+pub fn strides_of(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for d in (0..shape.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * shape[d + 1];
+    }
+    strides
+}
+
+/// Inverse of an axis permutation: `inverse[axes[i]] = i`.
+pub fn inverse_permutation(axes: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; axes.len()];
+    for (i, &a) in axes.iter().enumerate() {
+        inv[a] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_shape() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.shape(), &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            eye.data_mut()[i * 4 + i] = 1.0;
+        }
+        let c = a.matmul(&eye);
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn batch_matmul_matches_per_slice() {
+        let a = Tensor::from_vec((0..2 * 2 * 3).map(|x| x as f32 * 0.5).collect(), &[2, 2, 3]);
+        let b = Tensor::from_vec((0..2 * 3 * 2).map(|x| x as f32 * 0.25).collect(), &[2, 3, 2]);
+        let c = a.batch_matmul(&b);
+        for g in 0..2 {
+            let ag = Tensor::from_vec(a.data()[g * 6..(g + 1) * 6].to_vec(), &[2, 3]);
+            let bg = Tensor::from_vec(b.data()[g * 6..(g + 1) * 6].to_vec(), &[3, 2]);
+            let cg = ag.matmul(&bg);
+            assert_eq!(&c.data()[g * 4..(g + 1) * 4], cg.data());
+        }
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let t = a.transpose2();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.transpose2(), a);
+    }
+
+    #[test]
+    fn permute_matches_transpose() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let p = a.permuted(&[0, 2, 1]);
+        assert_eq!(p, a.transpose_last2());
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let axes = [2, 0, 1];
+        let inv = inverse_permutation(&axes);
+        assert_eq!(a.permuted(&axes).permuted(&inv), a);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_of(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_of(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        assert_eq!(t.sum(), 2.0);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(t.sq_norm(), 14.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! A rate-distortion tour of every codec in the repository: JPEG-like,
+//! BPG-like, the simulated neural tiers, and each of them enhanced with
+//! Easz — the qualitative content of the paper's Table II in one run.
+//!
+//! ```sh
+//! cargo run --release --example codec_tour
+//! ```
+
+use easz::codecs::{
+    encode_to_bpp, BpgLikeCodec, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality,
+};
+use easz::core::{zoo, EaszConfig, EaszPipeline};
+use easz::data::Dataset;
+use easz::metrics::{brisque, psnr, ssim};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = Dataset::KodakLike.image(3).crop(64, 64, 256, 192);
+    let target_bpp = 0.5;
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let pipeline = EaszPipeline::new(&model, EaszConfig::default());
+
+    let jpeg = JpegLikeCodec::new();
+    let bpg = BpgLikeCodec::new();
+    let mbt = NeuralSimCodec::new(NeuralTier::Mbt);
+    let cheng = NeuralSimCodec::new(NeuralTier::ChengAnchor);
+    let codecs: [&dyn ImageCodec; 4] = [&jpeg, &bpg, &mbt, &cheng];
+
+    println!("target: {target_bpp} bpp on a {}x{} scene", image.width(), image.height());
+    println!(
+        "{:<22} {:>7} {:>8} {:>8} {:>9}",
+        "codec", "bpp", "psnr", "ssim", "brisque"
+    );
+    for codec in codecs {
+        // Plain.
+        let (_, enc) =
+            encode_to_bpp(codec, &image, target_bpp, image.width(), image.height(), 8)?;
+        let dec = codec.decode(&enc.bytes)?;
+        println!(
+            "{:<22} {:>7.3} {:>8.2} {:>8.4} {:>9.1}",
+            codec.name(),
+            enc.bpp(),
+            psnr(&image, &dec),
+            ssim(&image, &dec),
+            brisque(&dec)
+        );
+        // +Easz (inner quality chosen to land near the same total rate).
+        let mut best: Option<(f64, _)> = None;
+        for q in [20u8, 35, 50, 65, 80, 92] {
+            let enc = pipeline.compress(&image, codec, Quality::new(q))?;
+            let err = (enc.bpp() - target_bpp).abs();
+            if best.as_ref().map(|(e, _)| err < *e).unwrap_or(true) {
+                best = Some((err, enc));
+            }
+        }
+        let (_, enc) = best.expect("probes ran");
+        let dec = pipeline.decompress(&enc, codec)?;
+        println!(
+            "{:<22} {:>7.3} {:>8.2} {:>8.4} {:>9.1}",
+            format!("{}+easz", codec.name()),
+            enc.bpp(),
+            psnr(&image, &dec),
+            ssim(&image, &dec),
+            brisque(&dec)
+        );
+    }
+    println!("\nlower brisque = fewer visible artefacts; +easz rows should win at equal bpp");
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Reproduces the paper's §III-B complexity analysis table: attention cost
+//! of pixel-token transformers vs the two-stage patchify, across
+//! resolutions and patch configurations.
+//!
+//! ```sh
+//! cargo run --release --example complexity_analysis
+//! ```
+
+use easz::core::{attention_cost_reduction, PatchGeometry};
+
+fn main() {
+    println!(
+        "{:<12} {:<10} {:>16} {:>16} {:>12}",
+        "resolution", "(n, b)", "naive ops", "patchified ops", "reduction"
+    );
+    for &(w, h) in &[(256usize, 256usize), (512, 768), (1920, 1080), (3840, 2160)] {
+        for &(n, b) in &[(32usize, 4usize), (32, 2), (16, 4), (64, 4)] {
+            let g = PatchGeometry::new(n, b);
+            let (naive, ours, factor) = attention_cost_reduction(w, h, g);
+            println!(
+                "{:<12} {:<10} {:>16.3e} {:>16.3e} {:>11.0}x",
+                format!("{w}x{h}"),
+                format!("({n},{b})"),
+                naive,
+                ours,
+                factor
+            );
+        }
+    }
+    println!(
+        "\npaper's example: 256x256 with (n=32, b=4) -> {} token-pair ops",
+        attention_cost_reduction(256, 256, PatchGeometry::new(32, 4)).1
+    );
+    println!("4K frames would be computationally impossible without the patchify.");
+}

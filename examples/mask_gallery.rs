@@ -1,0 +1,57 @@
+//! Renders the paper's Fig. 2 mask families as ASCII grids and reports
+//! their constraint statistics: the row-based conditional sampler vs the
+//! unconstrained random baseline, the diagonal degenerate case and the 2×
+//! uniform pattern.
+//!
+//! ```sh
+//! cargo run --release --example mask_gallery
+//! ```
+
+use easz::core::{MaskKind, RowSamplerConfig};
+
+fn adjacency_count(mask: &easz::core::EraseMask) -> usize {
+    let n = mask.n_grid();
+    let mut count = 0;
+    for r in 0..n {
+        for c in 0..n.saturating_sub(1) {
+            if mask.is_erased(r, c) && mask.is_erased(r, c + 1) {
+                count += 1;
+            }
+        }
+    }
+    for c in 0..n {
+        for r in 0..n.saturating_sub(1) {
+            if mask.is_erased(r, c) && mask.is_erased(r + 1, c) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn main() {
+    let n = 8usize;
+    let kinds: Vec<(&str, MaskKind)> = vec![
+        (
+            "proposed (T=2, delta=1, Delta=1)",
+            MaskKind::RowConditional(RowSamplerConfig { n_grid: n, t: 2, delta: 1, cap_delta: 1 }),
+        ),
+        ("random rows (T=2)", MaskKind::RandomRow { n_grid: n, t: 2 }),
+        ("diagonal (T=1)", MaskKind::Diagonal { n_grid: n }),
+        ("uniform 2x (T=N/2)", MaskKind::Uniform2x { n_grid: n }),
+    ];
+    for (label, kind) in kinds {
+        let mask = kind.generate(7);
+        println!("--- {label} ---");
+        print!("{mask}");
+        println!(
+            "erase ratio {:.3} | erased/row {} | orth. adjacencies {} | wire bytes {}\n",
+            mask.erase_ratio(),
+            mask.erased_per_row(),
+            adjacency_count(&mask),
+            mask.to_bytes().len()
+        );
+    }
+    println!("the proposed sampler suppresses adjacencies that cause the");
+    println!("contiguous information loss of random masks (paper Fig. 2/3).");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: compress one image with Easz over JPEG, reconstruct on the
+//! "server", and report rate + quality against plain JPEG at the same
+//! quality setting.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use easz::codecs::{ImageCodec, JpegLikeCodec, Quality};
+use easz::core::{zoo, EaszConfig, EaszPipeline};
+use easz::data::Dataset;
+use easz::image::io::save_pnm;
+use easz::metrics::{brisque, bits_per_pixel, psnr, ssim};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("loading (or pretraining once) the reconstruction model...");
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    println!(
+        "model ready: {} parameters, {:.2} MB serialized",
+        model.params().num_scalars(),
+        model.model_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    let image = Dataset::KodakLike.image(7).crop(64, 64, 384, 256);
+    let codec = JpegLikeCodec::new();
+    let quality = Quality::new(60);
+
+    // Plain JPEG for reference.
+    let jpeg_bytes = codec.encode(&image, quality)?;
+    let jpeg_decoded = codec.decode(&jpeg_bytes)?;
+    println!(
+        "jpeg      : {:.3} bpp | psnr {:.2} dB | ssim {:.4} | brisque {:.1}",
+        bits_per_pixel(jpeg_bytes.len(), image.width(), image.height()),
+        psnr(&image, &jpeg_decoded),
+        ssim(&image, &jpeg_decoded),
+        brisque(&jpeg_decoded),
+    );
+
+    // Easz + JPEG: erase 25% of sub-patches on the edge, reconstruct on the
+    // server with the transformer.
+    let pipeline = EaszPipeline::new(&model, EaszConfig::default());
+    let encoded = pipeline.compress(&image, &codec, quality)?;
+    let restored = pipeline.decompress(&encoded, &codec)?;
+    println!(
+        "jpeg+easz : {:.3} bpp | psnr {:.2} dB | ssim {:.4} | brisque {:.1}",
+        encoded.bpp(),
+        psnr(&image, &restored),
+        ssim(&image, &restored),
+        brisque(&restored),
+    );
+    println!(
+        "payload {} B + mask side-channel {} B",
+        encoded.payload.len(),
+        encoded.mask_bytes.len()
+    );
+
+    // Save before/after for inspection.
+    let out_dir = std::path::Path::new("target/easz-examples");
+    save_pnm(&image.to_u8(), out_dir.join("quickstart_original.ppm"))?;
+    save_pnm(&restored.to_u8(), out_dir.join("quickstart_easz.ppm"))?;
+    println!("wrote {}/quickstart_*.ppm", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # easz
+//!
+//! A from-scratch Rust reproduction of **"Easz: An Agile Transformer-based
+//! Image Compression Framework for Resource-constrained IoTs"**
+//! (Mao et al., DAC 2025) — the full system, its baselines and a simulated
+//! edge-server testbed.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `easz-core` | erase-and-squeeze, two-stage patchify, transformer reconstructor, training, pipeline |
+//! | [`codecs`] | `easz-codecs` | JPEG-like, BPG-like, simulated neural codecs, SR baselines, entropy coders |
+//! | [`metrics`] | `easz-metrics` | PSNR/SSIM/MS-SSIM, BRISQUE/NIQE/PI/TReS, LPIPS-sim |
+//! | [`testbed`] | `easz-testbed` | Jetson TX2 / server / Wi-Fi analytic models |
+//! | [`data`] | `easz-data` | synthetic CIFAR-like / Kodak-like / CLIC-like datasets |
+//! | [`image`] | `easz-image` | image containers, colour conversion, resampling, PPM I/O |
+//! | [`tensor`] | `easz-tensor` | autodiff + transformer-layer substrate |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use easz::core::{zoo, EaszConfig, EaszPipeline};
+//! use easz::codecs::{JpegLikeCodec, Quality};
+//! use easz::data::Dataset;
+//! use easz::metrics::psnr;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A reconstructor pretrained on synthetic CIFAR-like tiles (cached).
+//! let model = zoo::pretrained(zoo::PretrainSpec::quick());
+//! let pipeline = EaszPipeline::new(&model, EaszConfig::default());
+//!
+//! // Edge side: erase-and-squeeze + JPEG, server side: decode + transformer.
+//! let image = Dataset::KodakLike.image(0);
+//! let codec = JpegLikeCodec::new();
+//! let encoded = pipeline.compress(&image, &codec, Quality::new(75))?;
+//! let restored = pipeline.decompress(&encoded, &codec)?;
+//! println!("{:.3} bpp, {:.2} dB", encoded.bpp(), psnr(&image, &restored));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and per-experiment index, and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers of every table/figure.
+
+#![warn(missing_docs)]
+
+pub use easz_codecs as codecs;
+pub use easz_core as core;
+pub use easz_data as data;
+pub use easz_image as image;
+pub use easz_metrics as metrics;
+pub use easz_tensor as tensor;
+pub use easz_testbed as testbed;

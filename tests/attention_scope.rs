@@ -1,0 +1,35 @@
+//! The paper's complexity argument (§III-B): attention is confined within
+//! patches, so compute scales linearly in image area instead of
+//! quadratically, and the 256×256 / n=32 / b=4 example yields the claimed
+//! three-orders-of-magnitude reduction.
+
+use easz::core::{attention_cost_reduction, PatchGeometry};
+
+#[test]
+fn patchified_attention_scales_linearly_with_area() {
+    let g = PatchGeometry::new(32, 4);
+    let (_, c1, _) = attention_cost_reduction(256, 256, g);
+    let (_, c2, _) = attention_cost_reduction(512, 256, g);
+    assert!((c2 / c1 - 2.0).abs() < 1e-9, "doubling area must double cost");
+    let (n1, _, _) = attention_cost_reduction(256, 256, g);
+    let (n2, _, _) = attention_cost_reduction(512, 256, g);
+    assert!((n2 / n1 - 4.0).abs() < 1e-9, "naive cost is quadratic in area");
+}
+
+#[test]
+fn reduction_grows_with_resolution() {
+    let g = PatchGeometry::new(32, 4);
+    let (_, _, r256) = attention_cost_reduction(256, 256, g);
+    let (_, _, r1024) = attention_cost_reduction(1024, 1024, g);
+    assert!(r1024 > r256 * 10.0, "higher resolutions benefit more");
+}
+
+#[test]
+fn paper_example_reduction_is_thousands_fold() {
+    // Paper: 4,294,967,296 naive ops for 256x256 at b=1 tokens; the
+    // two-stage patchify brings it down by three-plus orders of magnitude.
+    let (naive, ours, factor) = attention_cost_reduction(256, 256, PatchGeometry::new(32, 4));
+    assert_eq!(naive, 4_294_967_296.0);
+    assert!(factor > 1000.0, "factor {factor}");
+    assert!(ours < 1_048_576.0 + 1.0, "within the paper's stated budget");
+}

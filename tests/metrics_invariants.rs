@@ -1,0 +1,85 @@
+//! Property-style integration tests of the metric stack against the
+//! synthetic datasets: polarity, ranges and distortion monotonicity that
+//! the paper's tables rely on.
+
+use easz::data::Dataset;
+use easz::image::ImageF32;
+use easz::metrics::{brisque, lpips_sim, ma_sim, ms_ssim, niqe, pi, psnr, ssim, tres};
+
+fn probe(i: usize) -> ImageF32 {
+    Dataset::KodakLike.image(80 + i).crop(96, 96, 160, 128)
+}
+
+fn degrade(img: &ImageF32) -> ImageF32 {
+    // Blur + blockiness, the classic compression artefact cocktail.
+    let mut out = img.clone();
+    let cc = img.channels().count();
+    for by in (0..img.height()).step_by(8) {
+        for bx in (0..img.width()).step_by(8) {
+            for c in 0..cc {
+                let mut acc = 0.0;
+                let mut n = 0usize;
+                for y in by..(by + 8).min(img.height()) {
+                    for x in bx..(bx + 8).min(img.width()) {
+                        acc += img.get(x, y, c);
+                        n += 1;
+                    }
+                }
+                let m = acc / n as f32;
+                for y in by..(by + 8).min(img.height()) {
+                    for x in bx..(bx + 8).min(img.width()) {
+                        out.set(x, y, c, 0.5 * out.get(x, y, c) + 0.5 * m);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn full_reference_metrics_agree_on_ordering() {
+    for i in 0..3 {
+        let img = probe(i);
+        let bad = degrade(&img);
+        assert!(psnr(&img, &img).is_infinite());
+        assert!(psnr(&img, &bad).is_finite());
+        assert!(ssim(&img, &bad) < 1.0);
+        assert!(ms_ssim(&img, &bad) < 1.0);
+        assert!(lpips_sim(&img, &bad) > 0.0);
+    }
+}
+
+#[test]
+fn no_reference_metrics_have_documented_polarity() {
+    for i in 0..2 {
+        let img = probe(i);
+        let bad = degrade(&img);
+        assert!(brisque(&bad) > brisque(&img), "brisque: higher = worse (image {i})");
+        assert!(niqe(&bad) > niqe(&img), "niqe: higher = worse (image {i})");
+        assert!(pi(&bad) > pi(&img), "pi: higher = worse (image {i})");
+        assert!(tres(&bad) < tres(&img), "tres: higher = better (image {i})");
+    }
+}
+
+#[test]
+fn no_reference_scores_live_in_published_ranges() {
+    let img = probe(0);
+    let b = brisque(&img);
+    assert!((0.0..=60.0).contains(&b), "pristine brisque {b}");
+    let t = tres(&img);
+    assert!((30.0..=100.0).contains(&t), "pristine tres {t}");
+    let p = pi(&img);
+    assert!((0.0..=10.0).contains(&p), "pristine pi {p}");
+    let m = ma_sim(&img);
+    assert!((0.0..=10.0).contains(&m), "ma {m}");
+}
+
+#[test]
+fn metrics_are_deterministic() {
+    let img = probe(1);
+    assert_eq!(brisque(&img), brisque(&img));
+    assert_eq!(tres(&img), tres(&img));
+    let other = probe(2);
+    assert_eq!(lpips_sim(&img, &other), lpips_sim(&img, &other));
+}

@@ -1,0 +1,99 @@
+//! Integration tests of the training stack: pretraining transfers to the
+//! test domain, fine-tuning helps (Fig. 7d's premise), and the weight cache
+//! round-trips a trained model exactly.
+
+use easz::core::{
+    erased_region_mse, MaskKind, Reconstructor, ReconstructorConfig, RowSamplerConfig,
+    TrainConfig, Trainer,
+};
+use easz::data::Dataset;
+use easz::tensor::{load_params, save_params};
+
+fn tiny_cfg() -> ReconstructorConfig {
+    ReconstructorConfig {
+        n: 16,
+        b: 4,
+        d_model: 32,
+        heads: 2,
+        ffn: 64,
+        ..ReconstructorConfig::fast()
+    }
+}
+
+#[test]
+fn pretraining_transfers_from_cifar_like_to_kodak_like() {
+    // The paper's §IV-D claim: CIFAR pretraining generalises because local
+    // image statistics transfer.
+    let corpus = Dataset::CifarLike.images(16);
+    let kodak: Vec<_> =
+        (0..3).map(|i| Dataset::KodakLike.image(30 + i).crop(64, 64, 64, 48)).collect();
+    let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(4, 0.25)).generate(5);
+
+    let before = erased_region_mse(&Reconstructor::new(tiny_cfg()), &kodak, &mask);
+    let mut trainer = Trainer::new(
+        Reconstructor::new(tiny_cfg()),
+        TrainConfig { batch_size: 8, lr: 2e-3, ..TrainConfig::default() },
+    );
+    trainer.train(&corpus, 80);
+    let after = erased_region_mse(trainer.model(), &kodak, &mask);
+    assert!(
+        after < before * 0.85,
+        "CIFAR-like pretraining must transfer: {before:.5} -> {after:.5}"
+    );
+}
+
+#[test]
+fn finetuning_loss_falls_on_target_domain() {
+    // Fig. 7d's claim: the fine-tuning loss curve decreases. (Held-out MSE
+    // comparisons are too noisy at this model scale for a robust test.)
+    let corpus = Dataset::CifarLike.images(16);
+    let kodak_train: Vec<_> =
+        (0..6).map(|i| Dataset::KodakLike.image(i).crop(32, 32, 64, 48)).collect();
+
+    let mut trainer = Trainer::new(
+        Reconstructor::new(tiny_cfg()),
+        TrainConfig { batch_size: 8, lr: 2e-3, ..TrainConfig::default() },
+    );
+    trainer.train(&corpus, 60);
+    let losses = trainer.finetune(&kodak_train, 60);
+    let head: f32 = losses[..10].iter().sum::<f32>() / 10.0;
+    let tail: f32 = losses[losses.len() - 10..].iter().sum::<f32>() / 10.0;
+    assert!(
+        tail < head,
+        "fine-tuning loss should fall: first-10 avg {head:.5}, last-10 avg {tail:.5}"
+    );
+}
+
+#[test]
+fn trained_weights_round_trip_preserves_behaviour() {
+    let corpus = Dataset::CifarLike.images(8);
+    let mut trainer = Trainer::new(
+        Reconstructor::new(tiny_cfg()),
+        TrainConfig { batch_size: 4, ..TrainConfig::default() },
+    );
+    trainer.train(&corpus, 10);
+    let model = trainer.into_model();
+
+    let mut buf = Vec::new();
+    save_params(model.params(), &mut buf).expect("save");
+    let mut restored = Reconstructor::new(tiny_cfg());
+    load_params(restored.params_mut(), &buf[..]).expect("load");
+
+    let test: Vec<_> = (0..2).map(|i| Dataset::CifarLike.image(200 + i).crop(0, 0, 16, 16)).collect();
+    let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(4, 0.25)).generate(2);
+    let a = erased_region_mse(&model, &test, &mask);
+    let b = erased_region_mse(&restored, &test, &mask);
+    assert!((a - b).abs() < 1e-9, "identical weights must reconstruct identically: {a} vs {b}");
+}
+
+#[test]
+fn loss_history_is_recorded_per_step() {
+    let corpus = Dataset::CifarLike.images(4);
+    let mut trainer = Trainer::new(
+        Reconstructor::new(tiny_cfg()),
+        TrainConfig { batch_size: 2, ..TrainConfig::default() },
+    );
+    trainer.train(&corpus, 7);
+    assert_eq!(trainer.history().len(), 7);
+    assert!(trainer.history().iter().all(|l| l.is_finite() && *l > 0.0));
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full Easz pipeline against every
+//! codec, at several erase ratios, with a (quickly) trained reconstructor.
+
+use easz::codecs::{BpgLikeCodec, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality};
+use easz::core::{zoo, EaszConfig, EaszPipeline, FillMethod, MaskStrategy, Orientation};
+use easz::data::Dataset;
+use easz::metrics::{mse, psnr};
+
+fn test_image() -> easz::image::ImageF32 {
+    Dataset::KodakLike.image(42).crop(96, 96, 128, 96)
+}
+
+#[test]
+fn pipeline_round_trips_across_all_codecs() {
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let pipe = EaszPipeline::new(&model, EaszConfig::default());
+    let img = test_image();
+    let jpeg = JpegLikeCodec::new();
+    let bpg = BpgLikeCodec::new();
+    let mbt = NeuralSimCodec::new(NeuralTier::Mbt);
+    let cheng = NeuralSimCodec::new(NeuralTier::ChengAnchor);
+    let codecs: [&dyn ImageCodec; 4] = [&jpeg, &bpg, &mbt, &cheng];
+    for codec in codecs {
+        let enc = pipe.compress(&img, codec, Quality::new(75)).expect("compress");
+        let out = pipe.decompress(&enc, codec).expect("decompress");
+        assert_eq!((out.width(), out.height()), (img.width(), img.height()), "{}", codec.name());
+        let p = psnr(&img, &out);
+        assert!(p > 18.0, "{}: psnr {p:.2} too low for q75 + trained model", codec.name());
+    }
+}
+
+#[test]
+fn pipeline_works_at_multiple_erase_ratios_with_one_model() {
+    // The agility claim: the same weights serve every erase ratio.
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let img = test_image();
+    let codec = JpegLikeCodec::new();
+    let mut previous_bpp = f64::INFINITY;
+    for ratio in [0.125, 0.25, 0.375, 0.5] {
+        let cfg = EaszConfig { erase_ratio: ratio, mask_seed: 2, ..Default::default() };
+        let pipe = EaszPipeline::new(&model, cfg);
+        let enc = pipe.compress(&img, &codec, Quality::new(70)).expect("compress");
+        let out = pipe.decompress(&enc, &codec).expect("decompress");
+        assert!(
+            enc.bpp() < previous_bpp,
+            "bpp must shrink as the erase ratio grows (ratio {ratio})"
+        );
+        previous_bpp = enc.bpp();
+        assert!(psnr(&img, &out) > 15.0, "ratio {ratio}: quality collapsed");
+    }
+}
+
+#[test]
+fn trained_reconstruction_beats_neighbor_fill() {
+    // The model must outperform the cheap no-model baseline (Fig. 2(b)'s
+    // neighbour fill) on erased content. MSE comparison, so grain synthesis
+    // (a deliberate MSE-for-naturalness trade) is off.
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let cfg = EaszConfig { synthesize_grain: false, ..EaszConfig::default() };
+    let pipe = EaszPipeline::new(&model, cfg);
+    let img = test_image();
+    let geometry = cfg.geometry();
+    let (squeezed, mask) = pipe.erase_and_squeeze(&img);
+
+    // Neighbour-fill baseline, assembled patch by patch.
+    let patched = easz::core::Patchified::from_image(&img, geometry);
+    let sqw = geometry.n - mask.erased_per_row() * geometry.b;
+    let mut nf_patches = Vec::new();
+    for i in 0..patched.patches.len() {
+        let (px, py) = (i % patched.cols, i / patched.cols);
+        let sq = squeezed.crop(px * sqw, py * geometry.n, sqw, geometry.n);
+        nf_patches.push(easz::core::unsqueeze_patch(
+            &sq,
+            geometry,
+            &mask,
+            Orientation::Horizontal,
+            FillMethod::Neighbor,
+        ));
+    }
+    let nf = easz::core::Patchified { patches: nf_patches, ..patched }.to_image();
+
+    // Model reconstruction through the lossless-ish path.
+    let codec = JpegLikeCodec::new();
+    let enc = pipe.compress(&img, &codec, Quality::new(95)).expect("compress");
+    let out = pipe.decompress(&enc, &codec).expect("decompress");
+
+    let m_model = mse(&img, &out);
+    let m_nf = mse(&img, &nf);
+    assert!(
+        m_model < m_nf,
+        "transformer ({m_model:.6}) must beat neighbour fill ({m_nf:.6})"
+    );
+}
+
+#[test]
+fn proposed_mask_reconstructs_better_than_random() {
+    // Fig. 3b's claim at the integration level.
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let img = test_image();
+    let codec = JpegLikeCodec::new();
+    let run = |strategy: MaskStrategy| {
+        let cfg = EaszConfig { strategy, mask_seed: 7, ..Default::default() };
+        let pipe = EaszPipeline::new(&model, cfg);
+        let enc = pipe.compress(&img, &codec, Quality::new(90)).expect("compress");
+        let out = pipe.decompress(&enc, &codec).expect("decompress");
+        mse(&img, &out)
+    };
+    let proposed = run(MaskStrategy::Proposed);
+    let random = run(MaskStrategy::Random);
+    assert!(
+        proposed <= random * 1.05,
+        "proposed {proposed:.6} should not lose to random {random:.6}"
+    );
+}
+
+#[test]
+fn diagonal_strategy_matches_paper_degenerate_case() {
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let cfg = EaszConfig { strategy: MaskStrategy::Diagonal, ..Default::default() };
+    let pipe = EaszPipeline::new(&model, cfg);
+    let img = test_image();
+    let (squeezed, mask) = pipe.erase_and_squeeze(&img);
+    assert_eq!(mask.erased_per_row(), 1, "diagonal mask erases one block per row");
+    // Width shrinks by exactly one sub-patch per patch.
+    let expect_w = img.width() / cfg.n * (cfg.n - cfg.b);
+    assert_eq!(squeezed.width(), expect_w);
+}
+
+#[test]
+fn encoded_form_survives_mask_byte_round_trip() {
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let pipe = EaszPipeline::new(&model, EaszConfig::default());
+    let img = test_image();
+    let codec = JpegLikeCodec::new();
+    let enc = pipe.compress(&img, &codec, Quality::new(60)).expect("compress");
+    let mask = easz::core::EraseMask::from_bytes(&enc.mask_bytes).expect("mask parse");
+    assert_eq!(mask.n_grid(), 8);
+    assert_eq!(mask.erased_per_row(), 2);
+}

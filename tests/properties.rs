@@ -1,0 +1,145 @@
+//! Property-based tests (proptest) on the core invariants of the system:
+//! mask algebra, squeeze/unsqueeze, patchify, entropy coders and codec
+//! round trips.
+
+use easz::codecs::entropy::huffman::{decode_stream, encode_stream, histogram, HuffmanTable};
+use easz::codecs::entropy::range::{BitModel, RangeDecoder, RangeEncoder};
+use easz::codecs::{ImageCodec, JpegLikeCodec, Quality};
+use easz::core::{
+    squeeze_patch, unsqueeze_patch, EraseMask, FillMethod, MaskKind, Orientation, PatchGeometry,
+    Patchified, RowSamplerConfig,
+};
+use easz::image::{Channels, ImageF32};
+use proptest::prelude::*;
+
+fn arb_image(max_side: usize) -> impl Strategy<Value = ImageF32> {
+    (8usize..max_side, 8usize..max_side, proptest::collection::vec(0u8..=255, 1..8)).prop_map(
+        |(w, h, palette)| {
+            let mut img = ImageF32::new(w, h, Channels::Rgb);
+            for (i, v) in img.data_mut().iter_mut().enumerate() {
+                let p = palette[i % palette.len()] as f32 / 255.0;
+                *v = (p + ((i * 31) % 17) as f32 / 64.0).min(1.0);
+            }
+            img
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn mask_rows_always_erase_exactly_t(
+        n_grid in 2usize..16,
+        ratio in 0.05f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let cfg = RowSamplerConfig::with_ratio(n_grid, ratio);
+        let mask = MaskKind::RowConditional(cfg).generate(seed);
+        for row in 0..n_grid {
+            prop_assert_eq!(mask.erased_cols(row).len(), cfg.t, "row {}", row);
+        }
+        prop_assert!(mask.erased_per_row() < n_grid, "at least one kept column");
+    }
+
+    #[test]
+    fn mask_serialization_round_trips(
+        n_grid in 2usize..32,
+        seed in 0u64..200,
+    ) {
+        let cfg = RowSamplerConfig::with_ratio(n_grid, 0.25);
+        let mask = MaskKind::RowConditional(cfg).generate(seed);
+        let bytes = mask.to_bytes();
+        let back = EraseMask::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(mask, back);
+    }
+
+    #[test]
+    fn squeeze_unsqueeze_preserves_kept_pixels(
+        seed in 0u64..100,
+        b in prop::sample::select(vec![1usize, 2, 4]),
+        horizontal in any::<bool>(),
+    ) {
+        let n = 16usize;
+        let geometry = PatchGeometry::new(n, b);
+        let grid = geometry.grid();
+        let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(grid, 0.25))
+            .generate(seed);
+        let mut patch = ImageF32::new(n, n, Channels::Rgb);
+        for (i, v) in patch.data_mut().iter_mut().enumerate() {
+            *v = ((i as u64 * 2654435761 + seed) % 256) as f32 / 255.0;
+        }
+        let orientation = if horizontal { Orientation::Horizontal } else { Orientation::Vertical };
+        let squeezed = squeeze_patch(&patch, geometry, &mask, orientation);
+        let restored = unsqueeze_patch(&squeezed, geometry, &mask, orientation, FillMethod::Zero);
+        for (row, col, erased) in mask.iter() {
+            let (pr, pc) = if horizontal { (row, col) } else { (col, row) };
+            let orig = easz::core::extract_token(&patch, geometry, pr, pc);
+            let back = easz::core::extract_token(&restored, geometry, pr, pc);
+            if erased {
+                prop_assert!(back.iter().all(|&v| v == 0.0));
+            } else {
+                prop_assert_eq!(orig, back);
+            }
+        }
+    }
+
+    #[test]
+    fn patchify_reassembly_is_identity(img in arb_image(70)) {
+        let p = Patchified::from_image(&img, PatchGeometry::new(32, 4));
+        prop_assert_eq!(p.to_image(), img);
+    }
+
+    #[test]
+    fn huffman_round_trips_any_bytes(data in proptest::collection::vec(any::<u8>(), 1..2000)) {
+        let table = HuffmanTable::from_frequencies(&histogram(&data));
+        let bits = encode_stream(&table, &data);
+        let back = decode_stream(&table, &bits, data.len()).expect("decode");
+        prop_assert_eq!(data, back);
+    }
+
+    #[test]
+    fn range_coder_round_trips_any_bits(
+        bits in proptest::collection::vec(0u8..=1, 1..4000),
+        contexts in 1usize..6,
+    ) {
+        let mut enc = RangeEncoder::new();
+        let mut models = vec![BitModel::new(); contexts];
+        for (i, &b) in bits.iter().enumerate() {
+            enc.encode(b, &mut models[i % contexts]);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut models = vec![BitModel::new(); contexts];
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(dec.decode(&mut models[i % contexts]), b, "bit {}", i);
+        }
+    }
+
+    #[test]
+    fn jpeg_like_decode_never_panics_and_bounds_error(img in arb_image(48)) {
+        let codec = JpegLikeCodec::new();
+        let bytes = codec.encode(&img, Quality::new(90)).expect("encode");
+        let out = codec.decode(&bytes).expect("decode");
+        prop_assert_eq!((out.width(), out.height()), (img.width(), img.height()));
+        // Adversarial palettes can alternate chroma per pixel — content
+        // 4:2:0 subsampling legitimately cannot represent (real JPEG drops
+        // it too). Luma is never subsampled, so the structurally guaranteed
+        // invariant is a tight luma error bound at q90.
+        let y_in = easz::image::color::luma(&img);
+        let y_out = easz::image::color::luma(&out);
+        let luma_mse = easz::metrics::mse(&y_in, &y_out);
+        prop_assert!(luma_mse < 0.02, "q90 luma mse {}", luma_mse);
+    }
+
+    #[test]
+    fn bpp_accounting_includes_mask(seed in 0u64..20) {
+        let img = easz::data::Dataset::KodakLike.image(seed as usize).crop(0, 0, 64, 64);
+        let model = easz::core::Reconstructor::new(easz::core::ReconstructorConfig::fast());
+        let pipe = easz::core::EaszPipeline::new(&model, easz::core::EaszConfig::default());
+        let codec = JpegLikeCodec::new();
+        let enc = pipe.compress(&img, &codec, Quality::new(70)).expect("compress");
+        let payload_only = enc.payload.len() as f64 * 8.0 / (64.0 * 64.0);
+        prop_assert!(enc.bpp() > payload_only, "mask side channel must be charged");
+    }
+}
