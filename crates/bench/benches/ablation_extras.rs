@@ -38,13 +38,9 @@ fn main() {
     sink.row(format!("{:<8} {:<8} {:>12}", "delta", "Delta", "recon MSE"));
     let grid = model.config().geometry().grid();
     for (delta, cap_delta) in [(0usize, 0usize), (1, 0), (1, 1), (2, 1)] {
-        let mask = MaskKind::RowConditional(RowSamplerConfig {
-            n_grid: grid,
-            t: 2,
-            delta,
-            cap_delta,
-        })
-        .generate(13);
+        let mask =
+            MaskKind::RowConditional(RowSamplerConfig { n_grid: grid, t: 2, delta, cap_delta })
+                .generate(13);
         let mse = erased_region_mse(&model, &images, &mask);
         sink.row(format!("{delta:<8} {cap_delta:<8} {mse:>12.6}"));
     }

@@ -7,10 +7,8 @@
 //! reconstructs with lower MSE than random masks at every ratio.
 
 use easz_bench::{bench_model_b, kodak_eval_set, mean, ResultSink};
-use easz_core::{
-    erased_region_mse, EaszConfig, EaszPipeline, MaskStrategy, Orientation,
-};
 use easz_codecs::{ImageCodec, JpegLikeCodec, Quality};
+use easz_core::{erased_region_mse, EaszConfig, EaszPipeline, MaskStrategy, Orientation};
 
 fn main() {
     let mut sink = ResultSink::new("fig3_mask_vs_random");
@@ -19,10 +17,8 @@ fn main() {
     let quality = Quality::new(60);
 
     // Baseline JPEG bytes per image (no erasure).
-    let base_bytes: Vec<f64> = images
-        .iter()
-        .map(|img| codec.encode(img, quality).expect("encode").len() as f64)
-        .collect();
+    let base_bytes: Vec<f64> =
+        images.iter().map(|img| codec.encode(img, quality).expect("encode").len() as f64).collect();
 
     sink.row(format!(
         "{:<6} {:<6} {:<9} {:>18} {:>14}",

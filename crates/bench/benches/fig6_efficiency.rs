@@ -30,8 +30,7 @@ fn main() {
     };
     let neural_payload = |tier: NeuralTier| {
         let codec = NeuralSimCodec::new(tier);
-        let (_, enc) =
-            encode_to_bpp(&codec, img, 0.8, img.width(), img.height(), 6).expect("rate");
+        let (_, enc) = encode_to_bpp(&codec, img, 0.8, img.width(), img.height(), 6).expect("rate");
         (enc.bytes.len() as f64 * scale) as usize
     };
 
@@ -70,13 +69,7 @@ fn main() {
     sink.row(format!("{:<8} {:>8} {:>8} {:>8}", "scheme", "cpu", "gpu", "total"));
     for (name, w, _) in &schemes {
         let p = tb.edge_encode_power(w);
-        sink.row(format!(
-            "{:<8} {:>8.2} {:>8.2} {:>8.2}",
-            name,
-            p.cpu_w,
-            p.gpu_w,
-            p.total_w()
-        ));
+        sink.row(format!("{:<8} {:>8.2} {:>8.2} {:>8.2}", name, p.cpu_w, p.gpu_w, p.total_w()));
     }
 
     sink.row("-- (c) edge encode memory (GB) --");

@@ -17,14 +17,9 @@ fn main() {
     let model = bench_model();
     let jpeg = JpegLikeCodec::new();
     let bpg = BpgLikeCodec::new();
-    let codecs: [(&str, &dyn ImageCodec, &[u8]); 2] = [
-        ("jpeg", &jpeg, &[15, 30, 50, 75]),
-        ("bpg", &bpg, &[30, 45, 60, 75]),
-    ];
-    sink.row(format!(
-        "{:<6} {:<14} {:>4} {:>8} {:>10}",
-        "codec", "variant", "q", "bpp", "brisque"
-    ));
+    let codecs: [(&str, &dyn ImageCodec, &[u8]); 2] =
+        [("jpeg", &jpeg, &[15, 30, 50, 75]), ("bpg", &bpg, &[30, 45, 60, 75])];
+    sink.row(format!("{:<6} {:<14} {:>4} {:>8} {:>10}", "codec", "variant", "q", "bpp", "brisque"));
     for (cname, codec, qualities) in codecs {
         for &q in qualities {
             let quality = Quality::new(q);
@@ -34,10 +29,7 @@ fn main() {
                 .map(|img| {
                     let bytes = codec.encode(img, quality).expect("encode");
                     let dec = codec.decode(&bytes).expect("decode");
-                    (
-                        bytes.len() as f64 * 8.0 / (img.width() * img.height()) as f64,
-                        brisque(&dec),
-                    )
+                    (bytes.len() as f64 * 8.0 / (img.width() * img.height()) as f64, brisque(&dec))
                 })
                 .unzip();
             sink.row(format!(

@@ -6,22 +6,21 @@
 //! the speed/quality sweet spot the paper recommends.
 
 use easz_bench::{bench_model_b, kodak_eval_set, ResultSink};
-use easz_core::{erased_region_mse, patch_tokens, MaskKind, Patchified, RowSamplerConfig, TokenBatch};
+use easz_core::{
+    erased_region_mse, patch_tokens, MaskKind, Patchified, RowSamplerConfig, TokenBatch,
+};
 use std::time::Instant;
 
 fn main() {
     let mut sink = ResultSink::new("fig7_patch_size");
     let images = kodak_eval_set(2, 128, 96);
-    sink.row(format!(
-        "{:<4} {:<7} {:>12} {:>16}",
-        "b", "ratio", "MSE", "infer time (ms)"
-    ));
+    sink.row(format!("{:<4} {:<7} {:>12} {:>16}", "b", "ratio", "MSE", "infer time (ms)"));
     for &b in &[1usize, 2, 4] {
         let model = bench_model_b(b);
         let grid = model.config().geometry().grid();
         for &ratio in &[0.125f64, 0.25, 0.375, 0.5] {
-            let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(grid, ratio))
-                .generate(17);
+            let mask =
+                MaskKind::RowConditional(RowSamplerConfig::with_ratio(grid, ratio)).generate(17);
             let mse = erased_region_mse(&model, &images, &mask);
             // Inference time: one forward pass over the first image.
             let geometry = model.config().geometry();

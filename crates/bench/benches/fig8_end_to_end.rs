@@ -7,9 +7,7 @@
 //! (paper: 2568 ms average, an 89% reduction).
 
 use easz_bench::{bench_model, kodak_eval_set, mean, ResultSink};
-use easz_codecs::{
-    encode_to_bpp, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality,
-};
+use easz_codecs::{encode_to_bpp, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality};
 use easz_core::{EaszConfig, EaszPipeline, ReconstructorConfig};
 use easz_metrics::{brisque, pi, tres};
 use easz_testbed::{Testbed, WorkloadProfile};
@@ -61,7 +59,8 @@ fn main() {
                 0.25,
             );
             let scaled = (mean(&bytes) * PAPER_PIXELS as f64
-                / (images[0].width() * images[0].height()) as f64) as usize;
+                / (images[0].width() * images[0].height()) as f64)
+                as usize;
             let lat = tb.run(&w, PAPER_PIXELS, scaled).total_s();
             sink.row(format!(
                 "{:<11} {:>7.3} {:>9.2} {:>7.2} {:>7.2} {:>14.0}",

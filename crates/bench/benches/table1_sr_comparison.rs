@@ -12,17 +12,16 @@
 
 use easz_bench::{bench_model, kodak_eval_set, mean, ResultSink};
 use easz_codecs::sr::{BicubicUpscaler, EnhancedUpscaler, Upscaler};
-use easz_core::{EaszConfig, EaszPipeline, MaskStrategy, Orientation, ReconstructorConfig, Reconstructor};
+use easz_core::{
+    EaszConfig, EaszPipeline, MaskStrategy, Orientation, Reconstructor, ReconstructorConfig,
+};
 use easz_image::resample::downsample2;
 use easz_metrics::{ms_ssim, psnr};
 
 fn main() {
     let mut sink = ResultSink::new("table1_sr_comparison");
     let images = kodak_eval_set(4, 256, 192);
-    sink.row(format!(
-        "{:<16} {:>8} {:>10} {:>14}",
-        "method", "PSNR", "MS-SSIM", "model size"
-    ));
+    sink.row(format!("{:<16} {:>8} {:>10} {:>14}", "method", "PSNR", "MS-SSIM", "model size"));
 
     // Easz at two operating points of its flexible-reduction knob (the
     // paper's Table I runs a single fixed point; the flexibility is the
@@ -97,8 +96,6 @@ fn reconstruct_lossless(
     // q=100 keeps codec loss an order of magnitude below reconstruction
     // error, preserving the comparison.
     let codec = easz_codecs::JpegLikeCodec::new();
-    let enc = pipe
-        .compress(original, &codec, easz_codecs::Quality::new(100))
-        .expect("compress");
+    let enc = pipe.compress(original, &codec, easz_codecs::Quality::new(100)).expect("compress");
     pipe.decompress(&enc, &codec).expect("decompress")
 }

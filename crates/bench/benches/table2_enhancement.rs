@@ -73,10 +73,8 @@ fn main() {
     let cheng = NeuralSimCodec::new(NeuralTier::ChengAnchor);
     let codecs: [(&str, &dyn ImageCodec); 4] =
         [("jpeg", &jpeg), ("bpg", &bpg), ("mbt", &mbt), ("cheng", &cheng)];
-    let datasets: [(&str, Vec<ImageF32>, f64); 2] = [
-        ("kodak", kodak_eval_set(2, 256, 192), 0.8),
-        ("clic", clic_eval_set(2, 256, 192), 0.7),
-    ];
+    let datasets: [(&str, Vec<ImageF32>, f64); 2] =
+        [("kodak", kodak_eval_set(2, 256, 192), 0.8), ("clic", clic_eval_set(2, 256, 192), 0.7)];
     sink.row(format!(
         "{:<7} {:<7} {:<10} {:>7} {:>9} {:>7} {:>7}",
         "dataset", "codec", "variant", "bpp", "brisque", "pi", "tres"

@@ -97,7 +97,11 @@ fn main() -> std::io::Result<()> {
          `cargo run --release -p easz-bench --bin assemble_experiments`.\n",
     );
     for s in SECTIONS {
-        let _ = write!(out, "\n## {}\n\n**Paper:** {}\n\n**Shape target:** {}\n\n", s.title, s.paper, s.shape);
+        let _ = write!(
+            out,
+            "\n## {}\n\n**Paper:** {}\n\n**Shape target:** {}\n\n",
+            s.title, s.paper, s.shape
+        );
         let path = results.join(format!("{}.txt", s.file));
         match std::fs::read_to_string(&path) {
             Ok(body) => {

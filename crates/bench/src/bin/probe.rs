@@ -9,7 +9,10 @@ fn main() {
     let model = bench_model();
     let pipe = EaszPipeline::new(&model, EaszConfig::default());
     let codec = JpegLikeCodec::new();
-    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "q", "jpeg bpp", "jpeg brq", "easz bpp", "easz brq");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "q", "jpeg bpp", "jpeg brq", "easz bpp", "easz brq"
+    );
     for q in [1u8, 3, 5, 10, 20, 40, 70] {
         let (mut jb, mut jq, mut eb, mut eq) = (vec![], vec![], vec![], vec![]);
         for img in &images {
@@ -22,6 +25,13 @@ fn main() {
             eb.push(enc.bpp());
             eq.push(brisque(&out));
         }
-        println!("{:<6} {:>10.3} {:>10.1} {:>10.3} {:>10.1}", q, mean(&jb), mean(&jq), mean(&eb), mean(&eq));
+        println!(
+            "{:<6} {:>10.3} {:>10.1} {:>10.3} {:>10.1}",
+            q,
+            mean(&jb),
+            mean(&jq),
+            mean(&eb),
+            mean(&eq)
+        );
     }
 }

@@ -111,11 +111,7 @@ pub fn encode_with(
     img: &ImageF32,
     quality: Quality,
 ) -> Result<Encoded, CodecError> {
-    Ok(Encoded {
-        bytes: codec.encode(img, quality)?,
-        width: img.width(),
-        height: img.height(),
-    })
+    Ok(Encoded { bytes: codec.encode(img, quality)?, width: img.width(), height: img.height() })
 }
 
 /// Searches the quality knob (binary search over 1..=100) for the encode

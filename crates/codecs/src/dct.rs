@@ -139,7 +139,11 @@ mod tests {
 
     fn sample_block(n: usize, seed: u32) -> Vec<f32> {
         (0..n * n)
-            .map(|i| (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 16) % 256) as f32 / 255.0 - 0.5)
+            .map(|i| {
+                (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 16) % 256) as f32
+                    / 255.0
+                    - 0.5
+            })
             .collect()
     }
 

@@ -45,10 +45,8 @@ impl HuffmanTable {
             weight: u64,
             symbols: Vec<usize>,
         }
-        let mut heap: Vec<Item> = active
-            .iter()
-            .map(|&s| Item { weight: freqs[s], symbols: vec![s] })
-            .collect();
+        let mut heap: Vec<Item> =
+            active.iter().map(|&s| Item { weight: freqs[s], symbols: vec![s] }).collect();
         while heap.len() > 1 {
             heap.sort_by(|a, b| b.weight.cmp(&a.weight));
             let a = heap.pop().expect("heap has >= 2 items");
@@ -69,12 +67,9 @@ impl HuffmanTable {
         }
         // Kraft sum in units of 2^-MAX_CODE_LEN.
         let unit = 1u64 << MAX_CODE_LEN;
-        let kraft =
-            |count_at: &[u32]| -> u64 {
-                (1..=MAX_CODE_LEN as usize)
-                    .map(|l| count_at[l] as u64 * (unit >> l))
-                    .sum()
-            };
+        let kraft = |count_at: &[u32]| -> u64 {
+            (1..=MAX_CODE_LEN as usize).map(|l| count_at[l] as u64 * (unit >> l)).sum()
+        };
         while kraft(&count_at) > unit {
             // Find a symbol with the longest length < MAX and demote... the
             // standard fix: take a code at the deepest non-max level and
@@ -82,9 +77,7 @@ impl HuffmanTable {
             let mut fixed = false;
             for l in (1..MAX_CODE_LEN as usize).rev() {
                 if count_at[l] > 0 {
-                    if let Some(&s) =
-                        active.iter().find(|&&s| lengths[s] == l as u8)
-                    {
+                    if let Some(&s) = active.iter().find(|&&s| lengths[s] == l as u8) {
                         lengths[s] += 1;
                         count_at[l] -= 1;
                         count_at[l + 1] += 1;

@@ -262,11 +262,7 @@ mod tests {
             enc.encode(b, &mut m);
         }
         let bytes = enc.finish();
-        assert!(
-            bytes.len() < bits.len() / 12,
-            "biased stream compressed to {} bytes",
-            bytes.len()
-        );
+        assert!(bytes.len() < bits.len() / 12, "biased stream compressed to {} bytes", bytes.len());
         let mut dec = RangeDecoder::new(&bytes);
         let mut m = BitModel::new();
         for (i, &b) in bits.iter().enumerate() {

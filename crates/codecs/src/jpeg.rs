@@ -17,16 +17,16 @@ const MAGIC: &[u8; 4] = b"EJPG";
 
 /// JPEG Annex-K luminance quantisation table (raster order).
 const LUMA_QTABLE: [u16; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
-    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// JPEG Annex-K chrominance quantisation table (raster order).
 const CHROMA_QTABLE: [u16; 64] = [
-    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99,
-    99, 47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
-    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
 ];
 
 /// Scales an Annex-K table by the libjpeg quality rule.
@@ -144,13 +144,9 @@ impl JpegLikeCodec {
         }
     }
 
-    fn encode_plane(
-        plane: &Plane,
-        quality: Quality,
-        zz: &[usize],
-        stream: &mut SymbolStream,
-    ) {
-        let qtable = scaled_qtable(if plane.chroma { &CHROMA_QTABLE } else { &LUMA_QTABLE }, quality);
+    fn encode_plane(plane: &Plane, quality: Quality, zz: &[usize], stream: &mut SymbolStream) {
+        let qtable =
+            scaled_qtable(if plane.chroma { &CHROMA_QTABLE } else { &LUMA_QTABLE }, quality);
         let basis = dct8();
         let grid = easz_image::blocks::BlockGrid::new(plane.img.width(), plane.img.height(), 8);
         let mut prev_dc = 0i32;
@@ -361,18 +357,48 @@ impl ImageCodec for JpegLikeCodec {
         let zz = zigzag_order(8);
         let mut reader = BitReader::new(&bytes[pos..]);
         match nchan {
-            1 => Self::decode_plane(width, height, false, quality, &zz, &dc_table, &ac_table, &mut reader),
+            1 => Self::decode_plane(
+                width,
+                height,
+                false,
+                quality,
+                &zz,
+                &dc_table,
+                &ac_table,
+                &mut reader,
+            ),
             3 => {
                 let y = Self::decode_plane(
-                    width, height, false, quality, &zz, &dc_table, &ac_table, &mut reader,
+                    width,
+                    height,
+                    false,
+                    quality,
+                    &zz,
+                    &dc_table,
+                    &ac_table,
+                    &mut reader,
                 )?;
                 let half_w = width.div_ceil(2).max(1);
                 let half_h = height.div_ceil(2).max(1);
                 let cb = Self::decode_plane(
-                    half_w, half_h, true, quality, &zz, &dc_table, &ac_table, &mut reader,
+                    half_w,
+                    half_h,
+                    true,
+                    quality,
+                    &zz,
+                    &dc_table,
+                    &ac_table,
+                    &mut reader,
                 )?;
                 let cr = Self::decode_plane(
-                    half_w, half_h, true, quality, &zz, &dc_table, &ac_table, &mut reader,
+                    half_w,
+                    half_h,
+                    true,
+                    quality,
+                    &zz,
+                    &dc_table,
+                    &ac_table,
+                    &mut reader,
                 )?;
                 let cb = resize(&cb, width, height, Filter::Bilinear);
                 let cr = resize(&cr, width, height, Filter::Bilinear);
@@ -407,11 +433,7 @@ mod tests {
     }
 
     fn mse(a: &ImageF32, b: &ImageF32) -> f32 {
-        a.data()
-            .iter()
-            .zip(b.data())
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f32>()
+        a.data().iter().zip(b.data()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>()
             / a.data().len() as f32
     }
 
@@ -482,9 +504,6 @@ mod tests {
     fn empty_image_unsupported() {
         let img = ImageF32::new(0, 0, Channels::Rgb);
         let codec = JpegLikeCodec::new();
-        assert!(matches!(
-            codec.encode(&img, Quality::new(50)),
-            Err(CodecError::Unsupported(_))
-        ));
+        assert!(matches!(codec.encode(&img, Quality::new(50)), Err(CodecError::Unsupported(_))));
     }
 }

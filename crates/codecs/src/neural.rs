@@ -123,10 +123,9 @@ impl NeuralSimCodec {
         let cfg = match tier {
             // The Ballé tiers reuse the MBT engine config: Fig 1 only needs
             // their cost profiles, but a real bitstream keeps them usable.
-            NeuralTier::BalleFactorized | NeuralTier::BalleHyperprior => EngineConfig {
-                magic: *b"EBAL",
-                ..EngineConfig::mbt_sim()
-            },
+            NeuralTier::BalleFactorized | NeuralTier::BalleHyperprior => {
+                EngineConfig { magic: *b"EBAL", ..EngineConfig::mbt_sim() }
+            }
             NeuralTier::Mbt => EngineConfig::mbt_sim(),
             NeuralTier::ChengAnchor => EngineConfig::cheng_sim(),
         };

@@ -63,17 +63,32 @@ impl EnhancedUpscaler {
     /// SwinIR stand-in (mildest hallucination of the three, per its
     /// published PSNR being closest to bicubic).
     pub fn swinir_sim() -> Self {
-        Self { name: "swinir-sim", sharpen: 0.55, hallucination: 0.20, model_bytes: 67 * 1024 * 1024 }
+        Self {
+            name: "swinir-sim",
+            sharpen: 0.55,
+            hallucination: 0.20,
+            model_bytes: 67 * 1024 * 1024,
+        }
     }
 
     /// realESRGAN stand-in (strongest texture invention).
     pub fn real_esrgan_sim() -> Self {
-        Self { name: "realesrgan-sim", sharpen: 0.75, hallucination: 0.30, model_bytes: 67 * 1024 * 1024 }
+        Self {
+            name: "realesrgan-sim",
+            sharpen: 0.75,
+            hallucination: 0.30,
+            model_bytes: 67 * 1024 * 1024,
+        }
     }
 
     /// BSRGAN stand-in.
     pub fn bsrgan_sim() -> Self {
-        Self { name: "bsrgan-sim", sharpen: 0.40, hallucination: 0.25, model_bytes: 67 * 1024 * 1024 }
+        Self {
+            name: "bsrgan-sim",
+            sharpen: 0.40,
+            hallucination: 0.25,
+            model_bytes: 67 * 1024 * 1024,
+        }
     }
 }
 
@@ -97,9 +112,7 @@ impl Upscaler for EnhancedUpscaler {
         if self.hallucination > 0.0 {
             let (w, h) = (up.width(), up.height());
             let cc = up.channels().count();
-            let mut seed = 0x5eed_5137_u64
-                ^ ((w as u64) << 32)
-                ^ h as u64;
+            let mut seed = 0x5eed_5137_u64 ^ ((w as u64) << 32) ^ h as u64;
             for y in 0..h {
                 for x in 0..w {
                     let activity = (0..cc)
@@ -199,11 +212,7 @@ mod tests {
         let img = detailed_image(64, 64);
         let down = downsample2(&img);
         let mse_of = |out: &ImageF32| -> f32 {
-            img.data()
-                .iter()
-                .zip(out.data())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
+            img.data().iter().zip(out.data()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
                 / img.data().len() as f32
         };
         let bicubic = mse_of(&BicubicUpscaler.upscale(&down, 64, 64));
@@ -218,13 +227,9 @@ mod tests {
         let img = detailed_image(64, 64);
         let down = downsample2(&img);
         let up = EnhancedUpscaler::swinir_sim().upscale(&down, 64, 64);
-        let mse: f32 = img
-            .data()
-            .iter()
-            .zip(up.data())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
-            / img.data().len() as f32;
+        let mse: f32 =
+            img.data().iter().zip(up.data()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+                / img.data().len() as f32;
         assert!(mse > 1e-4, "2x SR round trip should lose detail, mse {mse}");
     }
 

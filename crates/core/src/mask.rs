@@ -295,7 +295,8 @@ fn row_conditional(cfg: RowSamplerConfig, seed: u64) -> EraseMask {
         let mut delta = cfg.delta;
         let mut cap_delta = cfg.cap_delta;
         loop {
-            if let Some(cols) = try_sample_row(&mut rng, cfg.n_grid, cfg.t, delta, cap_delta, &prev_row, MAX_TRIES)
+            if let Some(cols) =
+                try_sample_row(&mut rng, cfg.n_grid, cfg.t, delta, cap_delta, &prev_row, MAX_TRIES)
             {
                 prev_row = cols.clone();
                 rows.push(cols);

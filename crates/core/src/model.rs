@@ -174,18 +174,42 @@ impl Reconstructor {
         let enc_pos = params.add("enc_pos", init::normal_trunc(&mut rng, &[seq, d], 0.02));
         let enc_blocks = (0..cfg.encoder_blocks)
             .map(|i| {
-                nn::TransformerBlock::new(&mut params, &mut rng, &format!("enc.{i}"), d, cfg.heads, cfg.ffn)
+                nn::TransformerBlock::new(
+                    &mut params,
+                    &mut rng,
+                    &format!("enc.{i}"),
+                    d,
+                    cfg.heads,
+                    cfg.ffn,
+                )
             })
             .collect();
         let mask_token = params.add("mask_token", init::normal_trunc(&mut rng, &[1, d], 0.02));
         let dec_pos = params.add("dec_pos", init::normal_trunc(&mut rng, &[seq, d], 0.02));
         let dec_blocks = (0..cfg.decoder_blocks)
             .map(|i| {
-                nn::TransformerBlock::new(&mut params, &mut rng, &format!("dec.{i}"), d, cfg.heads, cfg.ffn)
+                nn::TransformerBlock::new(
+                    &mut params,
+                    &mut rng,
+                    &format!("dec.{i}"),
+                    d,
+                    cfg.heads,
+                    cfg.ffn,
+                )
             })
             .collect();
         let out_proj = nn::Linear::new(&mut params, &mut rng, "out_proj", d, token_dim);
-        Self { cfg, params, in_proj, enc_pos, enc_blocks, mask_token, dec_pos, dec_blocks, out_proj }
+        Self {
+            cfg,
+            params,
+            in_proj,
+            enc_pos,
+            enc_blocks,
+            mask_token,
+            dec_pos,
+            dec_blocks,
+            out_proj,
+        }
     }
 
     /// Model configuration.
@@ -233,9 +257,8 @@ impl Reconstructor {
         // --- Encoder: only un-erased tokens. ---
         // Gather kept rows for every batch element.
         let all = g.input(batch.tokens.clone());
-        let kept_rows: Vec<usize> = (0..bsz)
-            .flat_map(|bi| kept.iter().map(move |&p| bi * seq + p))
-            .collect();
+        let kept_rows: Vec<usize> =
+            (0..bsz).flat_map(|bi| kept.iter().map(move |&p| bi * seq + p)).collect();
         let enc_in = g.gather_rows(all, &kept_rows);
         let x = self.in_proj.forward(g, enc_in);
         // Positional embedding of the kept positions (tiled per batch).
@@ -384,7 +407,14 @@ mod tests {
     use crate::mask::{MaskKind, RowSamplerConfig};
 
     fn small_cfg() -> ReconstructorConfig {
-        ReconstructorConfig { n: 16, b: 4, d_model: 32, heads: 2, ffn: 64, ..ReconstructorConfig::fast() }
+        ReconstructorConfig {
+            n: 16,
+            b: 4,
+            d_model: 32,
+            heads: 2,
+            ffn: 64,
+            ..ReconstructorConfig::fast()
+        }
     }
 
     fn random_batch(cfg: &ReconstructorConfig, bsz: usize, seed: u64) -> TokenBatch {

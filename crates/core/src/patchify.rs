@@ -123,7 +123,12 @@ impl Patchified {
 /// # Panics
 ///
 /// Panics if the patch is not `n × n` or the cell is out of range.
-pub fn extract_token(patch: &ImageF32, geometry: PatchGeometry, row: usize, col: usize) -> Vec<f32> {
+pub fn extract_token(
+    patch: &ImageF32,
+    geometry: PatchGeometry,
+    row: usize,
+    col: usize,
+) -> Vec<f32> {
     let (n, b) = (geometry.n, geometry.b);
     assert_eq!((patch.width(), patch.height()), (n, n), "patch size");
     let grid = geometry.grid();
@@ -258,8 +263,7 @@ mod tests {
     #[test]
     fn paper_complexity_example() {
         // 256x256, n=32, b=4: reduction of 4096x (paper §III-B).
-        let (naive, ours, factor) =
-            attention_cost_reduction(256, 256, PatchGeometry::new(32, 4));
+        let (naive, ours, factor) = attention_cost_reduction(256, 256, PatchGeometry::new(32, 4));
         assert_eq!(naive, 4_294_967_296.0);
         assert_eq!(ours, 1_048_576.0 / 4.0, "64 patches x 64^2 token pairs");
         // The paper counts (hw/n^2) x (n^2/b^2)^2 = 262144; our tokens^2

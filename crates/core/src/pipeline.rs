@@ -74,11 +74,10 @@ impl EaszConfig {
     pub fn make_mask(&self) -> EraseMask {
         let grid = self.geometry().grid();
         match self.strategy {
-            MaskStrategy::Proposed => MaskKind::RowConditional(RowSamplerConfig::with_ratio(
-                grid,
-                self.erase_ratio,
-            ))
-            .generate(self.mask_seed),
+            MaskStrategy::Proposed => {
+                MaskKind::RowConditional(RowSamplerConfig::with_ratio(grid, self.erase_ratio))
+                    .generate(self.mask_seed)
+            }
             MaskStrategy::Random => {
                 let t = ((grid as f64 * self.erase_ratio).round() as usize).clamp(1, grid - 1);
                 MaskKind::RandomRow { n_grid: grid, t }.generate(self.mask_seed)
@@ -281,11 +280,7 @@ impl<'m> EaszPipeline<'m> {
 /// neighbours: predicted boundary pixels are averaged towards the adjacent
 /// kept pixel. Removes the slight blockiness of hole-filling (it cannot
 /// *add* information, only hide the discontinuity).
-fn feather_erased_boundaries(
-    patch: &mut ImageF32,
-    geometry: PatchGeometry,
-    mask: &EraseMask,
-) {
+fn feather_erased_boundaries(patch: &mut ImageF32, geometry: PatchGeometry, mask: &EraseMask) {
     let b = geometry.b;
     let cc = patch.channels().count();
     let grid = geometry.grid();
@@ -331,12 +326,7 @@ fn feather_erased_boundaries(
 /// grain restores the local statistics that no-reference metrics (and
 /// viewers) expect. Purely synthetic — like GAN texture or AV1 film-grain
 /// synthesis, it trades a little PSNR for naturalness.
-fn synthesize_grain(
-    patch: &mut ImageF32,
-    geometry: PatchGeometry,
-    mask: &EraseMask,
-    seed: u64,
-) {
+fn synthesize_grain(patch: &mut ImageF32, geometry: PatchGeometry, mask: &EraseMask, seed: u64) {
     let b = geometry.b;
     let cc = patch.channels().count();
     // Estimate the patch's fine-detail amplitude from kept pixels: mean
@@ -364,9 +354,7 @@ fn synthesize_grain(
     if amplitude < 0.005 {
         return; // smooth patch: no grain to match
     }
-    let mut s = seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(0x5151_5151);
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5151_5151);
     for (row, col, erased) in mask.iter() {
         if !erased {
             continue;

@@ -111,11 +111,8 @@ pub fn unsqueeze_patch(
             let token = match fill {
                 FillMethod::Zero => vec![0.0; geometry.token_dim(squeezed.channels())],
                 FillMethod::Neighbor => {
-                    let nearest = cols
-                        .iter()
-                        .min_by_key(|&&c| c.abs_diff(dst))
-                        .copied()
-                        .unwrap_or(0);
+                    let nearest =
+                        cols.iter().min_by_key(|&&c| c.abs_diff(dst)).copied().unwrap_or(0);
                     let slot = cols.iter().position(|&c| c == nearest).unwrap_or(0);
                     extract_token_rect(squeezed, geometry, orientation, line, slot)
                 }
@@ -180,11 +177,7 @@ fn extract_token_rect(
 }
 
 fn validate(patch: &ImageF32, geometry: PatchGeometry, mask: &EraseMask) {
-    assert_eq!(
-        (patch.width(), patch.height()),
-        (geometry.n, geometry.n),
-        "patch must be n x n"
-    );
+    assert_eq!((patch.width(), patch.height()), (geometry.n, geometry.n), "patch must be n x n");
     assert_eq!(mask.n_grid(), geometry.grid(), "mask grid must match geometry");
 }
 
@@ -253,7 +246,8 @@ mod tests {
         let patch = sample_patch(16);
         let m = MaskKind::Diagonal { n_grid: 4 }.generate(0);
         let squeezed = squeeze_patch(&patch, g, &m, Orientation::Horizontal);
-        let restored = unsqueeze_patch(&squeezed, g, &m, Orientation::Horizontal, FillMethod::Neighbor);
+        let restored =
+            unsqueeze_patch(&squeezed, g, &m, Orientation::Horizontal, FillMethod::Neighbor);
         // Row 0 erases col 0; its nearest kept is col 1.
         let got = extract_token(&restored, g, 0, 0);
         let neighbour = extract_token(&patch, g, 0, 1);
@@ -289,10 +283,7 @@ mod tests {
         let mut kept_pixels = 0;
         for (row, col, erased) in m.iter() {
             if !erased {
-                assert_eq!(
-                    extract_token(&back, g, row, col),
-                    extract_token(&patch, g, row, col)
-                );
+                assert_eq!(extract_token(&back, g, row, col), extract_token(&patch, g, row, col));
                 kept_pixels += 1;
             }
         }

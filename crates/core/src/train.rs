@@ -135,11 +135,9 @@ impl Trainer {
             }
             let batch = TokenBatch::from_patches(&patches);
             // Fresh random mask each step.
-            let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(
-                grid,
-                self.cfg.erase_ratio,
-            ))
-            .generate(self.rng.gen());
+            let mask =
+                MaskKind::RowConditional(RowSamplerConfig::with_ratio(grid, self.cfg.erase_ratio))
+                    .generate(self.rng.gen());
             let loss = {
                 let mut g = Graph::new(self.model.params());
                 let fwd = self.model.forward(&mut g, &batch, &mask);
@@ -243,10 +241,7 @@ mod tests {
         assert_eq!(losses.len(), 30);
         let head: f32 = losses[..5].iter().sum::<f32>() / 5.0;
         let tail: f32 = losses[25..].iter().sum::<f32>() / 5.0;
-        assert!(
-            tail < head * 0.9,
-            "loss should drop during training: head {head} tail {tail}"
-        );
+        assert!(tail < head * 0.9, "loss should drop during training: head {head} tail {tail}");
         assert!(trainer.recent_loss(5).expect("history") > 0.0);
     }
 
@@ -254,7 +249,8 @@ mod tests {
     fn trained_model_beats_untrained_on_erased_mse() {
         let corpus = Dataset::CifarLike.images(12);
         let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(4, 0.25)).generate(3);
-        let test: Vec<_> = (20..24).map(|i| Dataset::CifarLike.image(i).crop(0, 0, 16, 16)).collect();
+        let test: Vec<_> =
+            (20..24).map(|i| Dataset::CifarLike.image(i).crop(0, 0, 16, 16)).collect();
         let untrained_mse = erased_region_mse(&tiny_model(), &test, &mask);
         let mut trainer = Trainer::new(
             tiny_model(),
@@ -271,10 +267,8 @@ mod tests {
     #[test]
     fn finetune_appends_history() {
         let corpus = Dataset::CifarLike.images(6);
-        let mut trainer = Trainer::new(
-            tiny_model(),
-            TrainConfig { batch_size: 4, ..TrainConfig::default() },
-        );
+        let mut trainer =
+            Trainer::new(tiny_model(), TrainConfig { batch_size: 4, ..TrainConfig::default() });
         trainer.train(&corpus, 3);
         trainer.finetune(&corpus, 2);
         assert_eq!(trainer.history().len(), 5);

@@ -9,9 +9,9 @@
 use crate::model::{Reconstructor, ReconstructorConfig};
 use crate::train::{TrainConfig, Trainer};
 use easz_data::Dataset;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::sync::{Arc, OnceLock};
 
 /// A fully specified pretraining recipe.
@@ -29,17 +29,15 @@ pub struct PretrainSpec {
 
 impl PretrainSpec {
     /// The quick recipe used by tests and benches: a `fast()` model trained
-    /// a few hundred steps — enough for clearly-better-than-fill quality at
-    /// seconds-scale cost.
+    /// 2000 steps — the shortest run that beats the neighbour-fill baseline
+    /// with a comfortable (~15%) MSE margin on the held-out Kodak-like eval.
+    /// Trains once per machine (minutes on one CPU core), then loads from
+    /// the weight cache.
     pub fn quick() -> Self {
         Self {
-            model: ReconstructorConfig {
-                d_model: 96,
-                ffn: 192,
-                ..ReconstructorConfig::fast()
-            },
+            model: ReconstructorConfig { d_model: 96, ffn: 192, ..ReconstructorConfig::fast() },
             train: TrainConfig { batch_size: 16, lr: 1.2e-3, ..TrainConfig::default() },
-            steps: 800,
+            steps: 2000,
             corpus: 64,
         }
     }
@@ -89,12 +87,14 @@ fn registry() -> &'static Mutex<HashMap<String, Arc<Reconstructor>>> {
 /// machine (in-memory registry + on-disk cache).
 pub fn pretrained(spec: PretrainSpec) -> Arc<Reconstructor> {
     let key = spec.key();
-    // Fast path: in-memory.
-    if let Some(model) = registry().lock().get(&key).cloned() {
-        return model;
+    // The lock is held across the build on purpose: pretraining takes
+    // minutes, so concurrent first callers (parallel test threads) must
+    // block on the winner rather than each redundantly retraining and
+    // racing writes to the same cache file.
+    let mut reg = registry().lock().expect("zoo registry poisoned");
+    if let Some(model) = reg.get(&key) {
+        return model.clone();
     }
-    // Build (outside the registry lock only for the training path; the
-    // brief double-train risk is acceptable and deterministic).
     let path = cache_dir().join(format!("{key}.bin"));
     let mut model = Reconstructor::new(spec.model);
     let loaded = easz_tensor::load_params_file(model.params_mut(), &path).is_ok();
@@ -103,13 +103,18 @@ pub fn pretrained(spec: PretrainSpec) -> Arc<Reconstructor> {
         let mut trainer = Trainer::new(model, spec.train);
         trainer.train(&corpus, spec.steps);
         model = trainer.into_model();
-        if let Err(err) = easz_tensor::save_params_file(model.params(), &path) {
+        // Write-then-rename so a concurrent process never reads a torn file.
+        let tmp = path.with_extension("bin.tmp");
+        let saved = easz_tensor::save_params_file(model.params(), &tmp)
+            .map_err(|e| e.to_string())
+            .and_then(|()| std::fs::rename(&tmp, &path).map_err(|e| e.to_string()));
+        if let Err(err) = saved {
             // Cache writes are best-effort (e.g. read-only target dirs).
             eprintln!("warning: could not cache weights at {}: {err}", path.display());
         }
     }
     let arc = Arc::new(model);
-    registry().lock().entry(key).or_insert_with(|| arc.clone());
+    reg.insert(key, arc.clone());
     arc
 }
 

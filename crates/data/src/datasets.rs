@@ -84,12 +84,7 @@ impl Dataset {
 /// # Panics
 ///
 /// Panics if `images` is empty or any image is smaller than `size`.
-pub fn sample_patches(
-    images: &[ImageF32],
-    size: usize,
-    count: usize,
-    seed: u64,
-) -> Vec<ImageF32> {
+pub fn sample_patches(images: &[ImageF32], size: usize, count: usize, seed: u64) -> Vec<ImageF32> {
     assert!(!images.is_empty(), "need at least one source image");
     let mut r = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(count);

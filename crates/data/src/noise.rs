@@ -159,9 +159,11 @@ mod tests {
     #[test]
     fn noise_has_variance() {
         let n = ValueNoise::new(4, 8.0);
-        let samples: Vec<f32> = (0..256).map(|i| n.sample((i % 16) as f32 * 5.0, (i / 16) as f32 * 5.0)).collect();
+        let samples: Vec<f32> =
+            (0..256).map(|i| n.sample((i % 16) as f32 * 5.0, (i / 16) as f32 * 5.0)).collect();
         let mean = samples.iter().sum::<f32>() / samples.len() as f32;
-        let var = samples.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / samples.len() as f32;
+        let var =
+            samples.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / samples.len() as f32;
         assert!(var > 0.01, "noise variance too small: {var}");
     }
 }

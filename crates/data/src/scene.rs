@@ -162,11 +162,8 @@ fn paint_object(img: &mut ImageF32, r: &mut StdRng) {
             let u = (ox * cos + oy * sin) / rx;
             let v = (-ox * sin + oy * cos) / ry;
             // Signed "distance" to the shape boundary (approximate).
-            let d = if rectangular {
-                u.abs().max(v.abs()) - 1.0
-            } else {
-                (u * u + v * v).sqrt() - 1.0
-            };
+            let d =
+                if rectangular { u.abs().max(v.abs()) - 1.0 } else { (u * u + v * v).sqrt() - 1.0 };
             // Anti-aliased coverage over ~1.5px falloff.
             let edge = rx.min(ry).max(1.0);
             let cover = (0.5 - d * edge / 1.5).clamp(0.0, 1.0);

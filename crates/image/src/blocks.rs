@@ -54,8 +54,7 @@ pub fn extract_block(img: &ImageF32, grid: BlockGrid, bx: usize, by: usize, c: u
     let mut out = vec![0.0f32; grid.size * grid.size];
     for dy in 0..grid.size {
         for dx in 0..grid.size {
-            out[dy * grid.size + dx] =
-                img.get_clamped((x0 + dx) as isize, (y0 + dy) as isize, c);
+            out[dy * grid.size + dx] = img.get_clamped((x0 + dx) as isize, (y0 + dy) as isize, c);
         }
     }
     out

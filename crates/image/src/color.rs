@@ -109,12 +109,8 @@ mod tests {
             *v = ((i * 37 + 11) % 256) as f32 / 255.0;
         }
         let back = image_ycbcr_to_rgb(&image_rgb_to_ycbcr(&img));
-        let max_err = img
-            .data()
-            .iter()
-            .zip(back.data())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+        let max_err =
+            img.data().iter().zip(back.data()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(max_err < 2e-3, "max error {max_err}");
     }
 

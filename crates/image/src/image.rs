@@ -236,11 +236,7 @@ impl ImageF32 {
             width: self.width,
             height: self.height,
             channels: self.channels,
-            data: self
-                .data
-                .iter()
-                .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
-                .collect(),
+            data: self.data.iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8).collect(),
         }
     }
 

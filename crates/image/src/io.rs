@@ -121,9 +121,7 @@ pub fn read_pnm<R: BufRead>(mut reader: R) -> Result<ImageU8, PnmError> {
         return Err(PnmError::Format(format!("only maxval 255 supported, got {maxval}")));
     }
     let mut data = vec![0u8; width * height * channels.count()];
-    reader
-        .read_exact(&mut data)
-        .map_err(|_| PnmError::Format("truncated pixel payload".into()))?;
+    reader.read_exact(&mut data).map_err(|_| PnmError::Format("truncated pixel payload".into()))?;
     Ok(ImageU8::from_vec(width, height, channels, data))
 }
 

@@ -147,12 +147,8 @@ mod tests {
         let img = ramp(16, 8);
         for f in [Filter::Bilinear, Filter::Bicubic, Filter::Lanczos3] {
             let r = resize(&img, 16, 8, f);
-            let err = img
-                .data()
-                .iter()
-                .zip(r.data())
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f32, f32::max);
+            let err =
+                img.data().iter().zip(r.data()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
             assert!(err < 1e-4, "{f:?} identity error {err}");
         }
     }
@@ -177,13 +173,9 @@ mod tests {
         let down = downsample2(&img);
         assert_eq!(down.width(), 16);
         let up = resize(&down, 32, 32, Filter::Bicubic);
-        let mse: f32 = img
-            .data()
-            .iter()
-            .zip(up.data())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
-            / img.data().len() as f32;
+        let mse: f32 =
+            img.data().iter().zip(up.data()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+                / img.data().len() as f32;
         assert!(mse < 1e-3, "linear ramp should survive 2x round trip, mse {mse}");
     }
 
@@ -194,11 +186,7 @@ mod tests {
         let down = downsample2(&img);
         let err = |f: Filter| {
             let up = resize(&down, 64, 4, f);
-            img.data()
-                .iter()
-                .zip(up.data())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
+            img.data().iter().zip(up.data()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
         };
         assert!(err(Filter::Lanczos3) <= err(Filter::Bilinear) + 1e-3);
     }

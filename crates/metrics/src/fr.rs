@@ -52,11 +52,7 @@ pub fn psnr(a: &ImageF32, b: &ImageF32) -> f64 {
 ///
 /// Panics if the images differ in shape or are smaller than 8×8.
 pub fn ssim(a: &ImageF32, b: &ImageF32) -> f64 {
-    assert_eq!(
-        (a.width(), a.height()),
-        (b.width(), b.height()),
-        "ssim needs identical sizes"
-    );
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "ssim needs identical sizes");
     assert!(a.width() >= 8 && a.height() >= 8, "ssim needs at least 8x8 input");
     let ya = color::luma(a);
     let yb = color::luma(b);

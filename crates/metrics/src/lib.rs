@@ -33,4 +33,6 @@ mod nr;
 pub use fr::{ms_ssim, mse, psnr, ssim};
 pub use lpips::lpips_sim;
 pub use naturalness::{brisque_features, NaturalnessModel, FEATURE_DIM};
-pub use nr::{bits_per_pixel, brisque, brisque_with, ma_sim, niqe, niqe_with, pi, pi_with, tres, tres_with};
+pub use nr::{
+    bits_per_pixel, brisque, brisque_with, ma_sim, niqe, niqe_with, pi, pi_with, tres, tres_with,
+};

@@ -54,11 +54,7 @@ fn feature_map(y: &ImageF32) -> Vec<[f32; CHANNELS]> {
 ///
 /// Panics if the images differ in size.
 pub fn lpips_sim(a: &ImageF32, b: &ImageF32) -> f64 {
-    assert_eq!(
-        (a.width(), a.height()),
-        (b.width(), b.height()),
-        "lpips_sim needs identical sizes"
-    );
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "lpips_sim needs identical sizes");
     let mut ya = color::luma(a);
     let mut yb = color::luma(b);
     let mut acc = 0.0f64;

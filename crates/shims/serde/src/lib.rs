@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` derive surface this workspace uses.
+//!
+//! Provides the [`Serialize`] / [`Deserialize`] marker traits (with blanket
+//! impls) and re-exports the no-op derives from the `serde_derive` shim, so
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` compile
+//! unchanged. See `crates/shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize, Deserialize)]` expands to nothing; the marker traits
+//! in the sibling `serde` shim carry blanket impls, so derived types still
+//! satisfy any `T: Serialize` bound. Nothing in this workspace performs
+//! actual serialization through serde — the derives only mark config structs
+//! as wire-ready for a future transport layer.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -38,7 +38,12 @@ enum Op {
     /// Softmax over the last axis.
     Softmax(Var),
     /// Layer norm over the last axis with learned gain/bias.
-    LayerNorm { x: Var, gamma: Var, beta: Var, eps: f32 },
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    },
     Gelu(Var),
     Relu(Var),
     /// Select rows of a rank-2 tensor.
@@ -47,11 +52,22 @@ enum Op {
     ///
     /// `map[i] = Some(j)` takes row `j` of the first parent; `None` takes the
     /// single row of the second parent (the learned mask token).
-    ComposeTokens { src: Var, fill: Var, map: Vec<Option<usize>> },
+    ComposeTokens {
+        src: Var,
+        fill: Var,
+        map: Vec<Option<usize>>,
+    },
     /// Mean of |x - target| (the L1 term of Eq. 2).
-    L1Loss { x: Var, target: Tensor },
+    L1Loss {
+        x: Var,
+        target: Tensor,
+    },
     /// Mean of w * (x - target)^2 with constant per-element weights.
-    WeightedMseLoss { x: Var, target: Tensor, weights: Tensor },
+    WeightedMseLoss {
+        x: Var,
+        target: Tensor,
+        weights: Tensor,
+    },
     MeanAll(Var),
 }
 
@@ -92,9 +108,15 @@ impl Gradients {
         self.by_param.get(&id)
     }
 
-    /// Iterates over `(parameter, gradient)` pairs.
+    /// Iterates over `(parameter, gradient)` pairs in `ParamId` order.
+    ///
+    /// The order is deterministic (not `HashMap` order): training must be
+    /// reproducible across processes, and float reductions over gradients
+    /// are order-sensitive.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
-        self.by_param.iter().map(|(k, v)| (*k, v))
+        let mut ids: Vec<ParamId> = self.by_param.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|id| (id, &self.by_param[&id]))
     }
 
     /// Number of parameters with gradients.
@@ -108,8 +130,11 @@ impl Gradients {
     }
 
     /// Global L2 norm across all parameter gradients.
+    ///
+    /// Summed in `ParamId` order so the result (and anything derived from
+    /// it, like gradient-clipping scales) is identical across processes.
     pub fn global_norm(&self) -> f32 {
-        self.by_param.values().map(Tensor::sq_norm).sum::<f32>().sqrt()
+        self.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt()
     }
 
     /// Scales every gradient in place (used for gradient clipping).
@@ -405,10 +430,7 @@ impl<'p> Graph<'p> {
             match &self.nodes[idx].op {
                 Op::Input => {}
                 Op::Param(id) => {
-                    out.by_param
-                        .entry(*id)
-                        .and_modify(|acc| acc.axpy(1.0, &g))
-                        .or_insert(g);
+                    out.by_param.entry(*id).and_modify(|acc| acc.axpy(1.0, &g)).or_insert(g);
                 }
                 Op::Add(a, b) => {
                     accumulate(&mut grads, *a, &g);
@@ -783,6 +805,25 @@ mod tests {
             },
             2e-3,
         );
+    }
+
+    #[test]
+    fn gradients_iterate_in_param_id_order() {
+        // Cross-process training determinism depends on this: HashMap order
+        // would randomize float-reduction order (e.g. the clipping norm).
+        let mut p = ParamSet::new();
+        let ids: Vec<ParamId> =
+            (0..12).map(|i| p.add(&format!("w{i}"), Tensor::full(&[2], i as f32))).collect();
+        let mut g = Graph::new(&p);
+        let vars: Vec<Var> = ids.iter().map(|&id| g.param(id)).collect();
+        let sum = vars[1..].iter().fold(vars[0], |a, &b| g.add(a, b));
+        let loss = g.mean_all(sum);
+        let grads = g.backward(loss);
+        let seen: Vec<ParamId> = grads.iter().map(|(id, _)| id).collect();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted);
+        assert_eq!(seen.len(), ids.len());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod init;
 mod io;
 pub mod nn;
 mod optim;
-mod parallel;
+pub mod parallel;
 mod params;
 mod tensor;
 

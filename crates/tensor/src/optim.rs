@@ -100,14 +100,8 @@ impl AdamW {
             None => 1.0,
         };
         for (id, grad) in grads.iter() {
-            let m = self
-                .m
-                .entry(id)
-                .or_insert_with(|| Tensor::zeros(grad.shape()));
-            let v = self
-                .v
-                .entry(id)
-                .or_insert_with(|| Tensor::zeros(grad.shape()));
+            let m = self.m.entry(id).or_insert_with(|| Tensor::zeros(grad.shape()));
+            let v = self.v.entry(id).or_insert_with(|| Tensor::zeros(grad.shape()));
             let w = params.value_mut(id);
             let (b1, b2) = (self.cfg.beta1, self.cfg.beta2);
             for i in 0..grad.numel() {
@@ -119,8 +113,7 @@ impl AdamW {
                 let mhat = mi / bc1;
                 let vhat = vi / bc2;
                 let wd = self.cfg.weight_decay * w.data()[i];
-                w.data_mut()[i] -=
-                    self.cfg.lr * (mhat / (vhat.sqrt() + self.cfg.eps) + wd);
+                w.data_mut()[i] -= self.cfg.lr * (mhat / (vhat.sqrt() + self.cfg.eps) + wd);
             }
         }
     }
@@ -159,8 +152,12 @@ mod tests {
         // With zero gradient signal and nonzero decay, weights shrink.
         let mut p = ParamSet::new();
         let w = p.add("w", Tensor::full(&[4], 1.0));
-        let mut opt =
-            AdamW::new(AdamWConfig { lr: 0.1, weight_decay: 0.5, grad_clip: None, ..Default::default() });
+        let mut opt = AdamW::new(AdamWConfig {
+            lr: 0.1,
+            weight_decay: 0.5,
+            grad_clip: None,
+            ..Default::default()
+        });
         for _ in 0..50 {
             let mut g = Graph::new(&p);
             let wv = g.param(w);

@@ -2,7 +2,7 @@
 //!
 //! The Easz reconstruction model trains on CPU, so the matrix products that
 //! dominate its forward/backward passes are split across a scoped thread pool
-//! (via `crossbeam::thread::scope`) once they are large enough to amortise
+//! (via `std::thread::scope`) once they are large enough to amortise
 //! the spawn cost. Small products run single-threaded.
 
 /// Work threshold (in multiply-accumulate ops) below which a product stays
@@ -24,7 +24,7 @@ pub fn par_matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
         return;
     }
     let chunk = m.div_ceil(workers);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = &mut c[..];
         let mut row0 = 0usize;
         while row0 < m {
@@ -32,11 +32,10 @@ pub fn par_matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
             let (head, tail) = rest.split_at_mut(rows * n);
             rest = tail;
             let a_block = &a[row0 * k..(row0 + rows) * k];
-            s.spawn(move |_| matmul_rows(a_block, b, head, 0, rows, k, n));
+            s.spawn(move || matmul_rows(a_block, b, head, 0, rows, k, n));
             row0 += rows;
         }
-    })
-    .expect("matmul worker panicked");
+    });
 }
 
 /// Sequential `ikj` kernel over a row range of the output.
@@ -86,7 +85,7 @@ pub fn par_batch_matmul(
         return;
     }
     let per = g.div_ceil(workers);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = &mut c[..];
         let mut g0 = 0usize;
         while g0 < g {
@@ -94,7 +93,7 @@ pub fn par_batch_matmul(
             let (head, tail) = rest.split_at_mut(batches * m * n);
             rest = tail;
             let a0 = g0;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for bi in 0..batches {
                     matmul_rows(
                         &a[(a0 + bi) * m * k..(a0 + bi + 1) * m * k],
@@ -109,8 +108,7 @@ pub fn par_batch_matmul(
             });
             g0 += batches;
         }
-    })
-    .expect("batch matmul worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -153,7 +151,8 @@ mod tests {
         let mut c = vec![0.0f32; g * m * n];
         par_batch_matmul(&a, &b, &mut c, g, m, k, n);
         for bi in 0..g {
-            let expect = naive(&a[bi * m * k..(bi + 1) * m * k], &b[bi * k * n..(bi + 1) * k * n], m, k, n);
+            let expect =
+                naive(&a[bi * m * k..(bi + 1) * m * k], &b[bi * k * n..(bi + 1) * k * n], m, k, n);
             for (x, y) in c[bi * m * n..(bi + 1) * m * n].iter().zip(expect.iter()) {
                 assert!((x - y).abs() < 1e-3);
             }

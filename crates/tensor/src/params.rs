@@ -48,10 +48,7 @@ impl ParamSet {
     /// Panics if `name` is already registered.
     pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) -> ParamId {
         let name = name.into();
-        assert!(
-            !self.names.contains(&name),
-            "parameter name {name:?} registered twice"
-        );
+        assert!(!self.names.contains(&name), "parameter name {name:?} registered twice");
         self.names.push(name);
         self.tensors.push(tensor);
         ParamId(self.tensors.len() - 1)

@@ -76,7 +76,12 @@ impl Testbed {
     /// * `pixels` — source image pixel count.
     /// * `payload_bytes` — actual compressed size to transmit (from a real
     ///   encode, so rate effects are genuine).
-    pub fn run(&self, w: &WorkloadProfile, pixels: usize, payload_bytes: usize) -> LatencyBreakdown {
+    pub fn run(
+        &self,
+        w: &WorkloadProfile,
+        pixels: usize,
+        payload_bytes: usize,
+    ) -> LatencyBreakdown {
         let px = pixels as f64;
         // Easz's erase-and-squeeze shows up as a separate (tiny) stage; we
         // attribute the first 10 FLOPs/px of a model-free encode to it.
@@ -141,7 +146,12 @@ impl Testbed {
     }
 
     /// Edge energy for one image's encode phase, joules.
-    pub fn edge_encode_energy(&self, w: &WorkloadProfile, pixels: usize, payload_bytes: usize) -> f64 {
+    pub fn edge_encode_energy(
+        &self,
+        w: &WorkloadProfile,
+        pixels: usize,
+        payload_bytes: usize,
+    ) -> f64 {
         let lat = self.run(w, pixels, payload_bytes);
         self.edge_encode_power(w).total_w() * (lat.erase_squeeze_s + lat.compression_s)
     }
@@ -233,10 +243,7 @@ mod tests {
             let p = tb.edge_encode_power(&WorkloadProfile::neural(tier));
             // Paper: 71.3% / 59.9% total power reduction.
             let reduction = 1.0 - p_easz.total_w() / p.total_w();
-            assert!(
-                (0.4..0.9).contains(&reduction),
-                "{tier:?} power reduction {reduction:.2}"
-            );
+            assert!((0.4..0.9).contains(&reduction), "{tier:?} power reduction {reduction:.2}");
         }
     }
 
@@ -250,9 +257,10 @@ mod tests {
         );
         let gb = |b: u64| b as f64 / 1e9;
         let m_easz = gb(tb.edge_encode_memory(&easz, PIXELS_512X768));
-        let m_mbt = gb(tb.edge_encode_memory(&WorkloadProfile::neural(NeuralTier::Mbt), PIXELS_512X768));
-        let m_cheng =
-            gb(tb.edge_encode_memory(&WorkloadProfile::neural(NeuralTier::ChengAnchor), PIXELS_512X768));
+        let m_mbt =
+            gb(tb.edge_encode_memory(&WorkloadProfile::neural(NeuralTier::Mbt), PIXELS_512X768));
+        let m_cheng = gb(tb
+            .edge_encode_memory(&WorkloadProfile::neural(NeuralTier::ChengAnchor), PIXELS_512X768));
         // Paper: 1.05 / 1.93 / 1.98 GB.
         assert!((0.8..1.3).contains(&m_easz), "easz {m_easz:.2} GB");
         assert!((1.5..2.4).contains(&m_mbt), "mbt {m_mbt:.2} GB");

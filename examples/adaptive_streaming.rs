@@ -40,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Pick the smallest erase ratio that fits the frame budget.
         let mut chosen = None;
         for &ratio in &ratios {
-            let cfg = EaszConfig { erase_ratio: ratio, mask_seed: frame as u64, ..Default::default() };
+            let cfg =
+                EaszConfig { erase_ratio: ratio, mask_seed: frame as u64, ..Default::default() };
             let pipe = EaszPipeline::new(&model, cfg);
             let enc = pipe.compress(&image, &codec, quality)?;
             let tx = net.transmit_seconds(enc.total_bytes());
@@ -55,19 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             switches += 1;
         }
         last_ratio = ratio;
-        println!(
-            "{frame:<6} {bw:>10.1} {ratio:>8.3} {bytes:>10} {:>10.0} {q:>9.2}",
-            tx * 1e3
-        );
+        println!("{frame:<6} {bw:>10.1} {ratio:>8.3} {bytes:>10} {:>10.0} {q:>9.2}", tx * 1e3);
     }
 
     // What the same agility would cost a neural codec: one model reload per
     // level switch.
     let tb = Testbed::paper();
     let mbt_reload = tb.edge_load_seconds(&WorkloadProfile::neural(NeuralTier::Mbt));
-    println!(
-        "\n{switches} level switches; Easz switch cost: 0 ms (same model, new mask)"
-    );
+    println!("\n{switches} level switches; Easz switch cost: 0 ms (same model, new mask)");
     println!(
         "equivalent MBT switch cost: {:.0} ms per switch = {:.1} s total",
         mbt_reload * 1e3,

@@ -26,14 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let codecs: [&dyn ImageCodec; 4] = [&jpeg, &bpg, &mbt, &cheng];
 
     println!("target: {target_bpp} bpp on a {}x{} scene", image.width(), image.height());
-    println!(
-        "{:<22} {:>7} {:>8} {:>8} {:>9}",
-        "codec", "bpp", "psnr", "ssim", "brisque"
-    );
+    println!("{:<22} {:>7} {:>8} {:>8} {:>9}", "codec", "bpp", "psnr", "ssim", "brisque");
     for codec in codecs {
         // Plain.
-        let (_, enc) =
-            encode_to_bpp(codec, &image, target_bpp, image.width(), image.height(), 8)?;
+        let (_, enc) = encode_to_bpp(codec, &image, target_bpp, image.width(), image.height(), 8)?;
         let dec = codec.decode(&enc.bytes)?;
         println!(
             "{:<22} {:>7.3} {:>8.2} {:>8.4} {:>9.1}",

@@ -10,7 +10,7 @@ use easz::codecs::{ImageCodec, JpegLikeCodec, Quality};
 use easz::core::{zoo, EaszConfig, EaszPipeline};
 use easz::data::Dataset;
 use easz::image::io::save_pnm;
-use easz::metrics::{brisque, bits_per_pixel, psnr, ssim};
+use easz::metrics::{bits_per_pixel, brisque, psnr, ssim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("loading (or pretraining once) the reconstruction model...");

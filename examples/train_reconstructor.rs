@@ -7,8 +7,8 @@
 //! ```
 
 use easz::core::{
-    erased_region_mse, MaskKind, Reconstructor, ReconstructorConfig, RowSamplerConfig,
-    TrainConfig, Trainer,
+    erased_region_mse, MaskKind, Reconstructor, ReconstructorConfig, RowSamplerConfig, TrainConfig,
+    Trainer,
 };
 use easz::data::Dataset;
 use easz::tensor::save_params_file;
@@ -31,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(8, 0.25)).generate(1);
 
     let before = erased_region_mse(&model, &test, &mask);
-    let mut trainer = Trainer::new(model, TrainConfig { batch_size: 16, lr: 1e-3, ..Default::default() });
+    let mut trainer =
+        Trainer::new(model, TrainConfig { batch_size: 16, lr: 1e-3, ..Default::default() });
     println!("pretraining {steps} steps on CIFAR-like tiles (erase ratio 0.25, Eq. 2 loss)...");
     let t0 = std::time::Instant::now();
     let losses = trainer.train(&corpus, steps);

@@ -44,10 +44,7 @@ fn rate_targeting_lands_within_tolerance() {
         let (q, enc) =
             encode_to_bpp(&jpeg, &img, target, img.width(), img.height(), 8).expect("rate");
         let got = enc.bpp();
-        assert!(
-            (got - target).abs() / target < 0.6,
-            "target {target} got {got:.3} at {q}"
-        );
+        assert!((got - target).abs() / target < 0.6, "target {target} got {got:.3} at {q}");
     }
 }
 

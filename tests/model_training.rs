@@ -3,8 +3,8 @@
 //! round-trips a trained model exactly.
 
 use easz::core::{
-    erased_region_mse, MaskKind, Reconstructor, ReconstructorConfig, RowSamplerConfig,
-    TrainConfig, Trainer,
+    erased_region_mse, MaskKind, Reconstructor, ReconstructorConfig, RowSamplerConfig, TrainConfig,
+    Trainer,
 };
 use easz::data::Dataset;
 use easz::tensor::{load_params, save_params};
@@ -79,7 +79,8 @@ fn trained_weights_round_trip_preserves_behaviour() {
     let mut restored = Reconstructor::new(tiny_cfg());
     load_params(restored.params_mut(), &buf[..]).expect("load");
 
-    let test: Vec<_> = (0..2).map(|i| Dataset::CifarLike.image(200 + i).crop(0, 0, 16, 16)).collect();
+    let test: Vec<_> =
+        (0..2).map(|i| Dataset::CifarLike.image(200 + i).crop(0, 0, 16, 16)).collect();
     let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(4, 0.25)).generate(2);
     let a = erased_region_mse(&model, &test, &mask);
     let b = erased_region_mse(&restored, &test, &mask);

@@ -86,10 +86,7 @@ fn trained_reconstruction_beats_neighbor_fill() {
 
     let m_model = mse(&img, &out);
     let m_nf = mse(&img, &nf);
-    assert!(
-        m_model < m_nf,
-        "transformer ({m_model:.6}) must beat neighbour fill ({m_nf:.6})"
-    );
+    assert!(m_model < m_nf, "transformer ({m_model:.6}) must beat neighbour fill ({m_nf:.6})");
 }
 
 #[test]

@@ -2,7 +2,9 @@
 //! rests on: codec quality tiers, metric reactions, and the SR comparison.
 
 use easz::codecs::sr::{EnhancedUpscaler, Upscaler};
-use easz::codecs::{encode_to_bpp, BpgLikeCodec, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality};
+use easz::codecs::{
+    encode_to_bpp, BpgLikeCodec, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality,
+};
 use easz::core::{zoo, EaszConfig, EaszPipeline};
 use easz::data::Dataset;
 use easz::image::resample::downsample2;
@@ -23,10 +25,7 @@ fn brisque_tracks_jpeg_quality() {
     };
     let bad = score(5);
     let good = score(90);
-    assert!(
-        bad > good + 3.0,
-        "q5 ({bad:.1}) should score clearly worse than q90 ({good:.1})"
-    );
+    assert!(bad > good + 3.0, "q5 ({bad:.1}) should score clearly worse than q90 ({good:.1})");
 }
 
 #[test]

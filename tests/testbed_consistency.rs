@@ -25,11 +25,8 @@ fn easz_end_to_end_latency_reduction_matches_paper_ballpark() {
     // Paper §IV-F: ~89% end-to-end reduction vs MBT/Cheng at 512x768.
     let tb = Testbed::paper();
     let pixels = 512 * 768;
-    let easz = WorkloadProfile::easz(
-        &WorkloadProfile::jpeg_like(),
-        &ReconstructorConfig::paper(),
-        0.25,
-    );
+    let easz =
+        WorkloadProfile::easz(&WorkloadProfile::jpeg_like(), &ReconstructorConfig::paper(), 0.25);
     let easz_total = tb.run(&easz, pixels, 20_000).total_s();
     let mbt_total = tb.run(&WorkloadProfile::neural(NeuralTier::Mbt), pixels, 20_000).total_s();
     let reduction = 1.0 - easz_total / mbt_total;
@@ -50,14 +47,11 @@ fn weaker_edge_hurts_neural_codecs_more_than_easz() {
         network: NetworkModel::wifi(),
     };
     let pixels = 512 * 768;
-    let easz = WorkloadProfile::easz(
-        &WorkloadProfile::jpeg_like(),
-        &ReconstructorConfig::paper(),
-        0.25,
-    );
+    let easz =
+        WorkloadProfile::easz(&WorkloadProfile::jpeg_like(), &ReconstructorConfig::paper(), 0.25);
     let mbt = WorkloadProfile::neural(NeuralTier::Mbt);
-    let easz_slowdown = pi.run(&easz, pixels, 20_000).total_s()
-        / tx2.run(&easz, pixels, 20_000).total_s();
+    let easz_slowdown =
+        pi.run(&easz, pixels, 20_000).total_s() / tx2.run(&easz, pixels, 20_000).total_s();
     let mbt_slowdown =
         pi.run(&mbt, pixels, 20_000).total_s() / tx2.run(&mbt, pixels, 20_000).total_s();
     assert!(
