@@ -5,7 +5,8 @@
 use easz_bench::{bench_model, kodak_eval_set, mean, ResultSink};
 use easz_codecs::{JpegLikeCodec, Quality};
 use easz_core::{
-    erased_region_mse, EaszConfig, EaszPipeline, MaskKind, Orientation, RowSamplerConfig,
+    erased_region_mse, EaszConfig, EaszDecoder, EaszEncoder, MaskKind, Orientation,
+    RowSamplerConfig,
 };
 use easz_metrics::psnr;
 
@@ -22,11 +23,12 @@ fn main() {
         [("horizontal", Orientation::Horizontal), ("vertical", Orientation::Vertical)]
     {
         let cfg = EaszConfig { orientation, mask_seed: 31, ..EaszConfig::default() };
-        let pipe = EaszPipeline::new(&model, cfg);
+        let encoder = EaszEncoder::new(cfg).expect("encoder");
+        let decoder = EaszDecoder::new(&model);
         let (mut bpps, mut psnrs) = (vec![], vec![]);
         for img in &images {
-            let enc = pipe.compress(img, &jpeg, Quality::new(60)).expect("compress");
-            let dec = pipe.decompress(&enc, &jpeg).expect("decompress");
+            let enc = encoder.compress(img, &jpeg, Quality::new(60)).expect("compress");
+            let dec = decoder.decode(&enc).expect("decode");
             bpps.push(enc.bpp());
             psnrs.push(psnr(img, &dec));
         }

@@ -8,7 +8,7 @@
 
 use easz_bench::{bench_model_b, kodak_eval_set, mean, ResultSink};
 use easz_codecs::{ImageCodec, JpegLikeCodec, Quality};
-use easz_core::{erased_region_mse, EaszConfig, EaszPipeline, MaskStrategy, Orientation};
+use easz_core::{erased_region_mse, EaszConfig, EaszEncoder, MaskStrategy, Orientation};
 
 fn main() {
     let mut sink = ResultSink::new("fig3_mask_vs_random");
@@ -39,11 +39,12 @@ fn main() {
                     mask_seed: 11,
                     synthesize_grain: true,
                 };
-                let pipe = EaszPipeline::new(&model, cfg);
+                // File saving is edge-side only: no model needed.
+                let encoder = EaszEncoder::new(cfg).expect("encoder");
                 // (a) File saving through JPEG.
                 let mut savings = Vec::new();
                 for (img, base) in images.iter().zip(&base_bytes) {
-                    let enc = pipe.compress(img, &codec, quality).expect("compress");
+                    let enc = encoder.compress(img, &codec, quality).expect("compress");
                     savings.push(1.0 - enc.total_bytes() as f64 / base);
                 }
                 // (b) Reconstruction MSE on erased regions.

@@ -7,9 +7,9 @@
 //! reductions 71.3% / 59.9% with zero GPU draw; memory 1.05 vs
 //! 1.93 / 1.98 GB.
 
-use easz_bench::{bench_model, kodak_eval_set, ResultSink};
+use easz_bench::{kodak_eval_set, ResultSink};
 use easz_codecs::{encode_to_bpp, JpegLikeCodec, NeuralSimCodec, NeuralTier};
-use easz_core::{EaszConfig, EaszPipeline, ReconstructorConfig};
+use easz_core::{EaszConfig, EaszEncoder, ReconstructorConfig};
 use easz_testbed::{Testbed, WorkloadProfile};
 
 const PAPER_PIXELS: usize = 512 * 768;
@@ -20,12 +20,12 @@ fn main() {
     let img = &kodak_eval_set(1, 512, 384)[0];
     let scale = PAPER_PIXELS as f64 / (img.width() * img.height()) as f64;
 
-    // Real payload sizes at ~0.4 bpp for each scheme.
-    let model = bench_model();
+    // Real payload sizes at ~0.4 bpp for each scheme. Only transmitted
+    // bytes matter here, so the model-free encoder suffices.
     let jpeg = JpegLikeCodec::new();
-    let pipe = EaszPipeline::new(&model, EaszConfig::default());
+    let encoder = EaszEncoder::new(EaszConfig::default()).expect("encoder");
     let easz_payload = {
-        let enc = pipe.compress(img, &jpeg, easz_codecs::Quality::new(60)).expect("easz");
+        let enc = encoder.compress(img, &jpeg, easz_codecs::Quality::new(60)).expect("easz");
         (enc.total_bytes() as f64 * scale) as usize
     };
     let neural_payload = |tier: NeuralTier| {

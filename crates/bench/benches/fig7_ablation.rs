@@ -8,7 +8,7 @@
 
 use easz_bench::{bench_model, kodak_eval_set, mean, ResultSink};
 use easz_codecs::{BpgLikeCodec, ImageCodec, JpegLikeCodec, Quality};
-use easz_core::{EaszConfig, EaszPipeline, MaskStrategy};
+use easz_core::{EaszConfig, EaszDecoder, EaszEncoder, MaskStrategy};
 use easz_metrics::brisque;
 
 fn main() {
@@ -45,12 +45,13 @@ fn main() {
                 [("+easz", MaskStrategy::Proposed), ("+random", MaskStrategy::Random)]
             {
                 let cfg = EaszConfig { strategy, mask_seed: 3, ..EaszConfig::default() };
-                let pipe = EaszPipeline::new(&model, cfg);
+                let encoder = EaszEncoder::new(cfg).expect("encoder");
+                let decoder = EaszDecoder::new(&model);
                 let (bpps, scores): (Vec<f64>, Vec<f64>) = images
                     .iter()
                     .map(|img| {
-                        let enc = pipe.compress(img, codec, quality).expect("compress");
-                        let dec = pipe.decompress(&enc, codec).expect("decompress");
+                        let enc = encoder.compress(img, codec, quality).expect("compress");
+                        let dec = decoder.decode(&enc).expect("decode");
                         (enc.bpp(), brisque(&dec))
                     })
                     .unzip();

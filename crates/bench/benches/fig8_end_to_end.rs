@@ -7,8 +7,8 @@
 //! (paper: 2568 ms average, an 89% reduction).
 
 use easz_bench::{bench_model, kodak_eval_set, mean, ResultSink};
-use easz_codecs::{encode_to_bpp, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality};
-use easz_core::{EaszConfig, EaszPipeline, ReconstructorConfig};
+use easz_codecs::{encode_to_bpp, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier};
+use easz_core::{EaszConfig, EaszDecoder, EaszEncoder, ReconstructorConfig};
 use easz_metrics::{brisque, pi, tres};
 use easz_testbed::{Testbed, WorkloadProfile};
 
@@ -18,7 +18,9 @@ fn main() {
     let mut sink = ResultSink::new("fig8_end_to_end");
     let images = kodak_eval_set(2, 256, 192);
     let model = bench_model();
-    let pipe = EaszPipeline::new(&model, EaszConfig { mask_seed: 9, ..EaszConfig::default() });
+    let encoder =
+        EaszEncoder::new(EaszConfig { mask_seed: 9, ..EaszConfig::default() }).expect("encoder");
+    let decoder = EaszDecoder::new(&model);
     let jpeg = JpegLikeCodec::new();
     let mbt = NeuralSimCodec::new(NeuralTier::Mbt);
     let cheng = NeuralSimCodec::new(NeuralTier::ChengAnchor);
@@ -37,16 +39,9 @@ fn main() {
             let (mut bpps, mut bs, mut ps, mut ts, mut bytes) =
                 (vec![], vec![], vec![], vec![], vec![]);
             for img in &images {
-                let mut best: Option<(f64, easz_core::EaszEncoded)> = None;
-                for q in [15u8, 30, 45, 60, 75, 90] {
-                    let enc = pipe.compress(img, &jpeg, Quality::new(q)).expect("compress");
-                    let err = (enc.bpp() - target).abs();
-                    if best.as_ref().map(|(e, _)| err < *e).unwrap_or(true) {
-                        best = Some((err, enc));
-                    }
-                }
-                let (_, enc) = best.expect("probe");
-                let dec = pipe.decompress(&enc, &jpeg).expect("decompress");
+                let (_, enc) =
+                    encoder.compress_to_bpp(img, &jpeg, target, 8).expect("rate-targeted easz");
+                let dec = decoder.decode(&enc).expect("decode");
                 bpps.push(enc.bpp());
                 bs.push(brisque(&dec));
                 ps.push(pi(&dec));

@@ -13,7 +13,8 @@
 use easz_bench::{bench_model, kodak_eval_set, mean, ResultSink};
 use easz_codecs::sr::{BicubicUpscaler, EnhancedUpscaler, Upscaler};
 use easz_core::{
-    EaszConfig, EaszPipeline, MaskStrategy, Orientation, Reconstructor, ReconstructorConfig,
+    EaszConfig, EaszDecoder, EaszEncoder, MaskStrategy, Orientation, Reconstructor,
+    ReconstructorConfig,
 };
 use easz_image::resample::downsample2;
 use easz_metrics::{ms_ssim, psnr};
@@ -40,12 +41,13 @@ fn main() {
             synthesize_grain: false,
             ..EaszConfig::default()
         };
-        let pipe = EaszPipeline::new(&model, cfg);
+        let enc = EaszEncoder::new(cfg).expect("encoder");
+        let dec = EaszDecoder::new(&model);
         let mut psnrs = Vec::new();
         let mut ssims = Vec::new();
         for img in &images {
-            let (squeezed, mask) = pipe.erase_and_squeeze(img);
-            let recon = reconstruct_lossless(&pipe, img, &squeezed, &mask);
+            let (squeezed, mask) = enc.erase_and_squeeze(img);
+            let recon = reconstruct_lossless(&enc, &dec, img, &squeezed, &mask);
             psnrs.push(psnr(img, &recon));
             ssims.push(ms_ssim(img, &recon));
         }
@@ -87,15 +89,16 @@ fn main() {
 /// Easz reconstruction with a lossless inner path: unsqueeze + model, no
 /// codec distortion (Table I isolates the reconstruction comparison).
 fn reconstruct_lossless(
-    pipe: &EaszPipeline<'_>,
+    encoder: &EaszEncoder,
+    decoder: &EaszDecoder<'_>,
     original: &easz_image::ImageF32,
     _squeezed: &easz_image::ImageF32,
     _mask: &easz_core::EraseMask,
 ) -> easz_image::ImageF32 {
-    // Route through compress/decompress with a near-lossless JPEG setting;
+    // Route through compress/decode with a near-lossless JPEG setting;
     // q=100 keeps codec loss an order of magnitude below reconstruction
     // error, preserving the comparison.
     let codec = easz_codecs::JpegLikeCodec::new();
-    let enc = pipe.compress(original, &codec, easz_codecs::Quality::new(100)).expect("compress");
-    pipe.decompress(&enc, &codec).expect("decompress")
+    let enc = encoder.compress(original, &codec, easz_codecs::Quality::new(100)).expect("compress");
+    decoder.decode(&enc).expect("decode")
 }

@@ -11,7 +11,7 @@ use easz_bench::{bench_model, clic_eval_set, kodak_eval_set, mean, ResultSink};
 use easz_codecs::{
     encode_to_bpp, BpgLikeCodec, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier,
 };
-use easz_core::{EaszConfig, EaszPipeline};
+use easz_core::{EaszConfig, EaszDecoder, EaszEncoder};
 use easz_image::ImageF32;
 use easz_metrics::{brisque, pi, tres};
 
@@ -37,7 +37,8 @@ fn eval_plain(codec: &dyn ImageCodec, images: &[ImageF32], target_bpp: f64) -> R
 }
 
 fn eval_easz(
-    pipe: &EaszPipeline<'_>,
+    encoder: &EaszEncoder,
+    decoder: &EaszDecoder<'_>,
     codec: &dyn ImageCodec,
     images: &[ImageF32],
     target_bpp: f64,
@@ -45,16 +46,8 @@ fn eval_easz(
     let (mut bpps, mut bs, mut ps, mut ts) = (vec![], vec![], vec![], vec![]);
     for img in images {
         // Rate-target the *total* Easz bpp by searching the inner quality.
-        let mut best: Option<(f64, easz_core::EaszEncoded)> = None;
-        for q in [20u8, 35, 50, 65, 80, 92] {
-            let enc = pipe.compress(img, codec, easz_codecs::Quality::new(q)).expect("compress");
-            let err = (enc.bpp() - target_bpp).abs();
-            if best.as_ref().map(|(e, _)| err < *e).unwrap_or(true) {
-                best = Some((err, enc));
-            }
-        }
-        let (_, enc) = best.expect("at least one probe");
-        let dec = pipe.decompress(&enc, codec).expect("decompress");
+        let (_, enc) = encoder.compress_to_bpp(img, codec, target_bpp, 8).expect("rate search");
+        let dec = decoder.decode(&enc).expect("decode");
         bpps.push(enc.bpp());
         bs.push(brisque(&dec));
         ps.push(pi(&dec));
@@ -66,7 +59,9 @@ fn eval_easz(
 fn main() {
     let mut sink = ResultSink::new("table2_enhancement");
     let model = bench_model();
-    let pipe = EaszPipeline::new(&model, EaszConfig { mask_seed: 21, ..EaszConfig::default() });
+    let encoder =
+        EaszEncoder::new(EaszConfig { mask_seed: 21, ..EaszConfig::default() }).expect("encoder");
+    let decoder = EaszDecoder::new(&model);
     let jpeg = JpegLikeCodec::new();
     let bpg = BpgLikeCodec::new();
     let mbt = NeuralSimCodec::new(NeuralTier::Mbt);
@@ -86,7 +81,7 @@ fn main() {
                 "{:<7} {:<7} {:<10} {:>7.3} {:>9.2} {:>7.2} {:>7.2}",
                 dname, cname, "org", plain.bpp, plain.brisque, plain.pi, plain.tres
             ));
-            let enhanced = eval_easz(&pipe, *codec, images, *target);
+            let enhanced = eval_easz(&encoder, &decoder, *codec, images, *target);
             sink.row(format!(
                 "{:<7} {:<7} {:<10} {:>7.3} {:>9.2} {:>7.2} {:>7.2}",
                 dname, cname, "+easz", enhanced.bpp, enhanced.brisque, enhanced.pi, enhanced.tres

@@ -110,9 +110,9 @@ fn main() -> std::io::Result<()> {
                 out.push_str("\n```\n");
             }
             Err(_) => {
-                let _ = write!(
+                let _ = writeln!(
                     out,
-                    "*(no archived run found — run `cargo bench -p easz-bench --bench {}`)*\n",
+                    "*(no archived run found — run `cargo bench -p easz-bench --bench {}`)*",
                     s.file
                 );
             }

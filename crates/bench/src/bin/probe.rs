@@ -1,13 +1,14 @@
 //! Scratch probe for calibration (not part of the benchmark suite).
 use easz_bench::{bench_model, kodak_eval_set, mean};
 use easz_codecs::{ImageCodec, JpegLikeCodec, Quality};
-use easz_core::{EaszConfig, EaszPipeline};
+use easz_core::{EaszConfig, EaszDecoder, EaszEncoder};
 use easz_metrics::brisque;
 
 fn main() {
     let images = kodak_eval_set(2, 256, 192);
     let model = bench_model();
-    let pipe = EaszPipeline::new(&model, EaszConfig::default());
+    let encoder = EaszEncoder::new(EaszConfig::default()).expect("encoder");
+    let decoder = EaszDecoder::new(&model);
     let codec = JpegLikeCodec::new();
     println!(
         "{:<6} {:>10} {:>10} {:>10} {:>10}",
@@ -20,8 +21,8 @@ fn main() {
             let dec = codec.decode(&bytes).unwrap();
             jb.push(bytes.len() as f64 * 8.0 / (img.width() * img.height()) as f64);
             jq.push(brisque(&dec));
-            let enc = pipe.compress(img, &codec, Quality::new(q)).unwrap();
-            let out = pipe.decompress(&enc, &codec).unwrap();
+            let enc = encoder.compress(img, &codec, Quality::new(q)).unwrap();
+            let out = decoder.decode(&enc).unwrap();
             eb.push(enc.bpp());
             eq.push(brisque(&out));
         }

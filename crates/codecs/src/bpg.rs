@@ -9,6 +9,7 @@
 //! bit-compatible with BPG — see DESIGN.md §1.
 
 use crate::codec::{CodecError, ImageCodec, Quality};
+use crate::registry::CodecId;
 use crate::transform::{decode_engine, encode_engine, EngineConfig};
 use easz_image::ImageF32;
 
@@ -46,6 +47,10 @@ impl BpgLikeCodec {
 impl ImageCodec for BpgLikeCodec {
     fn name(&self) -> &str {
         "bpg-like"
+    }
+
+    fn id(&self) -> CodecId {
+        CodecId::BPG_LIKE
     }
 
     fn encode(&self, img: &ImageF32, quality: Quality) -> Result<Vec<u8>, CodecError> {

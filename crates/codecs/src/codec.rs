@@ -1,6 +1,7 @@
 //! The codec abstraction every compressor in the repo implements, plus
 //! rate-targeting helpers used by the paper's BPP-matched comparisons.
 
+use crate::registry::CodecId;
 use easz_image::ImageF32;
 use std::error::Error;
 use std::fmt;
@@ -15,12 +16,27 @@ pub struct Quality(u8);
 impl Quality {
     /// Creates a quality setting.
     ///
+    /// The panicking convenience for in-range literals; parse untrusted
+    /// bytes (bitstream headers, CLI input) with [`Quality::try_new`].
+    ///
     /// # Panics
     ///
     /// Panics if `value` is outside `1..=100`.
     pub fn new(value: u8) -> Self {
-        assert!((1..=100).contains(&value), "quality must be in 1..=100, got {value}");
-        Self(value)
+        Self::try_new(value).unwrap_or_else(|_| panic!("quality must be in 1..=100, got {value}"))
+    }
+
+    /// Fallible constructor for quality bytes from untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Format`] if `value` is outside `1..=100`.
+    pub fn try_new(value: u8) -> Result<Self, CodecError> {
+        if (1..=100).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(CodecError::Format(format!("quality byte {value} outside 1..=100")))
+        }
     }
 
     /// The raw 1..=100 value.
@@ -59,6 +75,16 @@ impl Error for CodecError {}
 pub trait ImageCodec {
     /// Short display name (`"jpeg-like"`, `"bpg-like"`, ...).
     fn name(&self) -> &str;
+
+    /// Stable wire identifier stamped into container headers so a decoder
+    /// can resolve the codec from the bitstream (see
+    /// [`CodecRegistry`](crate::CodecRegistry)).
+    ///
+    /// The default is [`CodecId::UNKNOWN`]: such codecs still encode and
+    /// decode, but cannot be carried inside a self-describing container.
+    fn id(&self) -> CodecId {
+        CodecId::UNKNOWN
+    }
 
     /// Encodes `img` at the given quality.
     ///
@@ -114,32 +140,31 @@ pub fn encode_with(
     Ok(Encoded { bytes: codec.encode(img, quality)?, width: img.width(), height: img.height() })
 }
 
-/// Searches the quality knob (binary search over 1..=100) for the encode
-/// whose BPP (relative to `(rate_w, rate_h)`) is closest to `target_bpp`
-/// without the search exceeding `max_iters` probes.
+/// Binary-searches the quality knob (over 1..=100) for the probe result
+/// whose reported BPP is closest to `target_bpp`, spending at most
+/// `max_iters` probes (clamped to at least one, so a result always
+/// exists).
 ///
-/// Returns the chosen quality and its encode.
+/// `probe` encodes at the given quality and returns `(bpp, encode)` under
+/// whatever rate accounting the caller uses — this is the one search both
+/// [`encode_to_bpp`] and `easz-core`'s `compress_to_bpp` share.
 ///
 /// # Errors
 ///
-/// Propagates codec errors from probe encodes.
-pub fn encode_to_bpp(
-    codec: &dyn ImageCodec,
-    img: &ImageF32,
+/// Propagates the probe's error.
+pub fn bpp_quality_search<T, E>(
     target_bpp: f64,
-    rate_w: usize,
-    rate_h: usize,
     max_iters: usize,
-) -> Result<(Quality, Encoded), CodecError> {
+    mut probe: impl FnMut(Quality) -> Result<(f64, T), E>,
+) -> Result<(Quality, T), E> {
     let mut lo = 1u8;
     let mut hi = 100u8;
-    let mut best: Option<(f64, Quality, Encoded)> = None;
+    let mut best: Option<(f64, Quality, T)> = None;
     let mut iters = 0usize;
-    while lo <= hi && iters < max_iters {
+    while lo <= hi && iters < max_iters.max(1) {
         let mid = lo + (hi - lo) / 2;
         let q = Quality::new(mid);
-        let enc = encode_with(codec, img, q)?;
-        let bpp = enc.bpp_for(rate_w, rate_h);
+        let (bpp, enc) = probe(q)?;
         let err = (bpp - target_bpp).abs();
         if best.as_ref().map(|(e, _, _)| err < *e).unwrap_or(true) {
             best = Some((err, q, enc));
@@ -157,8 +182,31 @@ pub fn encode_to_bpp(
         }
         iters += 1;
     }
-    let (_, q, enc) = best.expect("at least one probe ran");
+    let (_, q, enc) = best.expect("max_iters is clamped to >= 1, so one probe ran");
     Ok((q, enc))
+}
+
+/// Searches the quality knob (binary search over 1..=100) for the encode
+/// whose BPP (relative to `(rate_w, rate_h)`) is closest to `target_bpp`
+/// without the search exceeding `max_iters` probes.
+///
+/// Returns the chosen quality and its encode.
+///
+/// # Errors
+///
+/// Propagates codec errors from probe encodes.
+pub fn encode_to_bpp(
+    codec: &dyn ImageCodec,
+    img: &ImageF32,
+    target_bpp: f64,
+    rate_w: usize,
+    rate_h: usize,
+    max_iters: usize,
+) -> Result<(Quality, Encoded), CodecError> {
+    bpp_quality_search(target_bpp, max_iters, |q| {
+        let enc = encode_with(codec, img, q)?;
+        Ok((enc.bpp_for(rate_w, rate_h), enc))
+    })
 }
 
 #[cfg(test)]

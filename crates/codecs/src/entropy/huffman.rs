@@ -48,7 +48,7 @@ impl HuffmanTable {
         let mut heap: Vec<Item> =
             active.iter().map(|&s| Item { weight: freqs[s], symbols: vec![s] }).collect();
         while heap.len() > 1 {
-            heap.sort_by(|a, b| b.weight.cmp(&a.weight));
+            heap.sort_by_key(|item| std::cmp::Reverse(item.weight));
             let a = heap.pop().expect("heap has >= 2 items");
             let b = heap.pop().expect("heap has >= 2 items");
             for &s in a.symbols.iter().chain(&b.symbols) {

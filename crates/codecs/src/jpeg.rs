@@ -10,6 +10,7 @@ use crate::codec::{CodecError, ImageCodec, Quality};
 use crate::dct::{dct8, zigzag_order};
 use crate::entropy::bitio::{BitReader, BitWriter};
 use crate::entropy::huffman::{histogram, HuffmanTable};
+use crate::registry::CodecId;
 use easz_image::resample::{resize, Filter};
 use easz_image::{color, Channels, ImageF32};
 
@@ -191,6 +192,9 @@ impl JpegLikeCodec {
         }
     }
 
+    // One argument per JPEG header field the plane needs; bundling them
+    // into a struct would just move the field list.
+    #[allow(clippy::too_many_arguments)]
     fn decode_plane(
         width: usize,
         height: usize,
@@ -288,6 +292,10 @@ impl ImageCodec for JpegLikeCodec {
         "jpeg-like"
     }
 
+    fn id(&self) -> CodecId {
+        CodecId::JPEG_LIKE
+    }
+
     fn encode(&self, img: &ImageF32, quality: Quality) -> Result<Vec<u8>, CodecError> {
         if img.width() == 0 || img.height() == 0 {
             return Err(CodecError::Unsupported("empty image".into()));
@@ -347,7 +355,7 @@ impl ImageCodec for JpegLikeCodec {
         let width = u32::from_le_bytes(bytes[4..8].try_into().expect("slice")) as usize;
         let height = u32::from_le_bytes(bytes[8..12].try_into().expect("slice")) as usize;
         let nchan = bytes[12];
-        let quality = Quality::new(bytes[13].clamp(1, 100));
+        let quality = Quality::try_new(bytes[13])?;
         if width == 0 || height == 0 || width > 1 << 20 || height > 1 << 20 {
             return Err(CodecError::Format(format!("implausible size {width}x{height}")));
         }

@@ -38,10 +38,14 @@ pub mod dct;
 pub mod entropy;
 mod jpeg;
 mod neural;
+mod registry;
 pub mod sr;
 pub mod transform;
 
 pub use bpg::BpgLikeCodec;
-pub use codec::{encode_to_bpp, encode_with, CodecError, Encoded, ImageCodec, Quality};
+pub use codec::{
+    bpp_quality_search, encode_to_bpp, encode_with, CodecError, Encoded, ImageCodec, Quality,
+};
 pub use jpeg::JpegLikeCodec;
 pub use neural::{CostProfile, NeuralSimCodec, NeuralTier};
+pub use registry::{CodecId, CodecRegistry};

@@ -12,6 +12,7 @@
 //! cost profiles through `easz-testbed`.
 
 use crate::codec::{CodecError, ImageCodec, Quality};
+use crate::registry::CodecId;
 use crate::transform::{decode_engine, encode_engine, EngineConfig};
 use easz_image::ImageF32;
 
@@ -146,6 +147,15 @@ impl NeuralSimCodec {
 impl ImageCodec for NeuralSimCodec {
     fn name(&self) -> &str {
         self.tier.label()
+    }
+
+    fn id(&self) -> CodecId {
+        match self.tier {
+            NeuralTier::BalleFactorized => CodecId::BALLE_FACTORIZED,
+            NeuralTier::BalleHyperprior => CodecId::BALLE_HYPERPRIOR,
+            NeuralTier::Mbt => CodecId::MBT,
+            NeuralTier::ChengAnchor => CodecId::CHENG_ANCHOR,
+        }
     }
 
     fn encode(&self, img: &ImageF32, quality: Quality) -> Result<Vec<u8>, CodecError> {

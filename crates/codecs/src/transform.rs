@@ -261,7 +261,7 @@ impl<'a> PlaneCodec<'a> {
                         continue;
                     }
                     enc.encode(1, &mut self.models.sig[class]);
-                    encode_ue(enc, &mut self.models.mag, (v.unsigned_abs() - 1) as u32);
+                    encode_ue(enc, &mut self.models.mag, v.unsigned_abs() - 1);
                     enc.encode_bypass(u8::from(v < 0));
                 }
             }
@@ -431,7 +431,7 @@ pub fn decode_engine(bytes: &[u8], cfg: &EngineConfig) -> Result<ImageF32, Codec
     let width = u32::from_le_bytes(bytes[4..8].try_into().expect("slice")) as usize;
     let height = u32::from_le_bytes(bytes[8..12].try_into().expect("slice")) as usize;
     let nchan = bytes[12];
-    let quality = Quality::new(bytes[13].clamp(1, 100));
+    let quality = Quality::try_new(bytes[13])?;
     if width == 0 || height == 0 || width > 1 << 20 || height > 1 << 20 {
         return Err(CodecError::Format(format!("implausible size {width}x{height}")));
     }

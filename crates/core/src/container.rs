@@ -1,0 +1,296 @@
+//! The versioned `.easz` wire container — the transmitted form of an
+//! Easz-compressed image.
+//!
+//! [`EaszEncoded`] used to be an in-memory struct of loose fields; this
+//! module gives it a self-describing binary layout so a sensor can hand the
+//! bytes to a radio and a server can decode them with *no* out-of-band
+//! agreement beyond "it is an `.easz` stream". The header names the inner
+//! codec by [`CodecId`], so the decoder resolves it from a
+//! [`CodecRegistry`](easz_codecs::CodecRegistry) instead of trusting the
+//! caller to pass the matching codec.
+//!
+//! ## Byte layout (format version 1, all integers little-endian)
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `"EASZ"` |
+//! | 4      | 1    | format version (`1`) |
+//! | 5      | 1    | inner codec id ([`CodecId`]) |
+//! | 6      | 1    | inner codec quality (`1..=100`) |
+//! | 7      | 1    | mask strategy (`0` proposed, `1` random, `2` diagonal) |
+//! | 8      | 1    | flags: bit 0 = grain synthesis, bit 1 = vertical squeeze; others must be 0 |
+//! | 9      | 1    | reserved, must be 0 |
+//! | 10     | 2    | patch side length `n` (u16) |
+//! | 12     | 2    | sub-patch side length `b` (u16) |
+//! | 14     | 4    | original image width (u32) |
+//! | 18     | 4    | original image height (u32) |
+//! | 22     | 8    | mask seed (u64) |
+//! | 30     | 8    | erase ratio (f64 bit pattern) |
+//! | 38     | 4    | mask side-channel length `M` (u32) |
+//! | 42     | 4    | payload length `P` (u32) |
+//! | 46     | M    | serialized [`EraseMask`](crate::EraseMask) |
+//! | 46 + M | P    | inner-codec bitstream |
+//!
+//! The container is *exact*: `46 + M + P` must equal the buffer length, so
+//! truncation and trailing garbage are both detected. Every header field is
+//! validated on parse and failures are typed [`EaszError`]s — untrusted
+//! bytes can never panic the server.
+//!
+//! The mask seed, erase ratio and quality fields are not consumed by
+//! decoding (the transmitted mask drives it); they are carried so the
+//! container is a lossless serialization of [`EaszEncoded`]
+//! (`from_bytes(to_bytes(e)) == e`) and an encode's provenance survives the
+//! wire. If the 17 bytes ever matter at IoT scale, move them to an optional
+//! section in a future `FORMAT_VERSION`.
+
+use crate::config::{EaszConfig, MaskStrategy};
+use crate::error::EaszError;
+use crate::mask::EraseMask;
+use crate::squeeze::Orientation;
+use easz_codecs::{CodecId, Quality};
+
+/// Container magic, `"EASZ"`.
+pub const MAGIC: [u8; 4] = *b"EASZ";
+/// The container format version this build writes and parses.
+pub const FORMAT_VERSION: u8 = 1;
+/// Fixed header length in bytes (sections follow).
+pub const HEADER_LEN: usize = 46;
+
+const FLAG_GRAIN: u8 = 1 << 0;
+const FLAG_VERTICAL: u8 = 1 << 1;
+/// Dimension sanity bound shared with the inner codecs (1 Mpx per side);
+/// the encoder enforces it so every container it emits is parseable.
+pub(crate) const MAX_SIDE: usize = 1 << 20;
+
+/// The transmitted form of an Easz-compressed image.
+///
+/// Produced by [`EaszEncoder::compress`](crate::EaszEncoder::compress);
+/// serialize with [`to_bytes`](Self::to_bytes), parse with
+/// [`from_bytes`](Self::from_bytes), decode with
+/// [`EaszDecoder::decode`](crate::EaszDecoder::decode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EaszEncoded {
+    /// Inner-codec bitstream of the squeezed image.
+    pub payload: Vec<u8>,
+    /// Serialized erase mask (the paper's ~128-byte side channel).
+    pub mask_bytes: Vec<u8>,
+    /// Original image width.
+    pub width: usize,
+    /// Original image height.
+    pub height: usize,
+    /// Configuration used at the edge (the server needs `n`, `b` and the
+    /// orientation to undo the squeeze).
+    pub config: EaszConfig,
+    /// Inner codec quality used.
+    pub quality: Quality,
+    /// Wire identity of the inner codec that produced [`payload`](Self::payload).
+    pub codec_id: CodecId,
+}
+
+impl EaszEncoded {
+    /// Total transmitted bytes (header + payload + mask side channel).
+    pub fn total_bytes(&self) -> usize {
+        HEADER_LEN + self.payload.len() + self.mask_bytes.len()
+    }
+
+    /// Bits per pixel against the original canvas, container overhead and
+    /// mask included — the accounting the paper uses.
+    pub fn bpp(&self) -> f64 {
+        self.total_bytes() as f64 * 8.0 / (self.width * self.height).max(1) as f64
+    }
+
+    /// Serializes to the `.easz` container (see the module docs for the
+    /// byte layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes());
+        out.extend_from_slice(&MAGIC);
+        out.push(FORMAT_VERSION);
+        out.push(self.codec_id.value());
+        out.push(self.quality.value());
+        out.push(self.config.strategy.wire_byte());
+        let mut flags = 0u8;
+        if self.config.synthesize_grain {
+            flags |= FLAG_GRAIN;
+        }
+        if self.config.orientation == Orientation::Vertical {
+            flags |= FLAG_VERTICAL;
+        }
+        out.push(flags);
+        out.push(0); // reserved
+        out.extend_from_slice(&(self.config.n as u16).to_le_bytes());
+        out.extend_from_slice(&(self.config.b as u16).to_le_bytes());
+        out.extend_from_slice(&(self.width as u32).to_le_bytes());
+        out.extend_from_slice(&(self.height as u32).to_le_bytes());
+        out.extend_from_slice(&self.config.mask_seed.to_le_bytes());
+        out.extend_from_slice(&self.config.erase_ratio.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.mask_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.mask_bytes);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses and validates an `.easz` container.
+    ///
+    /// Round-trips exactly: `EaszEncoded::from_bytes(&e.to_bytes()) == Ok(e)`.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`EaszError`]s for every malformation: wrong magic, unknown
+    /// version, truncation, invalid header fields, inconsistent section
+    /// lengths, or a mask side channel that does not parse or disagrees
+    /// with the header geometry. Never panics on untrusted input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EaszError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(EaszError::Truncated { needed: HEADER_LEN, got: bytes.len() });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(EaszError::BadMagic);
+        }
+        if bytes[4] != FORMAT_VERSION {
+            return Err(EaszError::UnsupportedVersion(bytes[4]));
+        }
+        let codec_id = CodecId(bytes[5]);
+        let quality = Quality::try_new(bytes[6]).map_err(EaszError::Codec)?;
+        let strategy = MaskStrategy::from_wire_byte(bytes[7])?;
+        let flags = bytes[8];
+        if flags & !(FLAG_GRAIN | FLAG_VERTICAL) != 0 {
+            return Err(EaszError::Malformed(format!("unknown flag bits 0x{flags:02x}")));
+        }
+        if bytes[9] != 0 {
+            return Err(EaszError::Malformed(format!("reserved byte 0x{:02x} != 0", bytes[9])));
+        }
+        let read_u16 = |off: usize| u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
+        let read_u32 = |off: usize| {
+            u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice")) as usize
+        };
+        let n = read_u16(10);
+        let b = read_u16(12);
+        let width = read_u32(14);
+        let height = read_u32(18);
+        let mask_seed = u64::from_le_bytes(bytes[22..30].try_into().expect("8-byte slice"));
+        let erase_ratio =
+            f64::from_bits(u64::from_le_bytes(bytes[30..38].try_into().expect("8-byte slice")));
+        let mask_len = read_u32(38);
+        let payload_len = read_u32(42);
+
+        if width == 0 || height == 0 || width > MAX_SIDE || height > MAX_SIDE {
+            return Err(EaszError::Malformed(format!("implausible canvas {width}x{height}")));
+        }
+        let config = EaszConfig {
+            n,
+            b,
+            erase_ratio,
+            strategy,
+            orientation: if flags & FLAG_VERTICAL != 0 {
+                Orientation::Vertical
+            } else {
+                Orientation::Horizontal
+            },
+            mask_seed,
+            synthesize_grain: flags & FLAG_GRAIN != 0,
+        };
+        config.validate()?;
+
+        let needed = HEADER_LEN
+            .checked_add(mask_len)
+            .and_then(|v| v.checked_add(payload_len))
+            .ok_or_else(|| EaszError::Malformed("section lengths overflow".into()))?;
+        if bytes.len() < needed {
+            return Err(EaszError::Truncated { needed, got: bytes.len() });
+        }
+        if bytes.len() > needed {
+            return Err(EaszError::Malformed(format!(
+                "{} trailing bytes after sections",
+                bytes.len() - needed
+            )));
+        }
+        let mask_bytes = bytes[HEADER_LEN..HEADER_LEN + mask_len].to_vec();
+        let payload = bytes[HEADER_LEN + mask_len..needed].to_vec();
+
+        // The mask side channel must parse and match the announced grid so
+        // a corrupt container is rejected here, not deep inside decode.
+        let mask = EraseMask::from_bytes(&mask_bytes).map_err(EaszError::MaskChannel)?;
+        if mask.n_grid() != n / b {
+            return Err(EaszError::MaskChannel(format!(
+                "mask grid {} does not match header grid {}",
+                mask.n_grid(),
+                n / b
+            )));
+        }
+
+        Ok(Self { payload, mask_bytes, width, height, config, quality, codec_id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EaszConfig;
+
+    fn sample() -> EaszEncoded {
+        let config = EaszConfig::default();
+        EaszEncoded {
+            payload: vec![7u8; 300],
+            mask_bytes: config.make_mask().to_bytes(),
+            width: 96,
+            height: 64,
+            config,
+            quality: Quality::new(75),
+            codec_id: CodecId::JPEG_LIKE,
+        }
+    }
+
+    #[test]
+    fn exact_round_trip() {
+        let enc = sample();
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes.len(), enc.total_bytes());
+        let back = EaszEncoded::from_bytes(&bytes).expect("parse");
+        assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn vertical_and_no_grain_round_trip_via_flags() {
+        let mut enc = sample();
+        enc.config.orientation = Orientation::Vertical;
+        enc.config.synthesize_grain = false;
+        let back = EaszEncoded::from_bytes(&enc.to_bytes()).expect("parse");
+        assert_eq!(back.config.orientation, Orientation::Vertical);
+        assert!(!back.config.synthesize_grain);
+    }
+
+    #[test]
+    fn header_overhead_is_charged_in_bpp() {
+        let enc = sample();
+        let sections = (enc.payload.len() + enc.mask_bytes.len()) as f64 * 8.0 / (96.0 * 64.0);
+        assert!(enc.bpp() > sections, "header bytes must be part of the rate accounting");
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version() {
+        let bytes = sample().to_bytes();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(EaszEncoded::from_bytes(&bad), Err(EaszError::BadMagic)));
+        let mut bad = bytes;
+        bad[4] = 99;
+        assert!(matches!(EaszEncoded::from_bytes(&bad), Err(EaszError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(EaszEncoded::from_bytes(&bytes), Err(EaszError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_mask_grid_mismatch() {
+        let mut enc = sample();
+        // A valid mask for the wrong grid (16x16 instead of 8x8).
+        enc.mask_bytes =
+            EaszConfig::builder().n(32).b(2).build().expect("cfg").make_mask().to_bytes();
+        assert!(matches!(EaszEncoded::from_bytes(&enc.to_bytes()), Err(EaszError::MaskChannel(_))));
+    }
+}

@@ -1,0 +1,409 @@
+//! The server half of Easz: inner codec decode, un-squeeze, transformer
+//! reconstruction of the erased sub-patches, plus the perceptual
+//! post-passes (seam feathering, grain synthesis).
+//!
+//! [`EaszDecoder`] owns the [`CodecRegistry`] and borrows the
+//! [`Reconstructor`], and resolves the inner codec *from the bitstream
+//! header* — it decodes any `.easz` stream whose patch geometry matches the
+//! model, with no out-of-band codec agreement.
+
+use crate::container::EaszEncoded;
+use crate::error::EaszError;
+use crate::mask::EraseMask;
+use crate::model::{Reconstructor, TokenBatch};
+use crate::patchify::{patch_tokens, place_token, PatchGeometry, Patchified};
+use crate::squeeze::{unsqueeze_patch, FillMethod, Orientation};
+use easz_codecs::{CodecRegistry, ImageCodec};
+use easz_image::ImageF32;
+
+/// The server-side session: a trained reconstructor plus the codec
+/// registry used to resolve inner codecs named by bitstream headers.
+pub struct EaszDecoder<'m> {
+    model: &'m Reconstructor,
+    registry: CodecRegistry,
+}
+
+impl<'m> std::fmt::Debug for EaszDecoder<'m> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EaszDecoder").field("registry", &self.registry).finish()
+    }
+}
+
+impl<'m> EaszDecoder<'m> {
+    /// Creates a decoder around a trained reconstructor with every codec
+    /// shipped in `easz-codecs` registered
+    /// ([`CodecRegistry::with_defaults`]).
+    pub fn new(model: &'m Reconstructor) -> Self {
+        Self::with_registry(model, CodecRegistry::with_defaults())
+    }
+
+    /// Creates a decoder with a caller-supplied registry (e.g. extended
+    /// with custom codecs, or stripped to an allow-list).
+    pub fn with_registry(model: &'m Reconstructor, registry: CodecRegistry) -> Self {
+        Self { model, registry }
+    }
+
+    /// The codec registry this decoder resolves inner codecs from.
+    pub fn registry(&self) -> &CodecRegistry {
+        &self.registry
+    }
+
+    /// The reconstructor this decoder reconstructs with.
+    pub fn model(&self) -> &Reconstructor {
+        self.model
+    }
+
+    /// Parses an `.easz` container and decodes it — the one-call server
+    /// path for bytes straight off the wire.
+    ///
+    /// # Errors
+    ///
+    /// Container parse errors (see [`EaszEncoded::from_bytes`]) plus
+    /// everything [`decode`](Self::decode) can return.
+    pub fn decode_bytes(&self, bytes: &[u8]) -> Result<ImageF32, EaszError> {
+        self.decode(&EaszEncoded::from_bytes(bytes)?)
+    }
+
+    /// Decodes a parsed container, resolving the inner codec from the
+    /// registry by the id stamped in the bitstream.
+    ///
+    /// # Errors
+    ///
+    /// [`EaszError::UnknownCodec`] if the registry has no codec under the
+    /// bitstream's id, plus everything [`decode_with`](Self::decode_with)
+    /// can return.
+    pub fn decode(&self, encoded: &EaszEncoded) -> Result<ImageF32, EaszError> {
+        let codec =
+            self.registry.get(encoded.codec_id).ok_or(EaszError::UnknownCodec(encoded.codec_id))?;
+        self.decode_with(encoded, codec)
+    }
+
+    /// Decodes with an explicitly supplied inner codec, bypassing the
+    /// registry (for codecs without a wire identity; prefer
+    /// [`decode`](Self::decode), which cannot mismatch).
+    ///
+    /// # Errors
+    ///
+    /// [`EaszError::GeometryMismatch`] if the model's patch geometry is not
+    /// the bitstream's, [`EaszError::MaskChannel`] for a corrupt mask side
+    /// channel, inner-codec errors, and [`EaszError::Malformed`] if the
+    /// decoded payload's size disagrees with the announced geometry.
+    pub fn decode_with(
+        &self,
+        encoded: &EaszEncoded,
+        codec: &dyn ImageCodec,
+    ) -> Result<ImageF32, EaszError> {
+        let model_cfg = self.model.config();
+        if (model_cfg.n, model_cfg.b) != (encoded.config.n, encoded.config.b) {
+            return Err(EaszError::GeometryMismatch {
+                model: (model_cfg.n, model_cfg.b),
+                bitstream: (encoded.config.n, encoded.config.b),
+            });
+        }
+        let mask = EraseMask::from_bytes(&encoded.mask_bytes).map_err(EaszError::MaskChannel)?;
+        let geometry = encoded.config.geometry();
+        // `from_bytes` already enforces this, but `EaszEncoded` has public
+        // fields and `decode_with` documents hand-assembled containers, so
+        // re-check here rather than index out of bounds below.
+        if mask.n_grid() != geometry.grid() {
+            return Err(EaszError::MaskChannel(format!(
+                "mask grid {} does not match geometry grid {}",
+                mask.n_grid(),
+                geometry.grid()
+            )));
+        }
+        let squeezed = codec.decode(&encoded.payload)?;
+        let orientation = encoded.config.orientation;
+        let t_b = mask.erased_per_row() * geometry.b;
+        let (sq_w, sq_h) = match orientation {
+            Orientation::Horizontal => (geometry.n - t_b, geometry.n),
+            Orientation::Vertical => (geometry.n, geometry.n - t_b),
+        };
+        let (pad_w, pad_h) = geometry.padded_size(encoded.width, encoded.height);
+        let (cols, rows) = (pad_w / geometry.n, pad_h / geometry.n);
+        if squeezed.width() != cols * sq_w || squeezed.height() != rows * sq_h {
+            return Err(EaszError::Malformed(format!(
+                "squeezed payload {}x{} does not match geometry {}x{}",
+                squeezed.width(),
+                squeezed.height(),
+                cols * sq_w,
+                rows * sq_h
+            )));
+        }
+
+        // Un-squeeze every patch with zero fill, then batch-reconstruct.
+        let mut patches: Vec<ImageF32> = Vec::with_capacity(cols * rows);
+        for i in 0..cols * rows {
+            let (px, py) = (i % cols, i / cols);
+            let sq = squeezed.crop(px * sq_w, py * sq_h, sq_w, sq_h);
+            patches.push(unsqueeze_patch(&sq, geometry, &mask, orientation, FillMethod::Zero));
+        }
+        // For vertical squeeze the mask indexes (col, row); reconstruction
+        // operates on the grid directly, so transpose mask semantics by
+        // transposing erased positions.
+        let effective_mask = match orientation {
+            Orientation::Horizontal => mask.clone(),
+            Orientation::Vertical => transpose_mask(&mask),
+        };
+        let tokens: Vec<Vec<Vec<f32>>> =
+            patches.iter().map(|p| patch_tokens(p, geometry)).collect();
+        let batch = TokenBatch::from_patches(&tokens);
+        let recon = self.model.reconstruct_tokens(&batch, &effective_mask);
+        let grid = geometry.grid();
+        for (pi, patch) in patches.iter_mut().enumerate() {
+            for (row, col, erased) in effective_mask.iter() {
+                if erased {
+                    let s = row * grid + col;
+                    place_token(patch, geometry, row, col, &recon[pi][s]);
+                }
+            }
+            feather_erased_boundaries(patch, geometry, &effective_mask);
+            if encoded.config.synthesize_grain {
+                synthesize_grain(patch, geometry, &effective_mask, pi as u64);
+            }
+        }
+        let patched = Patchified {
+            geometry,
+            orig_width: encoded.width,
+            orig_height: encoded.height,
+            channels: squeezed.channels(),
+            cols,
+            rows,
+            patches,
+        };
+        let mut out = patched.to_image();
+        out.clamp01();
+        Ok(out)
+    }
+}
+
+/// Softens the 1-pixel seam between in-painted sub-patches and their kept
+/// neighbours: predicted boundary pixels are averaged towards the adjacent
+/// kept pixel. Removes the slight blockiness of hole-filling (it cannot
+/// *add* information, only hide the discontinuity).
+fn feather_erased_boundaries(patch: &mut ImageF32, geometry: PatchGeometry, mask: &EraseMask) {
+    let b = geometry.b;
+    let cc = patch.channels().count();
+    let grid = geometry.grid();
+    let blend = 0.5f32;
+    for (row, col, erased) in mask.iter() {
+        if !erased {
+            continue;
+        }
+        let (x0, y0) = (col * b, row * b);
+        // Left/right/top/bottom neighbours that are kept (or outside).
+        let sides: [(bool, isize, isize); 4] = [
+            (col > 0 && !mask.is_erased(row, col - 1), -1, 0),
+            (col + 1 < grid && !mask.is_erased(row, col + 1), 1, 0),
+            (row > 0 && !mask.is_erased(row - 1, col), 0, -1),
+            (row + 1 < grid && !mask.is_erased(row + 1, col), 0, 1),
+        ];
+        for (kept, dx, dy) in sides {
+            if !kept {
+                continue;
+            }
+            for t in 0..b {
+                // Boundary pixel inside the erased block and its kept
+                // neighbour just outside.
+                let (ex, ey, nx, ny) = match (dx, dy) {
+                    (-1, 0) => (x0, y0 + t, x0 as isize - 1, (y0 + t) as isize),
+                    (1, 0) => (x0 + b - 1, y0 + t, (x0 + b) as isize, (y0 + t) as isize),
+                    (0, -1) => (x0 + t, y0, (x0 + t) as isize, y0 as isize - 1),
+                    _ => (x0 + t, y0 + b - 1, (x0 + t) as isize, (y0 + b) as isize),
+                };
+                for c in 0..cc {
+                    let e = patch.get(ex, ey, c);
+                    let n = patch.get_clamped(nx, ny, c);
+                    patch.set(ex, ey, c, e + blend * 0.5 * (n - e));
+                }
+            }
+        }
+    }
+}
+
+/// Adds seeded grain to in-painted sub-patches, amplitude-matched to the
+/// fine detail of the surrounding kept pixels. In-painting predicts the
+/// local mean, which looks unnaturally smooth inside textured content; the
+/// grain restores the local statistics that no-reference metrics (and
+/// viewers) expect. Purely synthetic — like GAN texture or AV1 film-grain
+/// synthesis, it trades a little PSNR for naturalness.
+fn synthesize_grain(patch: &mut ImageF32, geometry: PatchGeometry, mask: &EraseMask, seed: u64) {
+    let b = geometry.b;
+    let cc = patch.channels().count();
+    // Estimate the patch's fine-detail amplitude from kept pixels: mean
+    // absolute horizontal gradient inside kept sub-patches.
+    let mut acc = 0.0f32;
+    let mut count = 0usize;
+    for (row, col, erased) in mask.iter() {
+        if erased {
+            continue;
+        }
+        let (x0, y0) = (col * b, row * b);
+        for dy in 0..b {
+            for dx in 0..b.saturating_sub(1) {
+                acc += (patch.get(x0 + dx + 1, y0 + dy, 0) - patch.get(x0 + dx, y0 + dy, 0)).abs();
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        return;
+    }
+    // Uniform grain with peak-to-peak amplitude `a` has mean |adjacent
+    // difference| = a/3, so matching the kept-region gradient needs 3x.
+    let amplitude = (acc / count as f32 * 3.0).min(0.2);
+    if amplitude < 0.005 {
+        return; // smooth patch: no grain to match
+    }
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5151_5151);
+    for (row, col, erased) in mask.iter() {
+        if !erased {
+            continue;
+        }
+        let (x0, y0) = (col * b, row * b);
+        for dy in 0..b {
+            for dx in 0..b {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let g = ((s >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * amplitude;
+                for c in 0..cc {
+                    let v = patch.get(x0 + dx, y0 + dy, c) + g;
+                    patch.set(x0 + dx, y0 + dy, c, v.clamp(0.0, 1.0));
+                }
+            }
+        }
+    }
+}
+
+/// Transposes a mask (used to reuse the row-indexed reconstruction path for
+/// vertically squeezed patches). The transpose of a row-uniform mask is
+/// generally *not* row-uniform, so this goes through the unconstrained
+/// constructor.
+fn transpose_mask(mask: &EraseMask) -> EraseMask {
+    let n = mask.n_grid();
+    let mut cells = vec![false; n * n];
+    for (r, c, erased) in mask.iter() {
+        if erased {
+            cells[c * n + r] = true;
+        }
+    }
+    EraseMask::from_cells(n, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EaszConfig, MaskStrategy};
+    use crate::encoder::EaszEncoder;
+    use crate::model::ReconstructorConfig;
+    use easz_codecs::{CodecId, JpegLikeCodec, Quality};
+    use easz_data::Dataset;
+    use easz_metrics::psnr;
+
+    fn quick_model() -> Reconstructor {
+        Reconstructor::new(ReconstructorConfig::fast())
+    }
+
+    fn encoder() -> EaszEncoder {
+        EaszEncoder::new(EaszConfig::default()).expect("encoder")
+    }
+
+    #[test]
+    fn compress_decode_round_trip_geometry() {
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let img = Dataset::KodakLike.image(1).crop(0, 0, 96, 64);
+        let enc =
+            encoder().compress(&img, &JpegLikeCodec::new(), Quality::new(85)).expect("compress");
+        assert!(enc.bpp() > 0.0);
+        let out = dec.decode(&enc).expect("decode");
+        assert_eq!((out.width(), out.height()), (96, 64));
+        // Even with an untrained model, kept pixels survive the inner codec,
+        // so overall PSNR is bounded below by the erase ratio.
+        assert!(psnr(&img, &out) > 10.0, "psnr {}", psnr(&img, &out));
+    }
+
+    #[test]
+    fn mask_side_channel_is_small() {
+        // Paper: a 32x32 mask costs 128 bytes. Our grids are n/b = 8, so
+        // the side channel is 12 bytes — negligible either way.
+        let img = Dataset::KodakLike.image(2).crop(0, 0, 64, 64);
+        let enc =
+            encoder().compress(&img, &JpegLikeCodec::new(), Quality::new(70)).expect("compress");
+        assert!(enc.mask_bytes.len() <= 132, "mask bytes {}", enc.mask_bytes.len());
+        assert!(enc.total_bytes() > enc.payload.len());
+    }
+
+    #[test]
+    fn vertical_orientation_decodes() {
+        let model = quick_model();
+        let cfg = EaszConfig { orientation: Orientation::Vertical, ..Default::default() };
+        let enc = EaszEncoder::new(cfg).expect("encoder");
+        let dec = EaszDecoder::new(&model);
+        let img = Dataset::KodakLike.image(6).crop(0, 0, 64, 96);
+        let encoded = enc.compress(&img, &JpegLikeCodec::new(), Quality::new(80)).expect("c");
+        let out = dec.decode(&encoded).expect("decode");
+        assert_eq!((out.width(), out.height()), (64, 96));
+        assert!(psnr(&img, &out) > 10.0);
+    }
+
+    #[test]
+    fn random_strategy_also_round_trips() {
+        let model = quick_model();
+        let cfg = EaszConfig { strategy: MaskStrategy::Random, ..Default::default() };
+        let enc = EaszEncoder::new(cfg).expect("encoder");
+        let dec = EaszDecoder::new(&model);
+        let img = Dataset::KodakLike.image(5).crop(0, 0, 64, 64);
+        let encoded = enc.compress(&img, &JpegLikeCodec::new(), Quality::new(75)).expect("c");
+        let out = dec.decode(&encoded).expect("decode");
+        assert_eq!(out.width(), 64);
+    }
+
+    #[test]
+    fn unregistered_codec_id_is_a_typed_error() {
+        let model = quick_model();
+        let dec = EaszDecoder::with_registry(&model, easz_codecs::CodecRegistry::empty());
+        let img = Dataset::KodakLike.image(3).crop(0, 0, 64, 64);
+        let encoded = encoder().compress(&img, &JpegLikeCodec::new(), Quality::new(70)).expect("c");
+        assert!(matches!(dec.decode(&encoded), Err(EaszError::UnknownCodec(CodecId::JPEG_LIKE))));
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_typed_error() {
+        let model = quick_model(); // n=32, b=4
+        let dec = EaszDecoder::new(&model);
+        let cfg = EaszConfig::builder().n(16).b(2).build().expect("cfg");
+        let enc = EaszEncoder::new(cfg).expect("encoder");
+        let img = Dataset::KodakLike.image(4).crop(0, 0, 64, 64);
+        let encoded = enc.compress(&img, &JpegLikeCodec::new(), Quality::new(70)).expect("c");
+        assert!(matches!(dec.decode(&encoded), Err(EaszError::GeometryMismatch { .. })));
+    }
+
+    #[test]
+    fn hand_built_mask_grid_mismatch_is_rejected_not_a_panic() {
+        // `EaszEncoded` has public fields; a hand-assembled container whose
+        // mask parses but disagrees with the header grid must be a typed
+        // error at decode, not an index-out-of-bounds in reconstruction.
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let img = Dataset::KodakLike.image(7).crop(0, 0, 64, 64);
+        let codec = JpegLikeCodec::new();
+        let mut encoded = encoder().compress(&img, &codec, Quality::new(70)).expect("c");
+        // A valid 16-grid mask against the header's 8-grid geometry.
+        let foreign = EaszConfig::builder().n(32).b(2).build().expect("cfg").make_mask().to_bytes();
+        encoded.mask_bytes = foreign;
+        assert!(matches!(dec.decode_with(&encoded, &codec), Err(EaszError::MaskChannel(_))));
+    }
+
+    #[test]
+    fn corrupt_mask_is_rejected() {
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let img = Dataset::KodakLike.image(4).crop(0, 0, 64, 64);
+        let mut encoded =
+            encoder().compress(&img, &JpegLikeCodec::new(), Quality::new(70)).expect("c");
+        encoded.mask_bytes.truncate(2);
+        assert!(matches!(dec.decode(&encoded), Err(EaszError::MaskChannel(_))));
+    }
+}

@@ -1,0 +1,235 @@
+//! The edge half of Easz: erase + squeeze + inner codec encode.
+//!
+//! [`EaszEncoder`] is deliberately model-free — the paper's central systems
+//! claim (Fig. 2, Fig. 6a) is that the edge runs *no* neural network, so no
+//! [`Reconstructor`](crate::Reconstructor) appears anywhere in this module's
+//! signatures and a sensor build never touches the tensor crate's forward
+//! pass. The edge-side cost of [`EaszEncoder::erase_and_squeeze`] is a few
+//! copies per pixel (Fig. 6a's 0.7% slice).
+
+use crate::config::EaszConfig;
+use crate::container::{self, EaszEncoded};
+use crate::error::EaszError;
+use crate::mask::EraseMask;
+use crate::patchify::Patchified;
+use crate::squeeze::{squeeze_patch, Orientation};
+use easz_codecs::{CodecId, ImageCodec, Quality};
+use easz_image::ImageF32;
+
+/// The edge-side session: configuration plus an inner codec of the caller's
+/// choice per call. Constructible anywhere — no model, no registry.
+#[derive(Debug, Clone)]
+pub struct EaszEncoder {
+    config: EaszConfig,
+}
+
+impl EaszEncoder {
+    /// Creates an encoder, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EaszError::InvalidConfig`] for configurations violating
+    /// [`EaszConfig::validate`].
+    pub fn new(config: EaszConfig) -> Result<Self, EaszError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &EaszConfig {
+        &self.config
+    }
+
+    /// Edge-side transform: erase + squeeze, producing the smaller image
+    /// that the inner codec will compress, plus the mask.
+    pub fn erase_and_squeeze(&self, img: &ImageF32) -> (ImageF32, EraseMask) {
+        let geometry = self.config.geometry();
+        let mask = self.config.make_mask();
+        let patched = Patchified::from_image(img, geometry);
+        let t_b = mask.erased_per_row() * geometry.b;
+        let (sq_w, sq_h) = match self.config.orientation {
+            Orientation::Horizontal => (geometry.n - t_b, geometry.n),
+            Orientation::Vertical => (geometry.n, geometry.n - t_b),
+        };
+        let mut canvas = ImageF32::new(sq_w * patched.cols, sq_h * patched.rows, img.channels());
+        for (i, patch) in patched.patches.iter().enumerate() {
+            let sq = squeeze_patch(patch, geometry, &mask, self.config.orientation);
+            let (px, py) = (i % patched.cols, i / patched.cols);
+            canvas.paste(&sq, px * sq_w, py * sq_h);
+        }
+        (canvas, mask)
+    }
+
+    /// Full edge-side compression: erase + squeeze + inner codec encode,
+    /// wrapped in a transmissible container
+    /// ([`EaszEncoded::to_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates inner-codec errors; returns
+    /// [`EaszError::AnonymousCodec`] if `codec` has no [`CodecId`], since
+    /// its bitstream could never be resolved by the receiving registry.
+    pub fn compress(
+        &self,
+        img: &ImageF32,
+        codec: &dyn ImageCodec,
+        quality: Quality,
+    ) -> Result<EaszEncoded, EaszError> {
+        if codec.id() == CodecId::UNKNOWN {
+            return Err(EaszError::AnonymousCodec(codec.name().to_string()));
+        }
+        self.compress_unchecked(img, codec, quality)
+    }
+
+    /// [`compress`](Self::compress) without the wire-identity requirement —
+    /// shared with the deprecated `EaszPipeline` shim, whose legacy
+    /// contract accepts codecs the registry could never resolve.
+    pub(crate) fn compress_unchecked(
+        &self,
+        img: &ImageF32,
+        codec: &dyn ImageCodec,
+        quality: Quality,
+    ) -> Result<EaszEncoded, EaszError> {
+        if img.width() > container::MAX_SIDE || img.height() > container::MAX_SIDE {
+            return Err(EaszError::Malformed(format!(
+                "canvas {}x{} exceeds the container limit of {} per side",
+                img.width(),
+                img.height(),
+                container::MAX_SIDE
+            )));
+        }
+        let (squeezed, mask) = self.erase_and_squeeze(img);
+        let payload = codec.encode(&squeezed, quality)?;
+        Ok(EaszEncoded {
+            payload,
+            mask_bytes: mask.to_bytes(),
+            width: img.width(),
+            height: img.height(),
+            config: self.config,
+            quality,
+            codec_id: codec.id(),
+        })
+    }
+
+    /// Rate-targeted compression: binary-searches the inner quality knob
+    /// for the encode whose *total* bits per pixel — container header and
+    /// mask side channel included, charged against the original canvas, the
+    /// accounting the paper uses — lands closest to `target_bpp`.
+    ///
+    /// This composes correctly where chaining
+    /// [`encode_to_bpp`](easz_codecs::encode_to_bpp) on the squeezed canvas
+    /// does not: that targets payload-only bits against the *squeezed*
+    /// geometry, so the `+easz` rate lands systematically off target.
+    ///
+    /// Returns the chosen quality and its encode after at most `max_iters`
+    /// probe encodes (clamped to at least one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from probe encodes.
+    pub fn compress_to_bpp(
+        &self,
+        img: &ImageF32,
+        codec: &dyn ImageCodec,
+        target_bpp: f64,
+        max_iters: usize,
+    ) -> Result<(Quality, EaszEncoded), EaszError> {
+        easz_codecs::bpp_quality_search(target_bpp, max_iters, |q| {
+            let enc = self.compress(img, codec, q)?;
+            Ok((enc.bpp(), enc))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easz_codecs::JpegLikeCodec;
+    use easz_data::Dataset;
+
+    #[test]
+    fn erase_and_squeeze_shrinks_by_ratio() {
+        let enc = EaszEncoder::new(EaszConfig::default()).expect("encoder");
+        let img = Dataset::KodakLike.image(0).crop(0, 0, 128, 64);
+        let (squeezed, mask) = enc.erase_and_squeeze(&img);
+        assert_eq!(mask.erased_per_row(), 2);
+        // 25% of each patch row is erased: 128 * 0.75 = 96.
+        assert_eq!((squeezed.width(), squeezed.height()), (96, 64));
+    }
+
+    #[test]
+    fn vertical_squeeze_shrinks_height() {
+        let cfg = EaszConfig { orientation: Orientation::Vertical, ..Default::default() };
+        let enc = EaszEncoder::new(cfg).expect("encoder");
+        let img = Dataset::KodakLike.image(0).crop(0, 0, 64, 128);
+        let (squeezed, _) = enc.erase_and_squeeze(&img);
+        assert_eq!((squeezed.width(), squeezed.height()), (64, 96));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let cfg = EaszConfig { n: 30, ..Default::default() };
+        assert!(matches!(EaszEncoder::new(cfg), Err(EaszError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn erasing_more_saves_more_payload() {
+        let img = Dataset::KodakLike.image(3).crop(0, 0, 128, 96);
+        let codec = JpegLikeCodec::new();
+        let bpp = |ratio: f64| {
+            let cfg = EaszConfig { erase_ratio: ratio, ..Default::default() };
+            let enc = EaszEncoder::new(cfg).expect("encoder");
+            enc.compress(&img, &codec, Quality::new(75)).expect("compress").bpp()
+        };
+        assert!(bpp(0.375) < bpp(0.125), "more erasure must mean fewer bits");
+    }
+
+    #[test]
+    fn anonymous_codec_cannot_be_containerized() {
+        struct NoId;
+        impl ImageCodec for NoId {
+            fn name(&self) -> &str {
+                "no-id"
+            }
+            fn encode(
+                &self,
+                _img: &ImageF32,
+                _q: Quality,
+            ) -> Result<Vec<u8>, easz_codecs::CodecError> {
+                Ok(Vec::new())
+            }
+            fn decode(&self, _bytes: &[u8]) -> Result<ImageF32, easz_codecs::CodecError> {
+                unreachable!("encode is rejected first")
+            }
+        }
+        let enc = EaszEncoder::new(EaszConfig::default()).expect("encoder");
+        let img = Dataset::KodakLike.image(1).crop(0, 0, 64, 64);
+        assert!(matches!(
+            enc.compress(&img, &NoId, Quality::new(50)),
+            Err(EaszError::AnonymousCodec(_))
+        ));
+    }
+
+    #[test]
+    fn compress_to_bpp_hits_target_within_tolerance() {
+        let enc = EaszEncoder::new(EaszConfig::default()).expect("encoder");
+        let img = Dataset::KodakLike.image(2).crop(0, 0, 128, 96);
+        let codec = JpegLikeCodec::new();
+        // A mid-rate target inside JPEG's reachable range on this content.
+        let lo = enc.compress(&img, &codec, Quality::new(1)).expect("q1").bpp();
+        let hi = enc.compress(&img, &codec, Quality::new(100)).expect("q100").bpp();
+        let target = (lo + hi) / 2.0;
+        let (_, best) = enc.compress_to_bpp(&img, &codec, target, 8).expect("rate search");
+        let err = (best.bpp() - target).abs() / target;
+        assert!(err < 0.25, "relative target error {err:.3} too large (target {target:.3})");
+    }
+
+    #[test]
+    fn compress_to_bpp_with_zero_iters_still_probes_once() {
+        let enc = EaszEncoder::new(EaszConfig::default()).expect("encoder");
+        let img = Dataset::KodakLike.image(4).crop(0, 0, 64, 64);
+        let (_, best) =
+            enc.compress_to_bpp(&img, &JpegLikeCodec::new(), 1.0, 0).expect("clamped to 1 probe");
+        assert!(best.bpp() > 0.0);
+    }
+}

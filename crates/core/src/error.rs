@@ -1,0 +1,109 @@
+//! The unified error type of the Easz public API.
+//!
+//! Everything fallible in `easz-core` — configuration building, container
+//! parsing, inner-codec work, decoding — returns [`EaszError`], so callers
+//! handle one type and untrusted wire input can never panic the server.
+
+use easz_codecs::{CodecError, CodecId};
+use std::error::Error;
+use std::fmt;
+
+/// Any error the Easz pipeline can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EaszError {
+    /// The inner image codec failed to encode or decode.
+    Codec(CodecError),
+    /// A pipeline configuration violates an invariant (e.g. `n % b != 0`
+    /// or an erase ratio outside `(0, 1)`).
+    InvalidConfig(String),
+    /// The container does not start with the `EASZ` magic.
+    BadMagic,
+    /// The container announces a format version this build cannot parse.
+    UnsupportedVersion(u8),
+    /// The container is shorter than its header or announced section
+    /// lengths require.
+    Truncated {
+        /// Bytes the parser needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// A header field is structurally invalid (bad strategy byte, reserved
+    /// bits set, trailing garbage, implausible dimensions, ...).
+    Malformed(String),
+    /// The mask side channel does not parse or disagrees with the header
+    /// geometry.
+    MaskChannel(String),
+    /// The bitstream names an inner codec the decoder's registry does not
+    /// hold.
+    UnknownCodec(CodecId),
+    /// The codec handed to the encoder has no wire identity
+    /// ([`CodecId::UNKNOWN`]), so its bitstream could never be resolved by
+    /// a receiver.
+    AnonymousCodec(String),
+    /// The decoder's model was trained for a different patch geometry than
+    /// the bitstream announces.
+    GeometryMismatch {
+        /// `(n, b)` the model was built for.
+        model: (usize, usize),
+        /// `(n, b)` the bitstream header announces.
+        bitstream: (usize, usize),
+    },
+}
+
+impl fmt::Display for EaszError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Codec(e) => write!(f, "inner codec: {e}"),
+            Self::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Self::BadMagic => write!(f, "not an Easz container (bad magic)"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported container version {v}"),
+            Self::Truncated { needed, got } => {
+                write!(f, "container truncated: need {needed} bytes, got {got}")
+            }
+            Self::Malformed(m) => write!(f, "malformed container: {m}"),
+            Self::MaskChannel(m) => write!(f, "mask side channel: {m}"),
+            Self::UnknownCodec(id) => write!(f, "no codec registered for {id}"),
+            Self::AnonymousCodec(name) => {
+                write!(f, "codec {name:?} has no wire id; register a CodecId to transmit it")
+            }
+            Self::GeometryMismatch { model, bitstream } => write!(
+                f,
+                "model geometry (n={}, b={}) does not match bitstream (n={}, b={})",
+                model.0, model.1, bitstream.0, bitstream.1
+            ),
+        }
+    }
+}
+
+impl Error for EaszError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for EaszError {
+    fn from(e: CodecError) -> Self {
+        Self::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EaszError::Truncated { needed: 46, got: 3 };
+        assert!(e.to_string().contains("46"));
+        let e = EaszError::GeometryMismatch { model: (32, 4), bitstream: (16, 2) };
+        assert!(e.to_string().contains("n=16"));
+        let e: EaszError = CodecError::Format("x".into()).into();
+        assert!(matches!(e, EaszError::Codec(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

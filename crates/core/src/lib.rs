@@ -20,24 +20,36 @@
 //!   a single weight set.
 //! * [`Trainer`] — AdamW pretraining/fine-tuning with the paper's Eq. 2
 //!   loss (`L1 + 0.3 · perceptual`).
-//! * [`EaszPipeline`] — the full edge→codec→server flow, compatible with
-//!   every codec in `easz-codecs`.
+//! * [`EaszEncoder`] (edge, model-free) and [`EaszDecoder`] (server) — the
+//!   split pipeline, talking through the versioned [`EaszEncoded`] `.easz`
+//!   container whose header names the inner codec by
+//!   [`CodecId`](easz_codecs::CodecId).
 //! * [`zoo`] — a deterministic pretrained-weights cache shared by tests,
 //!   examples and benches.
 //!
+//! The edge and the server share nothing but bytes: the encoder is
+//! constructible without a [`Reconstructor`] in scope, and the decoder
+//! resolves the inner codec from the bitstream via a
+//! [`CodecRegistry`](easz_codecs::CodecRegistry).
+//!
 //! ```no_run
-//! use easz_core::{zoo, EaszConfig, EaszPipeline};
+//! use easz_core::{zoo, EaszConfig, EaszDecoder, EaszEncoder};
 //! use easz_codecs::{JpegLikeCodec, Quality};
 //! use easz_data::Dataset;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let model = zoo::pretrained(zoo::PretrainSpec::quick());
-//! let pipeline = EaszPipeline::new(&model, EaszConfig::default());
+//! // Edge (no model anywhere): erase-and-squeeze + JPEG, then serialize.
+//! let encoder = EaszEncoder::new(EaszConfig::builder().erase_ratio(0.25).build()?)?;
 //! let image = Dataset::KodakLike.image(0);
-//! let codec = JpegLikeCodec::new();
-//! let encoded = pipeline.compress(&image, &codec, Quality::new(75))?;
-//! println!("{:.3} bpp (mask side-channel included)", encoded.bpp());
-//! let restored = pipeline.decompress(&encoded, &codec)?;
+//! let encoded = encoder.compress(&image, &JpegLikeCodec::new(), Quality::new(75))?;
+//! println!("{:.3} bpp (container + mask side-channel included)", encoded.bpp());
+//! let wire: Vec<u8> = encoded.to_bytes();
+//!
+//! // Server: parse the container, resolve the codec from its header,
+//! // reconstruct with the transformer.
+//! let model = zoo::pretrained(zoo::PretrainSpec::quick());
+//! let decoder = EaszDecoder::new(&model);
+//! let restored = decoder.decode_bytes(&wire)?;
 //! assert_eq!(restored.width(), image.width());
 //! # Ok(())
 //! # }
@@ -45,6 +57,11 @@
 
 #![warn(missing_docs)]
 
+mod config;
+mod container;
+mod decoder;
+mod encoder;
+mod error;
 mod mask;
 mod model;
 mod patchify;
@@ -53,11 +70,17 @@ mod squeeze;
 mod train;
 pub mod zoo;
 
+pub use config::{EaszConfig, EaszConfigBuilder, MaskStrategy};
+pub use container::{EaszEncoded, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use decoder::EaszDecoder;
+pub use encoder::EaszEncoder;
+pub use error::EaszError;
 pub use mask::{EraseMask, MaskKind, RowSamplerConfig};
 pub use model::{ForwardPass, Reconstructor, ReconstructorConfig, TokenBatch};
 pub use patchify::{
     attention_cost_reduction, extract_token, patch_tokens, place_token, PatchGeometry, Patchified,
 };
-pub use pipeline::{EaszConfig, EaszEncoded, EaszPipeline, MaskStrategy};
+#[allow(deprecated)]
+pub use pipeline::EaszPipeline;
 pub use squeeze::{pixel_saving_ratio, squeeze_patch, unsqueeze_patch, FillMethod, Orientation};
 pub use train::{erased_region_mse, TrainConfig, Trainer};

@@ -168,9 +168,9 @@ fn paint_object(img: &mut ImageF32, r: &mut StdRng) {
             let edge = rx.min(ry).max(1.0);
             let cover = (0.5 - d * edge / 1.5).clamp(0.0, 1.0);
             if cover > 0.0 {
-                for c in 0..3 {
+                for (c, &fg) in color.iter().enumerate() {
                     let bg = img.get(x, y, c);
-                    img.set(x, y, c, bg + (color[c] - bg) * cover);
+                    img.set(x, y, c, bg + (fg - bg) * cover);
                 }
             }
         }

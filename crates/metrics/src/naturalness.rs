@@ -99,8 +99,8 @@ impl NaturalnessModel {
         let mut acc = 0.0;
         for i in 0..d {
             let mut row = 0.0;
-            for j in 0..d {
-                row += self.inv_cov[i * d + j] * diff[j];
+            for (j, &dj) in diff.iter().enumerate() {
+                row += self.inv_cov[i * d + j] * dj;
             }
             acc += diff[i] * row;
         }

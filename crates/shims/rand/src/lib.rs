@@ -36,7 +36,7 @@ pub trait SeedableRng: Sized {
 impl SeedableRng for rngs::StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         // Pre-whiten the seed so nearby seeds give unrelated streams.
-        let mut rng = rngs::StdRng { state: seed ^ 0x51_7C_C1B7_2722_0A95 };
+        let mut rng = rngs::StdRng { state: seed ^ 0x517C_C1B7_2722_0A95 };
         rng.next_u64_impl();
         rng
     }
@@ -228,7 +228,7 @@ mod tests {
             let f: f32 = r.gen_range(-0.25..0.25f32);
             assert!((-0.25..0.25).contains(&f));
             let g: f32 = r.gen_range(1e-7f32..1.0);
-            assert!(g >= 1e-7 && g < 1.0);
+            assert!((1e-7..1.0).contains(&g));
         }
     }
 

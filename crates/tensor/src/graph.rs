@@ -637,7 +637,7 @@ fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: &Tensor) {
     }
 }
 
-const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
 const GELU_COEF: f32 = 0.044_715;
 
 fn gelu_fwd(x: f32) -> f32 {
@@ -813,7 +813,7 @@ mod tests {
         // would randomize float-reduction order (e.g. the clipping norm).
         let mut p = ParamSet::new();
         let ids: Vec<ParamId> =
-            (0..12).map(|i| p.add(&format!("w{i}"), Tensor::full(&[2], i as f32))).collect();
+            (0..12).map(|i| p.add(format!("w{i}"), Tensor::full(&[2], i as f32))).collect();
         let mut g = Graph::new(&p);
         let vars: Vec<Var> = ids.iter().map(|&id| g.param(id)).collect();
         let sum = vars[1..].iter().fold(vars[0], |a, &b| g.add(a, b));

@@ -13,13 +13,14 @@
 //! ```
 
 use easz::codecs::{JpegLikeCodec, NeuralTier, Quality};
-use easz::core::{zoo, EaszConfig, EaszPipeline};
+use easz::core::{zoo, EaszConfig, EaszDecoder, EaszEncoder};
 use easz::data::Dataset;
 use easz::metrics::psnr;
 use easz::testbed::{NetworkModel, Testbed, WorkloadProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let decoder = EaszDecoder::new(&model);
     let codec = JpegLikeCodec::new();
     let quality = Quality::new(70);
     let frame_budget_s = 0.50;
@@ -40,13 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Pick the smallest erase ratio that fits the frame budget.
         let mut chosen = None;
         for &ratio in &ratios {
-            let cfg =
-                EaszConfig { erase_ratio: ratio, mask_seed: frame as u64, ..Default::default() };
-            let pipe = EaszPipeline::new(&model, cfg);
-            let enc = pipe.compress(&image, &codec, quality)?;
+            let cfg = EaszConfig::builder().erase_ratio(ratio).mask_seed(frame as u64).build()?;
+            // The sender retunes its rate by rebuilding the model-free
+            // encoder — no weights move, only the mask changes.
+            let encoder = EaszEncoder::new(cfg)?;
+            let enc = encoder.compress(&image, &codec, quality)?;
             let tx = net.transmit_seconds(enc.total_bytes());
             if tx <= frame_budget_s || ratio == *ratios.last().expect("nonempty") {
-                let restored = pipe.decompress(&enc, &codec)?;
+                let restored = decoder.decode(&enc)?;
                 chosen = Some((ratio, enc.total_bytes(), tx, psnr(&image, &restored)));
                 break;
             }

@@ -7,7 +7,7 @@
 //! ```
 
 use easz::codecs::{ImageCodec, JpegLikeCodec, Quality};
-use easz::core::{zoo, EaszConfig, EaszPipeline};
+use easz::core::{zoo, EaszConfig, EaszDecoder, EaszEncoder};
 use easz::data::Dataset;
 use easz::image::io::save_pnm;
 use easz::metrics::{bits_per_pixel, brisque, psnr, ssim};
@@ -36,11 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         brisque(&jpeg_decoded),
     );
 
-    // Easz + JPEG: erase 25% of sub-patches on the edge, reconstruct on the
-    // server with the transformer.
-    let pipeline = EaszPipeline::new(&model, EaszConfig::default());
-    let encoded = pipeline.compress(&image, &codec, quality)?;
-    let restored = pipeline.decompress(&encoded, &codec)?;
+    // Easz + JPEG: erase 25% of sub-patches on the edge (no model in
+    // sight), ship the self-describing `.easz` container, reconstruct on
+    // the server with the transformer.
+    let encoder = EaszEncoder::new(EaszConfig::default())?;
+    let wire = encoder.compress(&image, &codec, quality)?.to_bytes();
+    let decoder = EaszDecoder::new(&model);
+    let encoded = easz::core::EaszEncoded::from_bytes(&wire)?;
+    let restored = decoder.decode(&encoded)?;
     println!(
         "jpeg+easz : {:.3} bpp | psnr {:.2} dB | ssim {:.4} | brisque {:.1}",
         encoded.bpp(),
@@ -49,7 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         brisque(&restored),
     );
     println!(
-        "payload {} B + mask side-channel {} B",
+        "wire {} B = payload {} B + mask side-channel {} B + container header",
+        wire.len(),
         encoded.payload.len(),
         encoded.mask_bytes.len()
     );

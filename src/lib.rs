@@ -19,22 +19,30 @@
 //!
 //! ## Quickstart
 //!
+//! The pipeline is split along the paper's edge/server asymmetry: the edge
+//! runs a model-free [`core::EaszEncoder`] and ships a self-describing
+//! `.easz` container; the server's [`core::EaszDecoder`] resolves the
+//! inner codec from the bitstream header and reconstructs with the
+//! transformer.
+//!
 //! ```no_run
-//! use easz::core::{zoo, EaszConfig, EaszPipeline};
+//! use easz::core::{zoo, EaszConfig, EaszDecoder, EaszEncoder};
 //! use easz::codecs::{JpegLikeCodec, Quality};
 //! use easz::data::Dataset;
 //! use easz::metrics::psnr;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // A reconstructor pretrained on synthetic CIFAR-like tiles (cached).
-//! let model = zoo::pretrained(zoo::PretrainSpec::quick());
-//! let pipeline = EaszPipeline::new(&model, EaszConfig::default());
-//!
-//! // Edge side: erase-and-squeeze + JPEG, server side: decode + transformer.
+//! // Edge side: erase-and-squeeze + JPEG. No neural network in sight.
+//! let encoder = EaszEncoder::new(EaszConfig::builder().erase_ratio(0.25).build()?)?;
 //! let image = Dataset::KodakLike.image(0);
-//! let codec = JpegLikeCodec::new();
-//! let encoded = pipeline.compress(&image, &codec, Quality::new(75))?;
-//! let restored = pipeline.decompress(&encoded, &codec)?;
+//! let encoded = encoder.compress(&image, &JpegLikeCodec::new(), Quality::new(75))?;
+//! let wire = encoded.to_bytes(); // what the sensor actually transmits
+//!
+//! // Server side: a reconstructor pretrained on synthetic tiles (cached),
+//! // inner codec resolved from the wire bytes themselves.
+//! let model = zoo::pretrained(zoo::PretrainSpec::quick());
+//! let decoder = EaszDecoder::new(&model);
+//! let restored = decoder.decode_bytes(&wire)?;
 //! println!("{:.3} bpp, {:.2} dB", encoded.bpp(), psnr(&image, &restored));
 //! # Ok(())
 //! # }

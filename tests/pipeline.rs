@@ -1,8 +1,10 @@
-//! Cross-crate integration tests: the full Easz pipeline against every
+//! Cross-crate integration tests: the split Easz pipeline against every
 //! codec, at several erase ratios, with a (quickly) trained reconstructor.
 
 use easz::codecs::{BpgLikeCodec, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality};
-use easz::core::{zoo, EaszConfig, EaszPipeline, FillMethod, MaskStrategy, Orientation};
+use easz::core::{
+    zoo, EaszConfig, EaszDecoder, EaszEncoder, FillMethod, MaskStrategy, Orientation,
+};
 use easz::data::Dataset;
 use easz::metrics::{mse, psnr};
 
@@ -10,10 +12,15 @@ fn test_image() -> easz::image::ImageF32 {
     Dataset::KodakLike.image(42).crop(96, 96, 128, 96)
 }
 
+fn default_encoder() -> EaszEncoder {
+    EaszEncoder::new(EaszConfig::default()).expect("default config is valid")
+}
+
 #[test]
 fn pipeline_round_trips_across_all_codecs() {
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
-    let pipe = EaszPipeline::new(&model, EaszConfig::default());
+    let encoder = default_encoder();
+    let decoder = EaszDecoder::new(&model);
     let img = test_image();
     let jpeg = JpegLikeCodec::new();
     let bpg = BpgLikeCodec::new();
@@ -21,8 +28,10 @@ fn pipeline_round_trips_across_all_codecs() {
     let cheng = NeuralSimCodec::new(NeuralTier::ChengAnchor);
     let codecs: [&dyn ImageCodec; 4] = [&jpeg, &bpg, &mbt, &cheng];
     for codec in codecs {
-        let enc = pipe.compress(&img, codec, Quality::new(75)).expect("compress");
-        let out = pipe.decompress(&enc, codec).expect("decompress");
+        let enc = encoder.compress(&img, codec, Quality::new(75)).expect("compress");
+        // The decoder resolves the inner codec from the bitstream header —
+        // no codec object crosses the edge/server boundary.
+        let out = decoder.decode(&enc).expect("decode");
         assert_eq!((out.width(), out.height()), (img.width(), img.height()), "{}", codec.name());
         let p = psnr(&img, &out);
         assert!(p > 18.0, "{}: psnr {p:.2} too low for q75 + trained model", codec.name());
@@ -31,16 +40,18 @@ fn pipeline_round_trips_across_all_codecs() {
 
 #[test]
 fn pipeline_works_at_multiple_erase_ratios_with_one_model() {
-    // The agility claim: the same weights serve every erase ratio.
+    // The agility claim: the same weights serve every erase ratio, and the
+    // edge retunes by rebuilding its model-free encoder.
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let decoder = EaszDecoder::new(&model);
     let img = test_image();
     let codec = JpegLikeCodec::new();
     let mut previous_bpp = f64::INFINITY;
     for ratio in [0.125, 0.25, 0.375, 0.5] {
-        let cfg = EaszConfig { erase_ratio: ratio, mask_seed: 2, ..Default::default() };
-        let pipe = EaszPipeline::new(&model, cfg);
-        let enc = pipe.compress(&img, &codec, Quality::new(70)).expect("compress");
-        let out = pipe.decompress(&enc, &codec).expect("decompress");
+        let cfg = EaszConfig::builder().erase_ratio(ratio).mask_seed(2).build().expect("cfg");
+        let encoder = EaszEncoder::new(cfg).expect("encoder");
+        let enc = encoder.compress(&img, &codec, Quality::new(70)).expect("compress");
+        let out = decoder.decode(&enc).expect("decode");
         assert!(
             enc.bpp() < previous_bpp,
             "bpp must shrink as the erase ratio grows (ratio {ratio})"
@@ -57,10 +68,11 @@ fn trained_reconstruction_beats_neighbor_fill() {
     // (a deliberate MSE-for-naturalness trade) is off.
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
     let cfg = EaszConfig { synthesize_grain: false, ..EaszConfig::default() };
-    let pipe = EaszPipeline::new(&model, cfg);
+    let encoder = EaszEncoder::new(cfg).expect("encoder");
+    let decoder = EaszDecoder::new(&model);
     let img = test_image();
     let geometry = cfg.geometry();
-    let (squeezed, mask) = pipe.erase_and_squeeze(&img);
+    let (squeezed, mask) = encoder.erase_and_squeeze(&img);
 
     // Neighbour-fill baseline, assembled patch by patch.
     let patched = easz::core::Patchified::from_image(&img, geometry);
@@ -81,8 +93,8 @@ fn trained_reconstruction_beats_neighbor_fill() {
 
     // Model reconstruction through the lossless-ish path.
     let codec = JpegLikeCodec::new();
-    let enc = pipe.compress(&img, &codec, Quality::new(95)).expect("compress");
-    let out = pipe.decompress(&enc, &codec).expect("decompress");
+    let enc = encoder.compress(&img, &codec, Quality::new(95)).expect("compress");
+    let out = decoder.decode(&enc).expect("decode");
 
     let m_model = mse(&img, &out);
     let m_nf = mse(&img, &nf);
@@ -93,13 +105,14 @@ fn trained_reconstruction_beats_neighbor_fill() {
 fn proposed_mask_reconstructs_better_than_random() {
     // Fig. 3b's claim at the integration level.
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let decoder = EaszDecoder::new(&model);
     let img = test_image();
     let codec = JpegLikeCodec::new();
     let run = |strategy: MaskStrategy| {
-        let cfg = EaszConfig { strategy, mask_seed: 7, ..Default::default() };
-        let pipe = EaszPipeline::new(&model, cfg);
-        let enc = pipe.compress(&img, &codec, Quality::new(90)).expect("compress");
-        let out = pipe.decompress(&enc, &codec).expect("decompress");
+        let cfg = EaszConfig::builder().strategy(strategy).mask_seed(7).build().expect("cfg");
+        let encoder = EaszEncoder::new(cfg).expect("encoder");
+        let enc = encoder.compress(&img, &codec, Quality::new(90)).expect("compress");
+        let out = decoder.decode(&enc).expect("decode");
         mse(&img, &out)
     };
     let proposed = run(MaskStrategy::Proposed);
@@ -112,11 +125,10 @@ fn proposed_mask_reconstructs_better_than_random() {
 
 #[test]
 fn diagonal_strategy_matches_paper_degenerate_case() {
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
     let cfg = EaszConfig { strategy: MaskStrategy::Diagonal, ..Default::default() };
-    let pipe = EaszPipeline::new(&model, cfg);
+    let encoder = EaszEncoder::new(cfg).expect("encoder");
     let img = test_image();
-    let (squeezed, mask) = pipe.erase_and_squeeze(&img);
+    let (squeezed, mask) = encoder.erase_and_squeeze(&img);
     assert_eq!(mask.erased_per_row(), 1, "diagonal mask erases one block per row");
     // Width shrinks by exactly one sub-patch per patch.
     let expect_w = img.width() / cfg.n * (cfg.n - cfg.b);
@@ -125,12 +137,28 @@ fn diagonal_strategy_matches_paper_degenerate_case() {
 
 #[test]
 fn encoded_form_survives_mask_byte_round_trip() {
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
-    let pipe = EaszPipeline::new(&model, EaszConfig::default());
+    let encoder = default_encoder();
     let img = test_image();
     let codec = JpegLikeCodec::new();
-    let enc = pipe.compress(&img, &codec, Quality::new(60)).expect("compress");
+    let enc = encoder.compress(&img, &codec, Quality::new(60)).expect("compress");
     let mask = easz::core::EraseMask::from_bytes(&enc.mask_bytes).expect("mask parse");
     assert_eq!(mask.n_grid(), 8);
     assert_eq!(mask.erased_per_row(), 2);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_pipeline_shim_matches_split_api() {
+    // The one-release migration shim must produce byte-identical encodes.
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let pipe = easz::core::EaszPipeline::new(&model, EaszConfig::default());
+    let encoder = default_encoder();
+    let img = test_image();
+    let codec = JpegLikeCodec::new();
+    let via_shim = pipe.compress(&img, &codec, Quality::new(70)).expect("shim compress");
+    let via_split = encoder.compress(&img, &codec, Quality::new(70)).expect("split compress");
+    assert_eq!(via_shim, via_split);
+    assert_eq!(via_shim.to_bytes(), via_split.to_bytes());
+    let out = pipe.decompress(&via_shim, &codec).expect("shim decompress");
+    assert_eq!(out.width(), img.width());
 }

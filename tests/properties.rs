@@ -160,14 +160,39 @@ fn jpeg_like_decode_never_panics_and_bounds_error() {
 }
 
 #[test]
-fn bpp_accounting_includes_mask() {
+fn bpp_accounting_includes_mask_and_header() {
+    let encoder = easz::core::EaszEncoder::new(easz::core::EaszConfig::default()).expect("encoder");
     for seed in 0u64..20 {
         let img = easz::data::Dataset::KodakLike.image(seed as usize).crop(0, 0, 64, 64);
-        let model = easz::core::Reconstructor::new(easz::core::ReconstructorConfig::fast());
-        let pipe = easz::core::EaszPipeline::new(&model, easz::core::EaszConfig::default());
         let codec = JpegLikeCodec::new();
-        let enc = pipe.compress(&img, &codec, Quality::new(70)).expect("compress");
+        let enc = encoder.compress(&img, &codec, Quality::new(70)).expect("compress");
         let payload_only = enc.payload.len() as f64 * 8.0 / (64.0 * 64.0);
-        assert!(enc.bpp() > payload_only, "seed {seed}: mask side channel must be charged");
+        assert!(enc.bpp() > payload_only, "seed {seed}: mask + container must be charged");
+        assert_eq!(enc.total_bytes(), enc.to_bytes().len(), "seed {seed}: bpp charges the wire");
+    }
+}
+
+#[test]
+fn container_round_trips_across_random_configs() {
+    use easz::core::{EaszConfig, EaszEncoded, EaszEncoder, MaskStrategy, Orientation};
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x636f_6e74 ^ case);
+        let cfg = EaszConfig::builder()
+            .n(16)
+            .b([1usize, 2, 4][rng.gen_range(0..3usize)])
+            .erase_ratio([0.125, 0.25, 0.375][rng.gen_range(0..3usize)])
+            .strategy([MaskStrategy::Proposed, MaskStrategy::Random][rng.gen_range(0..2usize)])
+            .orientation([Orientation::Horizontal, Orientation::Vertical][rng.gen_range(0..2usize)])
+            .mask_seed(rng.gen_range(0u64..1000))
+            .synthesize_grain(rng.gen())
+            .build()
+            .expect("valid sweep config");
+        let encoder = EaszEncoder::new(cfg).expect("encoder");
+        let img = arb_image(&mut rng, 60);
+        let enc = encoder
+            .compress(&img, &JpegLikeCodec::new(), Quality::new(rng.gen_range(1..=100u32) as u8))
+            .expect("compress");
+        let back = EaszEncoded::from_bytes(&enc.to_bytes()).expect("parse");
+        assert_eq!(back, enc, "case {case}");
     }
 }

@@ -5,7 +5,7 @@ use easz::codecs::sr::{EnhancedUpscaler, Upscaler};
 use easz::codecs::{
     encode_to_bpp, BpgLikeCodec, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality,
 };
-use easz::core::{zoo, EaszConfig, EaszPipeline};
+use easz::core::{zoo, EaszConfig, EaszDecoder, EaszEncoder};
 use easz::data::Dataset;
 use easz::image::resample::downsample2;
 use easz::metrics::{brisque, ms_ssim, psnr};
@@ -55,14 +55,14 @@ fn easz_beats_2x_super_resolution_in_psnr_and_ms_ssim() {
     // PSNR for invented texture like the published models do; Easz at a
     // light erase ratio keeps 87.5% of pixels exactly.
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
-    let pipe = EaszPipeline::new(
-        &model,
-        EaszConfig { erase_ratio: 0.125, synthesize_grain: false, ..EaszConfig::default() },
-    );
+    let cfg =
+        EaszConfig::builder().erase_ratio(0.125).synthesize_grain(false).build().expect("cfg");
+    let encoder = EaszEncoder::new(cfg).expect("encoder");
+    let decoder = EaszDecoder::new(&model);
     let img = scene();
     let codec = JpegLikeCodec::new();
-    let enc = pipe.compress(&img, &codec, Quality::new(95)).expect("compress");
-    let easz_out = pipe.decompress(&enc, &codec).expect("decompress");
+    let enc = encoder.compress(&img, &codec, Quality::new(95)).expect("compress");
+    let easz_out = decoder.decode(&enc).expect("decode");
 
     let sr = EnhancedUpscaler::real_esrgan_sim();
     let sr_out = sr.upscale(&downsample2(&img), img.width(), img.height());
@@ -85,7 +85,9 @@ fn easz_beats_2x_super_resolution_in_psnr_and_ms_ssim() {
 fn easz_improves_jpeg_brisque_at_comparable_rate() {
     // Table II's enhancement claim for the JPEG row.
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
-    let pipe = EaszPipeline::new(&model, EaszConfig { mask_seed: 4, ..Default::default() });
+    let cfg = EaszConfig::builder().mask_seed(4).build().expect("cfg");
+    let encoder = EaszEncoder::new(cfg).expect("encoder");
+    let decoder = EaszDecoder::new(&model);
     let img = scene();
     let codec = JpegLikeCodec::new();
 
@@ -95,23 +97,15 @@ fn easz_improves_jpeg_brisque_at_comparable_rate() {
         encode_to_bpp(&codec, &img, target, img.width(), img.height(), 8).expect("rate");
     let plain_dec = codec.decode(&plain.bytes).expect("decode");
 
-    // JPEG+Easz at the closest rate from a small quality sweep.
-    let mut best: Option<(f64, _)> = None;
-    for q in [5u8, 10, 20, 35, 50, 70] {
-        let enc = pipe.compress(&img, &codec, Quality::new(q)).expect("compress");
-        let err = (enc.bpp() - target).abs();
-        if best.as_ref().map(|(e, _)| err < *e).unwrap_or(true) {
-            best = Some((err, enc));
-        }
-    }
-    let (_, enc) = best.expect("probes ran");
+    // JPEG+Easz rate-targeted on total transmitted bits.
+    let (_, enc) = encoder.compress_to_bpp(&img, &codec, target, 8).expect("rate");
     assert!(
         enc.bpp() <= plain.bpp() * 1.15,
         "easz rate {:.3} should be comparable to plain {:.3}",
         enc.bpp(),
         plain.bpp()
     );
-    let easz_dec = pipe.decompress(&enc, &codec).expect("decompress");
+    let easz_dec = decoder.decode(&enc).expect("decode");
 
     let b_plain = brisque(&plain_dec);
     let b_easz = brisque(&easz_dec);
