@@ -1,0 +1,67 @@
+//! Batched vs serial `.easz` decode throughput — the server-side
+//! amortisation lever behind the `DECODE_BATCH` protocol frame.
+//!
+//! `EaszDecoder::decode_batch` concatenates the patches of every container
+//! sharing an erase mask into one `TokenBatch`, so N streams cost one
+//! transformer forward instead of N. Results are byte-identical to serial
+//! decode (the decoder unit tests and `tests/server.rs` enforce that);
+//! this harness measures the throughput side of the trade.
+//!
+//! The win is the per-forward fixed cost (graph and parameter-node setup,
+//! mask gathers) amortised over the batch, so it concentrates where that
+//! cost is a real fraction of the work: the paper's IoT regime of many
+//! sensors streaming small tiles (one to a few patches per frame). Large
+//! canvases already amortise the fixed cost over their own patches and
+//! land at parity on a single core — there the batched forward's gain is
+//! parallel-hardware utilisation, which this box cannot show.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easz_codecs::{JpegLikeCodec, Quality};
+use easz_core::{
+    EaszConfig, EaszDecoder, EaszEncoded, EaszEncoder, Reconstructor, ReconstructorConfig,
+};
+use easz_data::Dataset;
+use std::time::Duration;
+
+/// Same-geometry containers with distinct content. One encoder config =>
+/// one mask => `decode_batch` runs a single forward per call.
+fn containers(count: usize, side: usize) -> Vec<EaszEncoded> {
+    let encoder = EaszEncoder::new(EaszConfig::default()).expect("encoder");
+    let codec = JpegLikeCodec::new();
+    (0..count)
+        .map(|i| {
+            let img = Dataset::KodakLike.image(i).crop(0, 0, side, side);
+            encoder.compress(&img, &codec, Quality::new(75)).expect("compress")
+        })
+        .collect()
+}
+
+fn bench_batched_vs_serial(c: &mut Criterion) {
+    // Throughput, not quality, is under test: an untrained (deterministic)
+    // model runs the same forward as a trained one.
+    let model = Reconstructor::new(ReconstructorConfig::fast());
+    let decoder = EaszDecoder::new(&model);
+    for (side, tag) in [(32usize, "tile32"), (64, "tile64")] {
+        for batch in [4usize, 8] {
+            let encoded = containers(batch, side);
+            c.bench_function(&format!("{tag}_serial_x{batch}"), |b| {
+                b.iter(|| {
+                    encoded
+                        .iter()
+                        .map(|e| decoder.decode(e).expect("serial decode"))
+                        .collect::<Vec<_>>()
+                })
+            });
+            c.bench_function(&format!("{tag}_batch_x{batch}"), |b| {
+                b.iter(|| decoder.decode_batch(&encoded))
+            });
+        }
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3));
+    targets = bench_batched_vs_serial
+);
+criterion_main!(benches);

@@ -6,6 +6,16 @@ use easz_image::ImageF32;
 use std::error::Error;
 use std::fmt;
 
+/// Decode allocation bound: the largest pixel count (width × height) any
+/// decoder in this workspace will allocate for, 2^26 ≈ 67 Mpx (8192²).
+///
+/// Bitstream headers are attacker-controlled, and the per-side bound of
+/// 2^20 alone still admits terabyte-scale canvases — a ~200-byte bitstream
+/// must never drive a huge allocation. The `.easz` container enforces the
+/// same bound on its canvas (see `docs/FORMAT.md` §1), so a decoded reply
+/// is at most `3 * MAX_PIXELS + 9` bytes on the wire.
+pub const MAX_PIXELS: usize = 1 << 26;
+
 /// Quality knob, 1 (worst/smallest) to 100 (best/largest).
 ///
 /// Each codec maps this onto its native parameter (JPEG quality factor,
@@ -72,7 +82,12 @@ impl fmt::Display for CodecError {
 impl Error for CodecError {}
 
 /// A lossy image codec producing a self-contained bitstream.
-pub trait ImageCodec {
+///
+/// Codecs must be `Send + Sync`: a server decodes frames from many
+/// connections against one shared [`CodecRegistry`](crate::CodecRegistry),
+/// so implementations keep per-call state on the stack (all shipped codecs
+/// are stateless).
+pub trait ImageCodec: Send + Sync {
     /// Short display name (`"jpeg-like"`, `"bpg-like"`, ...).
     fn name(&self) -> &str;
 

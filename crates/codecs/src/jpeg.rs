@@ -356,7 +356,12 @@ impl ImageCodec for JpegLikeCodec {
         let height = u32::from_le_bytes(bytes[8..12].try_into().expect("slice")) as usize;
         let nchan = bytes[12];
         let quality = Quality::try_new(bytes[13])?;
-        if width == 0 || height == 0 || width > 1 << 20 || height > 1 << 20 {
+        if width == 0
+            || height == 0
+            || width > 1 << 20
+            || height > 1 << 20
+            || width.checked_mul(height).is_none_or(|px| px > crate::MAX_PIXELS)
+        {
             return Err(CodecError::Format(format!("implausible size {width}x{height}")));
         }
         let mut pos = 14usize;
@@ -424,6 +429,18 @@ impl ImageCodec for JpegLikeCodec {
 mod tests {
     use super::*;
     use crate::codec::encode_with;
+
+    #[test]
+    fn decode_bomb_header_is_rejected_before_allocating() {
+        // A ~14-byte bitstream whose header declares a per-side-legal but
+        // terabyte-scale canvas must be a typed error, not an allocation.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&(1u32 << 14).to_le_bytes());
+        bytes.extend_from_slice(&(1u32 << 13).to_le_bytes());
+        bytes.push(3); // channels
+        bytes.push(75); // quality
+        assert!(matches!(JpegLikeCodec::new().decode(&bytes), Err(CodecError::Format(_))));
+    }
 
     fn test_image(w: usize, h: usize) -> ImageF32 {
         let mut img = ImageF32::new(w, h, Channels::Rgb);

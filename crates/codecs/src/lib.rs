@@ -45,6 +45,7 @@ pub mod transform;
 pub use bpg::BpgLikeCodec;
 pub use codec::{
     bpp_quality_search, encode_to_bpp, encode_with, CodecError, Encoded, ImageCodec, Quality,
+    MAX_PIXELS,
 };
 pub use jpeg::JpegLikeCodec;
 pub use neural::{CostProfile, NeuralSimCodec, NeuralTier};

@@ -432,7 +432,12 @@ pub fn decode_engine(bytes: &[u8], cfg: &EngineConfig) -> Result<ImageF32, Codec
     let height = u32::from_le_bytes(bytes[8..12].try_into().expect("slice")) as usize;
     let nchan = bytes[12];
     let quality = Quality::try_new(bytes[13])?;
-    if width == 0 || height == 0 || width > 1 << 20 || height > 1 << 20 {
+    if width == 0
+        || height == 0
+        || width > 1 << 20
+        || height > 1 << 20
+        || width.checked_mul(height).is_none_or(|px| px > crate::MAX_PIXELS)
+    {
         return Err(CodecError::Format(format!("implausible size {width}x{height}")));
     }
     let step = quality_to_step(quality) * cfg.step_scale;

@@ -9,39 +9,27 @@
 //! [`CodecRegistry`](easz_codecs::CodecRegistry) instead of trusting the
 //! caller to pass the matching codec.
 //!
-//! ## Byte layout (format version 1, all integers little-endian)
+//! The **normative byte layout lives in `docs/FORMAT.md`** at the
+//! repository root (§1, "The `.easz` container"), together with the field
+//! semantics, reserved values, `FORMAT_VERSION` bump rules, and the TCP
+//! framing protocol that carries containers to an `easz-serve` decode
+//! server. This module is the container's executable form; where the two
+//! disagree, the spec wins and this file has a bug.
 //!
-//! | offset | size | field |
-//! |-------:|-----:|-------|
-//! | 0      | 4    | magic `"EASZ"` |
-//! | 4      | 1    | format version (`1`) |
-//! | 5      | 1    | inner codec id ([`CodecId`]) |
-//! | 6      | 1    | inner codec quality (`1..=100`) |
-//! | 7      | 1    | mask strategy (`0` proposed, `1` random, `2` diagonal) |
-//! | 8      | 1    | flags: bit 0 = grain synthesis, bit 1 = vertical squeeze; others must be 0 |
-//! | 9      | 1    | reserved, must be 0 |
-//! | 10     | 2    | patch side length `n` (u16) |
-//! | 12     | 2    | sub-patch side length `b` (u16) |
-//! | 14     | 4    | original image width (u32) |
-//! | 18     | 4    | original image height (u32) |
-//! | 22     | 8    | mask seed (u64) |
-//! | 30     | 8    | erase ratio (f64 bit pattern) |
-//! | 38     | 4    | mask side-channel length `M` (u32) |
-//! | 42     | 4    | payload length `P` (u32) |
-//! | 46     | M    | serialized [`EraseMask`](crate::EraseMask) |
-//! | 46 + M | P    | inner-codec bitstream |
-//!
-//! The container is *exact*: `46 + M + P` must equal the buffer length, so
-//! truncation and trailing garbage are both detected. Every header field is
-//! validated on parse and failures are typed [`EaszError`]s — untrusted
-//! bytes can never panic the server.
+//! In brief: a fixed [`HEADER_LEN`]-byte header (magic, version, codec id,
+//! geometry, provenance) followed by the mask side channel and the
+//! inner-codec payload. The container is *exact* — header plus announced
+//! section lengths must equal the buffer length, so truncation and
+//! trailing garbage are both detected — and every field is validated on
+//! parse with typed [`EaszError`]s: untrusted bytes can never panic the
+//! server.
 //!
 //! The mask seed, erase ratio and quality fields are not consumed by
 //! decoding (the transmitted mask drives it); they are carried so the
 //! container is a lossless serialization of [`EaszEncoded`]
 //! (`from_bytes(to_bytes(e)) == e`) and an encode's provenance survives the
 //! wire. If the 17 bytes ever matter at IoT scale, move them to an optional
-//! section in a future `FORMAT_VERSION`.
+//! section in a future `FORMAT_VERSION` (see the spec's bump rules).
 
 use crate::config::{EaszConfig, MaskStrategy};
 use crate::error::EaszError;
@@ -58,8 +46,10 @@ pub const HEADER_LEN: usize = 46;
 
 const FLAG_GRAIN: u8 = 1 << 0;
 const FLAG_VERTICAL: u8 = 1 << 1;
-/// Dimension sanity bound shared with the inner codecs (1 Mpx per side);
-/// the encoder enforces it so every container it emits is parseable.
+/// Per-side dimension bound shared with the inner codecs; the total canvas
+/// is additionally bounded by [`easz_codecs::MAX_PIXELS`] so a small
+/// untrusted header can never drive a huge allocation. The encoder
+/// enforces both, so every container it emits is parseable.
 pub(crate) const MAX_SIDE: usize = 1 << 20;
 
 /// The transmitted form of an Easz-compressed image.
@@ -174,7 +164,12 @@ impl EaszEncoded {
         let mask_len = read_u32(38);
         let payload_len = read_u32(42);
 
-        if width == 0 || height == 0 || width > MAX_SIDE || height > MAX_SIDE {
+        if width == 0
+            || height == 0
+            || width > MAX_SIDE
+            || height > MAX_SIDE
+            || width.checked_mul(height).is_none_or(|px| px > easz_codecs::MAX_PIXELS)
+        {
             return Err(EaszError::Malformed(format!("implausible canvas {width}x{height}")));
         }
         let config = EaszConfig {
@@ -276,6 +271,16 @@ mod tests {
         let mut bad = bytes;
         bad[4] = 99;
         assert!(matches!(EaszEncoded::from_bytes(&bad), Err(EaszError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn rejects_canvases_over_the_pixel_budget() {
+        // Per-side-legal but terabyte-scale canvases must die at parse,
+        // before anything downstream sizes a buffer from them.
+        let mut bytes = sample().to_bytes();
+        bytes[14..18].copy_from_slice(&(1u32 << 14).to_le_bytes());
+        bytes[18..22].copy_from_slice(&(1u32 << 13).to_le_bytes());
+        assert!(matches!(EaszEncoded::from_bytes(&bytes), Err(EaszError::Malformed(_))));
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //! [`Reconstructor`], and resolves the inner codec *from the bitstream
 //! header* — it decodes any `.easz` stream whose patch geometry matches the
 //! model, with no out-of-band codec agreement.
+//!
+//! Decoding is staged so the transformer forward — the dominant cost — can
+//! be amortised across streams: *prepare* (validate, inner-decode,
+//! un-squeeze) and *finish* (scatter predictions, feather, grain, assemble)
+//! are per-container, while the forward in between operates on one
+//! [`TokenBatch`]. [`EaszDecoder::decode_batch`] exploits this by
+//! concatenating the patches of every container that shares an effective
+//! mask into a single batch, issuing **one forward per mask group** instead
+//! of one per container, with bit-identical results (attention is confined
+//! within each patch, and every remaining op is row-wise).
 
 use crate::container::EaszEncoded;
 use crate::error::EaszError;
@@ -14,7 +24,7 @@ use crate::model::{Reconstructor, TokenBatch};
 use crate::patchify::{patch_tokens, place_token, PatchGeometry, Patchified};
 use crate::squeeze::{unsqueeze_patch, FillMethod, Orientation};
 use easz_codecs::{CodecRegistry, ImageCodec};
-use easz_image::ImageF32;
+use easz_image::{Channels, ImageF32};
 
 /// The server-side session: a trained reconstructor plus the codec
 /// registry used to resolve inner codecs named by bitstream headers.
@@ -93,6 +103,95 @@ impl<'m> EaszDecoder<'m> {
         encoded: &EaszEncoded,
         codec: &dyn ImageCodec,
     ) -> Result<ImageF32, EaszError> {
+        let (wire_mask, mask) = self.validate_masks(encoded)?;
+        let prepared = self.prepare(encoded, codec, wire_mask, mask)?;
+        let tokens: Vec<Vec<Vec<f32>>> =
+            prepared.patches.iter().map(|p| patch_tokens(p, prepared.geometry)).collect();
+        let batch = TokenBatch::from_patches(&tokens);
+        let recon = self.model.reconstruct_tokens(&batch, &prepared.mask);
+        Ok(finish(prepared, &recon))
+    }
+
+    /// Decodes a batch of containers, amortising the transformer across
+    /// streams: the patches of every container sharing an *effective mask*
+    /// (same erased positions after orientation resolution; the patch
+    /// geometry is already pinned to the model's) are concatenated into one
+    /// [`TokenBatch`], so the group costs a single forward pass instead of
+    /// one per container.
+    ///
+    /// Errors are isolated per container — one corrupt or unresolvable
+    /// stream never fails its batch mates — and every produced image is
+    /// byte-identical to the one the equivalent serial
+    /// [`decode`](Self::decode) call returns, in input order.
+    pub fn decode_batch(&self, encoded: &[EaszEncoded]) -> Vec<Result<ImageF32, EaszError>> {
+        // Cheap wire-level validation first: grouping needs every effective
+        // mask before any pixel work, and the expensive stages then run
+        // group-by-group so each stream's pixels stay warm from inner
+        // decode through finish.
+        let mut out: Vec<Option<Result<ImageF32, EaszError>>> =
+            encoded.iter().map(|_| None).collect();
+        let mut masks: Vec<Option<(EraseMask, EraseMask)>> = Vec::with_capacity(encoded.len());
+        for (e, slot) in encoded.iter().zip(&mut out) {
+            match self.validate_masks(e) {
+                Ok(pair) => masks.push(Some(pair)),
+                Err(error) => {
+                    *slot = Some(Err(error));
+                    masks.push(None);
+                }
+            }
+        }
+        let mask_refs: Vec<Option<&EraseMask>> =
+            masks.iter().map(|m| m.as_ref().map(|(_, effective)| effective)).collect();
+        for group in batch_groups(&mask_refs) {
+            let mask = masks[group[0]].as_ref().expect("grouped streams have masks").1.clone();
+            // Heavy per-stream stage; failures here (unresolvable codec,
+            // corrupt payload) drop the stream from the forward, not the
+            // batch.
+            let mut members: Vec<(usize, PreparedStream)> = Vec::with_capacity(group.len());
+            let mut tokens: Vec<Vec<Vec<f32>>> = Vec::new();
+            for i in group {
+                let (wire_mask, _) = masks[i].take().expect("grouped streams have masks");
+                let result = self
+                    .registry
+                    .get(encoded[i].codec_id)
+                    .ok_or(EaszError::UnknownCodec(encoded[i].codec_id))
+                    .and_then(|codec| self.prepare(&encoded[i], codec, wire_mask, mask.clone()));
+                match result {
+                    Ok(p) => {
+                        tokens
+                            .extend(p.patches.iter().map(|patch| patch_tokens(patch, p.geometry)));
+                        members.push((i, p));
+                    }
+                    Err(error) => out[i] = Some(Err(error)),
+                }
+            }
+            if members.is_empty() {
+                continue;
+            }
+            // One transformer forward for the whole group.
+            let batch = TokenBatch::from_patches(&tokens);
+            let recon = self.model.reconstruct_tokens(&batch, &mask);
+            let mut offset = 0usize;
+            for (i, p) in members {
+                let count = p.patches.len();
+                out[i] = Some(Ok(finish(p, &recon[offset..offset + count])));
+                offset += count;
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every stream is either rejected or finished"))
+            .collect()
+    }
+
+    /// Wire-level validation shared by all decode paths: checks the
+    /// container's geometry against the model, parses the mask side channel
+    /// and resolves the squeeze orientation. Cheap — no pixel work.
+    ///
+    /// Returns `(wire mask, effective mask)`: the side channel as
+    /// transmitted (which drives the un-squeeze layout) and its
+    /// orientation-resolved form (which drives reconstruction and batch
+    /// grouping). For horizontal squeeze they are the same mask.
+    fn validate_masks(&self, encoded: &EaszEncoded) -> Result<(EraseMask, EraseMask), EaszError> {
         let model_cfg = self.model.config();
         if (model_cfg.n, model_cfg.b) != (encoded.config.n, encoded.config.b) {
             return Err(EaszError::GeometryMismatch {
@@ -112,9 +211,32 @@ impl<'m> EaszDecoder<'m> {
                 geometry.grid()
             )));
         }
+        // For vertical squeeze the mask indexes (col, row); reconstruction
+        // operates on the grid directly, so transpose mask semantics by
+        // transposing erased positions.
+        let effective = match encoded.config.orientation {
+            Orientation::Horizontal => mask.clone(),
+            Orientation::Vertical => transpose_mask(&mask),
+        };
+        Ok((mask, effective))
+    }
+
+    /// Stage 1 of decoding: inner-decode the payload and un-squeeze it back
+    /// onto the patch grid (erased sub-patches zero-filled). Both masks
+    /// come from [`validate_masks`](Self::validate_masks): the wire mask
+    /// drives the squeeze layout, the effective mask rides along into the
+    /// [`PreparedStream`] for reconstruction.
+    fn prepare(
+        &self,
+        encoded: &EaszEncoded,
+        codec: &dyn ImageCodec,
+        wire_mask: EraseMask,
+        mask: EraseMask,
+    ) -> Result<PreparedStream, EaszError> {
+        let geometry = encoded.config.geometry();
         let squeezed = codec.decode(&encoded.payload)?;
         let orientation = encoded.config.orientation;
-        let t_b = mask.erased_per_row() * geometry.b;
+        let t_b = wire_mask.erased_per_row() * geometry.b;
         let (sq_w, sq_h) = match orientation {
             Orientation::Horizontal => (geometry.n - t_b, geometry.n),
             Orientation::Vertical => (geometry.n, geometry.n - t_b),
@@ -131,50 +253,88 @@ impl<'m> EaszDecoder<'m> {
             )));
         }
 
-        // Un-squeeze every patch with zero fill, then batch-reconstruct.
+        // Un-squeeze every patch with zero fill; the forward fills the holes.
         let mut patches: Vec<ImageF32> = Vec::with_capacity(cols * rows);
         for i in 0..cols * rows {
             let (px, py) = (i % cols, i / cols);
             let sq = squeezed.crop(px * sq_w, py * sq_h, sq_w, sq_h);
-            patches.push(unsqueeze_patch(&sq, geometry, &mask, orientation, FillMethod::Zero));
+            patches.push(unsqueeze_patch(&sq, geometry, &wire_mask, orientation, FillMethod::Zero));
         }
-        // For vertical squeeze the mask indexes (col, row); reconstruction
-        // operates on the grid directly, so transpose mask semantics by
-        // transposing erased positions.
-        let effective_mask = match orientation {
-            Orientation::Horizontal => mask.clone(),
-            Orientation::Vertical => transpose_mask(&mask),
-        };
-        let tokens: Vec<Vec<Vec<f32>>> =
-            patches.iter().map(|p| patch_tokens(p, geometry)).collect();
-        let batch = TokenBatch::from_patches(&tokens);
-        let recon = self.model.reconstruct_tokens(&batch, &effective_mask);
-        let grid = geometry.grid();
-        for (pi, patch) in patches.iter_mut().enumerate() {
-            for (row, col, erased) in effective_mask.iter() {
-                if erased {
-                    let s = row * grid + col;
-                    place_token(patch, geometry, row, col, &recon[pi][s]);
-                }
-            }
-            feather_erased_boundaries(patch, geometry, &effective_mask);
-            if encoded.config.synthesize_grain {
-                synthesize_grain(patch, geometry, &effective_mask, pi as u64);
-            }
-        }
-        let patched = Patchified {
+        Ok(PreparedStream {
+            patches,
+            mask,
             geometry,
-            orig_width: encoded.width,
-            orig_height: encoded.height,
-            channels: squeezed.channels(),
             cols,
             rows,
-            patches,
-        };
-        let mut out = patched.to_image();
-        out.clamp01();
-        Ok(out)
+            width: encoded.width,
+            height: encoded.height,
+            channels: squeezed.channels(),
+            synthesize_grain: encoded.config.synthesize_grain,
+        })
     }
+}
+
+/// A container after stage 1 of decoding (validated, inner-decoded,
+/// un-squeezed), waiting for its transformer predictions.
+struct PreparedStream {
+    /// Zero-filled patches on the full grid.
+    patches: Vec<ImageF32>,
+    /// Effective reconstruction mask (orientation already resolved).
+    mask: EraseMask,
+    geometry: PatchGeometry,
+    cols: usize,
+    rows: usize,
+    width: usize,
+    height: usize,
+    channels: Channels,
+    synthesize_grain: bool,
+}
+
+/// Stage 2 of decoding: scatter the model's predicted tokens into the
+/// erased slots of each patch, run the perceptual post-passes and assemble
+/// the canvas. `recon` holds one prediction list per patch, in patch order.
+fn finish(mut prepared: PreparedStream, recon: &[Vec<Vec<f32>>]) -> ImageF32 {
+    let geometry = prepared.geometry;
+    let grid = geometry.grid();
+    for (pi, patch) in prepared.patches.iter_mut().enumerate() {
+        for (row, col, erased) in prepared.mask.iter() {
+            if erased {
+                let s = row * grid + col;
+                place_token(patch, geometry, row, col, &recon[pi][s]);
+            }
+        }
+        feather_erased_boundaries(patch, geometry, &prepared.mask);
+        if prepared.synthesize_grain {
+            synthesize_grain(patch, geometry, &prepared.mask, pi as u64);
+        }
+    }
+    let patched = Patchified {
+        geometry,
+        orig_width: prepared.width,
+        orig_height: prepared.height,
+        channels: prepared.channels,
+        cols: prepared.cols,
+        rows: prepared.rows,
+        patches: prepared.patches,
+    };
+    let mut out = patched.to_image();
+    out.clamp01();
+    out
+}
+
+/// Groups stream indices by effective mask, preserving first-seen order
+/// within and across groups (`None` slots — failed preparations — are
+/// skipped). Each returned group is served by one transformer forward.
+fn batch_groups(masks: &[Option<&EraseMask>]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, mask) in masks.iter().enumerate() {
+        let Some(mask) = mask else { continue };
+        match groups.iter_mut().find(|(rep, _)| masks[*rep] == Some(*mask)) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((i, vec![i])),
+        }
+    }
+    groups.into_iter().map(|(_, members)| members).collect()
 }
 
 /// Softens the 1-pixel seam between in-painted sub-patches and their kept
@@ -394,6 +554,70 @@ mod tests {
         let foreign = EaszConfig::builder().n(32).b(2).build().expect("cfg").make_mask().to_bytes();
         encoded.mask_bytes = foreign;
         assert!(matches!(dec.decode_with(&encoded, &codec), Err(EaszError::MaskChannel(_))));
+    }
+
+    #[test]
+    fn decode_batch_is_byte_identical_to_serial_decode() {
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let enc = encoder();
+        let codec = JpegLikeCodec::new();
+        // Same encoder config => same mask => one shared forward; content
+        // and canvas sizes differ per stream.
+        let containers: Vec<EaszEncoded> = [(1usize, 96, 64), (2, 64, 64), (3, 128, 96)]
+            .iter()
+            .map(|&(i, w, h)| {
+                let img = Dataset::KodakLike.image(i).crop(0, 0, w, h);
+                enc.compress(&img, &codec, Quality::new(80)).expect("compress")
+            })
+            .collect();
+        let batched = dec.decode_batch(&containers);
+        assert_eq!(batched.len(), 3);
+        for (c, b) in containers.iter().zip(&batched) {
+            let serial = dec.decode(c).expect("serial decode");
+            let b = b.as_ref().expect("batched decode");
+            assert_eq!(serial.data(), b.data(), "batched decode must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn decode_batch_isolates_per_stream_errors() {
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let codec = JpegLikeCodec::new();
+        let img = Dataset::KodakLike.image(8).crop(0, 0, 64, 64);
+        let good = encoder().compress(&img, &codec, Quality::new(70)).expect("compress");
+        let mut corrupt = good.clone();
+        corrupt.mask_bytes.truncate(1);
+        let mut foreign = good.clone();
+        foreign.codec_id = CodecId(200);
+        let results = dec.decode_batch(&[good.clone(), corrupt, foreign, good]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(EaszError::MaskChannel(_))));
+        assert!(matches!(results[2], Err(EaszError::UnknownCodec(CodecId(200)))));
+        let first = results[0].as_ref().expect("first decode");
+        let last = results[3].as_ref().expect("last decode");
+        assert_eq!(first.data(), last.data(), "identical streams decode identically");
+    }
+
+    #[test]
+    fn decode_batch_of_nothing_is_empty() {
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        assert!(dec.decode_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_groups_share_one_forward_per_mask() {
+        let a = EaszConfig::default().make_mask();
+        let b = EaszConfig { mask_seed: 99, ..EaszConfig::default() }.make_mask();
+        assert_ne!(a, b, "seeds must yield distinct masks for this test");
+        let groups = batch_groups(&[Some(&a), None, Some(&b), Some(&a), Some(&a), None, Some(&b)]);
+        assert_eq!(groups, vec![vec![0, 3, 4], vec![2, 6]]);
+        // N same-mask streams collapse into a single forward group.
+        let uniform = batch_groups(&[Some(&a), Some(&a), Some(&a), Some(&a)]);
+        assert_eq!(uniform.len(), 1, "same-geometry streams must share one transformer forward");
+        assert_eq!(uniform[0], vec![0, 1, 2, 3]);
     }
 
     #[test]

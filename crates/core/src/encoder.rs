@@ -78,24 +78,16 @@ impl EaszEncoder {
         if codec.id() == CodecId::UNKNOWN {
             return Err(EaszError::AnonymousCodec(codec.name().to_string()));
         }
-        self.compress_unchecked(img, codec, quality)
-    }
-
-    /// [`compress`](Self::compress) without the wire-identity requirement —
-    /// shared with the deprecated `EaszPipeline` shim, whose legacy
-    /// contract accepts codecs the registry could never resolve.
-    pub(crate) fn compress_unchecked(
-        &self,
-        img: &ImageF32,
-        codec: &dyn ImageCodec,
-        quality: Quality,
-    ) -> Result<EaszEncoded, EaszError> {
-        if img.width() > container::MAX_SIDE || img.height() > container::MAX_SIDE {
+        if img.width() > container::MAX_SIDE
+            || img.height() > container::MAX_SIDE
+            || img.width() * img.height() > easz_codecs::MAX_PIXELS
+        {
             return Err(EaszError::Malformed(format!(
-                "canvas {}x{} exceeds the container limit of {} per side",
+                "canvas {}x{} exceeds the container limits ({} per side, {} pixels total)",
                 img.width(),
                 img.height(),
-                container::MAX_SIDE
+                container::MAX_SIDE,
+                easz_codecs::MAX_PIXELS
             )));
         }
         let (squeezed, mask) = self.erase_and_squeeze(img);

@@ -65,7 +65,6 @@ mod error;
 mod mask;
 mod model;
 mod patchify;
-mod pipeline;
 mod squeeze;
 mod train;
 pub mod zoo;
@@ -80,7 +79,5 @@ pub use model::{ForwardPass, Reconstructor, ReconstructorConfig, TokenBatch};
 pub use patchify::{
     attention_cost_reduction, extract_token, patch_tokens, place_token, PatchGeometry, Patchified,
 };
-#[allow(deprecated)]
-pub use pipeline::EaszPipeline;
 pub use squeeze::{pixel_saving_ratio, squeeze_patch, unsqueeze_patch, FillMethod, Orientation};
 pub use train::{erased_region_mse, TrainConfig, Trainer};

@@ -1,0 +1,73 @@
+//! `easz-serve` — stand up a batched `.easz` decode server.
+//!
+//! ```sh
+//! cargo run --release -p easz-server --bin easz-serve -- --addr 127.0.0.1:4860
+//! ```
+//!
+//! The first run pretrains the quick reconstructor (minutes on one CPU
+//! core); afterwards weights load from `target/easz-weights/`. The wire
+//! protocol is specified in `docs/FORMAT.md`.
+
+use easz_core::zoo;
+use easz_server::{EaszServer, ServerConfig};
+use std::net::TcpListener;
+use std::process::exit;
+
+const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--max-frame-len BYTES] [--max-batch N]
+
+  --addr HOST:PORT      listen address (default 127.0.0.1:4860)
+  --max-frame-len BYTES largest accepted request frame payload (default 16 MiB)
+  --max-batch N         largest accepted DECODE_BATCH count (default 64)";
+
+fn main() {
+    let mut addr = "127.0.0.1:4860".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value\n{USAGE}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--max-frame-len" => config.max_frame_len = parse(&value("--max-frame-len")),
+            "--max-batch" => config.max_batch = parse(&value("--max-batch")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+
+    println!("loading (or pretraining once) the reconstruction model...");
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    println!(
+        "easz-serve listening on {bound} (max frame {} B, max batch {})",
+        config.max_frame_len, config.max_batch
+    );
+    if let Err(e) = EaszServer::new(model).with_config(config).serve(listener) {
+        eprintln!("accept loop failed: {e}");
+        exit(1);
+    }
+}
+
+fn parse(value: &str) -> usize {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {value}\n{USAGE}");
+        exit(2);
+    })
+}

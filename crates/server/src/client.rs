@@ -1,0 +1,220 @@
+//! Blocking client for the `easz` decode protocol — the edge side of the
+//! wire, or any consumer that wants decoded frames back from a server.
+
+use crate::protocol::{self, WireError};
+use easz_image::ImageU8;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Failure of a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (including the server closing mid-reply).
+    Io(io::Error),
+    /// The server answered the *whole request* with a typed error frame.
+    /// Per-container errors inside a batch are returned inline instead.
+    Remote(WireError),
+    /// The server sent a reply this client cannot interpret.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport: {e}"),
+            Self::Remote(e) => write!(f, "server error: {e}"),
+            Self::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Remote(e) => Some(e),
+            Self::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<protocol::FrameReadError> for ClientError {
+    fn from(e: protocol::FrameReadError) -> Self {
+        match e {
+            protocol::FrameReadError::Io(e) => Self::Io(e),
+            oversize @ protocol::FrameReadError::Oversize { .. } => {
+                Self::Protocol(oversize.to_string())
+            }
+        }
+    }
+}
+
+/// A blocking connection to an [`EaszServer`](crate::EaszServer).
+///
+/// One request is in flight at a time; replies arrive in request order, so
+/// the client never needs correlation ids.
+#[derive(Debug)]
+pub struct EaszClient {
+    stream: TcpStream,
+    max_reply_len: usize,
+    /// Set when the reply stream desynchronises (an over-limit reply whose
+    /// payload was never consumed): every later request would read pixel
+    /// bytes as frame headers, so the client refuses instead.
+    poisoned: bool,
+}
+
+impl EaszClient {
+    /// Connects to a decode server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self::from_stream(TcpStream::connect(addr)?))
+    }
+
+    /// Wraps an already-connected stream (e.g. for tests driving both
+    /// halves over a loopback pair).
+    pub fn from_stream(stream: TcpStream) -> Self {
+        Self { stream, max_reply_len: 256 << 20, poisoned: false }
+    }
+
+    /// Caps the reply payload size this client will accept. The default of
+    /// 256 MiB clears the largest reply a conforming server can send: the
+    /// container bounds canvases to `easz_codecs::MAX_PIXELS` (2^26), so an
+    /// `IMAGE` payload is at most `3 * 2^26 + 9` bytes ≈ 201 MiB.
+    pub fn with_max_reply_len(mut self, max_reply_len: usize) -> Self {
+        self.max_reply_len = max_reply_len;
+        self
+    }
+
+    /// Round-trips a `PING`, returning the server's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures; see [`ClientError`].
+    pub fn ping(&mut self) -> Result<u8, ClientError> {
+        self.ensure_usable()?;
+        protocol::write_frame(&mut self.stream, protocol::PING, &[protocol::PROTOCOL_VERSION])?;
+        let (frame_type, payload) = self.read_reply()?;
+        match frame_type {
+            protocol::PONG if payload.len() == 1 => Ok(payload[0]),
+            protocol::PONG => {
+                Err(ClientError::Protocol(format!("pong payload of {} bytes", payload.len())))
+            }
+            other => Err(self.unexpected(other, &payload)),
+        }
+    }
+
+    /// Sends one serialized `.easz` container and returns the decoded
+    /// image.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] carrying the server's typed error frame for
+    /// undecodable containers, otherwise transport/protocol failures.
+    pub fn decode(&mut self, container: &[u8]) -> Result<ImageU8, ClientError> {
+        self.ensure_usable()?;
+        protocol::write_frame(&mut self.stream, protocol::DECODE, container)?;
+        let (frame_type, payload) = self.read_reply()?;
+        match frame_type {
+            protocol::IMAGE => protocol::decode_image(&payload).map_err(ClientError::Protocol),
+            other => Err(self.unexpected(other, &payload)),
+        }
+    }
+
+    /// Sends a batch of serialized containers in one frame and collects one
+    /// result per container, in order. Server-side, containers sharing a
+    /// mask share a single transformer forward — this is the cheap way to
+    /// decode many streams.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Result` fails only for whole-request problems (transport,
+    /// an over-limit batch, protocol violations); per-container decode
+    /// failures come back inline as [`WireError`]s.
+    pub fn decode_batch(
+        &mut self,
+        containers: &[&[u8]],
+    ) -> Result<Vec<Result<ImageU8, WireError>>, ClientError> {
+        self.ensure_usable()?;
+        protocol::write_frame(
+            &mut self.stream,
+            protocol::DECODE_BATCH,
+            &protocol::encode_batch(containers),
+        )?;
+        let mut results = Vec::with_capacity(containers.len());
+        while results.len() < containers.len() {
+            let (frame_type, payload) = self.read_reply()?;
+            match frame_type {
+                protocol::IMAGE => {
+                    // An unparseable image is a protocol bug, not a remote
+                    // decode failure; abort the whole call.
+                    let img = protocol::decode_image(&payload).map_err(ClientError::Protocol)?;
+                    results.push(Ok(img));
+                }
+                protocol::ERROR => {
+                    let err = WireError::from_payload(&payload).map_err(ClientError::Protocol)?;
+                    if err.code.value() >= protocol::ErrorCode::Protocol.value() {
+                        // Whole-request failure (the batch itself was
+                        // rejected): the server sends exactly one frame.
+                        return Err(ClientError::Remote(err));
+                    }
+                    results.push(Err(err));
+                }
+                other => return Err(self.unexpected(other, &payload)),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Fails fast once the connection is poisoned (checked before every
+    /// request so not even the request frame is written).
+    fn ensure_usable(&self) -> Result<(), ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Protocol(
+                "connection poisoned by an earlier over-limit reply; reconnect".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn read_reply(&mut self) -> Result<(u8, Vec<u8>), ClientError> {
+        match protocol::read_frame(&mut self.stream, self.max_reply_len) {
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))),
+            Err(oversize @ protocol::FrameReadError::Oversize { .. }) => {
+                // The announced payload was not consumed, so the stream can
+                // never be re-synchronised: poison this client (mirroring
+                // the server, which closes on its framing violations).
+                self.poisoned = true;
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                Err(ClientError::Protocol(oversize.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Folds a reply that does not match the request into the right error:
+    /// error frames become [`ClientError::Remote`], anything else is a
+    /// protocol violation.
+    fn unexpected(&self, frame_type: u8, payload: &[u8]) -> ClientError {
+        if frame_type == protocol::ERROR {
+            match WireError::from_payload(payload) {
+                Ok(err) => ClientError::Remote(err),
+                Err(m) => ClientError::Protocol(m),
+            }
+        } else {
+            ClientError::Protocol(format!("unexpected reply frame 0x{frame_type:02x}"))
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # easz-server
+//!
+//! The serving tier of the Easz reproduction: a batched `.easz` decode
+//! server over TCP, its framing [`protocol`], and a blocking client.
+//!
+//! The paper's deployment story (Fig. 2) is asymmetric — model-free edge
+//! encoders streaming to a server that owns the transformer — and this
+//! crate moves the bytes between the two halves that `easz-core` already
+//! provides. The server's job is *amortisation*: containers arriving in one
+//! `DECODE_BATCH` frame are decoded through
+//! [`EaszDecoder::decode_batch`](easz_core::EaszDecoder::decode_batch), so
+//! streams sharing an erase mask cost one transformer forward instead of
+//! one each.
+//!
+//! The wire format (both the `.easz` container and this crate's framing)
+//! is specified normatively in `docs/FORMAT.md` at the repository root.
+//!
+//! * [`EaszServer`] — multi-threaded accept loop (`std::net::TcpListener` +
+//!   `std::thread::scope`, no external dependencies); one shared model,
+//!   one handler thread per connection.
+//! * [`EaszClient`] — blocking request/reply client.
+//! * [`protocol`] — frame I/O and payload codecs, usable directly by
+//!   alternative clients or tests.
+//! * `easz-serve` — the binary: `cargo run --release -p easz-server --bin
+//!   easz-serve -- --addr 127.0.0.1:4860`.
+//!
+//! ```no_run
+//! use easz_core::{zoo, EaszConfig, EaszEncoder};
+//! use easz_codecs::{JpegLikeCodec, Quality};
+//! use easz_data::Dataset;
+//! use easz_server::{EaszClient, EaszServer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Server half (normally another machine).
+//! let model = zoo::pretrained(zoo::PretrainSpec::quick());
+//! let handle = EaszServer::new(model).spawn("127.0.0.1:0")?;
+//!
+//! // Edge half: compress, frame, send; get the decoded image back.
+//! let encoder = EaszEncoder::new(EaszConfig::default())?;
+//! let image = Dataset::KodakLike.image(0);
+//! let wire = encoder.compress(&image, &JpegLikeCodec::new(), Quality::new(75))?.to_bytes();
+//! let mut client = EaszClient::connect(handle.addr())?;
+//! let restored = client.decode(&wire)?;
+//! assert_eq!(restored.width(), image.width());
+//! handle.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{ClientError, EaszClient};
+pub use protocol::{ErrorCode, WireError};
+pub use server::{EaszServer, ServerConfig, ServerHandle};

@@ -1,0 +1,471 @@
+//! The `easz` framing protocol: length-prefixed frames carrying `.easz`
+//! containers to a decode server and decoded images (or typed errors) back.
+//!
+//! The normative specification — frame layout, type and error-code tables,
+//! connection rules — lives in [`docs/FORMAT.md`] at the repository root;
+//! this module is its executable form. Both sides of the connection use the
+//! same primitives: [`write_frame`] / [`read_frame`] move whole frames,
+//! [`encode_image`] / [`decode_image`] and [`encode_batch`] /
+//! [`decode_batch_payload`] translate the structured payloads.
+//!
+//! A frame is `type (1 byte) | payload length (u32 LE) | payload`. Frame
+//! types with the high bit clear are requests, with the high bit set are
+//! responses. All integers are little-endian, matching the `.easz`
+//! container itself.
+//!
+//! [`docs/FORMAT.md`]: https://example.invalid/easz/docs/FORMAT.md
+
+use easz_core::EaszError;
+use easz_image::{Channels, ImageU8};
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build; carried in `PING`/`PONG` payloads
+/// so peers can detect mismatches before decoding anything.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Bytes of a frame header: 1 type byte + 4 length bytes.
+pub const FRAME_HEADER_LEN: usize = 5;
+
+/// Request: payload is one `.easz` container; answered with [`IMAGE`] or
+/// [`ERROR`].
+pub const DECODE: u8 = 0x01;
+/// Request: payload is a [batch](encode_batch) of `.easz` containers;
+/// answered with exactly one [`IMAGE`] or [`ERROR`] frame per container, in
+/// order.
+pub const DECODE_BATCH: u8 = 0x02;
+/// Request: payload is the client's 1-byte protocol version; answered with
+/// [`PONG`].
+pub const PING: u8 = 0x03;
+/// Response: payload is a [decoded image](encode_image).
+pub const IMAGE: u8 = 0x81;
+/// Response to [`PING`]: payload is the server's 1-byte protocol version.
+pub const PONG: u8 = 0x83;
+/// Response: payload is an [error code](ErrorCode) byte, a u16 LE message
+/// length, and the UTF-8 message.
+pub const ERROR: u8 = 0xEE;
+
+/// Typed wire identity of everything that can go wrong server-side.
+///
+/// Codes `1..=15` mirror [`EaszError`] variants (the container was framed
+/// correctly but could not be decoded; the connection stays usable). Codes
+/// `32..` are protocol-level; [`ErrorCode::Oversize`] and
+/// [`ErrorCode::UnknownFrame`] additionally mean the server closed the
+/// connection, since framing can no longer be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Container does not start with the `EASZ` magic.
+    BadMagic = 1,
+    /// Container format version this server cannot parse.
+    UnsupportedVersion = 2,
+    /// Container shorter than its header or announced sections.
+    Truncated = 3,
+    /// Structurally invalid container or payload/geometry disagreement.
+    Malformed = 4,
+    /// Mask side channel unparseable or inconsistent with the header.
+    MaskChannel = 5,
+    /// The bitstream names a codec the server's registry does not hold.
+    UnknownCodec = 6,
+    /// The server's model serves a different patch geometry.
+    GeometryMismatch = 7,
+    /// The inner codec rejected its bitstream.
+    Codec = 8,
+    /// The header encodes a configuration violating an Easz invariant.
+    InvalidConfig = 9,
+    /// A well-framed request the server cannot honour (bad ping length,
+    /// malformed or too-large batch payload). Connection stays open.
+    Protocol = 32,
+    /// A frame announced a payload longer than the server accepts. The
+    /// connection is closed after this error.
+    Oversize = 33,
+    /// The frame type byte is not one this server knows. The connection is
+    /// closed after this error.
+    UnknownFrame = 34,
+}
+
+impl ErrorCode {
+    /// The raw wire byte.
+    pub fn value(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire byte back into a code.
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        use ErrorCode::*;
+        Some(match byte {
+            1 => BadMagic,
+            2 => UnsupportedVersion,
+            3 => Truncated,
+            4 => Malformed,
+            5 => MaskChannel,
+            6 => UnknownCodec,
+            7 => GeometryMismatch,
+            8 => Codec,
+            9 => InvalidConfig,
+            32 => Protocol,
+            33 => Oversize,
+            34 => UnknownFrame,
+            _ => return None,
+        })
+    }
+
+    /// The code a decode failure is reported under.
+    pub fn of(error: &EaszError) -> Self {
+        match error {
+            EaszError::BadMagic => Self::BadMagic,
+            EaszError::UnsupportedVersion(_) => Self::UnsupportedVersion,
+            EaszError::Truncated { .. } => Self::Truncated,
+            EaszError::Malformed(_) => Self::Malformed,
+            EaszError::MaskChannel(_) => Self::MaskChannel,
+            EaszError::UnknownCodec(_) => Self::UnknownCodec,
+            EaszError::GeometryMismatch { .. } => Self::GeometryMismatch,
+            EaszError::Codec(_) => Self::Codec,
+            EaszError::InvalidConfig(_) => Self::InvalidConfig,
+            // `EaszError` is non-exhaustive; anything a future core adds is
+            // at least a malformed-input report until it gets its own code.
+            _ => Self::Malformed,
+        }
+    }
+}
+
+/// An error frame as it travels the wire: typed code plus human-readable
+/// detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Typed failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail (never needed to interpret `code`).
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// Builds the wire form of a decode failure.
+    pub fn from_easz(error: &EaszError) -> Self {
+        Self { code: ErrorCode::of(error), message: error.to_string() }
+    }
+
+    /// Serializes into an [`ERROR`] frame payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let msg = self.message.as_bytes();
+        let len = msg.len().min(u16::MAX as usize);
+        let mut out = Vec::with_capacity(3 + len);
+        out.push(self.code.value());
+        out.extend_from_slice(&(len as u16).to_le_bytes());
+        out.extend_from_slice(&msg[..len]);
+        out
+    }
+
+    /// Parses an [`ERROR`] frame payload.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, String> {
+        if payload.len() < 3 {
+            return Err(format!("error payload of {} bytes is too short", payload.len()));
+        }
+        let code = ErrorCode::from_byte(payload[0])
+            .ok_or_else(|| format!("unknown error code {}", payload[0]))?;
+        let len = u16::from_le_bytes([payload[1], payload[2]]) as usize;
+        if payload.len() != 3 + len {
+            return Err(format!("error payload length {} != announced {}", payload.len() - 3, len));
+        }
+        let message = String::from_utf8_lossy(&payload[3..]).into_owned();
+        Ok(Self { code, message })
+    }
+}
+
+/// Failure while reading a frame off a connection.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The transport failed (including mid-frame EOF).
+    Io(io::Error),
+    /// The header announced a payload beyond the reader's limit. The
+    /// payload bytes were *not* consumed, so the stream is unsynchronized.
+    Oversize {
+        /// Announced payload length.
+        announced: usize,
+        /// The reader's limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "frame read: {e}"),
+            Self::Oversize { announced, limit } => {
+                write!(f, "frame announces {announced} payload bytes, limit is {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+impl From<io::Error> for FrameReadError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes one frame.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds `u32::MAX` bytes (a caller bug — decoded
+/// images are bounded far below this by the container's canvas limit).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame(w: &mut impl Write, frame_type: u8, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= u32::MAX as usize, "frame payload too large to announce");
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[0] = frame_type;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean end-of-stream (the peer
+/// closed between frames).
+///
+/// # Errors
+///
+/// [`FrameReadError::Oversize`] if the header announces more than
+/// `max_payload` bytes (nothing past the header is consumed), otherwise
+/// transport errors — a connection dropped *inside* a frame surfaces as
+/// [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(
+    r: &mut impl Read,
+    max_payload: usize,
+) -> Result<Option<(u8, Vec<u8>)>, FrameReadError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let mut rest = [0u8; FRAME_HEADER_LEN - 1];
+    r.read_exact(&mut rest)?;
+    let announced = u32::from_le_bytes(rest) as usize;
+    if announced > max_payload {
+        return Err(FrameReadError::Oversize { announced, limit: max_payload });
+    }
+    let mut payload = vec![0u8; announced];
+    r.read_exact(&mut payload)?;
+    Ok(Some((first[0], payload)))
+}
+
+/// Serializes a decoded image into an [`IMAGE`] frame payload: u32 LE
+/// width, u32 LE height, a channel-count byte (`1` = grayscale, `3` = RGB),
+/// then `width * height * channels` interleaved 8-bit samples.
+pub fn encode_image(img: &ImageU8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + img.data().len());
+    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+    out.push(img.channels().count() as u8);
+    out.extend_from_slice(img.data());
+    out
+}
+
+/// Parses an [`IMAGE`] frame payload.
+///
+/// # Errors
+///
+/// A description of the malformation (short payload, channel byte other
+/// than 1 or 3, sample count disagreeing with the announced dimensions).
+pub fn decode_image(payload: &[u8]) -> Result<ImageU8, String> {
+    if payload.len() < 9 {
+        return Err(format!("image payload of {} bytes is too short", payload.len()));
+    }
+    let width = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+    let height = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")) as usize;
+    let channels = match payload[8] {
+        1 => Channels::Gray,
+        3 => Channels::Rgb,
+        other => return Err(format!("channel byte {other} is neither 1 nor 3")),
+    };
+    let expected = width
+        .checked_mul(height)
+        .and_then(|p| p.checked_mul(channels.count()))
+        .ok_or_else(|| "image dimensions overflow".to_string())?;
+    if payload.len() - 9 != expected {
+        return Err(format!("{} samples for a {width}x{height} image", payload.len() - 9));
+    }
+    Ok(ImageU8::from_vec(width, height, channels, payload[9..].to_vec()))
+}
+
+/// Serializes containers into a [`DECODE_BATCH`] payload: u32 LE count,
+/// then per container a u32 LE length and the container bytes.
+pub fn encode_batch(containers: &[&[u8]]) -> Vec<u8> {
+    let total: usize = containers.iter().map(|c| 4 + c.len()).sum();
+    let mut out = Vec::with_capacity(4 + total);
+    out.extend_from_slice(&(containers.len() as u32).to_le_bytes());
+    for c in containers {
+        out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+        out.extend_from_slice(c);
+    }
+    out
+}
+
+/// Parses a [`DECODE_BATCH`] payload back into container byte ranges.
+///
+/// # Errors
+///
+/// A description of the malformation (truncated entries, trailing bytes, or
+/// more than `max_batch` containers).
+pub fn decode_batch_payload(payload: &[u8], max_batch: usize) -> Result<Vec<&[u8]>, String> {
+    if payload.len() < 4 {
+        return Err("batch payload shorter than its count".into());
+    }
+    let count = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+    if count > max_batch {
+        return Err(format!("batch of {count} containers exceeds the limit of {max_batch}"));
+    }
+    let mut containers = Vec::with_capacity(count);
+    let mut offset = 4usize;
+    for i in 0..count {
+        if payload.len() - offset < 4 {
+            return Err(format!("batch entry {i} is missing its length prefix"));
+        }
+        let len =
+            u32::from_le_bytes(payload[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        offset += 4;
+        if payload.len() - offset < len {
+            return Err(format!("batch entry {i} announces {len} bytes past the payload end"));
+        }
+        containers.push(&payload[offset..offset + len]);
+        offset += len;
+    }
+    if offset != payload.len() {
+        return Err(format!("{} trailing bytes after the batch entries", payload.len() - offset));
+    }
+    Ok(containers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, DECODE, b"hello").expect("write");
+        write_frame(&mut wire, PING, &[PROTOCOL_VERSION]).expect("write");
+        let mut r = wire.as_slice();
+        let (ty, payload) = read_frame(&mut r, 1024).expect("read").expect("frame");
+        assert_eq!((ty, payload.as_slice()), (DECODE, b"hello".as_slice()));
+        let (ty, payload) = read_frame(&mut r, 1024).expect("read").expect("frame");
+        assert_eq!((ty, payload.as_slice()), (PING, [PROTOCOL_VERSION].as_slice()));
+        assert!(read_frame(&mut r, 1024).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn oversize_announcement_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, DECODE, &[0u8; 100]).expect("write");
+        match read_frame(&mut wire.as_slice(), 99) {
+            Err(FrameReadError::Oversize { announced: 100, limit: 99 }) => {}
+            other => panic!("expected oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_io_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, DECODE, b"hello").expect("write");
+        wire.truncate(wire.len() - 2);
+        match read_frame(&mut wire.as_slice(), 1024) {
+            Err(FrameReadError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn image_payload_round_trip() {
+        let img = ImageU8::from_vec(3, 2, Channels::Rgb, (0..18).collect());
+        let payload = encode_image(&img);
+        let back = decode_image(&payload).expect("parse");
+        assert_eq!(back.width(), 3);
+        assert_eq!(back.height(), 2);
+        assert_eq!(back.data(), img.data());
+    }
+
+    #[test]
+    fn image_payload_rejects_malformations() {
+        let img = ImageU8::from_vec(2, 2, Channels::Gray, vec![0; 4]);
+        let good = encode_image(&img);
+        assert!(decode_image(&good[..5]).is_err(), "short payload");
+        let mut bad_channels = good.clone();
+        bad_channels[8] = 2;
+        assert!(decode_image(&bad_channels).is_err(), "channel byte 2");
+        let mut extra = good;
+        extra.push(0);
+        assert!(decode_image(&extra).is_err(), "trailing sample");
+    }
+
+    #[test]
+    fn batch_payload_round_trip() {
+        let parts: [&[u8]; 3] = [b"one", b"", b"three"];
+        let payload = encode_batch(&parts);
+        let back = decode_batch_payload(&payload, 8).expect("parse");
+        assert_eq!(back, parts);
+        assert!(decode_batch_payload(&payload, 2).is_err(), "over the batch limit");
+    }
+
+    #[test]
+    fn batch_payload_rejects_malformations() {
+        let payload = encode_batch(&[b"abc".as_slice()]);
+        assert!(decode_batch_payload(&payload[..2], 8).is_err(), "missing count");
+        assert!(decode_batch_payload(&payload[..6], 8).is_err(), "missing entry length");
+        assert!(decode_batch_payload(&payload[..payload.len() - 1], 8).is_err(), "short entry");
+        let mut trailing = payload;
+        trailing.push(9);
+        assert!(decode_batch_payload(&trailing, 8).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_cover_easz_errors() {
+        for code in [
+            ErrorCode::BadMagic,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Truncated,
+            ErrorCode::Malformed,
+            ErrorCode::MaskChannel,
+            ErrorCode::UnknownCodec,
+            ErrorCode::GeometryMismatch,
+            ErrorCode::Codec,
+            ErrorCode::InvalidConfig,
+            ErrorCode::Protocol,
+            ErrorCode::Oversize,
+            ErrorCode::UnknownFrame,
+        ] {
+            assert_eq!(ErrorCode::from_byte(code.value()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_byte(0), None);
+        assert_eq!(ErrorCode::of(&EaszError::BadMagic), ErrorCode::BadMagic);
+        assert_eq!(
+            ErrorCode::of(&EaszError::Truncated { needed: 46, got: 0 }),
+            ErrorCode::Truncated
+        );
+    }
+
+    #[test]
+    fn wire_error_round_trip() {
+        let e = WireError { code: ErrorCode::UnknownCodec, message: "no codec#9".into() };
+        let back = WireError::from_payload(&e.to_payload()).expect("parse");
+        assert_eq!(back, e);
+        assert!(WireError::from_payload(&[1]).is_err(), "short payload");
+        assert!(WireError::from_payload(&[0, 0, 0]).is_err(), "unknown code");
+    }
+}

@@ -1,0 +1,381 @@
+//! The decode server: an accept loop handing each connection to a scoped
+//! handler thread, all sharing one [`EaszDecoder`] (and therefore one
+//! model) behind the framing protocol of [`crate::protocol`].
+
+use crate::protocol::{self, ErrorCode, FrameReadError, WireError};
+use easz_codecs::CodecRegistry;
+use easz_core::{EaszDecoder, EaszEncoded, EaszError, Reconstructor};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Registry of live connection sockets so shutdown can unblock handler
+/// threads stuck in a read — a blocked `recv` only returns once its socket
+/// is shut down, and `thread::scope` will not join before then.
+#[derive(Debug, Default)]
+struct Connections {
+    streams: Mutex<Vec<(u64, TcpStream)>>,
+    next_id: AtomicU64,
+}
+
+impl Connections {
+    /// Registers a connection, returning its registry id. `None` if the
+    /// socket could not be cloned — that connection just cannot be
+    /// force-closed.
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().expect("connection registry poisoned").push((id, clone));
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams.lock().expect("connection registry poisoned").retain(|(i, _)| *i != id);
+    }
+
+    /// Shuts every registered socket down, waking blocked reads with EOF.
+    fn shutdown_all(&self) {
+        for (_, stream) in self.streams.lock().expect("connection registry poisoned").iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Tunables of a [`EaszServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest inbound frame payload accepted; a frame announcing more is
+    /// answered with [`ErrorCode::Oversize`] and the connection is closed.
+    pub max_frame_len: usize,
+    /// Largest number of containers accepted in one `DECODE_BATCH` frame.
+    pub max_batch: usize,
+    /// Per-connection read timeout; an idle connection past it is closed.
+    /// `None` (the default) keeps connections open indefinitely.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { max_frame_len: 16 << 20, max_batch: 64, read_timeout: None }
+    }
+}
+
+/// A batched `.easz` decode server over TCP.
+///
+/// One reconstructor serves every connection: handler threads run under
+/// [`std::thread::scope`] and share a single [`EaszDecoder`], so a
+/// `DECODE_BATCH` request turns into [`EaszDecoder::decode_batch`] — one
+/// transformer forward per shared-mask group rather than one per stream.
+///
+/// ```no_run
+/// use easz_core::zoo;
+/// use easz_server::{EaszClient, EaszServer};
+///
+/// let model = zoo::pretrained(zoo::PretrainSpec::quick());
+/// let handle = EaszServer::new(model).spawn("127.0.0.1:0").expect("bind");
+/// let mut client = EaszClient::connect(handle.addr()).expect("connect");
+/// assert_eq!(client.ping().expect("ping"), easz_server::protocol::PROTOCOL_VERSION);
+/// handle.shutdown().expect("clean shutdown");
+/// ```
+pub struct EaszServer {
+    model: Arc<Reconstructor>,
+    registry: CodecRegistry,
+    config: ServerConfig,
+}
+
+impl std::fmt::Debug for EaszServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EaszServer")
+            .field("registry", &self.registry)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl EaszServer {
+    /// Creates a server around a trained reconstructor with the default
+    /// codec registry and configuration.
+    pub fn new(model: Arc<Reconstructor>) -> Self {
+        Self { model, registry: CodecRegistry::with_defaults(), config: ServerConfig::default() }
+    }
+
+    /// Replaces the codec registry (e.g. an allow-list of inner codecs).
+    pub fn with_registry(mut self, registry: CodecRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Serves connections on `listener` until the process exits, blocking
+    /// the calling thread. Each connection gets a scoped handler thread;
+    /// a handler failure (connection reset mid-reply) never takes down the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal accept-loop errors; per-connection I/O errors are
+    /// swallowed after closing that connection.
+    pub fn serve(self, listener: TcpListener) -> io::Result<()> {
+        self.serve_until(listener, &AtomicBool::new(false), &Connections::default())
+    }
+
+    /// Binds `addr` and serves on a background thread, returning a handle
+    /// that reports the bound address and can shut the server down.
+    ///
+    /// # Errors
+    ///
+    /// Bind or thread-spawn failures.
+    pub fn spawn(self, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Connections::default());
+        let (flag, conns) = (shutdown.clone(), connections.clone());
+        let thread = std::thread::Builder::new()
+            .name("easz-serve".into())
+            .spawn(move || self.serve_until(listener, &flag, &conns))?;
+        Ok(ServerHandle { addr, shutdown, connections, thread: Some(thread) })
+    }
+
+    fn serve_until(
+        self,
+        listener: TcpListener,
+        shutdown: &AtomicBool,
+        connections: &Connections,
+    ) -> io::Result<()> {
+        let Self { model, registry, config } = self;
+        let decoder = EaszDecoder::with_registry(&model, registry);
+        std::thread::scope(|scope| loop {
+            let (stream, _) = match listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if shutdown.load(Ordering::Acquire) {
+                // The waking connection is dropped unanswered; the scope
+                // drains in-flight handlers (unblocked by `shutdown_all`)
+                // before we return.
+                return Ok(());
+            }
+            let (decoder, config) = (&decoder, &config);
+            scope.spawn(move || {
+                // A connection that cannot be registered (fd pressure broke
+                // the try_clone) could never be force-closed and would pin
+                // shutdown forever — refuse it instead of serving it.
+                let Some(id) = connections.register(&stream) else {
+                    return;
+                };
+                // Re-check after registering: a shutdown signalled between
+                // accept and register has already swept the registry, and
+                // this handler must not start a blocking read it would
+                // never be woken from.
+                if !shutdown.load(Ordering::Acquire) {
+                    let _ = handle_connection(stream, decoder, config);
+                }
+                connections.deregister(id);
+            });
+        })
+    }
+}
+
+/// Handle to a server running on a background thread (see
+/// [`EaszServer::spawn`]).
+///
+/// Dropping the handle shuts the server down; call
+/// [`shutdown`](Self::shutdown) instead to observe the accept loop's exit
+/// status. Shutdown drains in-flight connections before returning.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<Connections>,
+    thread: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the ephemeral port
+    /// resolved, so `spawn("127.0.0.1:0")` is directly connectable).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn signal(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock handler threads stuck mid-read (idle keep-alive clients
+        // would otherwise pin the scope join forever), then wake the
+        // blocking accept; a connect error just means it is already dead.
+        self.connections.shutdown_all();
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Stops accepting, drains in-flight connections and returns the accept
+    /// loop's exit status.
+    ///
+    /// # Errors
+    ///
+    /// The accept loop's fatal error, if it died before shutdown.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.signal();
+        match self.thread.take().expect("thread present until shutdown/drop").join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.signal();
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Serves one connection until clean EOF, a timeout, or a framing-level
+/// violation. Container-level failures are answered with typed error frames
+/// and never close the connection, let alone the server.
+fn handle_connection(
+    mut stream: TcpStream,
+    decoder: &EaszDecoder<'_>,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(config.read_timeout)?;
+    loop {
+        let (frame_type, payload) = match protocol::read_frame(&mut stream, config.max_frame_len) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // clean EOF between frames
+            Err(FrameReadError::Oversize { announced, limit }) => {
+                let err = WireError {
+                    code: ErrorCode::Oversize,
+                    message: format!("frame announces {announced} bytes, limit is {limit}"),
+                };
+                // Unread payload bytes follow, so framing is lost: close —
+                // but drain what the peer already sent first, else the
+                // kernel turns our close into an RST that discards the
+                // error frame before the peer can read it.
+                let result = protocol::write_frame(&mut stream, protocol::ERROR, &err.to_payload());
+                drain_bounded(&mut stream, announced);
+                return result;
+            }
+            Err(FrameReadError::Io(e)) => {
+                return match e.kind() {
+                    // Mid-frame disconnects and idle timeouts end the
+                    // connection without being server errors.
+                    io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::ConnectionReset => Ok(()),
+                    _ => Err(e),
+                };
+            }
+        };
+        match frame_type {
+            protocol::DECODE => {
+                let result =
+                    EaszEncoded::from_bytes(&payload).and_then(|encoded| decoder.decode(&encoded));
+                send_decode_result(&mut stream, result)?;
+            }
+            protocol::DECODE_BATCH => {
+                match protocol::decode_batch_payload(&payload, config.max_batch) {
+                    Err(message) => {
+                        let err = WireError { code: ErrorCode::Protocol, message };
+                        protocol::write_frame(&mut stream, protocol::ERROR, &err.to_payload())?;
+                    }
+                    Ok(containers) => {
+                        // Parse every container first so decodable streams
+                        // share one batched forward regardless of corrupt
+                        // neighbours, then reply strictly in request order.
+                        let mut slots: Vec<Result<(), EaszError>> =
+                            Vec::with_capacity(containers.len());
+                        let mut good: Vec<EaszEncoded> = Vec::with_capacity(containers.len());
+                        for container in &containers {
+                            match EaszEncoded::from_bytes(container) {
+                                Ok(encoded) => {
+                                    good.push(encoded);
+                                    slots.push(Ok(()));
+                                }
+                                Err(e) => slots.push(Err(e)),
+                            }
+                        }
+                        let mut decoded = decoder.decode_batch(&good).into_iter();
+                        for slot in slots {
+                            let result = match slot {
+                                Ok(()) => decoded.next().expect("one decode per parsed container"),
+                                Err(e) => Err(e),
+                            };
+                            send_decode_result(&mut stream, result)?;
+                        }
+                    }
+                }
+            }
+            protocol::PING => {
+                if payload.len() == 1 {
+                    protocol::write_frame(
+                        &mut stream,
+                        protocol::PONG,
+                        &[protocol::PROTOCOL_VERSION],
+                    )?;
+                } else {
+                    let err = WireError {
+                        code: ErrorCode::Protocol,
+                        message: format!("ping payload must be 1 byte, got {}", payload.len()),
+                    };
+                    protocol::write_frame(&mut stream, protocol::ERROR, &err.to_payload())?;
+                }
+            }
+            other => {
+                let err = WireError {
+                    code: ErrorCode::UnknownFrame,
+                    message: format!("unknown frame type 0x{other:02x}"),
+                };
+                // The peer speaks something else: answer once and close.
+                return protocol::write_frame(&mut stream, protocol::ERROR, &err.to_payload());
+            }
+        }
+    }
+}
+
+/// Reads and discards up to `limit` pending bytes so closing the socket
+/// does not reset the connection under the peer's feet. Bounded in time
+/// (two seconds) as well as bytes — a peer that keeps trickling data gets
+/// the reset it asked for.
+fn drain_bounded(stream: &mut TcpStream, limit: usize) {
+    use std::io::Read;
+    use std::time::{Duration, Instant};
+    if stream.set_read_timeout(Some(Duration::from_millis(250))).is_err() {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut remaining = limit;
+    let mut sink = [0u8; 64 * 1024];
+    while remaining > 0 && Instant::now() < deadline {
+        let chunk = remaining.min(sink.len());
+        match stream.read(&mut sink[..chunk]) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => remaining -= n,
+        }
+    }
+}
+
+fn send_decode_result(
+    stream: &mut TcpStream,
+    result: Result<easz_image::ImageF32, EaszError>,
+) -> io::Result<()> {
+    match result {
+        Ok(image) => {
+            protocol::write_frame(stream, protocol::IMAGE, &protocol::encode_image(&image.to_u8()))
+        }
+        Err(e) => {
+            protocol::write_frame(stream, protocol::ERROR, &WireError::from_easz(&e).to_payload())
+        }
+    }
+}

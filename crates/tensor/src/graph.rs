@@ -150,6 +150,9 @@ impl Gradients {
 impl<'p> Graph<'p> {
     /// Creates an empty tape over `params`.
     pub fn new(params: &'p ParamSet) -> Self {
+        // Tapes allocate and free MBs of tensors per pass; make sure malloc
+        // recycles them instead of re-faulting (no-op after the first tape).
+        crate::alloc::tune_for_tapes();
         Self { params, nodes: Vec::with_capacity(64), param_nodes: HashMap::new() }
     }
 

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod graph;
 pub mod init;
 mod io;

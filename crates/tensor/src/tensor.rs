@@ -270,21 +270,47 @@ impl Tensor {
         let old_shape = &self.shape;
         let new_shape: Vec<usize> = axes.iter().map(|&a| old_shape[a]).collect();
         let old_strides = strides_of(old_shape);
-        let new_strides = strides_of(&new_shape);
+        // Source strides in output-axis order.
+        let src_strides: Vec<usize> = axes.iter().map(|&a| old_strides[a]).collect();
         let mut out = vec![0.0f32; self.data.len()];
-        // Walk output linearly; compute source index through the permutation.
-        let mut idx = vec![0usize; r];
-        for (lin, slot) in out.iter_mut().enumerate() {
-            let mut rem = lin;
-            for d in 0..r {
-                idx[d] = rem / new_strides[d];
-                rem %= new_strides[d];
+        if out.is_empty() || r == 0 {
+            return Self { data: self.data.clone(), shape: new_shape };
+        }
+        // When the innermost output axis is also the innermost input axis,
+        // whole rows stay contiguous and the walk copies blocks; this is
+        // every head split/merge in the attention layers. Otherwise the
+        // innermost loop gathers with a stride. Either way the source
+        // offset advances odometer-style — no per-element div/mod, which
+        // made this the hottest op of the transformer forward.
+        let block = if src_strides[r - 1] == 1 { new_shape[r - 1] } else { 1 };
+        let outer_shape = &new_shape[..r - 1];
+        let inner = new_shape[r - 1];
+        let mut idx = vec![0usize; r.saturating_sub(1)];
+        let mut src = 0usize;
+        let mut written = 0usize;
+        while written < out.len() {
+            if block > 1 {
+                out[written..written + block].copy_from_slice(&self.data[src..src + block]);
+                written += block;
+            } else {
+                let stride = src_strides[r - 1];
+                let mut s = src;
+                for slot in &mut out[written..written + inner] {
+                    *slot = self.data[s];
+                    s += stride;
+                }
+                written += inner;
             }
-            let mut src = 0;
-            for d in 0..r {
-                src += idx[d] * old_strides[axes[d]];
+            // Advance the outer odometer and the source offset with it.
+            for d in (0..outer_shape.len()).rev() {
+                idx[d] += 1;
+                src += src_strides[d];
+                if idx[d] < outer_shape[d] {
+                    break;
+                }
+                src -= src_strides[d] * outer_shape[d];
+                idx[d] = 0;
             }
-            *slot = self.data[src];
         }
         Self { data: out, shape: new_shape }
     }
@@ -349,6 +375,21 @@ mod tests {
     #[should_panic(expected = "does not match shape")]
     fn from_vec_rejects_bad_shape() {
         let _ = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]);
+    }
+
+    #[test]
+    fn permuted_handles_every_rank_and_stride_pattern() {
+        // Rank 0: the identity permutation of a scalar.
+        let s = Tensor::from_vec(vec![2.5], &[]);
+        assert_eq!(s.permuted(&[]).data(), &[2.5]);
+        // Rank 2 transpose (strided inner axis) against transpose2.
+        let t = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]);
+        assert_eq!(t.permuted(&[1, 0]).data(), t.transpose2().data());
+        // Rank 4 head split/merge (contiguous inner axis) round-trips.
+        let h = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]);
+        let forth = h.permuted(&[0, 2, 1, 3]);
+        assert_eq!(forth.shape(), &[2, 2, 3, 2]);
+        assert_eq!(forth.permuted(&[0, 2, 1, 3]).data(), h.data());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The paper's deployment story over a real (loopback) socket: model-free
+//! edge encoders streaming `.easz` containers to an `easz-server` that
+//! batches the transformer reconstruction across streams.
+//!
+//! ```sh
+//! cargo run --release --example edge_to_server
+//! ```
+//!
+//! The wire protocol (framing, error codes, the container itself) is
+//! specified in `docs/FORMAT.md`.
+
+use easz::codecs::{BpgLikeCodec, ImageCodec, JpegLikeCodec, Quality};
+use easz::core::{zoo, EaszConfig, EaszEncoder};
+use easz::data::Dataset;
+use easz::metrics::psnr;
+use easz::server::{ClientError, EaszClient, EaszServer};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("loading (or pretraining once) the reconstruction model...");
+    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+
+    // The server half: normally another machine; here a loopback port.
+    let handle = EaszServer::new(model).spawn("127.0.0.1:0")?;
+    println!("easz-serve listening on {}", handle.addr());
+
+    let mut client = EaszClient::connect(handle.addr())?;
+    println!("server speaks protocol v{}", client.ping()?);
+
+    // The edge half: compress a few frames with different inner codecs —
+    // the server resolves each codec from the container header itself.
+    let encoder = EaszEncoder::new(EaszConfig::builder().erase_ratio(0.25).build()?)?;
+    let jpeg = JpegLikeCodec::new();
+    let bpg = BpgLikeCodec::new();
+    let frames: Vec<(&dyn ImageCodec, usize)> = vec![(&jpeg, 0), (&bpg, 1), (&jpeg, 2)];
+    let mut originals = Vec::new();
+    let mut wires: Vec<Vec<u8>> = Vec::new();
+    for &(codec, i) in &frames {
+        let img = Dataset::KodakLike.image(i).crop(0, 0, 128, 96);
+        wires.push(encoder.compress(&img, codec, Quality::new(80))?.to_bytes());
+        originals.push(img);
+    }
+
+    // One DECODE_BATCH frame: same-mask streams share a transformer
+    // forward server-side.
+    let batch: Vec<&[u8]> = wires.iter().map(Vec::as_slice).collect();
+    let start = Instant::now();
+    let results = client.decode_batch(&batch)?;
+    let elapsed = start.elapsed();
+    println!("\nbatched decode of {} streams in {elapsed:?}:", results.len());
+    println!("{:<6} {:>10} {:>10} {:>9}", "frame", "codec", "wire B", "psnr dB");
+    for (i, (result, &(codec, _))) in results.iter().zip(&frames).enumerate() {
+        let img = result.as_ref().expect("decode").to_f32();
+        println!(
+            "{:<6} {:>10} {:>10} {:>9.2}",
+            i,
+            codec.name(),
+            wires[i].len(),
+            psnr(&originals[i], &img)
+        );
+    }
+
+    // Single decode round trip for comparison.
+    let start = Instant::now();
+    let single = client.decode(&wires[0])?;
+    println!(
+        "\nsingle decode round trip: {:?} ({}x{})",
+        start.elapsed(),
+        single.width(),
+        single.height()
+    );
+
+    // Malformed input comes back as a typed error frame, and the
+    // connection (and server) stay up.
+    match client.decode(&[b'X'; 64]) {
+        Err(ClientError::Remote(e)) => println!("garbage stream rejected: {e}"),
+        other => panic!("expected a typed error frame, got {other:?}"),
+    }
+    let again = client.decode(&wires[1])?;
+    println!("connection survives: re-decoded frame 1 ({}x{})", again.width(), again.height());
+
+    drop(client);
+    handle.shutdown()?;
+    println!("server drained and shut down cleanly");
+    Ok(())
+}

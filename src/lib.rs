@@ -10,6 +10,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `easz-core` | erase-and-squeeze, two-stage patchify, transformer reconstructor, training, pipeline |
+//! | [`server`] | `easz-server` | batched `.easz` decode server over TCP, framing protocol, blocking client |
 //! | [`codecs`] | `easz-codecs` | JPEG-like, BPG-like, simulated neural codecs, SR baselines, entropy coders |
 //! | [`metrics`] | `easz-metrics` | PSNR/SSIM/MS-SSIM, BRISQUE/NIQE/PI/TReS, LPIPS-sim |
 //! | [`testbed`] | `easz-testbed` | Jetson TX2 / server / Wi-Fi analytic models |
@@ -58,5 +59,6 @@ pub use easz_core as core;
 pub use easz_data as data;
 pub use easz_image as image;
 pub use easz_metrics as metrics;
+pub use easz_server as server;
 pub use easz_tensor as tensor;
 pub use easz_testbed as testbed;

@@ -147,18 +147,23 @@ fn encoded_form_survives_mask_byte_round_trip() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_pipeline_shim_matches_split_api() {
-    // The one-release migration shim must produce byte-identical encodes.
+fn independently_built_encoders_are_byte_equivalent() {
+    // Migrated from the (now deleted) `EaszPipeline` shim's equivalence
+    // test: two independently constructed sessions over the same config
+    // must produce byte-identical containers, and the wire bytes must
+    // round-trip losslessly through serialize/parse/decode.
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
-    let pipe = easz::core::EaszPipeline::new(&model, EaszConfig::default());
-    let encoder = default_encoder();
+    let decoder = EaszDecoder::new(&model);
     let img = test_image();
     let codec = JpegLikeCodec::new();
-    let via_shim = pipe.compress(&img, &codec, Quality::new(70)).expect("shim compress");
-    let via_split = encoder.compress(&img, &codec, Quality::new(70)).expect("split compress");
-    assert_eq!(via_shim, via_split);
-    assert_eq!(via_shim.to_bytes(), via_split.to_bytes());
-    let out = pipe.decompress(&via_shim, &codec).expect("shim decompress");
-    assert_eq!(out.width(), img.width());
+    let a = default_encoder().compress(&img, &codec, Quality::new(70)).expect("compress a");
+    let b = default_encoder().compress(&img, &codec, Quality::new(70)).expect("compress b");
+    assert_eq!(a, b);
+    assert_eq!(a.to_bytes(), b.to_bytes());
+    let reparsed = easz::core::EaszEncoded::from_bytes(&a.to_bytes()).expect("parse");
+    assert_eq!(reparsed, a);
+    let via_wire = decoder.decode(&reparsed).expect("decode reparsed");
+    let direct = decoder.decode_with(&a, &codec).expect("decode direct");
+    assert_eq!((via_wire.width(), via_wire.height()), (img.width(), img.height()));
+    assert_eq!(via_wire.data(), direct.data(), "wire trip must not change the decode");
 }

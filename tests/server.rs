@@ -1,0 +1,279 @@
+//! Protocol-hardening tests for `easz-server` over real loopback sockets:
+//! malformed, truncated and oversized frames must come back as typed error
+//! frames without killing the server, and concurrent clients must decode
+//! byte-identically to a serial one.
+
+use easz::codecs::{JpegLikeCodec, Quality};
+use easz::core::{EaszConfig, EaszDecoder, EaszEncoder, Reconstructor, ReconstructorConfig};
+use easz::data::Dataset;
+use easz::image::ImageU8;
+use easz::server::{protocol, ClientError, EaszClient, EaszServer, ErrorCode, ServerConfig};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Weights don't matter for wire-level behaviour, so an untrained (seeded,
+/// deterministic) model keeps these tests fast.
+fn model() -> Arc<Reconstructor> {
+    Arc::new(Reconstructor::new(ReconstructorConfig::fast()))
+}
+
+fn containers() -> Vec<Vec<u8>> {
+    let encoder = EaszEncoder::new(EaszConfig::default()).expect("encoder");
+    let codec = JpegLikeCodec::new();
+    [(1usize, 96, 64), (3, 64, 64), (5, 128, 96)]
+        .iter()
+        .map(|&(i, w, h)| {
+            let img = Dataset::KodakLike.image(i).crop(0, 0, w, h);
+            encoder.compress(&img, &codec, Quality::new(80)).expect("compress").to_bytes()
+        })
+        .collect()
+}
+
+#[test]
+fn single_decode_matches_local_decode_bit_for_bit() {
+    let model = model();
+    let handle = EaszServer::new(model.clone()).spawn("127.0.0.1:0").expect("spawn");
+    let mut client = EaszClient::connect(handle.addr()).expect("connect");
+    assert_eq!(client.ping().expect("ping"), protocol::PROTOCOL_VERSION);
+
+    let wire = &containers()[0];
+    let remote = client.decode(wire).expect("remote decode");
+    let local = EaszDecoder::new(&model).decode_bytes(wire).expect("local decode").to_u8();
+    assert_eq!(remote.data(), local.data(), "server must reproduce the local decode exactly");
+    drop(client);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn malformed_containers_are_typed_errors_not_connection_deaths() {
+    let handle = EaszServer::new(model()).spawn("127.0.0.1:0").expect("spawn");
+    let mut client = EaszClient::connect(handle.addr()).expect("connect");
+    let good = containers().remove(0);
+
+    // Header-sized garbage: rejected at the magic. Shorter garbage is a
+    // length problem before the magic is even looked at.
+    match client.decode(&[b'X'; 64]) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::BadMagic),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    match client.decode(b"too short to be a container") {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Truncated),
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    // A truncated but genuine container: typed truncation report.
+    match client.decode(&good[..good.len() / 2]) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Truncated),
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    // A genuine container whose geometry the model does not serve.
+    let foreign_cfg = EaszConfig::builder().n(16).b(2).build().expect("cfg");
+    let foreign = EaszEncoder::new(foreign_cfg)
+        .expect("encoder")
+        .compress(
+            &Dataset::KodakLike.image(2).crop(0, 0, 64, 64),
+            &JpegLikeCodec::new(),
+            Quality::new(70),
+        )
+        .expect("compress")
+        .to_bytes();
+    match client.decode(&foreign) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::GeometryMismatch),
+        other => panic!("expected GeometryMismatch, got {other:?}"),
+    }
+    // The same connection still decodes fine afterwards.
+    assert!(client.decode(&good).is_ok(), "connection must survive typed errors");
+    drop(client);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn framing_violations_answer_once_and_close() {
+    let config = ServerConfig { max_frame_len: 4096, ..ServerConfig::default() };
+    let handle = EaszServer::new(model()).with_config(config).spawn("127.0.0.1:0").expect("spawn");
+
+    // An unknown frame type: one UnknownFrame error, then EOF.
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    protocol::write_frame(&mut raw, 0x7f, b"??").expect("write");
+    let (ty, payload) = protocol::read_frame(&mut raw, 1 << 20).expect("read").expect("frame");
+    assert_eq!(ty, protocol::ERROR);
+    let err = protocol::WireError::from_payload(&payload).expect("error payload");
+    assert_eq!(err.code, ErrorCode::UnknownFrame);
+    assert!(
+        protocol::read_frame(&mut raw, 1 << 20).expect("post-error read").is_none(),
+        "server must close after an unknown frame type"
+    );
+
+    // A frame announcing more than the server's limit: Oversize, then EOF.
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    let mut header = vec![protocol::DECODE];
+    header.extend_from_slice(&(1u32 << 24).to_le_bytes());
+    std::io::Write::write_all(&mut raw, &header).expect("write oversize header");
+    let (ty, payload) = protocol::read_frame(&mut raw, 1 << 20).expect("read").expect("frame");
+    assert_eq!(ty, protocol::ERROR);
+    let err = protocol::WireError::from_payload(&payload).expect("error payload");
+    assert_eq!(err.code, ErrorCode::Oversize);
+    assert!(
+        protocol::read_frame(&mut raw, 1 << 20).expect("post-error read").is_none(),
+        "server must close after an oversize announcement"
+    );
+
+    // A mid-frame disconnect: no reply owed, and the server survives.
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    std::io::Write::write_all(&mut raw, &[protocol::DECODE, 100, 0, 0, 0, 1, 2, 3])
+        .expect("write partial frame");
+    drop(raw);
+
+    // A bad ping is a well-framed request: error frame, connection lives.
+    let mut client = EaszClient::connect(handle.addr()).expect("connect");
+    {
+        let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+        protocol::write_frame(&mut raw, protocol::PING, b"four").expect("write");
+        let (ty, payload) = protocol::read_frame(&mut raw, 1 << 20).expect("read").expect("frame");
+        assert_eq!(ty, protocol::ERROR);
+        let err = protocol::WireError::from_payload(&payload).expect("error payload");
+        assert_eq!(err.code, ErrorCode::Protocol);
+        protocol::write_frame(&mut raw, protocol::PING, &[protocol::PROTOCOL_VERSION])
+            .expect("write");
+        let (ty, _) = protocol::read_frame(&mut raw, 1 << 20).expect("read").expect("frame");
+        assert_eq!(ty, protocol::PONG, "connection must survive a bad ping");
+    }
+    // After all of the above, fresh connections still decode.
+    assert!(client.decode(&containers()[1]).is_ok(), "server must outlive abusive peers");
+    drop(client);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn batch_mixes_results_in_request_order() {
+    let config = ServerConfig { max_batch: 4, ..ServerConfig::default() };
+    let handle = EaszServer::new(model()).with_config(config).spawn("127.0.0.1:0").expect("spawn");
+    let mut client = EaszClient::connect(handle.addr()).expect("connect");
+    let wires = containers();
+
+    let garbage = [b'X'; 64];
+    let batch: Vec<&[u8]> = vec![&wires[0], &garbage, &wires[1], &wires[2]];
+    let results = client.decode_batch(&batch).expect("batch call");
+    assert_eq!(results.len(), 4);
+    assert!(results[0].is_ok());
+    assert_eq!(results[1].as_ref().expect_err("garbage entry").code, ErrorCode::BadMagic);
+    assert!(results[2].is_ok() && results[3].is_ok());
+    // Each batch entry must be byte-identical to its single-decode twin.
+    for (wire, result) in [(&wires[0], &results[0]), (&wires[1], &results[2])] {
+        let single = client.decode(wire).expect("single decode");
+        assert_eq!(result.as_ref().expect("batch decode").data(), single.data());
+    }
+
+    // One container over the limit: the whole request is rejected with a
+    // protocol-class error, and the connection stays usable.
+    let oversized: Vec<&[u8]> = wires.iter().map(Vec::as_slice).cycle().take(5).collect();
+    match client.decode_batch(&oversized) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Protocol),
+        other => panic!("expected batch-limit rejection, got {other:?}"),
+    }
+    assert!(client.ping().is_ok(), "connection must survive a rejected batch");
+    drop(client);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn concurrent_clients_decode_byte_identically_to_serial() {
+    let handle = EaszServer::new(model()).spawn("127.0.0.1:0").expect("spawn");
+    let wires = containers();
+
+    // Serial reference, one client, one request at a time.
+    let mut serial_client = EaszClient::connect(handle.addr()).expect("connect");
+    let serial: Vec<ImageU8> =
+        wires.iter().map(|w| serial_client.decode(w).expect("serial decode")).collect();
+    drop(serial_client);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (wires, addr) = (&wires, handle.addr());
+                scope.spawn(move || {
+                    let mut client = EaszClient::connect(addr).expect("connect");
+                    let batch: Vec<&[u8]> = wires.iter().map(Vec::as_slice).collect();
+                    let batched: Vec<ImageU8> = client
+                        .decode_batch(&batch)
+                        .expect("batch call")
+                        .into_iter()
+                        .map(|r| r.expect("batch decode"))
+                        .collect();
+                    let singles: Vec<ImageU8> =
+                        wires.iter().map(|w| client.decode(w).expect("decode")).collect();
+                    (batched, singles)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (batched, singles) = h.join().expect("client thread");
+            for ((b, s), reference) in batched.iter().zip(&singles).zip(&serial) {
+                assert_eq!(b.data(), reference.data(), "batched != serial reference");
+                assert_eq!(s.data(), reference.data(), "concurrent single != serial reference");
+            }
+        }
+    });
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_unblocks_idle_connections() {
+    // An idle keep-alive client must not pin shutdown: the handler thread
+    // is blocked in read, and shutdown has to wake it (the scope join
+    // would otherwise never complete and this test would time out).
+    let handle = EaszServer::new(model()).spawn("127.0.0.1:0").expect("spawn");
+    let mut idle = EaszClient::connect(handle.addr()).expect("connect");
+    assert!(idle.ping().is_ok(), "connection is live before shutdown");
+    handle.shutdown().expect("shutdown with an idle connection open");
+    // The forcibly closed connection now fails cleanly client-side.
+    assert!(idle.ping().is_err(), "socket must be dead after server shutdown");
+}
+
+#[test]
+fn client_poisons_itself_on_an_over_limit_reply() {
+    // A reply announcing more than the client's limit leaves unread bytes
+    // on the stream; the client must refuse further requests (reconnect is
+    // the only safe recovery) instead of parsing pixels as frame headers.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let fake_server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        // Read the ping, reply with a frame announcing 1 GiB.
+        protocol::read_frame(&mut conn, 1 << 20).expect("read ping");
+        std::io::Write::write_all(&mut conn, &[protocol::PONG, 0, 0, 0, 0x40])
+            .expect("oversize announce");
+        conn
+    });
+    let mut client = EaszClient::connect(addr).expect("connect").with_max_reply_len(1 << 20);
+    match client.ping() {
+        Err(ClientError::Protocol(_)) => {}
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    match client.ping() {
+        Err(ClientError::Protocol(m)) => {
+            assert!(m.contains("poisoned"), "second call must fail fast, got {m:?}")
+        }
+        other => panic!("expected fail-fast poisoning, got {other:?}"),
+    }
+    drop(fake_server.join().expect("fake server"));
+}
+
+#[test]
+fn decode_bomb_container_is_rejected_not_allocated() {
+    // A container whose header (or inner bitstream) declares a
+    // per-side-legal but terabyte-scale canvas must come back as a typed
+    // error frame; the 2^26-pixel budget is enforced before any buffer is
+    // sized from untrusted fields.
+    let handle = EaszServer::new(model()).spawn("127.0.0.1:0").expect("spawn");
+    let mut client = EaszClient::connect(handle.addr()).expect("connect");
+    let mut bomb = containers().remove(0);
+    bomb[14..18].copy_from_slice(&(1u32 << 14).to_le_bytes());
+    bomb[18..22].copy_from_slice(&(1u32 << 13).to_le_bytes());
+    match client.decode(&bomb) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    assert!(client.ping().is_ok(), "connection survives the bomb");
+    drop(client);
+    handle.shutdown().expect("clean shutdown");
+}
