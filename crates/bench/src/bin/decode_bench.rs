@@ -1,0 +1,344 @@
+//! `.easz` decode-throughput bench with machine-readable output: serial and
+//! batched decode, tape (`Graph`) vs tape-free (`InferenceSession`) engines.
+//!
+//! Writes `BENCH_decode.json` at the repository root — the perf trajectory
+//! future PRs regress against — and prints a human summary. Both engines are
+//! measured from the same binary on the same containers, so the ratios are
+//! apples-to-apples on whatever machine runs this.
+//!
+//! ```text
+//! cargo run --release -p easz-bench --bin decode_bench            # full
+//! cargo run --release -p easz-bench --bin decode_bench -- --quick # CI
+//! ```
+
+use easz_codecs::{JpegLikeCodec, Quality};
+use easz_core::{
+    patch_tokens, DecodeEngine, DecodePlan, EaszConfig, EaszDecoder, EaszEncoded, EaszEncoder,
+    Patchified, Reconstructor, ReconstructorConfig, TokenBatch,
+};
+use easz_data::Dataset;
+use easz_tensor::ScratchArena;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One measured configuration.
+struct Row {
+    name: String,
+    engine: &'static str,
+    mode: &'static str,
+    tile_px: usize,
+    batch: usize,
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Row {
+    fn ns_per_container(&self) -> f64 {
+        self.total_ns as f64 / (self.iters as f64 * self.batch as f64)
+    }
+
+    fn containers_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_container()
+    }
+}
+
+/// A measurement case: a routine plus the row metadata it produces.
+struct Case<'a> {
+    name: String,
+    engine: &'static str,
+    mode: &'static str,
+    tile_px: usize,
+    batch: usize,
+    routine: Box<dyn FnMut() + 'a>,
+    iters: u64,
+    total_ns: u128,
+}
+
+/// Times every case in interleaved rounds (case order rotates within one
+/// round-robin sweep per round) so slow clock/thermal drift on the host is
+/// spread evenly across cases instead of biasing whichever ran last.
+fn run_cases(cases: &mut [Case<'_>], per_round: Duration, rounds: usize) -> Vec<Row> {
+    for case in cases.iter_mut() {
+        (case.routine)(); // warm caches, plans and arenas once
+    }
+    for round in 0..rounds {
+        for idx in 0..cases.len() {
+            let case = &mut cases[(round + idx) % cases.len()];
+            let start = Instant::now();
+            let mut iters = 0u64;
+            while start.elapsed() < per_round || iters == 0 {
+                (case.routine)();
+                iters += 1;
+            }
+            case.iters += iters;
+            case.total_ns += start.elapsed().as_nanos();
+        }
+    }
+    cases
+        .iter()
+        .map(|c| Row {
+            name: c.name.clone(),
+            engine: c.engine,
+            mode: c.mode,
+            tile_px: c.tile_px,
+            batch: c.batch,
+            iters: c.iters,
+            total_ns: c.total_ns,
+        })
+        .collect()
+}
+
+/// Same-geometry containers with distinct content (one encoder config =>
+/// one shared mask => batched decode runs a single forward per call).
+fn containers(count: usize, side: usize) -> Vec<EaszEncoded> {
+    let encoder = EaszEncoder::new(EaszConfig::default()).expect("encoder");
+    let codec = JpegLikeCodec::new();
+    (0..count)
+        .map(|i| {
+            let img = Dataset::KodakLike.image(i).crop(0, 0, side, side);
+            encoder.compress(&img, &codec, Quality::new(75)).expect("compress")
+        })
+        .collect()
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Row names are generated below from [a-z0-9_]; keep it that way.
+    debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    name
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (per_round, rounds) =
+        if quick { (Duration::from_millis(150), 3usize) } else { (Duration::from_millis(500), 6) };
+    let model = Reconstructor::new(ReconstructorConfig::fast());
+    let cfg = *model.config();
+    let decoder = EaszDecoder::new(&model);
+    let codec = JpegLikeCodec::new();
+
+    // Containers per scenario: tile32 is a single patch (the paper's IoT
+    // sensor regime), tile64 is 4 patches.
+    let enc32 = containers(1, 32);
+    let enc64 = containers(1, 64);
+    let enc32x8 = containers(8, 32);
+    let enc64x4 = containers(4, 64);
+    // Forward-only inputs: the transformer stage in isolation (1 patch).
+    let mask = EaszConfig::default().make_mask();
+    let geometry = cfg.geometry();
+    let img = Dataset::KodakLike.image(0).crop(0, 0, 32, 32);
+    let patched = Patchified::from_image(&img, geometry);
+    let tokens: Vec<Vec<Vec<f32>>> =
+        patched.patches.iter().map(|p| patch_tokens(p, geometry)).collect();
+    let batch = TokenBatch::from_patches(&tokens);
+    let plan = DecodePlan::new(&mask);
+    let arena = std::cell::RefCell::new(ScratchArena::new());
+
+    let mut cases: Vec<Case<'_>> = Vec::new();
+    for (enc, tile, engine, ename) in [
+        (&enc32, 32usize, DecodeEngine::Graph, "graph"),
+        (&enc32, 32, DecodeEngine::TapeFree, "tape_free"),
+        (&enc64, 64, DecodeEngine::Graph, "graph"),
+        (&enc64, 64, DecodeEngine::TapeFree, "tape_free"),
+    ] {
+        let decoder = &decoder;
+        let codec = &codec;
+        cases.push(Case {
+            name: format!("tile{tile}_serial_x1_{ename}"),
+            engine: ename,
+            mode: "serial",
+            tile_px: tile,
+            batch: 1,
+            routine: Box::new(move || {
+                for e in enc {
+                    decoder.decode_with_engine(e, codec, engine).expect("decode");
+                }
+            }),
+            iters: 0,
+            total_ns: 0,
+        });
+    }
+    for (enc, tile, bsz) in [(&enc32x8, 32usize, 8usize), (&enc64x4, 64, 4)] {
+        let decoder = &decoder;
+        cases.push(Case {
+            name: format!("tile{tile}_serial_x{bsz}_tape_free"),
+            engine: "tape_free",
+            mode: "serial",
+            tile_px: tile,
+            batch: bsz,
+            routine: Box::new(move || {
+                for e in enc {
+                    decoder.decode(e).expect("serial decode");
+                }
+            }),
+            iters: 0,
+            total_ns: 0,
+        });
+        cases.push(Case {
+            name: format!("tile{tile}_batch_x{bsz}_tape_free"),
+            engine: "tape_free",
+            mode: "batch",
+            tile_px: tile,
+            batch: bsz,
+            routine: Box::new(move || {
+                for r in decoder.decode_batch(enc) {
+                    r.expect("batched decode");
+                }
+            }),
+            iters: 0,
+            total_ns: 0,
+        });
+    }
+    // The transformer forward in isolation (what the engines actually
+    // change), tape vs tape-free.
+    {
+        let (m, batch, mask) = (&model, &batch, &mask);
+        cases.push(Case {
+            name: "forward_x1_graph".into(),
+            engine: "graph",
+            mode: "forward",
+            tile_px: 32,
+            batch: 1,
+            routine: Box::new(move || {
+                let _ = m.reconstruct_tokens_graph(batch, mask);
+            }),
+            iters: 0,
+            total_ns: 0,
+        });
+        let (model, plan, arena) = (&model, &plan, &arena);
+        cases.push(Case {
+            name: "forward_x1_tape_free".into(),
+            engine: "tape_free",
+            mode: "forward",
+            tile_px: 32,
+            batch: 1,
+            routine: Box::new(move || {
+                let _ = model.infer_tokens(batch, plan, &mut arena.borrow_mut());
+            }),
+            iters: 0,
+            total_ns: 0,
+        });
+    }
+
+    let rows = run_cases(&mut cases, per_round, rounds);
+
+    let lookup =
+        |name: &str| -> &Row { rows.iter().find(|r| r.name == name).expect("row recorded") };
+    let speedup = |base: &str, new: &str| -> f64 {
+        lookup(base).ns_per_container() / lookup(new).ns_per_container()
+    };
+    let serial32 = speedup("tile32_serial_x1_graph", "tile32_serial_x1_tape_free");
+    let fwd = speedup("forward_x1_graph", "forward_x1_tape_free");
+    let serial64 = speedup("tile64_serial_x1_graph", "tile64_serial_x1_tape_free");
+    let batch32 = speedup("tile32_serial_x8_tape_free", "tile32_batch_x8_tape_free");
+    let batch64 = speedup("tile64_serial_x4_tape_free", "tile64_batch_x4_tape_free");
+
+    // Optional pre-PR baseline: `--pre-pr name=ns_per_container,...`, where
+    // each name matches a `*_tape_free` row minus that suffix. Values come
+    // from running the *parent commit's* `batched_decode` bench on the same
+    // machine (identical container construction), anchoring the trajectory
+    // to the decode path as it existed before the inference engine landed.
+    let mut pre_pr: Vec<(String, f64)> = Vec::new();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--pre-pr" {
+            let spec = args.next().expect("--pre-pr needs name=ns,... values");
+            for part in spec.split(',') {
+                let (name, ns) = part.split_once('=').expect("--pre-pr entries are name=ns");
+                pre_pr.push((name.to_string(), ns.parse::<f64>().expect("baseline ns")));
+            }
+        }
+    }
+
+    println!("== decode_bench ({}) ==", if quick { "quick" } else { "full" });
+    for r in &rows {
+        println!(
+            "{:<28} {:>10.1} µs/container  ({:>8.1} containers/s, {} iters)",
+            r.name,
+            r.ns_per_container() / 1e3,
+            r.containers_per_sec(),
+            r.iters
+        );
+    }
+    println!("serial x1 speedup tape-free vs graph: tile32 {serial32:.2}x, tile64 {serial64:.2}x");
+    println!("forward-only x1 speedup tape-free vs graph: {fwd:.2}x");
+    println!(
+        "batch vs serial (tape-free):          tile32x8 {batch32:.2}x, tile64x4 {batch64:.2}x"
+    );
+    for (name, base_ns) in &pre_pr {
+        let now = lookup(&format!("{name}_tape_free")).ns_per_container();
+        println!(
+            "{name}: {:.2}x vs pre-PR tape path ({:.1} -> {:.1} µs)",
+            base_ns / now,
+            base_ns / 1e3,
+            now / 1e3
+        );
+    }
+
+    // --- BENCH_decode.json (schema documented in README "Performance") ---
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"easz/bench-decode/v1\",");
+    let _ = writeln!(j, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    let _ = writeln!(
+        j,
+        "  \"model\": {{ \"config\": \"fast\", \"n\": {}, \"b\": {}, \"d_model\": {}, \"heads\": {}, \"ffn\": {}, \"blocks\": [{}, {}] }},",
+        cfg.n, cfg.b, cfg.d_model, cfg.heads, cfg.ffn, cfg.encoder_blocks, cfg.decoder_blocks
+    );
+    let _ = writeln!(j, "  \"inner_codec\": \"jpeg_like_q75\",");
+    j.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{ \"name\": \"{}\", \"engine\": \"{}\", \"mode\": \"{}\", \"tile_px\": {}, \"batch\": {}, \"iters\": {}, \"total_ns\": {}, \"ns_per_container\": {:.1}, \"containers_per_sec\": {:.2} }}{}",
+            json_escape_free(&r.name),
+            r.engine,
+            r.mode,
+            r.tile_px,
+            r.batch,
+            r.iters,
+            r.total_ns,
+            r.ns_per_container(),
+            r.containers_per_sec(),
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"summary\": {\n");
+    let _ = writeln!(
+        j,
+        "    \"serial_x1_speedup_tape_free_vs_graph\": {{ \"tile32\": {serial32:.3}, \"tile64\": {serial64:.3} }},"
+    );
+    let _ = writeln!(j, "    \"forward_x1_speedup_tape_free_vs_graph\": {fwd:.3},");
+    let _ = writeln!(
+        j,
+        "    \"batch_speedup_vs_serial_tape_free\": {{ \"tile32_x8\": {batch32:.3}, \"tile64_x4\": {batch64:.3} }}{}",
+        if pre_pr.is_empty() { "" } else { "," }
+    );
+    if !pre_pr.is_empty() {
+        j.push_str("    \"pre_pr_baseline\": {\n");
+        let _ = writeln!(
+            j,
+            "      \"source\": \"parent commit's batched_decode bench, same machine and toolchain, identical containers\","
+        );
+        for (i, (name, base_ns)) in pre_pr.iter().enumerate() {
+            let now = lookup(&format!("{name}_tape_free")).ns_per_container();
+            let _ = writeln!(
+                j,
+                "      \"{}\": {{ \"ns_per_container\": {:.1}, \"speedup_tape_free_vs_pre_pr\": {:.3} }}{}",
+                json_escape_free(name),
+                base_ns,
+                base_ns / now,
+                if i + 1 == pre_pr.len() { "" } else { "," }
+            );
+        }
+        j.push_str("    }\n");
+    }
+    j.push_str("  }\n}\n");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
+    match std::fs::write(&path, &j) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

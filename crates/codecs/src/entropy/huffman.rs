@@ -17,6 +17,15 @@ pub struct HuffmanTable {
     lengths: [u8; 256],
     /// Canonical code value per symbol.
     codes: [u16; 256],
+    /// Decode index, exploiting the canonical property that codes of one
+    /// length are consecutive: `first_code[l]` is the smallest code of
+    /// length `l`, `sorted[offset[l]..offset[l] + count[l]]` the symbols of
+    /// that length in code order. Turns decoding into one comparison per
+    /// bit instead of a scan over the alphabet.
+    first_code: [u32; (MAX_CODE_LEN + 1) as usize],
+    offset: [u16; (MAX_CODE_LEN + 1) as usize],
+    count: [u16; (MAX_CODE_LEN + 1) as usize],
+    sorted: Vec<u8>,
 }
 
 impl HuffmanTable {
@@ -121,7 +130,25 @@ impl HuffmanTable {
             code += 1;
             prev_len = lengths[s];
         }
-        Self { lengths, codes }
+        // Decode index: `order` is (length, symbol)-sorted, which for a
+        // canonical code is also code order within each length.
+        let levels = (MAX_CODE_LEN + 1) as usize;
+        let mut count = [0u16; (MAX_CODE_LEN + 1) as usize];
+        for &s in &order {
+            count[lengths[s] as usize] += 1;
+        }
+        let mut first_code = [0u32; (MAX_CODE_LEN + 1) as usize];
+        let mut offset = [0u16; (MAX_CODE_LEN + 1) as usize];
+        let mut c = 0u32;
+        let mut off = 0u16;
+        for l in 1..levels {
+            c = (c + count[l - 1] as u32) << 1;
+            first_code[l] = c;
+            offset[l] = off;
+            off += count[l];
+        }
+        let sorted: Vec<u8> = order.iter().map(|&s| s as u8).collect();
+        Self { lengths, codes, first_code, offset, count, sorted }
     }
 
     /// Code lengths (for serialising the table).
@@ -141,23 +168,19 @@ impl HuffmanTable {
     }
 
     /// Reads one symbol; `None` on malformed input or end of stream.
+    ///
+    /// One comparison per bit via the canonical decode index (the previous
+    /// per-bit alphabet scan dominated small-tile decode in profiles).
     pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u8> {
         let mut code = 0u32;
-        let mut len = 0u8;
-        loop {
+        for len in 1..=MAX_CODE_LEN as usize {
             code = (code << 1) | r.read_bit()? as u32;
-            len += 1;
-            if len > MAX_CODE_LEN {
-                return None;
-            }
-            // Linear scan is fine at our symbol counts; tables are small and
-            // this path is not the bottleneck (DCT is).
-            for s in 0..256usize {
-                if self.lengths[s] == len && self.codes[s] as u32 == code {
-                    return Some(s as u8);
-                }
+            let idx = code.wrapping_sub(self.first_code[len]);
+            if idx < self.count[len] as u32 {
+                return Some(self.sorted[self.offset[len] as usize + idx as usize]);
             }
         }
+        None
     }
 }
 

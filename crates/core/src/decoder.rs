@@ -22,15 +22,38 @@ use crate::error::EaszError;
 use crate::mask::EraseMask;
 use crate::model::{Reconstructor, TokenBatch};
 use crate::patchify::{patch_tokens, place_token, PatchGeometry, Patchified};
+use crate::plan::{ArenaPool, PlanCache};
 use crate::squeeze::{unsqueeze_patch, FillMethod, Orientation};
 use easz_codecs::{CodecRegistry, ImageCodec};
 use easz_image::{Channels, ImageF32};
 
+/// Which transformer execution engine a decode runs on.
+///
+/// Results are byte-identical across engines; the default
+/// [`TapeFree`](DecodeEngine::TapeFree) engine exists because the
+/// [`Graph`](easz_tensor::Graph) engine pays full training overhead
+/// (per-op clones, tape node allocation, every intermediate pinned for a
+/// backward pass that inference never runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodeEngine {
+    /// Forward-only executor with cached decode plans and scratch-arena
+    /// buffer reuse (the production path).
+    #[default]
+    TapeFree,
+    /// The autodiff tape run forward-only (the training engine; reference
+    /// implementation and benchmark baseline).
+    Graph,
+}
+
 /// The server-side session: a trained reconstructor plus the codec
-/// registry used to resolve inner codecs named by bitstream headers.
+/// registry used to resolve inner codecs named by bitstream headers, plus
+/// the inference state that amortises decode cost across calls (cached
+/// [`DecodePlan`](crate::DecodePlan)s and pooled scratch arenas).
 pub struct EaszDecoder<'m> {
     model: &'m Reconstructor,
     registry: CodecRegistry,
+    plans: PlanCache,
+    arenas: ArenaPool,
 }
 
 impl<'m> std::fmt::Debug for EaszDecoder<'m> {
@@ -50,7 +73,24 @@ impl<'m> EaszDecoder<'m> {
     /// Creates a decoder with a caller-supplied registry (e.g. extended
     /// with custom codecs, or stripped to an allow-list).
     pub fn with_registry(model: &'m Reconstructor, registry: CodecRegistry) -> Self {
-        Self { model, registry }
+        Self { model, registry, plans: PlanCache::new(), arenas: ArenaPool::new() }
+    }
+
+    /// Number of decode plans currently cached (one per effective mask
+    /// seen; bounded). Exposed for tests and server metrics.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The transformer forward on the decoder's cached inference state:
+    /// plan looked up (or built) per effective mask, scratch arena leased
+    /// from the pool so concurrent decodes each reuse warm buffers.
+    fn reconstruct(&self, batch: &TokenBatch, mask: &EraseMask) -> Vec<Vec<Vec<f32>>> {
+        let plan = self.plans.get_or_build(mask);
+        let mut arena = self.arenas.take();
+        let recon = self.model.infer_tokens(batch, &plan, &mut arena);
+        self.arenas.put(arena);
+        recon
     }
 
     /// The codec registry this decoder resolves inner codecs from.
@@ -103,12 +143,34 @@ impl<'m> EaszDecoder<'m> {
         encoded: &EaszEncoded,
         codec: &dyn ImageCodec,
     ) -> Result<ImageF32, EaszError> {
+        self.decode_with_engine(encoded, codec, DecodeEngine::TapeFree)
+    }
+
+    /// [`decode_with`](Self::decode_with) on an explicit execution engine.
+    ///
+    /// Both engines produce byte-identical images; the
+    /// [`Graph`](DecodeEngine::Graph) engine is the pre-inference-engine
+    /// decode path, kept for equivalence tests and as the benchmark
+    /// baseline (`easz-bench`'s `decode_bench`).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`decode_with`](Self::decode_with) can return.
+    pub fn decode_with_engine(
+        &self,
+        encoded: &EaszEncoded,
+        codec: &dyn ImageCodec,
+        engine: DecodeEngine,
+    ) -> Result<ImageF32, EaszError> {
         let (wire_mask, mask) = self.validate_masks(encoded)?;
         let prepared = self.prepare(encoded, codec, wire_mask, mask)?;
         let tokens: Vec<Vec<Vec<f32>>> =
             prepared.patches.iter().map(|p| patch_tokens(p, prepared.geometry)).collect();
         let batch = TokenBatch::from_patches(&tokens);
-        let recon = self.model.reconstruct_tokens(&batch, &prepared.mask);
+        let recon = match engine {
+            DecodeEngine::TapeFree => self.reconstruct(&batch, &prepared.mask),
+            DecodeEngine::Graph => self.model.reconstruct_tokens_graph(&batch, &prepared.mask),
+        };
         Ok(finish(prepared, &recon))
     }
 
@@ -168,9 +230,10 @@ impl<'m> EaszDecoder<'m> {
             if members.is_empty() {
                 continue;
             }
-            // One transformer forward for the whole group.
+            // One transformer forward for the whole group, on the cached
+            // plan for this mask.
             let batch = TokenBatch::from_patches(&tokens);
-            let recon = self.model.reconstruct_tokens(&batch, &mask);
+            let recon = self.reconstruct(&batch, &mask);
             let mut offset = 0usize;
             for (i, p) in members {
                 let count = p.patches.len();

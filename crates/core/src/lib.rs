@@ -17,7 +17,9 @@
 //!   to the equal-erasure-per-row invariant.
 //! * [`Reconstructor`] — the ~8.7 MB transformer encoder-decoder (two
 //!   blocks each) that in-paints erased sub-patches at any erase ratio with
-//!   a single weight set.
+//!   a single weight set. Inference runs on a tape-free forward-only
+//!   engine ([`Reconstructor::infer_tokens`] over a cached [`DecodePlan`]);
+//!   training keeps the autodiff tape.
 //! * [`Trainer`] — AdamW pretraining/fine-tuning with the paper's Eq. 2
 //!   loss (`L1 + 0.3 · perceptual`).
 //! * [`EaszEncoder`] (edge, model-free) and [`EaszDecoder`] (server) — the
@@ -65,13 +67,14 @@ mod error;
 mod mask;
 mod model;
 mod patchify;
+mod plan;
 mod squeeze;
 mod train;
 pub mod zoo;
 
 pub use config::{EaszConfig, EaszConfigBuilder, MaskStrategy};
 pub use container::{EaszEncoded, FORMAT_VERSION, HEADER_LEN, MAGIC};
-pub use decoder::EaszDecoder;
+pub use decoder::{DecodeEngine, EaszDecoder};
 pub use encoder::EaszEncoder;
 pub use error::EaszError;
 pub use mask::{EraseMask, MaskKind, RowSamplerConfig};
@@ -79,5 +82,6 @@ pub use model::{ForwardPass, Reconstructor, ReconstructorConfig, TokenBatch};
 pub use patchify::{
     attention_cost_reduction, extract_token, patch_tokens, place_token, PatchGeometry, Patchified,
 };
+pub use plan::{BatchMaps, DecodePlan};
 pub use squeeze::{pixel_saving_ratio, squeeze_patch, unsqueeze_patch, FillMethod, Orientation};
 pub use train::{erased_region_mse, TrainConfig, Trainer};

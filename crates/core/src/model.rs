@@ -11,8 +11,11 @@
 
 use crate::mask::EraseMask;
 use crate::patchify::PatchGeometry;
+use crate::plan::DecodePlan;
 use easz_image::Channels;
-use easz_tensor::{init, nn, Gradients, Graph, ParamSet, Tensor, Var};
+use easz_tensor::{
+    init, nn, Gradients, Graph, InferenceSession, ParamSet, ScratchArena, Tensor, Var,
+};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the reconstructor.
@@ -270,18 +273,17 @@ impl Reconstructor {
         }
 
         // --- Decoder input: scatter encoder features + mask tokens. ---
+        // Position -> rank lookup table instead of a per-position binary
+        // search over `kept` (O(seq) build, O(1) probes; the cached-plan
+        // inference path keeps the same table in its `DecodePlan`).
         let mask_tok = g.param(self.mask_token);
+        let mut rank_of: Vec<Option<usize>> = vec![None; seq];
+        for (rank, &p) in kept.iter().enumerate() {
+            rank_of[p] = Some(rank);
+        }
         let mut map: Vec<Option<usize>> = Vec::with_capacity(bsz * seq);
         for bi in 0..bsz {
-            let mut rank = 0usize;
-            for p in 0..seq {
-                if kept.binary_search(&p).is_ok() {
-                    map.push(Some(bi * m + rank));
-                    rank += 1;
-                } else {
-                    map.push(None);
-                }
-            }
+            map.extend(rank_of.iter().map(|r| r.map(|rank| bi * m + rank)));
         }
         let composed = g.compose_tokens(x, mask_tok, &map);
         let dec_pos = g.param(self.dec_pos);
@@ -298,7 +300,29 @@ impl Reconstructor {
     /// Returns, per patch, per grid position, the predicted token values in
     /// `[0, 1]` (kept positions return the model's re-prediction, which the
     /// pipeline discards in favour of the decoded pixels).
+    ///
+    /// Runs on the tape-free engine with a throwaway plan and arena; hot
+    /// paths that decode many containers should build a [`DecodePlan`] (or
+    /// go through [`EaszDecoder`](crate::EaszDecoder), which caches them)
+    /// and a reusable [`ScratchArena`], then call
+    /// [`infer_tokens`](Self::infer_tokens) directly.
     pub fn reconstruct_tokens(&self, batch: &TokenBatch, mask: &EraseMask) -> Vec<Vec<Vec<f32>>> {
+        let plan = DecodePlan::new(mask);
+        let mut arena = ScratchArena::new();
+        self.infer_tokens(batch, &plan, &mut arena)
+    }
+
+    /// [`reconstruct_tokens`](Self::reconstruct_tokens) on the autodiff
+    /// tape — the training engine run forward-only.
+    ///
+    /// Byte-identical to the tape-free path (the equivalence sweep in
+    /// `tests/infer_equivalence.rs` enforces it); kept as the reference
+    /// implementation and for benchmarking the engines against each other.
+    pub fn reconstruct_tokens_graph(
+        &self,
+        batch: &TokenBatch,
+        mask: &EraseMask,
+    ) -> Vec<Vec<Vec<f32>>> {
         let mut g = Graph::new(&self.params);
         let fwd = self.forward(&mut g, batch, mask);
         let out = g.value(fwd.predictions);
@@ -311,6 +335,70 @@ impl Reconstructor {
             }
             result.push(patch);
         }
+        result
+    }
+
+    /// The tape-free forward: reconstructs a token batch using a
+    /// precomputed [`DecodePlan`] and a reusable [`ScratchArena`].
+    ///
+    /// This is the server-side hot path: no autodiff tape, no parameter
+    /// clones, in-place activations, and — once `arena` is warm — no
+    /// allocations beyond the returned token lists. Output is
+    /// byte-identical to [`forward`](Self::forward) on a [`Graph`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch geometry does not match the model or `plan` was
+    /// built for a different grid.
+    pub fn infer_tokens(
+        &self,
+        batch: &TokenBatch,
+        plan: &DecodePlan,
+        arena: &mut ScratchArena,
+    ) -> Vec<Vec<Vec<f32>>> {
+        let cfg = &self.cfg;
+        assert_eq!(batch.seq, cfg.seq_len(), "sequence length mismatch");
+        assert_eq!(plan.seq(), batch.seq, "plan grid does not match the model");
+        let seq = batch.seq;
+        let bsz = batch.batch;
+        let m = plan.kept().len();
+        let maps = plan.maps_for(bsz);
+        let mut s = InferenceSession::new(&self.params, arena);
+
+        // --- Encoder: only un-erased tokens. ---
+        let enc_in = s.gather_rows(&batch.tokens, &maps.kept_rows);
+        let mut x = self.in_proj.infer(&mut s, &enc_in);
+        s.free(enc_in);
+        let pos = s.param(self.enc_pos);
+        let pos_kept = s.gather_rows(pos, plan.kept());
+        s.add_broadcast_rows(&mut x, &pos_kept);
+        s.free(pos_kept);
+        for block in &self.enc_blocks {
+            x = block.infer(&mut s, x, bsz, m);
+        }
+
+        // --- Decoder input: scatter encoder features + mask tokens. ---
+        let mask_tok = s.param(self.mask_token);
+        let mut y = s.compose_tokens(&x, mask_tok, &maps.compose);
+        s.free(x);
+        let dec_pos = s.param(self.dec_pos);
+        s.add_broadcast_rows(&mut y, dec_pos);
+        for block in &self.dec_blocks {
+            y = block.infer(&mut s, y, bsz, seq);
+        }
+        let out = self.out_proj.infer(&mut s, &y);
+        s.free(y);
+
+        let mut result = Vec::with_capacity(bsz);
+        for bi in 0..bsz {
+            let mut patch = Vec::with_capacity(seq);
+            for si in 0..seq {
+                let row = out.row(bi * seq + si);
+                patch.push(row.iter().map(|&v| (v + 0.5).clamp(0.0, 1.0)).collect());
+            }
+            result.push(patch);
+        }
+        s.free(out);
         result
     }
 

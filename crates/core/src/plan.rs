@@ -1,0 +1,256 @@
+//! Cached decode plans: the mask-derived index structures a transformer
+//! forward needs, computed once per effective mask instead of per call.
+//!
+//! [`Reconstructor::forward`](crate::Reconstructor::forward) used to rebuild
+//! the kept-position list, the encoder gather rows and the decoder
+//! scatter/compose map on every call — per *container*, even though fleets
+//! of edge senders share a handful of masks (that sharing is exactly what
+//! [`EaszDecoder::decode_batch`](crate::EaszDecoder::decode_batch) groups
+//! by). A [`DecodePlan`] hoists those structures out of the hot path: built
+//! once per effective mask, it serves every container and every batch size
+//! that mask ever decodes with, and the position→rank table it carries
+//! replaces the `O(seq · log m)` binary-search loop the scatter map was
+//! built with.
+
+use crate::mask::EraseMask;
+use easz_tensor::ScratchArena;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Precomputed index structures for reconstructing under one effective
+/// mask.
+///
+/// Geometry-only — no dependency on the model weights or batch contents —
+/// so one plan is shared freely across threads and containers. Per-batch-
+/// size row maps are derived lazily and memoised inside the plan.
+#[derive(Debug)]
+pub struct DecodePlan {
+    /// Tokens per patch (`grid²`).
+    seq: usize,
+    /// Kept grid positions in raster order.
+    kept: Vec<usize>,
+    /// `rank_of[p]` = rank of position `p` among kept positions, `None` if
+    /// erased. Replaces per-position binary search when building scatter
+    /// maps.
+    rank_of: Vec<Option<usize>>,
+    /// Batch-size-keyed gather/compose maps, built on first use.
+    maps: Mutex<HashMap<usize, Arc<BatchMaps>>>,
+}
+
+/// The per-batch-size row maps of a [`DecodePlan`]: everything the forward
+/// needs that scales with the number of patches.
+#[derive(Debug)]
+pub struct BatchMaps {
+    /// Encoder input gather: for each batch element, the row indices of its
+    /// kept tokens inside the `[batch * seq, dim]` token matrix.
+    pub kept_rows: Vec<usize>,
+    /// Decoder compose map: `Some(row)` scatters encoder output row `row`,
+    /// `None` fills the learned mask token.
+    pub compose: Vec<Option<usize>>,
+}
+
+impl DecodePlan {
+    /// Builds the plan for one effective mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask erases everything (no tokens to encode).
+    pub fn new(mask: &EraseMask) -> Self {
+        let n = mask.n_grid();
+        let seq = n * n;
+        // Positions kept by the mask, in grid-raster order (ascending).
+        let kept: Vec<usize> =
+            mask.iter().filter_map(|(r, c, erased)| (!erased).then_some(r * n + c)).collect();
+        assert!(!kept.is_empty(), "mask erases everything");
+        let mut rank_of = vec![None; seq];
+        for (rank, &p) in kept.iter().enumerate() {
+            rank_of[p] = Some(rank);
+        }
+        Self { seq, kept, rank_of, maps: Mutex::new(HashMap::new()) }
+    }
+
+    /// Tokens per patch this plan was built for.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Kept grid positions, ascending.
+    pub fn kept(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// Rank of a kept position among the kept set (`None` if erased).
+    pub fn rank_of(&self, pos: usize) -> Option<usize> {
+        self.rank_of[pos]
+    }
+
+    /// The gather/compose maps for a batch of `bsz` patches (memoised).
+    pub fn maps_for(&self, bsz: usize) -> Arc<BatchMaps> {
+        let mut maps = self.maps.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(m) = maps.get(&bsz) {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(self.build_maps(bsz));
+        maps.insert(bsz, Arc::clone(&m));
+        m
+    }
+
+    fn build_maps(&self, bsz: usize) -> BatchMaps {
+        let m = self.kept.len();
+        let kept_rows: Vec<usize> =
+            (0..bsz).flat_map(|bi| self.kept.iter().map(move |&p| bi * self.seq + p)).collect();
+        let mut compose: Vec<Option<usize>> = Vec::with_capacity(bsz * self.seq);
+        for bi in 0..bsz {
+            for p in 0..self.seq {
+                compose.push(self.rank_of[p].map(|rank| bi * m + rank));
+            }
+        }
+        BatchMaps { kept_rows, compose }
+    }
+}
+
+/// A bounded, mask-keyed cache of [`DecodePlan`]s shared by all decode
+/// paths of an [`EaszDecoder`](crate::EaszDecoder).
+///
+/// Keyed by mask equality — the same key `decode_batch` groups by — with a
+/// small FIFO bound so a stream of unique masks (hostile or misconfigured
+/// fleets) cannot grow it without limit.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    inner: Mutex<Vec<(EraseMask, Arc<DecodePlan>)>>,
+}
+
+impl PlanCache {
+    /// Retained plans; evicting the oldest beyond this. Fleets share a
+    /// handful of masks, so 64 is generous.
+    const MAX_PLANS: usize = 64;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The plan for `mask`, building and caching it on first sight.
+    pub fn get_or_build(&self, mask: &EraseMask) -> Arc<DecodePlan> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, plan)) = inner.iter().find(|(m, _)| m == mask) {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(DecodePlan::new(mask));
+        if inner.len() >= Self::MAX_PLANS {
+            inner.remove(0);
+        }
+        inner.push((mask.clone(), Arc::clone(&plan)));
+        plan
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// A pool of [`ScratchArena`]s so concurrent decodes (one decoder shared
+/// across server threads) each reuse a warmed-up arena instead of
+/// contending on one or allocating fresh buffers per call.
+#[derive(Debug, Default)]
+pub(crate) struct ArenaPool {
+    inner: Mutex<Vec<ScratchArena>>,
+}
+
+impl ArenaPool {
+    /// Arenas retained when returned; beyond this (more simultaneous
+    /// decodes than matmul workers would ever help) extras are dropped.
+    const MAX_POOLED: usize = 16;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a (possibly warmed) arena from the pool.
+    pub fn take(&self) -> ScratchArena {
+        // Not `unwrap_or_default`: `ScratchArena::new` also applies the
+        // one-time malloc tuning.
+        match self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+            Some(arena) => arena,
+            None => ScratchArena::new(),
+        }
+    }
+
+    /// Returns an arena for reuse.
+    pub fn put(&self, arena: ScratchArena) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.len() < Self::MAX_POOLED {
+            inner.push(arena);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EaszConfig;
+
+    #[test]
+    fn plan_matches_mask_structure() {
+        let mask = EaszConfig::default().make_mask();
+        let plan = DecodePlan::new(&mask);
+        let n = mask.n_grid();
+        assert_eq!(plan.seq(), n * n);
+        // kept + erased partition the grid; ranks are dense and ordered.
+        let mut expect_rank = 0usize;
+        for (r, c, erased) in mask.iter() {
+            let p = r * n + c;
+            if erased {
+                assert_eq!(plan.rank_of(p), None);
+            } else {
+                assert_eq!(plan.rank_of(p), Some(expect_rank));
+                assert_eq!(plan.kept()[expect_rank], p);
+                expect_rank += 1;
+            }
+        }
+        assert_eq!(plan.kept().len(), expect_rank);
+    }
+
+    #[test]
+    fn maps_are_memoised_per_batch_size() {
+        let mask = EaszConfig::default().make_mask();
+        let plan = DecodePlan::new(&mask);
+        let a = plan.maps_for(4);
+        let b = plan.maps_for(4);
+        assert!(Arc::ptr_eq(&a, &b), "same batch size must share one map");
+        assert_eq!(a.kept_rows.len(), 4 * plan.kept().len());
+        assert_eq!(a.compose.len(), 4 * plan.seq());
+        // Map contents match the definition.
+        let m = plan.kept().len();
+        for bi in 0..4 {
+            for (rank, &p) in plan.kept().iter().enumerate() {
+                assert_eq!(a.kept_rows[bi * m + rank], bi * plan.seq() + p);
+                assert_eq!(a.compose[bi * plan.seq() + p], Some(bi * m + rank));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_by_mask_equality_and_stays_bounded() {
+        let cache = PlanCache::new();
+        let a = EaszConfig::default().make_mask();
+        let b = EaszConfig { mask_seed: 99, ..EaszConfig::default() }.make_mask();
+        let p1 = cache.get_or_build(&a);
+        let p2 = cache.get_or_build(&a.clone());
+        assert!(Arc::ptr_eq(&p1, &p2), "equal masks must share a plan");
+        let _ = cache.get_or_build(&b);
+        assert_eq!(cache.len(), 2);
+        for seed in 0..200u64 {
+            let m = EaszConfig { mask_seed: seed, ..EaszConfig::default() }.make_mask();
+            let _ = cache.get_or_build(&m);
+        }
+        assert!(cache.len() <= PlanCache::MAX_PLANS, "cache must stay bounded");
+    }
+
+    #[test]
+    #[should_panic(expected = "erases everything")]
+    fn all_erased_mask_is_rejected() {
+        let mask = EraseMask::from_cells(2, vec![true; 4]);
+        let _ = DecodePlan::new(&mask);
+    }
+}

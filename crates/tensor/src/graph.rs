@@ -10,6 +10,7 @@
 //! scatter/gather for the erased-position decoder input, and the training
 //! losses (L1 and a frequency-weighted perceptual term).
 
+use crate::kernels::{gelu_bwd, gelu_fwd};
 use crate::params::{ParamId, ParamSet};
 use crate::tensor::{inverse_permutation, Tensor};
 use std::collections::HashMap;
@@ -239,13 +240,7 @@ impl<'p> Graph<'p> {
         assert_eq!(d, d2, "broadcast width mismatch");
         assert!(s > 0 && r % s == 0, "rows {r} not a multiple of broadcast rows {s}");
         let mut out = av.clone();
-        for i in 0..r {
-            let brow = bv.row(i % s);
-            let orow = &mut out.data_mut()[i * d..(i + 1) * d];
-            for (o, &x) in orow.iter_mut().zip(brow) {
-                *o += x;
-            }
-        }
+        crate::kernels::add_rows_broadcast(out.data_mut(), bv.data(), d, s);
         self.push(out, Op::AddBroadcastRows(a, b))
     }
 
@@ -278,17 +273,7 @@ impl<'p> Graph<'p> {
         let x = &self.nodes[a.0].value;
         let d = *x.shape().last().expect("softmax needs rank >= 1");
         let mut out = x.clone();
-        for chunk in out.data_mut().chunks_mut(d) {
-            let m = chunk.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-            let mut sum = 0.0;
-            for v in chunk.iter_mut() {
-                *v = (*v - m).exp();
-                sum += *v;
-            }
-            for v in chunk.iter_mut() {
-                *v /= sum;
-            }
-        }
+        crate::kernels::softmax_last_axis(out.data_mut(), d);
         self.push(out, Op::Softmax(a))
     }
 
@@ -305,14 +290,7 @@ impl<'p> Graph<'p> {
         assert_eq!(gv.numel(), d, "gamma size");
         assert_eq!(bv.numel(), d, "beta size");
         let mut out = xv.clone();
-        for chunk in out.data_mut().chunks_mut(d) {
-            let mean = chunk.iter().sum::<f32>() / d as f32;
-            let var = chunk.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            for (j, v) in chunk.iter_mut().enumerate() {
-                *v = (*v - mean) * inv * gv.data()[j] + bv.data()[j];
-            }
-        }
+        crate::kernels::layer_norm_last_axis(out.data_mut(), d, gv.data(), bv.data(), eps);
         self.push(out, Op::LayerNorm { x, gamma, beta, eps })
     }
 
@@ -638,20 +616,6 @@ fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: &Tensor) {
         Some(acc) => acc.axpy(1.0, g),
         slot @ None => *slot = Some(g.clone()),
     }
-}
-
-const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-const GELU_COEF: f32 = 0.044_715;
-
-fn gelu_fwd(x: f32) -> f32 {
-    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x)).tanh())
-}
-
-fn gelu_bwd(x: f32) -> f32 {
-    let u = SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x);
-    let t = u.tanh();
-    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEF * x * x);
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
 }
 
 #[cfg(test)]

@@ -1,0 +1,275 @@
+//! Scalar/elementwise kernels shared by the autodiff [`Graph`] and the
+//! tape-free [`InferenceSession`] so the two engines are byte-identical by
+//! construction: both execute the very same loops in the very same
+//! floating-point operation order, only the buffer management differs.
+//!
+//! [`Graph`]: crate::Graph
+//! [`InferenceSession`]: crate::InferenceSession
+
+pub(crate) const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+pub(crate) const GELU_COEF: f32 = 0.044_715;
+
+/// Fast `tanh` for the GELU hot path: the classic single-precision rational
+/// minimax approximation (odd 13th-degree numerator over even 6th-degree
+/// denominator, input clamped where `tanh` saturates in f32), accurate to a
+/// couple of ulps.
+///
+/// Two reasons to prefer this over `f32::tanh`: it is ~5x faster (libm's
+/// `tanhf` dominated the feed-forward GELU at transformer-forward sizes),
+/// and it is *portable-deterministic* — pure mul/add/div, so every libc and
+/// platform produces the same bits, where libm implementations differ.
+#[allow(clippy::excessive_precision)] // keep the published coefficients verbatim
+pub(crate) fn fast_tanh(x: f32) -> f32 {
+    // Beyond ~7.9 tanh is 1.0 to within f32 rounding of this rational.
+    let x = x.clamp(-7.905_311, 7.905_311);
+    let x2 = x * x;
+    let mut p = -2.760_768_5e-16f32;
+    p = p * x2 + 2.000_188e-13;
+    p = p * x2 + -8.604_672e-11;
+    p = p * x2 + 5.122_297e-8;
+    p = p * x2 + 1.485_722_4e-5;
+    p = p * x2 + 6.372_619_3e-4;
+    p = p * x2 + 4.893_524_6e-3;
+    let p = p * x;
+    let mut q = 1.198_258_4e-6f32;
+    q = q * x2 + 1.185_347e-4;
+    q = q * x2 + 2.268_434_6e-3;
+    q = q * x2 + 4.893_525_2e-3;
+    p / q
+}
+
+/// Fast `exp` for the softmax hot path: Cephes-style range reduction
+/// (`x = n·ln2 + r`, `|r| ≤ ln2/2`) with a 6th-degree polynomial and an
+/// exponent-bits reconstruction — accurate to ~1 ulp and, like
+/// [`fast_tanh`], portable-deterministic pure arithmetic where libm's
+/// `expf` differs across platforms.
+#[allow(clippy::excessive_precision)] // keep the published coefficients verbatim
+pub(crate) fn fast_exp(x: f32) -> f32 {
+    // Below this exp underflows to 0; above it overflows to inf. Softmax
+    // feeds max-subtracted inputs (≤ 0), but keep the function total.
+    let x = x.clamp(-87.336_54, 88.376_26);
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_4;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    // Round-to-nearest integer without `round()` (a libm call on baseline
+    // x86-64): adding 2^23 forces the fraction bits out, and the result
+    // stays exact because |x·log2e| < 2^7.
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+    let n = (x * LOG2E + MAGIC) - MAGIC;
+    let r = x - n * LN2_HI - n * LN2_LO;
+    let mut p = 1.987_569_2e-4f32;
+    p = p * r + 1.398_199_9e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_5e-1;
+    p = p * r + 5.000_000_1e-1;
+    let p = p * r * r + r + 1.0;
+    // 2^n via the exponent field (n is integral and within f32 range).
+    let bits = (((n as i32) + 127) as u32) << 23;
+    p * f32::from_bits(bits)
+}
+
+/// GELU forward (tanh approximation), applied per element by both engines.
+pub(crate) fn gelu_fwd(x: f32) -> f32 {
+    0.5 * x * (1.0 + fast_tanh(SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x)))
+}
+
+/// GELU derivative (tape backward pass only; same `tanh` as the forward so
+/// training and inference see one consistent activation).
+pub(crate) fn gelu_bwd(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x);
+    let t = fast_tanh(u);
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEF * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// Numerically stabilised softmax over contiguous length-`d` chunks,
+/// in place.
+pub(crate) fn softmax_last_axis(data: &mut [f32], d: usize) {
+    for chunk in data.chunks_mut(d) {
+        let m = chunk.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0;
+        for v in chunk.iter_mut() {
+            *v = fast_exp(*v - m);
+            sum += *v;
+        }
+        for v in chunk.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Layer norm over contiguous length-`d` chunks with learned gain/bias,
+/// in place.
+pub(crate) fn layer_norm_last_axis(
+    data: &mut [f32],
+    d: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) {
+    for chunk in data.chunks_mut(d) {
+        let mean = chunk.iter().sum::<f32>() / d as f32;
+        let var = chunk.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gamma[j] + beta[j];
+        }
+    }
+}
+
+/// `out[r, d] += b[s, d]` with the `s` rhs rows tiled over blocks of the
+/// `r` lhs rows (`r % s == 0`), in place on `out`.
+pub(crate) fn add_rows_broadcast(out: &mut [f32], b: &[f32], d: usize, s: usize) {
+    let r = out.len() / d;
+    for i in 0..r {
+        let brow = &b[(i % s) * d..(i % s + 1) * d];
+        let orow = &mut out[i * d..(i + 1) * d];
+        for (o, &x) in orow.iter_mut().zip(brow) {
+            *o += x;
+        }
+    }
+}
+
+/// Maximum tensor rank the permute kernel supports (and the stack rank the
+/// inference arena assumes). The transformer uses rank 0 through 4.
+pub const MAX_RANK: usize = 8;
+
+/// Axis permutation of `src` (row-major, shape `src_shape`) into `out`.
+///
+/// Odometer-style walk — no per-element div/mod. When the innermost output
+/// axis is also the innermost input axis (every head split/merge in the
+/// attention layers), whole rows are copied as contiguous blocks. Pure data
+/// movement: no floating-point arithmetic, so the result is bit-exact
+/// regardless of engine.
+///
+/// # Panics
+///
+/// Panics if `axes` is not a permutation of `0..rank`, rank exceeds
+/// [`MAX_RANK`], or `out` does not match the element count.
+pub(crate) fn permute_into(src: &[f32], src_shape: &[usize], axes: &[usize], out: &mut [f32]) {
+    let r = src_shape.len();
+    assert_eq!(axes.len(), r, "permute axes length");
+    assert!(r <= MAX_RANK, "permute rank {r} exceeds MAX_RANK {MAX_RANK}");
+    assert_eq!(src.len(), out.len(), "permute element count");
+    let mut seen = [false; MAX_RANK];
+    for &a in axes {
+        assert!(a < r && !seen[a], "permute axes must be a permutation, got {axes:?}");
+        seen[a] = true;
+    }
+    if out.is_empty() || r == 0 {
+        out.copy_from_slice(src);
+        return;
+    }
+    let old_strides = crate::tensor::strides_of_array::<MAX_RANK>(src_shape);
+    // Source strides and output shape in output-axis order.
+    let mut src_strides = [0usize; MAX_RANK];
+    let mut new_shape = [0usize; MAX_RANK];
+    for (d, &a) in axes.iter().enumerate() {
+        src_strides[d] = old_strides[a];
+        new_shape[d] = src_shape[a];
+    }
+    let block = if src_strides[r - 1] == 1 { new_shape[r - 1] } else { 1 };
+    let outer = r - 1;
+    let inner = new_shape[r - 1];
+    let mut idx = [0usize; MAX_RANK];
+    let mut src_off = 0usize;
+    let mut written = 0usize;
+    while written < out.len() {
+        if block > 1 {
+            out[written..written + block].copy_from_slice(&src[src_off..src_off + block]);
+            written += block;
+        } else {
+            let stride = src_strides[r - 1];
+            let mut s = src_off;
+            for slot in &mut out[written..written + inner] {
+                *slot = src[s];
+                s += stride;
+            }
+            written += inner;
+        }
+        // Advance the outer odometer and the source offset with it.
+        for d in (0..outer).rev() {
+            idx[d] += 1;
+            src_off += src_strides[d];
+            if idx[d] < new_shape[d] {
+                break;
+            }
+            src_off -= src_strides[d] * new_shape[d];
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_tanh_matches_libm_closely() {
+        let mut worst = 0.0f32;
+        let mut x = -12.0f32;
+        while x <= 12.0 {
+            let err = (fast_tanh(x) - x.tanh()).abs();
+            worst = worst.max(err);
+            x += 1e-3;
+        }
+        // A couple of f32 ulps across the whole range incl. saturation.
+        assert!(worst < 1e-6, "fast_tanh worst abs error {worst}");
+        assert_eq!(fast_tanh(0.0), 0.0);
+        assert_eq!(fast_tanh(40.0), 1.0);
+        assert_eq!(fast_tanh(-40.0), -1.0);
+    }
+
+    #[test]
+    fn fast_exp_matches_libm_closely() {
+        let mut worst_rel = 0.0f32;
+        let mut x = -20.0f32;
+        while x <= 20.0 {
+            let (got, want) = (fast_exp(x), x.exp());
+            let rel = ((got - want) / want).abs();
+            worst_rel = worst_rel.max(rel);
+            x += 1e-3;
+        }
+        assert!(worst_rel < 4e-7, "fast_exp worst rel error {worst_rel}");
+        assert_eq!(fast_exp(0.0), 1.0);
+        assert!(fast_exp(-100.0) < 1e-37, "deep negative must underflow to ~0");
+        assert!(fast_exp(100.0).is_finite(), "clamped overflow stays finite");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = vec![1.0f32, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_last_axis(&mut x, 3);
+        for chunk in x.chunks(3) {
+            let s: f32 = chunk.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_norm_centres_and_scales() {
+        let mut x = vec![1.0f32, 2.0, 3.0, 4.0];
+        layer_norm_last_axis(&mut x, 4, &[1.0; 4], &[0.0; 4], 1e-5);
+        let mean: f32 = x.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_add_tiles_rows() {
+        let mut out = vec![0.0f32; 6];
+        add_rows_broadcast(&mut out, &[1.0, 2.0], 2, 1);
+        assert_eq!(out, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn permute_into_matches_shape_logic() {
+        let src: Vec<f32> = (0..24).map(|v| v as f32).collect();
+        let mut out = vec![0.0f32; 24];
+        permute_into(&src, &[2, 3, 4], &[0, 2, 1], &mut out);
+        // Compare against the Tensor-level permute, which shares this kernel
+        // but exercises it through the public API.
+        let t = crate::Tensor::from_vec(src, &[2, 3, 4]).permuted(&[0, 2, 1]);
+        assert_eq!(out, t.data());
+    }
+}

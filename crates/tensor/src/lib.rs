@@ -12,6 +12,10 @@
 //!   batched matmul, permutation) with thread-parallel inner loops.
 //! * [`Graph`] — a tape-based autodiff engine over a fixed op vocabulary
 //!   (matmul, layer norm, softmax, GELU, token scatter/gather, losses).
+//! * [`InferenceSession`] / [`ScratchArena`] — the tape-free *inference*
+//!   engine: the same op vocabulary executed forward-only with in-place
+//!   activations and preallocated, reusable buffers. Byte-identical to the
+//!   `Graph` path (both call the same kernels in the same order).
 //! * [`nn`] — `Linear`, `LayerNorm`, `MultiHeadAttention`, `FeedForward`
 //!   and `TransformerBlock` layers mirroring Fig. 5 of the paper.
 //! * [`AdamW`] — decoupled weight decay Adam with optional gradient clipping.
@@ -37,8 +41,10 @@
 
 pub mod alloc;
 mod graph;
+mod infer;
 pub mod init;
 mod io;
+mod kernels;
 pub mod nn;
 mod optim;
 pub mod parallel;
@@ -46,6 +52,7 @@ mod params;
 mod tensor;
 
 pub use graph::{Gradients, Graph, Var};
+pub use infer::{InferenceSession, ScratchArena, ScratchTensor, TensorView};
 pub use io::{
     load_params, load_params_file, save_params, save_params_file, serialized_size, WeightsError,
 };

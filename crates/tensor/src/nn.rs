@@ -7,6 +7,7 @@
 //! connections.
 
 use crate::graph::{Graph, Var};
+use crate::infer::{InferenceSession, ScratchTensor};
 use crate::init;
 use crate::params::{ParamId, ParamSet};
 use rand::rngs::StdRng;
@@ -47,6 +48,17 @@ impl Linear {
         g.add_broadcast_rows(y, b)
     }
 
+    /// Applies the layer on the tape-free engine (byte-identical to
+    /// [`forward`](Self::forward); weights are borrowed, not cloned).
+    pub fn infer(&self, s: &mut InferenceSession<'_, '_>, x: &ScratchTensor) -> ScratchTensor {
+        debug_assert_eq!(x.shape()[1], self.in_dim);
+        let w = s.param(self.w);
+        let b = s.param(self.b);
+        let mut y = s.matmul(x, w);
+        s.add_broadcast_rows(&mut y, b);
+        y
+    }
+
     /// Input width.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -79,6 +91,14 @@ impl LayerNorm {
         let gamma = g.param(self.gamma);
         let beta = g.param(self.beta);
         g.layer_norm(x, gamma, beta, self.eps)
+    }
+
+    /// Tape-free layer norm into a fresh scratch buffer (the input stays
+    /// live for residual connections).
+    pub fn infer(&self, s: &mut InferenceSession<'_, '_>, x: &ScratchTensor) -> ScratchTensor {
+        let gamma = s.param(self.gamma);
+        let beta = s.param(self.beta);
+        s.layer_norm(x, gamma, beta, self.eps)
     }
 }
 
@@ -149,6 +169,58 @@ impl MultiHeadAttention {
         let ctx = g.reshape(ctx, &[batch * seq, d]);
         self.o.forward(g, ctx)
     }
+
+    /// Tape-free self-attention; scaling and softmax run in place on the
+    /// score buffer, head splits/merges reuse arena buffers.
+    pub fn infer(
+        &self,
+        s: &mut InferenceSession<'_, '_>,
+        x: &ScratchTensor,
+        batch: usize,
+        seq: usize,
+    ) -> ScratchTensor {
+        let (h, d) = (self.heads, self.dim);
+        let dh = d / h;
+        // [B*S, D] -> [B, S, H, Dh] -> [B, H, S, Dh] -> [B*H, S, Dh]
+        fn to_heads(
+            s: &mut InferenceSession<'_, '_>,
+            mut t: ScratchTensor,
+            batch: usize,
+            seq: usize,
+            h: usize,
+            dh: usize,
+        ) -> ScratchTensor {
+            t.reshape(&[batch, seq, h, dh]);
+            let mut out = s.permute(&t, &[0, 2, 1, 3]);
+            s.free(t);
+            out.reshape(&[batch * h, seq, dh]);
+            out
+        }
+        let q = self.q.infer(s, x);
+        let qh = to_heads(s, q, batch, seq, h, dh);
+        let k = self.k.infer(s, x);
+        let kh = to_heads(s, k, batch, seq, h, dh);
+        let v = self.v.infer(s, x);
+        let vh = to_heads(s, v, batch, seq, h, dh);
+        let kt = s.permute(&kh, &[0, 2, 1]);
+        s.free(kh);
+        let mut scores = s.batch_matmul(&qh, &kt);
+        s.free(qh);
+        s.free(kt);
+        s.scale_in_place(&mut scores, 1.0 / (dh as f32).sqrt());
+        s.softmax_in_place(&mut scores);
+        let mut ctx = s.batch_matmul(&scores, &vh);
+        s.free(scores);
+        s.free(vh);
+        // [B*H, S, Dh] -> [B, H, S, Dh] -> [B, S, H, Dh] -> [B*S, D]
+        ctx.reshape(&[batch, h, seq, dh]);
+        let mut merged = s.permute(&ctx, &[0, 2, 1, 3]);
+        s.free(ctx);
+        merged.reshape(&[batch * seq, d]);
+        let out = self.o.infer(s, &merged);
+        s.free(merged);
+        out
+    }
 }
 
 /// Two-layer GELU feed-forward network.
@@ -178,6 +250,16 @@ impl FeedForward {
         let h = self.fc1.forward(g, x);
         let h = g.gelu(h);
         self.fc2.forward(g, h)
+    }
+
+    /// Tape-free `fc2(gelu(fc1(x)))`; GELU mutates the hidden buffer in
+    /// place.
+    pub fn infer(&self, s: &mut InferenceSession<'_, '_>, x: &ScratchTensor) -> ScratchTensor {
+        let mut h = self.fc1.infer(s, x);
+        s.gelu_in_place(&mut h);
+        let out = self.fc2.infer(s, &h);
+        s.free(h);
+        out
     }
 }
 
@@ -220,6 +302,30 @@ impl TransformerBlock {
         let h = self.ffn.forward(g, h);
         let x = g.add(x, h);
         self.ln3.forward(g, x)
+    }
+
+    /// Tape-free block forward. Consumes `x` (its buffer is recycled after
+    /// the first residual); byte-identical to [`forward`](Self::forward).
+    pub fn infer(
+        &self,
+        s: &mut InferenceSession<'_, '_>,
+        x: ScratchTensor,
+        batch: usize,
+        seq: usize,
+    ) -> ScratchTensor {
+        let ln = self.ln1.infer(s, &x);
+        let mut h = self.attn.infer(s, &ln, batch, seq);
+        s.free(ln);
+        s.add_assign(&mut h, &x); // h = x + attn(ln1(x))
+        s.free(x);
+        let ln = self.ln2.infer(s, &h);
+        let mut f = self.ffn.infer(s, &ln);
+        s.free(ln);
+        s.add_assign(&mut f, &h); // f = h + ffn(ln2(h))
+        s.free(h);
+        let out = self.ln3.infer(s, &f);
+        s.free(f);
+        out
     }
 }
 

@@ -1,16 +1,40 @@
 //! Thread-parallel matmul kernels.
 //!
 //! The Easz reconstruction model trains on CPU, so the matrix products that
-//! dominate its forward/backward passes are split across a scoped thread pool
-//! (via `std::thread::scope`) once they are large enough to amortise
-//! the spawn cost. Small products run single-threaded.
+//! dominate its forward/backward passes are split across a **persistent
+//! worker pool** once they are large enough to amortise the dispatch cost.
+//! Small products run single-threaded.
+//!
+//! The pool (the private `pool` module) replaces the per-call `std::thread::scope`
+//! spawn/join this module used previously: at transformer-forward sizes the
+//! spawn cost rivalled the arithmetic, to the point that a single thread
+//! beat eight. Workers park on a condvar between jobs, so an idle pool
+//! costs nothing. Work partitioning is row-block based and every output
+//! element is accumulated by exactly one worker in the same `k` order as
+//! the serial kernel, so results are bit-identical to serial execution for
+//! any worker count.
 
 /// Work threshold (in multiply-accumulate ops) below which a product stays
 /// single-threaded.
 const PAR_THRESHOLD: usize = 1 << 17;
 
+/// Default cap on matmul worker threads; override with the
+/// `EASZ_MATMUL_THREADS` environment variable (read once per process).
+const DEFAULT_WORKER_CAP: usize = 8;
+
+fn worker_cap() -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("EASZ_MATMUL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_WORKER_CAP)
+    })
+}
+
 fn worker_count() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+    std::thread::available_parallelism().map(|n| n.get().min(worker_cap())).unwrap_or(1)
 }
 
 /// `C[m,n] = A[m,k] * B[k,n]`, parallelised across row blocks of `A`/`C`.
@@ -24,34 +48,114 @@ pub fn par_matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
         return;
     }
     let chunk = m.div_ceil(workers);
-    std::thread::scope(|s| {
-        let mut rest = &mut c[..];
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows = chunk.min(m - row0);
-            let (head, tail) = rest.split_at_mut(rows * n);
-            rest = tail;
-            let a_block = &a[row0 * k..(row0 + rows) * k];
-            s.spawn(move || matmul_rows(a_block, b, head, 0, rows, k, n));
-            row0 += rows;
-        }
+    let n_chunks = m.div_ceil(chunk);
+    let c_base = SendPtr(c.as_mut_ptr());
+    pool::run(n_chunks, &move |ci| {
+        let c_base = c_base; // capture the Sync wrapper, not the raw field
+        let row0 = ci * chunk;
+        let rows = chunk.min(m - row0);
+        // Safety: chunks index disjoint row ranges of `c`, and `pool::run`
+        // does not return until every task has finished.
+        let c_block = unsafe { std::slice::from_raw_parts_mut(c_base.0.add(row0 * n), rows * n) };
+        matmul_rows(&a[row0 * k..(row0 + rows) * k], b, c_block, 0, rows, k, n);
     });
 }
 
-/// Sequential `ikj` kernel over a row range of the output.
+/// Raw mutable base pointer that may cross thread boundaries; the row-block
+/// partition guarantees disjoint access.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Output-column block width of the register-tiled kernel: 16 lanes is two
+/// SSE2 (or one AVX-512) accumulator rows and well within x86-64's 16 XMM
+/// registers.
+const COL_BLOCK: usize = 16;
+
+/// Sequential kernel over a row range of the output: dispatches to an AVX2
+/// compilation of the register-tiled loop when the CPU has it, else the
+/// baseline build. Same source body either way — and since each output
+/// element is an independent scalar chain (ascending-`k` mul-then-add from
+/// `0.0`, never fused), vector width cannot change results: every ISA
+/// produces the same bits.
 fn matmul_rows(a: &[f32], b: &[f32], c: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // Safety: the `avx2` feature was just verified at runtime.
+        unsafe { matmul_rows_avx2(a, b, c, row0, rows, k, n) };
+        return;
+    }
+    matmul_rows_generic(a, b, c, row0, rows, k, n);
+}
+
+/// The register-tiled body recompiled with AVX2 enabled (the `inline`
+/// generic body vectorizes to 256-bit lanes here). No FMA: fused rounding
+/// would diverge from machines without it, separate mul+add is exactly
+/// rounded everywhere.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_rows_avx2(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_rows_generic(a, b, c, row0, rows, k, n);
+}
+
+/// Register-tiled `ikj` kernel: each length-[`COL_BLOCK`] slice of an
+/// output row accumulates in locals across the whole `k` loop, instead of
+/// re-loading and re-storing `c` on every `k` step like the previous plain
+/// `ikj` loop.
+///
+/// Every output element still starts at `0.0` and accumulates `a[i,k] *
+/// b[k,j]` in ascending-`k` order, so results are bit-identical to the
+/// untiled kernel. No zero-skip on `av`: dense activations almost never
+/// contain exact zeros and the branch pessimizes the inner loop (measured
+/// on the criterion kernels bench).
+#[inline(always)]
+fn matmul_rows_generic(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
     for i in row0..row0 + rows {
         let crow = &mut c[(i - row0) * n..(i - row0 + 1) * n];
-        crow.fill(0.0);
         let arow = &a[(i - row0) * k..(i - row0 + 1) * k];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+        let mut j0 = 0usize;
+        // Full blocks: fixed-size accumulators so the block stays in
+        // registers across the whole k loop.
+        while j0 + COL_BLOCK <= n {
+            let mut acc = [0.0f32; COL_BLOCK];
+            for (kk, &av) in arow.iter().enumerate() {
+                let brow: &[f32; COL_BLOCK] =
+                    b[kk * n + j0..kk * n + j0 + COL_BLOCK].try_into().expect("block width");
+                for (cv, &bv) in acc.iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
+                }
             }
-            let brow = &b[kk * n..kk * n + n];
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += av * bv;
+            crow[j0..j0 + COL_BLOCK].copy_from_slice(&acc);
+            j0 += COL_BLOCK;
+        }
+        // Remainder columns (n not a multiple of the block width).
+        if j0 < n {
+            let jb = n - j0;
+            let mut acc = [0.0f32; COL_BLOCK];
+            for (kk, &av) in arow.iter().enumerate() {
+                let brow = &b[kk * n + j0..kk * n + j0 + jb];
+                for (cv, &bv) in acc[..jb].iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
+                }
             }
+            crow[j0..j0 + jb].copy_from_slice(&acc[..jb]);
         }
     }
 }
@@ -85,30 +189,231 @@ pub fn par_batch_matmul(
         return;
     }
     let per = g.div_ceil(workers);
-    std::thread::scope(|s| {
-        let mut rest = &mut c[..];
-        let mut g0 = 0usize;
-        while g0 < g {
-            let batches = per.min(g - g0);
-            let (head, tail) = rest.split_at_mut(batches * m * n);
-            rest = tail;
-            let a0 = g0;
-            s.spawn(move || {
-                for bi in 0..batches {
-                    matmul_rows(
-                        &a[(a0 + bi) * m * k..(a0 + bi + 1) * m * k],
-                        &b[(a0 + bi) * k * n..(a0 + bi + 1) * k * n],
-                        &mut head[bi * m * n..(bi + 1) * m * n],
-                        0,
-                        m,
-                        k,
-                        n,
-                    );
-                }
-            });
-            g0 += batches;
+    let n_chunks = g.div_ceil(per);
+    let c_base = SendPtr(c.as_mut_ptr());
+    pool::run(n_chunks, &move |ci| {
+        let c_base = c_base; // capture the Sync wrapper, not the raw field
+        let g0 = ci * per;
+        let batches = per.min(g - g0);
+        for bi in 0..batches {
+            // Safety: disjoint `c` slices per batch index; `pool::run`
+            // blocks until all tasks finish.
+            let c_block =
+                unsafe { std::slice::from_raw_parts_mut(c_base.0.add((g0 + bi) * m * n), m * n) };
+            matmul_rows(
+                &a[(g0 + bi) * m * k..(g0 + bi + 1) * m * k],
+                &b[(g0 + bi) * k * n..(g0 + bi + 1) * k * n],
+                c_block,
+                0,
+                m,
+                k,
+                n,
+            );
         }
     });
+}
+
+/// The persistent matmul worker pool.
+///
+/// `run(n_tasks, f)` executes `f(0..n_tasks)` across `worker_count() - 1`
+/// long-lived worker threads plus the calling thread, and returns only when
+/// every task has completed — the same blocking contract as the
+/// `std::thread::scope` it replaces, without the per-call thread spawns.
+/// When another thread is already dispatching (concurrent decodes on a
+/// shared server), the caller simply runs its tasks inline: under real
+/// concurrency, per-call parallelism has nothing left to win.
+mod pool {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// Type-erased task closure (`fn(task_index)`), valid for the duration
+    /// of one `run` call.
+    #[derive(Clone, Copy)]
+    struct Job {
+        f: *const (dyn Fn(usize) + Sync),
+        n_tasks: usize,
+    }
+    unsafe impl Send for Job {}
+
+    #[derive(Default)]
+    struct Slot {
+        generation: u64,
+        job: Option<Job>,
+    }
+
+    struct Shared {
+        slot: Mutex<Slot>,
+        wake: Condvar,
+        /// Next unclaimed task index of the current job.
+        next: AtomicUsize,
+        /// Completed tasks of the current job (panicked tasks count too, so
+        /// the dispatcher can never wedge waiting on a dead task).
+        done: AtomicUsize,
+        /// Workers currently holding a reference to the current job.
+        active: AtomicUsize,
+        /// Set when any task of the current job panicked.
+        poisoned: AtomicBool,
+    }
+
+    struct Pool {
+        shared: &'static Shared,
+        /// Serialises dispatchers; contenders fall back to inline execution.
+        dispatch: Mutex<()>,
+    }
+
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let shared: &'static Shared = Box::leak(Box::new(Shared {
+                slot: Mutex::new(Slot::default()),
+                wake: Condvar::new(),
+                next: AtomicUsize::new(0),
+                done: AtomicUsize::new(0),
+                active: AtomicUsize::new(0),
+                poisoned: AtomicBool::new(false),
+            }));
+            // The dispatcher participates too, so spawn cap - 1 workers.
+            for i in 0..super::worker_count().saturating_sub(1) {
+                let _ = std::thread::Builder::new()
+                    .name(format!("easz-matmul-{i}"))
+                    .spawn(move || worker_loop(shared));
+            }
+            Pool { shared, dispatch: Mutex::new(()) }
+        })
+    }
+
+    fn worker_loop(shared: &'static Shared) {
+        let mut seen = 0u64;
+        loop {
+            // Park until a job with a new generation is installed. `active`
+            // is incremented under the slot lock, so a dispatcher that has
+            // observed `active == 0` knows no worker still holds the
+            // previous job pointer.
+            let job = {
+                let mut slot = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if slot.generation != seen {
+                        if let Some(job) = slot.job {
+                            seen = slot.generation;
+                            shared.active.fetch_add(1, Ordering::AcqRel);
+                            break job;
+                        }
+                    }
+                    slot = shared.wake.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            // Safety: the dispatcher blocks in `run` until `done == n_tasks`
+            // and quiesces on `active == 0` before installing the next job
+            // (even when unwinding, via `JobGuard`), so `job.f` outlives
+            // every dereference here.
+            let f = unsafe { &*job.f };
+            loop {
+                let i = shared.next.fetch_add(1, Ordering::Relaxed);
+                if i >= job.n_tasks {
+                    break;
+                }
+                // Catch task panics so a failed task can neither kill the
+                // worker (wedging every later `run`) nor leave `done` short
+                // (wedging the current one); the dispatcher re-raises.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).is_err() {
+                    shared.poisoned.store(true, Ordering::Release);
+                }
+                shared.done.fetch_add(1, Ordering::Release);
+            }
+            shared.active.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    /// Cleans up the current job even if the dispatcher unwinds: stops new
+    /// claims, waits for in-flight workers (whose tasks borrow the
+    /// dispatcher's stack) to finish, and clears the job slot so no parked
+    /// worker can later adopt a dangling closure pointer.
+    struct JobGuard {
+        shared: &'static Shared,
+    }
+
+    impl Drop for JobGuard {
+        fn drop(&mut self) {
+            self.shared.next.store(usize::MAX / 2, Ordering::Relaxed);
+            let mut spins = 0u32;
+            while self.shared.active.load(Ordering::Acquire) != 0 {
+                backoff(&mut spins);
+            }
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            slot.job = None;
+        }
+    }
+
+    /// Runs `f(0..n_tasks)`, blocking until all tasks complete.
+    pub(super) fn run(n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        let pool = global();
+        // One dispatcher at a time; concurrent callers execute inline.
+        let Ok(_dispatch) = pool.dispatch.try_lock() else {
+            for i in 0..n_tasks {
+                f(i);
+            }
+            return;
+        };
+        let shared = pool.shared;
+        // Quiesce: no worker may still reference the previous job when the
+        // claim counters reset.
+        let mut spins = 0u32;
+        while shared.active.load(Ordering::Acquire) != 0 {
+            backoff(&mut spins);
+        }
+        // Safety: `run` does not return until `done == n_tasks`, so
+        // extending the closure lifetime for the pool is sound.
+        let f_static: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
+        };
+        {
+            let mut slot = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            shared.next.store(0, Ordering::Relaxed);
+            shared.done.store(0, Ordering::Relaxed);
+            shared.poisoned.store(false, Ordering::Relaxed);
+            slot.generation = slot.generation.wrapping_add(1);
+            slot.job = Some(Job { f: f_static, n_tasks });
+        }
+        let guard = JobGuard { shared };
+        shared.wake.notify_all();
+        // The dispatcher claims tasks alongside the workers. A panic out of
+        // its own `f(i)` unwinds through `guard`, which blocks until every
+        // worker is out of the job before the borrowed closure dies.
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_tasks {
+                break;
+            }
+            f(i);
+            shared.done.fetch_add(1, Ordering::Release);
+        }
+        // Tasks are sub-millisecond; spin (with escalating yields) rather
+        // than paying a condvar round-trip on every job.
+        let mut spins = 0u32;
+        while shared.done.load(Ordering::Acquire) != n_tasks {
+            backoff(&mut spins);
+        }
+        drop(guard);
+        assert!(
+            !shared.poisoned.load(Ordering::Acquire),
+            "a matmul pool task panicked; see worker thread output"
+        );
+    }
+
+    fn backoff(spins: &mut u32) {
+        *spins += 1;
+        if *spins > 64 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -256,62 +256,19 @@ impl Tensor {
 
     /// General axis permutation (forward of the autodiff `Permute` op).
     ///
+    /// The walk is odometer-style (no per-element div/mod) and copies
+    /// contiguous blocks whenever the innermost axis is preserved — every
+    /// head split/merge in the attention layers. The actual kernel lives in
+    /// the crate-private `kernels` module and is shared with the tape-free
+    /// inference engine.
+    ///
     /// # Panics
     ///
     /// Panics if `axes` is not a permutation of `0..rank`.
     pub fn permuted(&self, axes: &[usize]) -> Self {
-        let r = self.rank();
-        assert_eq!(axes.len(), r, "permute axes length");
-        let mut seen = vec![false; r];
-        for &a in axes {
-            assert!(a < r && !seen[a], "permute axes must be a permutation, got {axes:?}");
-            seen[a] = true;
-        }
-        let old_shape = &self.shape;
-        let new_shape: Vec<usize> = axes.iter().map(|&a| old_shape[a]).collect();
-        let old_strides = strides_of(old_shape);
-        // Source strides in output-axis order.
-        let src_strides: Vec<usize> = axes.iter().map(|&a| old_strides[a]).collect();
+        let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
         let mut out = vec![0.0f32; self.data.len()];
-        if out.is_empty() || r == 0 {
-            return Self { data: self.data.clone(), shape: new_shape };
-        }
-        // When the innermost output axis is also the innermost input axis,
-        // whole rows stay contiguous and the walk copies blocks; this is
-        // every head split/merge in the attention layers. Otherwise the
-        // innermost loop gathers with a stride. Either way the source
-        // offset advances odometer-style — no per-element div/mod, which
-        // made this the hottest op of the transformer forward.
-        let block = if src_strides[r - 1] == 1 { new_shape[r - 1] } else { 1 };
-        let outer_shape = &new_shape[..r - 1];
-        let inner = new_shape[r - 1];
-        let mut idx = vec![0usize; r.saturating_sub(1)];
-        let mut src = 0usize;
-        let mut written = 0usize;
-        while written < out.len() {
-            if block > 1 {
-                out[written..written + block].copy_from_slice(&self.data[src..src + block]);
-                written += block;
-            } else {
-                let stride = src_strides[r - 1];
-                let mut s = src;
-                for slot in &mut out[written..written + inner] {
-                    *slot = self.data[s];
-                    s += stride;
-                }
-                written += inner;
-            }
-            // Advance the outer odometer and the source offset with it.
-            for d in (0..outer_shape.len()).rev() {
-                idx[d] += 1;
-                src += src_strides[d];
-                if idx[d] < outer_shape[d] {
-                    break;
-                }
-                src -= src_strides[d] * outer_shape[d];
-                idx[d] = 0;
-            }
-        }
+        crate::kernels::permute_into(&self.data, &self.shape, axes, &mut out);
         Self { data: out, shape: new_shape }
     }
 
@@ -347,6 +304,25 @@ impl Tensor {
 pub fn strides_of(shape: &[usize]) -> Vec<usize> {
     let mut strides = vec![1usize; shape.len()];
     for d in (0..shape.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * shape[d + 1];
+    }
+    strides
+}
+
+/// Row-major strides into a fixed-size array (allocation-free variant used
+/// by the inference hot path; unused trailing slots are zero).
+///
+/// # Panics
+///
+/// Panics if `shape.len() > N`.
+pub(crate) fn strides_of_array<const N: usize>(shape: &[usize]) -> [usize; N] {
+    assert!(shape.len() <= N, "rank {} exceeds stride capacity {N}", shape.len());
+    let mut strides = [0usize; N];
+    if shape.is_empty() {
+        return strides;
+    }
+    strides[shape.len() - 1] = 1;
+    for d in (0..shape.len() - 1).rev() {
         strides[d] = strides[d + 1] * shape[d + 1];
     }
     strides

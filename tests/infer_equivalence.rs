@@ -1,0 +1,156 @@
+//! Tape vs tape-free equivalence: the inference engine must be
+//! **byte-identical** to the autodiff `Graph` path — same kernels, same
+//! floating-point operation order — across every mask strategy, batch size
+//! and model geometry the pipeline ships.
+//!
+//! Also proves the `ScratchArena` steady state allocates nothing and the
+//! decoder's `DecodePlan` cache behaves (one plan per effective mask).
+
+use easz::codecs::{JpegLikeCodec, Quality};
+use easz::core::{
+    DecodeEngine, DecodePlan, EaszConfig, EaszDecoder, EaszEncoder, EraseMask, MaskKind,
+    Reconstructor, ReconstructorConfig, RowSamplerConfig, TokenBatch,
+};
+use easz::data::Dataset;
+use easz::tensor::ScratchArena;
+
+/// The two model geometries under test: the pipeline default (n=32, b=4)
+/// and the small-tile ablation geometry (n=16, b=2).
+fn geometries() -> [ReconstructorConfig; 2] {
+    [
+        ReconstructorConfig::fast(),
+        ReconstructorConfig {
+            n: 16,
+            b: 2,
+            d_model: 32,
+            heads: 2,
+            ffn: 64,
+            ..ReconstructorConfig::fast()
+        },
+    ]
+}
+
+/// Every shipped mask family at the given grid size.
+fn mask_strategies(grid: usize, seed: u64) -> Vec<(&'static str, EraseMask)> {
+    vec![
+        (
+            "row_conditional",
+            MaskKind::RowConditional(RowSamplerConfig::with_ratio(grid, 0.25)).generate(seed),
+        ),
+        ("random_row", MaskKind::RandomRow { n_grid: grid, t: grid / 4 }.generate(seed)),
+        ("diagonal", MaskKind::Diagonal { n_grid: grid }.generate(seed)),
+    ]
+}
+
+fn random_batch(cfg: &ReconstructorConfig, bsz: usize, seed: u64) -> TokenBatch {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let (seq, dim) = (cfg.seq_len(), cfg.token_dim());
+    let patches: Vec<Vec<Vec<f32>>> = (0..bsz)
+        .map(|_| {
+            (0..seq)
+                .map(|_| {
+                    (0..dim)
+                        .map(|_| {
+                            s ^= s << 13;
+                            s ^= s >> 7;
+                            s ^= s << 17;
+                            ((s >> 40) as f32 / (1u64 << 24) as f32).clamp(0.0, 1.0)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    TokenBatch::from_patches(&patches)
+}
+
+fn to_bits(tokens: &[Vec<Vec<f32>>]) -> Vec<u32> {
+    tokens.iter().flatten().flatten().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn tape_free_is_byte_identical_across_masks_batches_and_geometries() {
+    for cfg in geometries() {
+        let model = Reconstructor::new(cfg);
+        let grid = cfg.geometry().grid();
+        for (strategy, mask) in mask_strategies(grid, 7) {
+            for bsz in [1usize, 4, 8] {
+                let batch = random_batch(&cfg, bsz, 1000 + bsz as u64);
+                let tape = model.reconstruct_tokens_graph(&batch, &mask);
+                let free = model.reconstruct_tokens(&batch, &mask);
+                assert_eq!(
+                    to_bits(&tape),
+                    to_bits(&free),
+                    "engines diverge: n={} b={} strategy={strategy} batch={bsz}",
+                    cfg.n,
+                    cfg.b,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decode_engines_produce_byte_identical_images() {
+    let model = Reconstructor::new(ReconstructorConfig::fast());
+    let decoder = EaszDecoder::new(&model);
+    let encoder = EaszEncoder::new(EaszConfig::default()).expect("encoder");
+    let codec = JpegLikeCodec::new();
+    for (i, side) in [(1usize, 32usize), (2, 64)] {
+        let img = Dataset::KodakLike.image(i).crop(0, 0, side, side);
+        let enc = encoder.compress(&img, &codec, Quality::new(80)).expect("compress");
+        let graph = decoder.decode_with_engine(&enc, &codec, DecodeEngine::Graph).expect("graph");
+        let free = decoder.decode_with_engine(&enc, &codec, DecodeEngine::TapeFree).expect("free");
+        let gb: Vec<u32> = graph.data().iter().map(|v| v.to_bits()).collect();
+        let fb: Vec<u32> = free.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(gb, fb, "decoded tile{side} images must match bit-for-bit");
+    }
+}
+
+#[test]
+fn scratch_arena_steady_state_allocates_nothing() {
+    let cfg = ReconstructorConfig::fast();
+    let model = Reconstructor::new(cfg);
+    let mask = EaszConfig::default().make_mask();
+    let plan = DecodePlan::new(&mask);
+    let batch = random_batch(&cfg, 4, 42);
+    let mut arena = ScratchArena::new();
+    let first = model.infer_tokens(&batch, &plan, &mut arena);
+    let (buffers, bytes) = (arena.allocated_buffers(), arena.allocated_bytes());
+    assert!(buffers > 0, "the first forward must warm the arena");
+    for _ in 0..5 {
+        let again = model.infer_tokens(&batch, &plan, &mut arena);
+        assert_eq!(to_bits(&first), to_bits(&again), "repeated forwards must be identical");
+    }
+    assert_eq!(
+        (arena.allocated_buffers(), arena.allocated_bytes()),
+        (buffers, bytes),
+        "repeated forwards must not grow the arena"
+    );
+}
+
+#[test]
+fn decoder_caches_one_plan_per_effective_mask() {
+    let model = Reconstructor::new(ReconstructorConfig::fast());
+    let decoder = EaszDecoder::new(&model);
+    let codec = JpegLikeCodec::new();
+    let img = Dataset::KodakLike.image(3).crop(0, 0, 64, 64);
+    let enc_a = EaszEncoder::new(EaszConfig::default())
+        .expect("encoder")
+        .compress(&img, &codec, Quality::new(75))
+        .expect("compress");
+    let enc_b = EaszEncoder::new(EaszConfig { mask_seed: 99, ..EaszConfig::default() })
+        .expect("encoder")
+        .compress(&img, &codec, Quality::new(75))
+        .expect("compress");
+    assert_eq!(decoder.cached_plans(), 0);
+    decoder.decode(&enc_a).expect("decode a");
+    decoder.decode(&enc_a).expect("decode a again");
+    assert_eq!(decoder.cached_plans(), 1, "same mask must reuse one plan");
+    decoder.decode(&enc_b).expect("decode b");
+    assert_eq!(decoder.cached_plans(), 2, "distinct masks get distinct plans");
+    decoder.decode_batch(&[enc_a, enc_b]).into_iter().for_each(|r| {
+        r.expect("batch decode");
+    });
+    assert_eq!(decoder.cached_plans(), 2, "decode_batch reuses the serial-path plans");
+}
