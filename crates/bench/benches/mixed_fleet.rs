@@ -1,0 +1,65 @@
+//! Mixed-mask fleet decode: per-connection serial vs one fused multi-mask
+//! batch (`EaszDecoder::decode_batch` grouping by erase *count*), the
+//! workload a gateway window hands the decode workers.
+//!
+//! The uniform-mask batch is measured alongside as the upper bound: the
+//! closer the mixed-mask fusion sits to it, the cheaper the per-stream
+//! gather/compose maps are.
+//!
+//! ```sh
+//! cargo bench -p easz-bench --bench mixed_fleet
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easz_codecs::{JpegLikeCodec, Quality};
+use easz_core::{
+    EaszConfig, EaszDecoder, EaszEncoded, EaszEncoder, Reconstructor, ReconstructorConfig,
+};
+use easz_data::Dataset;
+
+/// One tile-32 container per mask seed; `distinct = false` reuses one seed
+/// (the uniform-mask upper bound).
+fn fleet(count: usize, distinct: bool) -> Vec<EaszEncoded> {
+    let codec = JpegLikeCodec::new();
+    (0..count)
+        .map(|i| {
+            let seed = if distinct { 1 + i as u64 } else { 1 };
+            let encoder = EaszEncoder::new(EaszConfig { mask_seed: seed, ..EaszConfig::default() })
+                .expect("encoder");
+            let img = Dataset::KodakLike.image(i).crop(0, 0, 32, 32);
+            encoder.compress(&img, &codec, Quality::new(75)).expect("compress")
+        })
+        .collect()
+}
+
+fn bench_mixed_fleet(c: &mut Criterion) {
+    let model = Reconstructor::new(ReconstructorConfig::fast());
+    let decoder = EaszDecoder::new(&model);
+    let mixed = fleet(8, true);
+    let uniform = fleet(8, false);
+
+    c.bench_function("mixed_fleet_x8_tile32/serial_per_connection", |b| {
+        b.iter(|| {
+            for e in &mixed {
+                decoder.decode(e).expect("serial decode");
+            }
+        })
+    });
+    c.bench_function("mixed_fleet_x8_tile32/fused_mixed_mask_batch", |b| {
+        b.iter(|| {
+            for r in decoder.decode_batch(&mixed) {
+                r.expect("fused decode");
+            }
+        })
+    });
+    c.bench_function("mixed_fleet_x8_tile32/fused_uniform_mask_batch", |b| {
+        b.iter(|| {
+            for r in decoder.decode_batch(&uniform) {
+                r.expect("uniform decode");
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_mixed_fleet);
+criterion_main!(benches);

@@ -102,6 +102,26 @@ fn containers(count: usize, side: usize) -> Vec<EaszEncoded> {
         .collect()
 }
 
+/// The mixed-mask fleet: one container per *distinct* mask seed (same
+/// geometry and erase ratio, different erase positions) — the realistic
+/// many-sender shape that only the multi-mask fused forward can batch.
+fn fleet_containers(count: usize, side: usize) -> Vec<EaszEncoded> {
+    let codec = JpegLikeCodec::new();
+    let fleet: Vec<EaszEncoded> = (0..count)
+        .map(|i| {
+            let encoder =
+                EaszEncoder::new(EaszConfig { mask_seed: 1 + i as u64, ..EaszConfig::default() })
+                    .expect("encoder");
+            let img = Dataset::KodakLike.image(i).crop(0, 0, side, side);
+            encoder.compress(&img, &codec, Quality::new(75)).expect("compress")
+        })
+        .collect();
+    for pair in fleet.windows(2) {
+        assert_ne!(pair[0].mask_bytes, pair[1].mask_bytes, "fleet seeds must differ in mask");
+    }
+    fleet
+}
+
 fn json_escape_free(name: &str) -> &str {
     // Row names are generated below from [a-z0-9_]; keep it that way.
     debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
@@ -123,6 +143,7 @@ fn main() {
     let enc64 = containers(1, 64);
     let enc32x8 = containers(8, 32);
     let enc64x4 = containers(4, 64);
+    let fleet32x8 = fleet_containers(8, 32);
     // Forward-only inputs: the transformer stage in isolation (1 patch).
     let mask = EaszConfig::default().make_mask();
     let geometry = cfg.geometry();
@@ -154,6 +175,35 @@ fn main() {
                     decoder.decode_with_engine(e, codec, engine).expect("decode");
                 }
             }),
+            iters: 0,
+            total_ns: 0,
+        });
+    }
+    // The mixed-mask fleet: per-connection serial decode (what a fleet
+    // cost before the gateway) vs one fused multi-mask batch (what a
+    // gateway window costs now). Same containers, distinct mask seeds.
+    for (mode, mname) in [("serial", "fleet_serial"), ("batch", "fleet_batch")] {
+        let (decoder, enc) = (&decoder, &fleet32x8);
+        let routine: Box<dyn FnMut()> = if mode == "serial" {
+            Box::new(move || {
+                for e in enc {
+                    decoder.decode(e).expect("fleet serial decode");
+                }
+            })
+        } else {
+            Box::new(move || {
+                for r in decoder.decode_batch(enc) {
+                    r.expect("fleet batched decode");
+                }
+            })
+        };
+        cases.push(Case {
+            name: format!("tile32_{mname}_x8_tape_free"),
+            engine: "tape_free",
+            mode: if mode == "serial" { "serial" } else { "batch" },
+            tile_px: 32,
+            batch: 8,
+            routine,
             iters: 0,
             total_ns: 0,
         });
@@ -232,12 +282,14 @@ fn main() {
     let serial64 = speedup("tile64_serial_x1_graph", "tile64_serial_x1_tape_free");
     let batch32 = speedup("tile32_serial_x8_tape_free", "tile32_batch_x8_tape_free");
     let batch64 = speedup("tile64_serial_x4_tape_free", "tile64_batch_x4_tape_free");
+    let fleet32 = speedup("tile32_fleet_serial_x8_tape_free", "tile32_fleet_batch_x8_tape_free");
 
     // Optional pre-PR baseline: `--pre-pr name=ns_per_container,...`, where
     // each name matches a `*_tape_free` row minus that suffix. Values come
-    // from running the *parent commit's* `batched_decode` bench on the same
-    // machine (identical container construction), anchoring the trajectory
-    // to the decode path as it existed before the inference engine landed.
+    // from running the *parent commit's* decode bench on the same machine
+    // (identical container construction; scenario cases the parent lacks
+    // are backported to it unchanged), anchoring the trajectory to the
+    // decode path as it existed before this PR.
     let mut pre_pr: Vec<(String, f64)> = Vec::new();
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -265,6 +317,7 @@ fn main() {
     println!(
         "batch vs serial (tape-free):          tile32x8 {batch32:.2}x, tile64x4 {batch64:.2}x"
     );
+    println!("mixed-mask fleet, fused vs per-connection serial: tile32x8 {fleet32:.2}x (headline)");
     for (name, base_ns) in &pre_pr {
         let now = lookup(&format!("{name}_tape_free")).ns_per_container();
         println!(
@@ -312,14 +365,18 @@ fn main() {
     let _ = writeln!(j, "    \"forward_x1_speedup_tape_free_vs_graph\": {fwd:.3},");
     let _ = writeln!(
         j,
-        "    \"batch_speedup_vs_serial_tape_free\": {{ \"tile32_x8\": {batch32:.3}, \"tile64_x4\": {batch64:.3} }}{}",
+        "    \"batch_speedup_vs_serial_tape_free\": {{ \"tile32_x8\": {batch32:.3}, \"tile64_x4\": {batch64:.3} }},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"mixed_fleet_batch_speedup_vs_serial\": {{ \"tile32_x8\": {fleet32:.3} }}{}",
         if pre_pr.is_empty() { "" } else { "," }
     );
     if !pre_pr.is_empty() {
         j.push_str("    \"pre_pr_baseline\": {\n");
         let _ = writeln!(
             j,
-            "      \"source\": \"parent commit's batched_decode bench, same machine and toolchain, identical containers\","
+            "      \"source\": \"parent commit's decode bench (missing scenario cases backported unchanged), same machine and toolchain, identical containers\","
         );
         for (i, (name, base_ns)) in pre_pr.iter().enumerate() {
             let now = lookup(&format!("{name}_tape_free")).ns_per_container();

@@ -22,7 +22,7 @@ use crate::error::EaszError;
 use crate::mask::EraseMask;
 use crate::model::{Reconstructor, TokenBatch};
 use crate::patchify::{patch_tokens, place_token, PatchGeometry, Patchified};
-use crate::plan::{ArenaPool, PlanCache};
+use crate::plan::{ArenaPool, DecodePlan, MultiMaskPlan, PlanCache};
 use crate::squeeze::{unsqueeze_patch, FillMethod, Orientation};
 use easz_codecs::{CodecRegistry, ImageCodec};
 use easz_image::{Channels, ImageF32};
@@ -175,11 +175,13 @@ impl<'m> EaszDecoder<'m> {
     }
 
     /// Decodes a batch of containers, amortising the transformer across
-    /// streams: the patches of every container sharing an *effective mask*
-    /// (same erased positions after orientation resolution; the patch
-    /// geometry is already pinned to the model's) are concatenated into one
-    /// [`TokenBatch`], so the group costs a single forward pass instead of
-    /// one per container.
+    /// streams: every container sharing the model's geometry and an erase
+    /// *count* (kept tokens per patch) is concatenated into one
+    /// [`TokenBatch`] and costs a single forward pass instead of one per
+    /// container. Containers whose effective masks are identical ride the
+    /// uniform-mask plan; a mixed-mask group (distinct per-stream seeds —
+    /// the realistic fleet case) is fused through a [`MultiMaskPlan`],
+    /// which maps each patch by its own mask inside the shared forward.
     ///
     /// Errors are isolated per container — one corrupt or unresolvable
     /// stream never fails its batch mates — and every produced image is
@@ -202,22 +204,26 @@ impl<'m> EaszDecoder<'m> {
                 }
             }
         }
-        let mask_refs: Vec<Option<&EraseMask>> =
-            masks.iter().map(|m| m.as_ref().map(|(_, effective)| effective)).collect();
-        for group in batch_groups(&mask_refs) {
-            let mask = masks[group[0]].as_ref().expect("grouped streams have masks").1.clone();
+        // Group by kept-token count: the geometry is already pinned to the
+        // model's, so equal counts are sufficient for one fused forward
+        // even when the erase positions differ per stream.
+        let kept_counts: Vec<Option<usize>> = masks
+            .iter()
+            .map(|m| m.as_ref().map(|(_, eff)| eff.iter().filter(|&(_, _, e)| !e).count()))
+            .collect();
+        for group in batch_groups(&kept_counts) {
             // Heavy per-stream stage; failures here (unresolvable codec,
             // corrupt payload) drop the stream from the forward, not the
             // batch.
             let mut members: Vec<(usize, PreparedStream)> = Vec::with_capacity(group.len());
             let mut tokens: Vec<Vec<Vec<f32>>> = Vec::new();
             for i in group {
-                let (wire_mask, _) = masks[i].take().expect("grouped streams have masks");
+                let (wire_mask, mask) = masks[i].take().expect("grouped streams have masks");
                 let result = self
                     .registry
                     .get(encoded[i].codec_id)
                     .ok_or(EaszError::UnknownCodec(encoded[i].codec_id))
-                    .and_then(|codec| self.prepare(&encoded[i], codec, wire_mask, mask.clone()));
+                    .and_then(|codec| self.prepare(&encoded[i], codec, wire_mask, mask));
                 match result {
                     Ok(p) => {
                         tokens
@@ -230,10 +236,26 @@ impl<'m> EaszDecoder<'m> {
             if members.is_empty() {
                 continue;
             }
-            // One transformer forward for the whole group, on the cached
-            // plan for this mask.
+            // One transformer forward for the whole group. Uniform-mask
+            // groups keep the cheaper broadcast positional embedding;
+            // mixed-mask groups fuse through a MultiMaskPlan.
             let batch = TokenBatch::from_patches(&tokens);
-            let recon = self.reconstruct(&batch, &mask);
+            let uniform = members.iter().all(|(_, p)| p.mask == members[0].1.mask);
+            let recon = if uniform {
+                self.reconstruct(&batch, &members[0].1.mask)
+            } else {
+                let plans: Vec<(std::sync::Arc<DecodePlan>, usize)> = members
+                    .iter()
+                    .map(|(_, p)| (self.plans.get_or_build(&p.mask), p.patches.len()))
+                    .collect();
+                let streams: Vec<(&DecodePlan, usize)> =
+                    plans.iter().map(|(plan, count)| (plan.as_ref(), *count)).collect();
+                let fused = MultiMaskPlan::new(&streams);
+                let mut arena = self.arenas.take();
+                let recon = self.model.infer_tokens_multi(&batch, &fused, &mut arena);
+                self.arenas.put(arena);
+                recon
+            };
             let mut offset = 0usize;
             for (i, p) in members {
                 let count = p.patches.len();
@@ -385,14 +407,15 @@ fn finish(mut prepared: PreparedStream, recon: &[Vec<Vec<f32>>]) -> ImageF32 {
     out
 }
 
-/// Groups stream indices by effective mask, preserving first-seen order
-/// within and across groups (`None` slots — failed preparations — are
-/// skipped). Each returned group is served by one transformer forward.
-fn batch_groups(masks: &[Option<&EraseMask>]) -> Vec<Vec<usize>> {
+/// Groups stream indices by a fusion key (today: kept-token count),
+/// preserving first-seen order within and across groups (`None` slots —
+/// failed validations — are skipped). Each returned group is served by one
+/// transformer forward.
+fn batch_groups<K: PartialEq>(keys: &[Option<K>]) -> Vec<Vec<usize>> {
     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-    for (i, mask) in masks.iter().enumerate() {
-        let Some(mask) = mask else { continue };
-        match groups.iter_mut().find(|(rep, _)| masks[*rep] == Some(*mask)) {
+    for (i, key) in keys.iter().enumerate() {
+        let Some(key) = key else { continue };
+        match groups.iter_mut().find(|(rep, _)| keys[*rep].as_ref() == Some(key)) {
             Some((_, members)) => members.push(i),
             None => groups.push((i, vec![i])),
         }
@@ -671,16 +694,45 @@ mod tests {
     }
 
     #[test]
-    fn batch_groups_share_one_forward_per_mask() {
-        let a = EaszConfig::default().make_mask();
-        let b = EaszConfig { mask_seed: 99, ..EaszConfig::default() }.make_mask();
-        assert_ne!(a, b, "seeds must yield distinct masks for this test");
-        let groups = batch_groups(&[Some(&a), None, Some(&b), Some(&a), Some(&a), None, Some(&b)]);
+    fn batch_groups_share_one_forward_per_fusion_key() {
+        // Keys are kept-token counts: streams fuse whenever counts match,
+        // regardless of where their masks erase.
+        let groups =
+            batch_groups(&[Some(60usize), None, Some(48), Some(60), Some(60), None, Some(48)]);
         assert_eq!(groups, vec![vec![0, 3, 4], vec![2, 6]]);
-        // N same-mask streams collapse into a single forward group.
-        let uniform = batch_groups(&[Some(&a), Some(&a), Some(&a), Some(&a)]);
-        assert_eq!(uniform.len(), 1, "same-geometry streams must share one transformer forward");
+        // N same-count streams collapse into a single forward group.
+        let uniform = batch_groups(&[Some(60usize), Some(60), Some(60), Some(60)]);
+        assert_eq!(uniform.len(), 1, "same-count streams must share one transformer forward");
         assert_eq!(uniform[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mixed_mask_batch_is_byte_identical_to_serial_decode() {
+        // The mixed-fleet case: same geometry and erase ratio, but every
+        // stream rolls its own mask seed — one fused forward must still
+        // reproduce each serial decode bit-for-bit.
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let codec = JpegLikeCodec::new();
+        let containers: Vec<EaszEncoded> =
+            [(1usize, 7u64, 96, 64), (2, 21, 64, 64), (3, 99, 128, 96)]
+                .iter()
+                .map(|&(i, seed, w, h)| {
+                    let enc =
+                        EaszEncoder::new(EaszConfig { mask_seed: seed, ..EaszConfig::default() })
+                            .expect("encoder");
+                    let img = Dataset::KodakLike.image(i).crop(0, 0, w, h);
+                    enc.compress(&img, &codec, Quality::new(80)).expect("compress")
+                })
+                .collect();
+        let masks: Vec<_> = containers.iter().map(|c| c.mask_bytes.clone()).collect();
+        assert!(masks.windows(2).all(|w| w[0] != w[1]), "seeds must yield distinct masks");
+        let batched = dec.decode_batch(&containers);
+        for (c, b) in containers.iter().zip(&batched) {
+            let serial = dec.decode(c).expect("serial decode");
+            let b = b.as_ref().expect("batched decode");
+            assert_eq!(serial.data(), b.data(), "mixed-mask fusion must be byte-identical");
+        }
     }
 
     #[test]

@@ -82,6 +82,6 @@ pub use model::{ForwardPass, Reconstructor, ReconstructorConfig, TokenBatch};
 pub use patchify::{
     attention_cost_reduction, extract_token, patch_tokens, place_token, PatchGeometry, Patchified,
 };
-pub use plan::{BatchMaps, DecodePlan};
+pub use plan::{BatchMaps, DecodePlan, MultiMaskPlan};
 pub use squeeze::{pixel_saving_ratio, squeeze_patch, unsqueeze_patch, FillMethod, Orientation};
 pub use train::{erased_region_mse, TrainConfig, Trainer};

@@ -11,7 +11,7 @@
 
 use crate::mask::EraseMask;
 use crate::patchify::PatchGeometry;
-use crate::plan::DecodePlan;
+use crate::plan::{DecodePlan, MultiMaskPlan};
 use easz_image::Channels;
 use easz_tensor::{
     init, nn, Gradients, Graph, InferenceSession, ParamSet, ScratchArena, Tensor, Var,
@@ -380,6 +380,81 @@ impl Reconstructor {
         // --- Decoder input: scatter encoder features + mask tokens. ---
         let mask_tok = s.param(self.mask_token);
         let mut y = s.compose_tokens(&x, mask_tok, &maps.compose);
+        s.free(x);
+        let dec_pos = s.param(self.dec_pos);
+        s.add_broadcast_rows(&mut y, dec_pos);
+        for block in &self.dec_blocks {
+            y = block.infer(&mut s, y, bsz, seq);
+        }
+        let out = self.out_proj.infer(&mut s, &y);
+        s.free(y);
+
+        let mut result = Vec::with_capacity(bsz);
+        for bi in 0..bsz {
+            let mut patch = Vec::with_capacity(seq);
+            for si in 0..seq {
+                let row = out.row(bi * seq + si);
+                patch.push(row.iter().map(|&v| (v + 0.5).clamp(0.0, 1.0)).collect());
+            }
+            result.push(patch);
+        }
+        s.free(out);
+        result
+    }
+
+    /// The tape-free forward for a **mixed-mask** batch: patches that share
+    /// a geometry and erase *count* but not erase positions (a fleet of
+    /// edge senders with per-device mask seeds) reconstructed in one
+    /// forward pass via a fused [`MultiMaskPlan`].
+    ///
+    /// Per stream, the output is byte-identical to
+    /// [`infer_tokens`](Self::infer_tokens) under that stream's own plan:
+    /// attention is confined within each patch and every other op is
+    /// row-wise, so packing differently-masked patches into one batch
+    /// changes only which rows sit next to each other, never the
+    /// per-element operations or their order. The single structural
+    /// difference is the encoder positional embedding, which is gathered
+    /// per patch (each patch keeps different grid positions) instead of
+    /// broadcast — element-wise the same additions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch geometry does not match the model or `plan`
+    /// disagrees with the batch's patch count.
+    pub fn infer_tokens_multi(
+        &self,
+        batch: &TokenBatch,
+        plan: &MultiMaskPlan,
+        arena: &mut ScratchArena,
+    ) -> Vec<Vec<Vec<f32>>> {
+        let cfg = &self.cfg;
+        assert_eq!(batch.seq, cfg.seq_len(), "sequence length mismatch");
+        assert_eq!(plan.seq(), batch.seq, "plan grid does not match the model");
+        assert_eq!(plan.patches(), batch.batch, "plan patch count does not match the batch");
+        let seq = batch.seq;
+        let bsz = batch.batch;
+        let m = plan.kept_per_patch();
+        let mut s = InferenceSession::new(&self.params, arena);
+
+        // --- Encoder: each patch's own un-erased tokens. ---
+        let enc_in = s.gather_rows(&batch.tokens, plan.kept_rows());
+        let mut x = self.in_proj.infer(&mut s, &enc_in);
+        s.free(enc_in);
+        let pos = s.param(self.enc_pos);
+        // Mixed masks keep different positions per patch, so gather the
+        // full `[bsz * m, d]` embedding matrix; the add then broadcasts
+        // over a single block, i.e. runs element-wise in the same order as
+        // the uniform-mask `[m, d]` broadcast.
+        let pos_all = s.gather_rows(pos, plan.pos_rows());
+        s.add_broadcast_rows(&mut x, &pos_all);
+        s.free(pos_all);
+        for block in &self.enc_blocks {
+            x = block.infer(&mut s, x, bsz, m);
+        }
+
+        // --- Decoder: per-patch scatter + mask tokens. ---
+        let mask_tok = s.param(self.mask_token);
+        let mut y = s.compose_tokens(&x, mask_tok, plan.compose());
         s.free(x);
         let dec_pos = s.param(self.dec_pos);
         s.add_broadcast_rows(&mut y, dec_pos);

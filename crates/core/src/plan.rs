@@ -109,6 +109,109 @@ impl DecodePlan {
     }
 }
 
+/// A fused decode plan for a batch of patches that share a geometry and an
+/// erase *count* but not necessarily erase *positions* — the mixed-fleet
+/// case where every edge sender rolls its own mask seed.
+///
+/// The transformer treats a batch as independent per-patch rows (attention
+/// is confined within each patch; every other op is row-wise), so patches
+/// under different masks can share one forward as long as each patch's rows
+/// are gathered, positionally embedded and composed by *its own* mask. This
+/// plan concatenates those per-stream maps. Outputs are byte-identical to
+/// running each stream through its own uniform-mask forward: per element,
+/// the very same kernel operations execute in the very same order — only
+/// the batch dimension they are packed into differs.
+///
+/// The one structural difference from the uniform-mask path: the encoder's
+/// positional embedding can no longer be a single `[m, d]` block broadcast
+/// over the batch (each patch keeps different positions), so the plan
+/// carries `pos_rows` — per-patch embedding row indices — and the forward
+/// gathers a full `[patches * m, d]` embedding matrix instead.
+#[derive(Debug)]
+pub struct MultiMaskPlan {
+    seq: usize,
+    kept_per_patch: usize,
+    patches: usize,
+    /// Per patch, the row indices of its kept tokens inside the
+    /// `[patches * seq, dim]` token matrix.
+    kept_rows: Vec<usize>,
+    /// Per patch, the `enc_pos` embedding row (= grid position) of each
+    /// kept token, aligned with `kept_rows`.
+    pos_rows: Vec<usize>,
+    /// Decoder compose map: `Some(row)` scatters encoder output row `row`,
+    /// `None` fills the learned mask token.
+    compose: Vec<Option<usize>>,
+}
+
+impl MultiMaskPlan {
+    /// Builds the fused plan from per-stream `(plan, patch count)` pairs;
+    /// each stream contributes `count` consecutive patches under its plan's
+    /// mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams disagree on grid size or kept-token count
+    /// (group by erase count first — see
+    /// [`EaszDecoder::decode_batch`](crate::EaszDecoder::decode_batch)), or
+    /// if no patches are contributed at all.
+    pub fn new(streams: &[(&DecodePlan, usize)]) -> Self {
+        let (first, _) = streams.first().expect("empty multi-mask plan");
+        let (seq, m) = (first.seq(), first.kept().len());
+        let patches: usize = streams.iter().map(|(_, count)| count).sum();
+        assert!(patches > 0, "multi-mask plan without patches");
+        let mut kept_rows = Vec::with_capacity(patches * m);
+        let mut pos_rows = Vec::with_capacity(patches * m);
+        let mut compose = Vec::with_capacity(patches * seq);
+        let mut pi = 0usize;
+        for (plan, count) in streams {
+            assert_eq!(plan.seq(), seq, "multi-mask plan mixes grid sizes");
+            assert_eq!(
+                plan.kept().len(),
+                m,
+                "multi-mask plan mixes erase counts ({} kept vs {m})",
+                plan.kept().len()
+            );
+            for _ in 0..*count {
+                kept_rows.extend(plan.kept().iter().map(|&p| pi * seq + p));
+                pos_rows.extend_from_slice(plan.kept());
+                compose.extend((0..seq).map(|p| plan.rank_of(p).map(|rank| pi * m + rank)));
+                pi += 1;
+            }
+        }
+        Self { seq, kept_per_patch: m, patches, kept_rows, pos_rows, compose }
+    }
+
+    /// Tokens per patch.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Kept tokens per patch (shared by every stream in the plan).
+    pub fn kept_per_patch(&self) -> usize {
+        self.kept_per_patch
+    }
+
+    /// Total patches across all streams.
+    pub fn patches(&self) -> usize {
+        self.patches
+    }
+
+    /// Encoder input gather rows, `patches * kept_per_patch` long.
+    pub fn kept_rows(&self) -> &[usize] {
+        &self.kept_rows
+    }
+
+    /// Positional-embedding rows aligned with [`kept_rows`](Self::kept_rows).
+    pub fn pos_rows(&self) -> &[usize] {
+        &self.pos_rows
+    }
+
+    /// Decoder compose map, `patches * seq` long.
+    pub fn compose(&self) -> &[Option<usize>] {
+        &self.compose
+    }
+}
+
 /// A bounded, mask-keyed cache of [`DecodePlan`]s shared by all decode
 /// paths of an [`EaszDecoder`](crate::EaszDecoder).
 ///
@@ -252,5 +355,52 @@ mod tests {
     fn all_erased_mask_is_rejected() {
         let mask = EraseMask::from_cells(2, vec![true; 4]);
         let _ = DecodePlan::new(&mask);
+    }
+
+    #[test]
+    fn multi_mask_plan_concatenates_per_stream_maps() {
+        let a = EaszConfig::default().make_mask();
+        let b = EaszConfig { mask_seed: 99, ..EaszConfig::default() }.make_mask();
+        assert_ne!(a, b, "seeds must yield distinct masks for this test");
+        let (pa, pb) = (DecodePlan::new(&a), DecodePlan::new(&b));
+        assert_eq!(pa.kept().len(), pb.kept().len(), "same erase ratio, same kept count");
+        let fused = MultiMaskPlan::new(&[(&pa, 2), (&pb, 1)]);
+        assert_eq!(fused.patches(), 3);
+        let (seq, m) = (pa.seq(), pa.kept().len());
+        assert_eq!((fused.seq(), fused.kept_per_patch()), (seq, m));
+        // Patches 0 and 1 follow plan a, patch 2 follows plan b.
+        for (pi, plan) in [(0usize, &pa), (1, &pa), (2, &pb)] {
+            for (rank, &p) in plan.kept().iter().enumerate() {
+                assert_eq!(fused.kept_rows()[pi * m + rank], pi * seq + p);
+                assert_eq!(fused.pos_rows()[pi * m + rank], p);
+                assert_eq!(fused.compose()[pi * seq + p], Some(pi * m + rank));
+            }
+            for p in 0..seq {
+                if plan.rank_of(p).is_none() {
+                    assert_eq!(fused.compose()[pi * seq + p], None, "erased slot fills mask token");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_multi_mask_plan_matches_the_batch_maps() {
+        // With one shared mask the fused maps must degenerate to exactly
+        // the uniform-path BatchMaps (same gather rows, same compose map).
+        let mask = EaszConfig::default().make_mask();
+        let plan = DecodePlan::new(&mask);
+        let fused = MultiMaskPlan::new(&[(&plan, 4)]);
+        let maps = plan.maps_for(4);
+        assert_eq!(fused.kept_rows(), &maps.kept_rows[..]);
+        assert_eq!(fused.compose(), &maps.compose[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixes erase counts")]
+    fn multi_mask_plan_rejects_mixed_erase_counts() {
+        let quarter = EaszConfig::default().make_mask();
+        let half = EaszConfig::builder().erase_ratio(0.5).build().expect("cfg").make_mask();
+        let (pq, ph) = (DecodePlan::new(&quarter), DecodePlan::new(&half));
+        let _ = MultiMaskPlan::new(&[(&pq, 1), (&ph, 1)]);
     }
 }

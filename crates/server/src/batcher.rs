@@ -1,0 +1,349 @@
+//! The decode gateway: a cross-connection batching scheduler.
+//!
+//! Without it, each connection decodes alone and the transformer forward —
+//! the dominant server-side cost — runs once per stream. The gateway parks
+//! per-connection `DECODE` requests in a bounded queue; a scheduler thread
+//! closes a *batching window* when either [`GatewayConfig::max_batch`] jobs
+//! have accumulated or [`GatewayConfig::max_wait_us`] has elapsed since the
+//! window opened, then hands the whole window to a small decode-worker
+//! pool sharing one [`EaszDecoder`]. The decoder fuses the window —
+//! containers with matching erase *counts* share a single forward even
+//! with distinct mask positions (`MultiMaskPlan`) — and each reply (or
+//! per-stream typed error) is routed back to its originating connection
+//! over a per-request channel.
+//!
+//! The gateway degrades gracefully rather than blocking: a full queue or a
+//! shutdown in progress hands the container back to the connection handler,
+//! which decodes it inline exactly as a gateway-less server would.
+
+use crate::metrics::ServerMetrics;
+use easz_core::{EaszDecoder, EaszEncoded, EaszError};
+use easz_image::ImageF32;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables of the decode gateway (see
+/// [`EaszServer::with_gateway`](crate::EaszServer::with_gateway)).
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// A batching window dispatches as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// A batching window dispatches at latest this many microseconds after
+    /// its first request arrived — the latency each request is willing to
+    /// pay for a chance to share a forward.
+    pub max_wait_us: u64,
+    /// Decode worker threads draining dispatched windows. More than one
+    /// lets a new window decode while a slow one is still in flight.
+    pub workers: usize,
+    /// Requests parked in the queue before the gateway starts refusing
+    /// (refused requests decode inline on their connection's thread).
+    pub queue_depth: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self { max_batch: 8, max_wait_us: 2_000, workers: 2, queue_depth: 256 }
+    }
+}
+
+/// One parked decode request: the parsed container and the channel its
+/// reply returns on.
+struct Job {
+    container: EaszEncoded,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<ImageF32, EaszError>>,
+}
+
+/// Shared scheduler state behind the queue mutex.
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Dispatched-window state behind the worker mutex.
+#[derive(Default)]
+struct ReadyState {
+    windows: VecDeque<Vec<Job>>,
+    /// Set once the scheduler has exited; workers drain and stop.
+    scheduler_done: bool,
+}
+
+/// The gateway: submission queue, window scheduler and worker rendezvous.
+///
+/// Thread bodies ([`run_scheduler`](Self::run_scheduler),
+/// [`run_worker`](Self::run_worker)) are spawned by the server inside its
+/// connection scope so they can borrow the shared decoder.
+pub(crate) struct Batcher {
+    config: GatewayConfig,
+    metrics: Arc<ServerMetrics>,
+    queue: Mutex<QueueState>,
+    queue_cond: Condvar,
+    ready: Mutex<ReadyState>,
+    ready_cond: Condvar,
+}
+
+impl Batcher {
+    pub fn new(config: GatewayConfig, metrics: Arc<ServerMetrics>) -> Self {
+        assert!(config.max_batch > 0, "gateway max_batch must be positive");
+        assert!(config.workers > 0, "gateway needs at least one worker");
+        assert!(config.queue_depth > 0, "gateway queue_depth must be positive");
+        Self {
+            config,
+            metrics,
+            queue: Mutex::new(QueueState::default()),
+            queue_cond: Condvar::new(),
+            ready: Mutex::new(ReadyState::default()),
+            ready_cond: Condvar::new(),
+        }
+    }
+
+    /// Parks a parsed container for batched decoding, returning the
+    /// receiver its result arrives on — or the container back if the
+    /// gateway cannot take it (full queue or shutdown), in which case the
+    /// caller decodes inline.
+    pub fn submit(
+        &self,
+        container: EaszEncoded,
+    ) -> Result<mpsc::Receiver<Result<ImageF32, EaszError>>, EaszEncoded> {
+        let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if state.shutdown || state.jobs.len() >= self.config.queue_depth {
+            return Err(container);
+        }
+        let (tx, rx) = mpsc::channel();
+        state.jobs.push_back(Job { container, enqueued: Instant::now(), reply: tx });
+        self.metrics.record_queue_depth(state.jobs.len());
+        drop(state);
+        self.queue_cond.notify_one();
+        Ok(rx)
+    }
+
+    /// Signals shutdown: no new submissions are accepted, the scheduler
+    /// flushes whatever is queued into final windows and exits, and the
+    /// workers drain the remaining windows before stopping. Already-parked
+    /// jobs still get replies, so draining connections are answered.
+    pub fn shutdown(&self) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).shutdown = true;
+        self.queue_cond.notify_all();
+        self.ready_cond.notify_all();
+    }
+
+    /// The scheduler thread: forms batching windows and hands them to the
+    /// workers. Runs until [`shutdown`](Self::shutdown) and the queue is
+    /// drained.
+    pub fn run_scheduler(&self) {
+        let max_wait = Duration::from_micros(self.config.max_wait_us);
+        loop {
+            let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while state.jobs.is_empty() && !state.shutdown {
+                state = self.queue_cond.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            if state.jobs.is_empty() {
+                break; // shutdown with nothing left to flush
+            }
+            // A window is open — and has been since its head job arrived,
+            // which is what the `max_wait_us` promise is measured from (a
+            // leftover job from an earlier burst must not restart the
+            // budget). Collect until the window is full, the budget is
+            // spent, or shutdown asks for an immediate flush.
+            let opened = state.jobs.front().expect("window has a head job").enqueued;
+            while state.jobs.len() < self.config.max_batch && !state.shutdown {
+                let Some(remaining) = max_wait.checked_sub(opened.elapsed()) else { break };
+                let (next, timeout) = self
+                    .queue_cond
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let width = state.jobs.len().min(self.config.max_batch);
+            let window: Vec<Job> = state.jobs.drain(..width).collect();
+            self.metrics.record_queue_depth(state.jobs.len());
+            drop(state);
+            // Hand over — but never outrun the workers: the ready backlog
+            // is bounded at one pending window per worker, so under
+            // sustained overload jobs pile up in the *submission* queue,
+            // whose bound is what makes `submit` refuse and degrade to
+            // inline decode (and what the queue-depth metrics watch).
+            let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+            while ready.windows.len() >= self.config.workers {
+                ready = self.ready_cond.wait(ready).unwrap_or_else(|e| e.into_inner());
+            }
+            ready.windows.push_back(window);
+            drop(ready);
+            self.ready_cond.notify_all();
+        }
+        let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        ready.scheduler_done = true;
+        drop(ready);
+        self.ready_cond.notify_all();
+    }
+
+    /// A decode worker: drains dispatched windows through the shared
+    /// decoder until the scheduler is done and no windows remain.
+    pub fn run_worker(&self, decoder: &EaszDecoder<'_>) {
+        loop {
+            let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+            while ready.windows.is_empty() && !ready.scheduler_done {
+                ready = self.ready_cond.wait(ready).unwrap_or_else(|e| e.into_inner());
+            }
+            let Some(window) = ready.windows.pop_front() else {
+                break; // scheduler done and nothing left
+            };
+            drop(ready);
+            // The pop freed a backlog slot; the scheduler may be waiting
+            // for exactly that.
+            self.ready_cond.notify_all();
+            self.decode_window(window, decoder);
+        }
+    }
+
+    /// Decodes one window and routes each result to its connection.
+    fn decode_window(&self, window: Vec<Job>, decoder: &EaszDecoder<'_>) {
+        let dispatched = Instant::now();
+        for job in &window {
+            let waited = dispatched.saturating_duration_since(job.enqueued);
+            self.metrics.record_queue_wait(waited.as_micros() as u64);
+        }
+        let (containers, replies): (Vec<EaszEncoded>, Vec<_>) =
+            window.into_iter().map(|j| (j.container, j.reply)).unzip();
+        let started = Instant::now();
+        let results = decoder.decode_batch(&containers);
+        self.metrics.record_batch(containers.len(), started.elapsed().as_micros() as u64);
+        for (reply, result) in replies.iter().zip(results) {
+            // A send error means the connection died while its job was
+            // queued; the result is simply dropped.
+            let _ = reply.send(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easz_codecs::{JpegLikeCodec, Quality};
+    use easz_core::{EaszConfig, EaszEncoder, Reconstructor, ReconstructorConfig};
+    use easz_data::Dataset;
+
+    fn container(seed: u64) -> EaszEncoded {
+        let enc = EaszEncoder::new(EaszConfig { mask_seed: seed, ..EaszConfig::default() })
+            .expect("encoder");
+        let img = Dataset::KodakLike.image(seed as usize % 8).crop(0, 0, 64, 64);
+        enc.compress(&img, &JpegLikeCodec::new(), Quality::new(75)).expect("compress")
+    }
+
+    /// Drives a batcher with a real decoder on scoped threads, shutting
+    /// down cleanly when `body` returns.
+    fn with_batcher<R>(
+        config: GatewayConfig,
+        body: impl FnOnce(&Batcher, &EaszDecoder<'_>) -> R,
+    ) -> (R, Arc<ServerMetrics>) {
+        let model = Reconstructor::new(ReconstructorConfig::fast());
+        let decoder = EaszDecoder::new(&model);
+        let metrics = Arc::new(ServerMetrics::new());
+        let workers = config.workers;
+        let batcher = Batcher::new(config, metrics.clone());
+        // Shut down on drop — including the unwind of a failed assertion
+        // in `body`, which would otherwise leave the scoped scheduler and
+        // worker threads parked forever and deadlock the test instead of
+        // failing it.
+        struct ShutdownOnDrop<'a>(&'a Batcher);
+        impl Drop for ShutdownOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.shutdown();
+            }
+        }
+        let result = std::thread::scope(|scope| {
+            let b = &batcher;
+            let _guard = ShutdownOnDrop(b);
+            scope.spawn(move || b.run_scheduler());
+            for _ in 0..workers {
+                let decoder = &decoder;
+                scope.spawn(move || b.run_worker(decoder));
+            }
+            body(b, &decoder)
+        });
+        (result, metrics)
+    }
+
+    #[test]
+    fn window_closes_on_max_batch_and_fuses_mixed_masks() {
+        let config = GatewayConfig { max_batch: 3, max_wait_us: 60_000_000, ..Default::default() };
+        let ((), metrics) = with_batcher(config, |batcher, decoder| {
+            // Distinct seeds => distinct masks; one window must still fuse
+            // them and every reply must match its serial decode.
+            let containers = [container(1), container(2), container(3)];
+            let receivers: Vec<_> = containers
+                .iter()
+                .map(|c| batcher.submit(c.clone()).expect("queue has room"))
+                .collect();
+            for (c, rx) in containers.iter().zip(receivers) {
+                let batched = rx.recv().expect("reply").expect("decode");
+                let serial = decoder.decode(c).expect("serial decode");
+                assert_eq!(batched.data(), serial.data(), "gateway decode must match serial");
+            }
+        });
+        let stats = metrics.snapshot();
+        // The wait budget is effectively infinite, so only max_batch can
+        // have closed the window: all three jobs share one batch.
+        assert_eq!(stats.batches_dispatched, 1, "window must close on max_batch");
+        assert_eq!(stats.batch_widths[2], 1, "the one window holds 3 jobs");
+    }
+
+    #[test]
+    fn window_closes_on_max_wait() {
+        let config = GatewayConfig { max_batch: 64, max_wait_us: 1_000, ..Default::default() };
+        let ((), metrics) = with_batcher(config, |batcher, _| {
+            let rx = batcher.submit(container(5)).expect("queue has room");
+            rx.recv().expect("reply").expect("decode");
+        });
+        let stats = metrics.snapshot();
+        assert_eq!(stats.batches_dispatched, 1);
+        assert_eq!(stats.batch_widths[0], 1, "a lone job dispatches as width 1 on timeout");
+    }
+
+    #[test]
+    fn full_queue_hands_the_container_back() {
+        let config = GatewayConfig {
+            max_batch: 64,
+            max_wait_us: 60_000_000,
+            queue_depth: 2,
+            ..Default::default()
+        };
+        // No scheduler/workers: the queue can only fill.
+        let batcher = Batcher::new(config, Arc::new(ServerMetrics::new()));
+        let c = container(9);
+        assert!(batcher.submit(c.clone()).is_ok());
+        assert!(batcher.submit(c.clone()).is_ok());
+        let refused = batcher.submit(c.clone()).expect_err("queue is full");
+        assert_eq!(refused, c, "the container comes back for inline decode");
+        batcher.shutdown();
+        let refused = batcher.submit(c.clone()).expect_err("shutdown refuses work");
+        assert_eq!(refused, c);
+    }
+
+    #[test]
+    fn shutdown_flushes_parked_jobs() {
+        let model = Reconstructor::new(ReconstructorConfig::fast());
+        let decoder = EaszDecoder::new(&model);
+        let metrics = Arc::new(ServerMetrics::new());
+        let config = GatewayConfig { max_batch: 64, max_wait_us: 60_000_000, ..Default::default() };
+        let batcher = Batcher::new(config, metrics);
+        let c = container(4);
+        std::thread::scope(|scope| {
+            let rx = batcher.submit(c.clone()).expect("queue has room");
+            // Scheduler started *after* submission, with an hour-long wait
+            // budget: only the shutdown flush can dispatch the window.
+            scope.spawn(|| batcher.run_scheduler());
+            scope.spawn(|| batcher.run_worker(&decoder));
+            batcher.shutdown();
+            let flushed = rx.recv().expect("flushed reply").expect("decode");
+            let serial = decoder.decode(&c).expect("serial decode");
+            assert_eq!(flushed.data(), serial.data());
+        });
+    }
+}

@@ -9,19 +9,30 @@
 //! protocol is specified in `docs/FORMAT.md`.
 
 use easz_core::zoo;
-use easz_server::{EaszServer, ServerConfig};
+use easz_server::{EaszServer, GatewayConfig, ServerConfig};
 use std::net::TcpListener;
 use std::process::exit;
+use std::time::Duration;
 
 const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--max-frame-len BYTES] [--max-batch N]
+                  [--read-timeout-ms MS] [--gateway-max-batch N]
+                  [--gateway-max-wait-us US] [--gateway-workers N]
 
-  --addr HOST:PORT      listen address (default 127.0.0.1:4860)
-  --max-frame-len BYTES largest accepted request frame payload (default 16 MiB)
-  --max-batch N         largest accepted DECODE_BATCH count (default 64)";
+  --addr HOST:PORT        listen address (default 127.0.0.1:4860)
+  --max-frame-len BYTES   largest accepted request frame payload (default 16 MiB)
+  --max-batch N           largest accepted DECODE_BATCH count (default 64)
+  --read-timeout-ms MS    disconnect a connection idle for MS milliseconds
+                          (default: never; 0 also means never)
+  --gateway-max-batch N   cross-connection decode gateway window size
+                          (default 8). Passing ANY --gateway-* flag enables
+                          the gateway; without one it stays disabled.
+  --gateway-max-wait-us US window latency budget in microseconds (default 2000)
+  --gateway-workers N     gateway decode worker threads (default 2)";
 
 fn main() {
     let mut addr = "127.0.0.1:4860".to_string();
     let mut config = ServerConfig::default();
+    let mut gateway: Option<GatewayConfig> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -34,6 +45,22 @@ fn main() {
             "--addr" => addr = value("--addr"),
             "--max-frame-len" => config.max_frame_len = parse(&value("--max-frame-len")),
             "--max-batch" => config.max_batch = parse(&value("--max-batch")),
+            "--read-timeout-ms" => {
+                config.read_timeout =
+                    Some(Duration::from_millis(parse(&value("--read-timeout-ms")) as u64));
+            }
+            "--gateway-max-batch" => {
+                gateway.get_or_insert_with(GatewayConfig::default).max_batch =
+                    parse(&value("--gateway-max-batch"));
+            }
+            "--gateway-max-wait-us" => {
+                gateway.get_or_insert_with(GatewayConfig::default).max_wait_us =
+                    parse(&value("--gateway-max-wait-us")) as u64;
+            }
+            "--gateway-workers" => {
+                gateway.get_or_insert_with(GatewayConfig::default).workers =
+                    parse(&value("--gateway-workers"));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -44,6 +71,7 @@ fn main() {
             }
         }
     }
+    config.gateway = gateway;
 
     println!("loading (or pretraining once) the reconstruction model...");
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
@@ -55,8 +83,15 @@ fn main() {
         }
     };
     let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    let gateway_desc = match &config.gateway {
+        Some(g) => format!(
+            "gateway on: window {} reqs / {} µs, {} workers",
+            g.max_batch, g.max_wait_us, g.workers
+        ),
+        None => "gateway off".to_string(),
+    };
     println!(
-        "easz-serve listening on {bound} (max frame {} B, max batch {})",
+        "easz-serve listening on {bound} (max frame {} B, max batch {}, {gateway_desc})",
         config.max_frame_len, config.max_batch
     );
     if let Err(e) = EaszServer::new(model).with_config(config).serve(listener) {

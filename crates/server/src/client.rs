@@ -1,6 +1,7 @@
 //! Blocking client for the `easz` decode protocol — the edge side of the
 //! wire, or any consumer that wants decoded frames back from a server.
 
+use crate::metrics::ServerStats;
 use crate::protocol::{self, WireError};
 use easz_image::ImageU8;
 use std::io;
@@ -107,6 +108,25 @@ impl EaszClient {
             protocol::PONG if payload.len() == 1 => Ok(payload[0]),
             protocol::PONG => {
                 Err(ClientError::Protocol(format!("pong payload of {} bytes", payload.len())))
+            }
+            other => Err(self.unexpected(other, &payload)),
+        }
+    }
+
+    /// Round-trips a `STATS` request, returning the server's metrics
+    /// snapshot (counters since server start; see
+    /// [`ServerStats`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures; see [`ClientError`].
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        self.ensure_usable()?;
+        protocol::write_frame(&mut self.stream, protocol::STATS, &[])?;
+        let (frame_type, payload) = self.read_reply()?;
+        match frame_type {
+            protocol::STATS_REPLY => {
+                ServerStats::from_payload(&payload).map_err(ClientError::Protocol)
             }
             other => Err(self.unexpected(other, &payload)),
         }

@@ -8,9 +8,12 @@
 //! crate moves the bytes between the two halves that `easz-core` already
 //! provides. The server's job is *amortisation*: containers arriving in one
 //! `DECODE_BATCH` frame are decoded through
-//! [`EaszDecoder::decode_batch`](easz_core::EaszDecoder::decode_batch), so
-//! streams sharing an erase mask cost one transformer forward instead of
-//! one each.
+//! [`EaszDecoder::decode_batch`](easz_core::EaszDecoder::decode_batch), and
+//! with the **decode gateway** enabled
+//! ([`EaszServer::with_gateway`]) requests from *different* connections are
+//! parked into batching windows and fused too — one transformer forward
+//! per window group, even when every edge sender rolls its own mask seed
+//! (the multi-mask fused forward in `easz-core`).
 //!
 //! The wire format (both the `.easz` container and this crate's framing)
 //! is specified normatively in `docs/FORMAT.md` at the repository root.
@@ -18,11 +21,17 @@
 //! * [`EaszServer`] — multi-threaded accept loop (`std::net::TcpListener` +
 //!   `std::thread::scope`, no external dependencies); one shared model,
 //!   one handler thread per connection.
+//! * [`GatewayConfig`] — the cross-connection batching scheduler: window
+//!   size (`max_batch`), window latency budget (`max_wait_us`), decode
+//!   worker count, queue bound.
+//! * [`ServerMetrics`] / [`ServerStats`] — per-error-code counters, the
+//!   batch-width histogram and queue-depth/latency gauges, served to
+//!   clients via the `STATS` frame and scrapeable in-process.
 //! * [`EaszClient`] — blocking request/reply client.
 //! * [`protocol`] — frame I/O and payload codecs, usable directly by
 //!   alternative clients or tests.
 //! * `easz-serve` — the binary: `cargo run --release -p easz-server --bin
-//!   easz-serve -- --addr 127.0.0.1:4860`.
+//!   easz-serve -- --addr 127.0.0.1:4860 --gateway-max-batch 8`.
 //!
 //! ```no_run
 //! use easz_core::{zoo, EaszConfig, EaszEncoder};
@@ -49,10 +58,14 @@
 
 #![warn(missing_docs)]
 
+mod batcher;
 mod client;
+mod metrics;
 pub mod protocol;
 mod server;
 
+pub use batcher::GatewayConfig;
 pub use client::{ClientError, EaszClient};
+pub use metrics::{ServerMetrics, ServerStats, WIDTH_BUCKETS};
 pub use protocol::{ErrorCode, WireError};
 pub use server::{EaszServer, ServerConfig, ServerHandle};

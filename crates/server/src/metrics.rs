@@ -1,0 +1,371 @@
+//! Server metrics: lock-free counters the serving tier maintains and the
+//! wire form they travel in (`STATS` / `STATS_REPLY` frames, specified in
+//! `docs/FORMAT.md` §2.5).
+//!
+//! [`ServerMetrics`] is the live registry — atomics shared by every handler
+//! thread, the gateway scheduler and the decode workers. [`ServerStats`] is
+//! a point-in-time snapshot of it, serializable to the `STATS_REPLY`
+//! payload and parseable back by clients. Counters are cumulative since
+//! server start; gauges (queue depth) reflect the moment of the snapshot.
+
+use crate::protocol::ErrorCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets in the batch-width histogram: widths `1..WIDTH_BUCKETS-1` count
+/// exactly, the last bucket collects everything `>= WIDTH_BUCKETS`.
+pub const WIDTH_BUCKETS: usize = 16;
+
+/// Highest error-code byte tracked per-code (the protocol's codes are
+/// `1..=9` and `32..=34`; anything above lands in the last slot so a future
+/// code is never silently dropped).
+const MAX_ERROR_CODE: usize = 63;
+
+/// The live metrics registry of one [`EaszServer`](crate::EaszServer).
+///
+/// Every field is a relaxed atomic: metrics never synchronise anything,
+/// they only have to be individually consistent and cheap on the hot path.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Containers received for decoding (via `DECODE` or `DECODE_BATCH`),
+    /// counted after framing but before parsing.
+    decode_requests: AtomicU64,
+    /// `IMAGE` replies sent.
+    decode_ok: AtomicU64,
+    /// Per-container `ERROR` replies sent (codes `1..=15`).
+    decode_err: AtomicU64,
+    /// Decode batches issued (gateway windows and direct `DECODE_BATCH`
+    /// bulk decodes).
+    batches_dispatched: AtomicU64,
+    /// Containers decoded outside the gateway (gateway disabled, queue
+    /// full, or shutdown in progress).
+    inline_decodes: AtomicU64,
+    /// Current gateway queue depth (gauge).
+    queue_depth: AtomicU64,
+    /// High-water gateway queue depth.
+    queue_peak: AtomicU64,
+    /// Total microseconds jobs spent queued before their window dispatched.
+    queue_wait_us: AtomicU64,
+    /// Total microseconds workers spent inside `decode_batch`.
+    decode_us: AtomicU64,
+    /// Histogram of decode batch widths (gateway windows and direct
+    /// `DECODE_BATCH` decodes); bucket `i` counts width `i + 1`, the last
+    /// bucket counts `>= WIDTH_BUCKETS`.
+    batch_widths: [AtomicU64; WIDTH_BUCKETS],
+    /// `ERROR` frames sent, by code byte (protocol-level codes included).
+    errors: [AtomicU64; MAX_ERROR_CODE + 1],
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self {
+            decode_requests: AtomicU64::new(0),
+            decode_ok: AtomicU64::new(0),
+            decode_err: AtomicU64::new(0),
+            batches_dispatched: AtomicU64::new(0),
+            inline_decodes: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            queue_wait_us: AtomicU64::new(0),
+            decode_us: AtomicU64::new(0),
+            batch_widths: std::array::from_fn(|_| AtomicU64::new(0)),
+            errors: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts `n` containers accepted for decoding.
+    pub fn record_requests(&self, n: u64) {
+        self.decode_requests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one decode outcome at reply time (`true` = `IMAGE`).
+    pub fn record_decode(&self, ok: bool) {
+        if ok {
+            self.decode_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.decode_err.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one `ERROR` frame by its code byte.
+    pub fn record_error(&self, code: ErrorCode) {
+        let idx = (code.value() as usize).min(MAX_ERROR_CODE);
+        self.errors[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one container decoded outside the gateway.
+    pub fn record_inline_decode(&self) {
+        self.inline_decodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a decode batch of `width` containers and the wall time its
+    /// `decode_batch` call took.
+    pub fn record_batch(&self, width: usize, decode_us: u64) {
+        debug_assert!(width > 0, "empty batch recorded");
+        let bucket = width.saturating_sub(1).min(WIDTH_BUCKETS - 1);
+        self.batch_widths[bucket].fetch_add(1, Ordering::Relaxed);
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.decode_us.fetch_add(decode_us, Ordering::Relaxed);
+    }
+
+    /// Updates the queue-depth gauge (and its high-water mark).
+    pub fn record_queue_depth(&self, depth: usize) {
+        let depth = depth as u64;
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Adds one job's time-in-queue to the latency accumulator.
+    pub fn record_queue_wait(&self, wait_us: u64) {
+        self.queue_wait_us.fetch_add(wait_us, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot for a `STATS_REPLY`.
+    pub fn snapshot(&self) -> ServerStats {
+        let mut widths = [0u64; WIDTH_BUCKETS];
+        for (out, w) in widths.iter_mut().zip(&self.batch_widths) {
+            *out = w.load(Ordering::Relaxed);
+        }
+        let errors: Vec<(u8, u64)> = self
+            .errors
+            .iter()
+            .enumerate()
+            .filter_map(|(code, count)| {
+                let count = count.load(Ordering::Relaxed);
+                (count > 0).then_some((code as u8, count))
+            })
+            .collect();
+        ServerStats {
+            decode_requests: self.decode_requests.load(Ordering::Relaxed),
+            decode_ok: self.decode_ok.load(Ordering::Relaxed),
+            decode_err: self.decode_err.load(Ordering::Relaxed),
+            batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            inline_decodes: self.inline_decodes.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
+            decode_us: self.decode_us.load(Ordering::Relaxed),
+            batch_widths: widths,
+            errors,
+        }
+    }
+}
+
+/// Version byte leading a `STATS_REPLY` payload.
+pub const STATS_PAYLOAD_VERSION: u8 = 1;
+
+/// A point-in-time snapshot of a server's [`ServerMetrics`], as carried by
+/// the `STATS_REPLY` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Containers received for decoding.
+    pub decode_requests: u64,
+    /// `IMAGE` replies sent.
+    pub decode_ok: u64,
+    /// Per-container `ERROR` replies sent.
+    pub decode_err: u64,
+    /// Decode batches issued (gateway windows and direct `DECODE_BATCH`
+    /// bulk decodes).
+    pub batches_dispatched: u64,
+    /// Containers decoded outside the gateway.
+    pub inline_decodes: u64,
+    /// Gateway queue depth at snapshot time (gauge).
+    pub queue_depth: u64,
+    /// High-water gateway queue depth.
+    pub queue_peak: u64,
+    /// Total microseconds jobs waited in the gateway queue.
+    pub queue_wait_us: u64,
+    /// Total microseconds spent inside `decode_batch` calls.
+    pub decode_us: u64,
+    /// Batch-width histogram; bucket `i` counts width `i + 1`, the last
+    /// bucket counts `>= WIDTH_BUCKETS`.
+    pub batch_widths: [u64; WIDTH_BUCKETS],
+    /// `(error code byte, count)` for every code observed at least once,
+    /// ascending by code.
+    pub errors: Vec<(u8, u64)>,
+}
+
+impl ServerStats {
+    /// Count of `ERROR` frames sent under `code` (0 if never).
+    pub fn error_count(&self, code: ErrorCode) -> u64 {
+        self.errors.iter().find(|(c, _)| *c == code.value()).map_or(0, |(_, n)| *n)
+    }
+
+    /// Serializes into a `STATS_REPLY` frame payload (layout in
+    /// `docs/FORMAT.md` §2.5).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            1 + 9 * 8 + 1 + self.batch_widths.len() * 8 + 1 + self.errors.len() * 9,
+        );
+        out.push(STATS_PAYLOAD_VERSION);
+        for v in [
+            self.decode_requests,
+            self.decode_ok,
+            self.decode_err,
+            self.batches_dispatched,
+            self.inline_decodes,
+            self.queue_depth,
+            self.queue_peak,
+            self.queue_wait_us,
+            self.decode_us,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(self.batch_widths.len() as u8);
+        for w in &self.batch_widths {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.push(self.errors.len() as u8);
+        for (code, count) in &self.errors {
+            out.push(*code);
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a `STATS_REPLY` frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation (unknown payload version, short or
+    /// trailing bytes, oversized histogram).
+    pub fn from_payload(payload: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { payload, pos: 0 };
+        let version = r.u8()?;
+        if version != STATS_PAYLOAD_VERSION {
+            return Err(format!("unknown stats payload version {version}"));
+        }
+        let decode_requests = r.u64()?;
+        let decode_ok = r.u64()?;
+        let decode_err = r.u64()?;
+        let batches_dispatched = r.u64()?;
+        let inline_decodes = r.u64()?;
+        let queue_depth = r.u64()?;
+        let queue_peak = r.u64()?;
+        let queue_wait_us = r.u64()?;
+        let decode_us = r.u64()?;
+        let n_widths = r.u8()? as usize;
+        if n_widths != WIDTH_BUCKETS {
+            return Err(format!(
+                "stats histogram has {n_widths} buckets, expected {WIDTH_BUCKETS}"
+            ));
+        }
+        let mut batch_widths = [0u64; WIDTH_BUCKETS];
+        for w in &mut batch_widths {
+            *w = r.u64()?;
+        }
+        let n_errors = r.u8()? as usize;
+        let mut errors = Vec::with_capacity(n_errors);
+        for _ in 0..n_errors {
+            let code = r.u8()?;
+            errors.push((code, r.u64()?));
+        }
+        if r.pos != payload.len() {
+            return Err(format!(
+                "{} trailing bytes after the stats payload",
+                payload.len() - r.pos
+            ));
+        }
+        Ok(Self {
+            decode_requests,
+            decode_ok,
+            decode_err,
+            batches_dispatched,
+            inline_decodes,
+            queue_depth,
+            queue_peak,
+            queue_wait_us,
+            decode_us,
+            batch_widths,
+            errors,
+        })
+    }
+}
+
+/// Cursor over a stats payload with typed, bounds-checked reads.
+struct Reader<'a> {
+    payload: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u8(&mut self) -> Result<u8, String> {
+        let b = *self
+            .payload
+            .get(self.pos)
+            .ok_or_else(|| format!("stats payload truncated at byte {}", self.pos))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let end = self.pos + 8;
+        let bytes = self
+            .payload
+            .get(self.pos..end)
+            .ok_or_else(|| format!("stats payload truncated at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_payload_round_trips() {
+        let m = ServerMetrics::new();
+        m.record_requests(5);
+        m.record_decode(true);
+        m.record_decode(true);
+        m.record_decode(false);
+        m.record_error(ErrorCode::BadMagic);
+        m.record_error(ErrorCode::BadMagic);
+        m.record_error(ErrorCode::Protocol);
+        m.record_batch(3, 1500);
+        m.record_batch(1, 200);
+        m.record_batch(WIDTH_BUCKETS + 10, 9000); // overflow bucket
+        m.record_inline_decode();
+        m.record_queue_depth(4);
+        m.record_queue_depth(2);
+        m.record_queue_wait(750);
+        let stats = m.snapshot();
+        assert_eq!(stats.decode_requests, 5);
+        assert_eq!((stats.decode_ok, stats.decode_err), (2, 1));
+        assert_eq!(stats.error_count(ErrorCode::BadMagic), 2);
+        assert_eq!(stats.error_count(ErrorCode::Protocol), 1);
+        assert_eq!(stats.error_count(ErrorCode::Oversize), 0);
+        assert_eq!(stats.batches_dispatched, 3);
+        assert_eq!(stats.batch_widths[0], 1);
+        assert_eq!(stats.batch_widths[2], 1);
+        assert_eq!(stats.batch_widths[WIDTH_BUCKETS - 1], 1);
+        assert_eq!(stats.decode_us, 10700);
+        assert_eq!(stats.inline_decodes, 1);
+        assert_eq!((stats.queue_depth, stats.queue_peak), (2, 4));
+        assert_eq!(stats.queue_wait_us, 750);
+        let back = ServerStats::from_payload(&stats.to_payload()).expect("parse");
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn stats_payload_rejects_malformations() {
+        let payload = ServerMetrics::new().snapshot().to_payload();
+        assert!(ServerStats::from_payload(&payload[..payload.len() - 1]).is_err(), "truncated");
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(ServerStats::from_payload(&trailing).is_err(), "trailing byte");
+        let mut bad_version = payload.clone();
+        bad_version[0] = 9;
+        assert!(ServerStats::from_payload(&bad_version).is_err(), "unknown version");
+        let mut bad_buckets = payload;
+        bad_buckets[1 + 9 * 8] = 3;
+        assert!(ServerStats::from_payload(&bad_buckets).is_err(), "bucket count");
+    }
+}

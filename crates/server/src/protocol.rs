@@ -36,10 +36,16 @@ pub const DECODE_BATCH: u8 = 0x02;
 /// Request: payload is the client's 1-byte protocol version; answered with
 /// [`PONG`].
 pub const PING: u8 = 0x03;
+/// Request: empty payload; answered with [`STATS_REPLY`] carrying a
+/// [`ServerStats`](crate::ServerStats) snapshot.
+pub const STATS: u8 = 0x04;
 /// Response: payload is a [decoded image](encode_image).
 pub const IMAGE: u8 = 0x81;
 /// Response to [`PING`]: payload is the server's 1-byte protocol version.
 pub const PONG: u8 = 0x83;
+/// Response to [`STATS`]: payload is a serialized
+/// [`ServerStats`](crate::ServerStats) snapshot (`docs/FORMAT.md` §2.5).
+pub const STATS_REPLY: u8 = 0x84;
 /// Response: payload is an [error code](ErrorCode) byte, a u16 LE message
 /// length, and the UTF-8 message.
 pub const ERROR: u8 = 0xEE;

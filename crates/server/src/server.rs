@@ -2,9 +2,12 @@
 //! handler thread, all sharing one [`EaszDecoder`] (and therefore one
 //! model) behind the framing protocol of [`crate::protocol`].
 
+use crate::batcher::{Batcher, GatewayConfig};
+use crate::metrics::{ServerMetrics, ServerStats};
 use crate::protocol::{self, ErrorCode, FrameReadError, WireError};
 use easz_codecs::CodecRegistry;
 use easz_core::{EaszDecoder, EaszEncoded, EaszError, Reconstructor};
+use easz_image::ImageF32;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,13 +56,20 @@ pub struct ServerConfig {
     /// Largest number of containers accepted in one `DECODE_BATCH` frame.
     pub max_batch: usize,
     /// Per-connection read timeout; an idle connection past it is closed.
-    /// `None` (the default) keeps connections open indefinitely.
+    /// `None` (the default) or a zero duration keeps connections open
+    /// indefinitely (a zero `Duration` is invalid for the OS socket
+    /// timeout, so it is normalised to "no timeout" rather than erroring).
     pub read_timeout: Option<Duration>,
+    /// The cross-connection decode gateway. `None` (the default) decodes
+    /// each request on its own connection thread; `Some` parks requests in
+    /// a batching window so concurrent connections share transformer
+    /// forwards (see [`GatewayConfig`]).
+    pub gateway: Option<GatewayConfig>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { max_frame_len: 16 << 20, max_batch: 64, read_timeout: None }
+        Self { max_frame_len: 16 << 20, max_batch: 64, read_timeout: None, gateway: None }
     }
 }
 
@@ -84,6 +94,7 @@ pub struct EaszServer {
     model: Arc<Reconstructor>,
     registry: CodecRegistry,
     config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl std::fmt::Debug for EaszServer {
@@ -99,7 +110,12 @@ impl EaszServer {
     /// Creates a server around a trained reconstructor with the default
     /// codec registry and configuration.
     pub fn new(model: Arc<Reconstructor>) -> Self {
-        Self { model, registry: CodecRegistry::with_defaults(), config: ServerConfig::default() }
+        Self {
+            model,
+            registry: CodecRegistry::with_defaults(),
+            config: ServerConfig::default(),
+            metrics: Arc::new(ServerMetrics::new()),
+        }
     }
 
     /// Replaces the codec registry (e.g. an allow-list of inner codecs).
@@ -112,6 +128,33 @@ impl EaszServer {
     pub fn with_config(mut self, config: ServerConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Sets the per-connection read timeout: an idle or half-open client
+    /// past it is disconnected instead of pinning its handler thread. A
+    /// zero duration means "no timeout".
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.config.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables the cross-connection decode gateway: requests from every
+    /// connection are parked into batching windows (closed on
+    /// [`max_batch`](GatewayConfig::max_batch) or
+    /// [`max_wait_us`](GatewayConfig::max_wait_us)) and decoded by a shared
+    /// worker pool, so concurrent clients share transformer forwards even
+    /// when their mask seeds differ. Replies are byte-identical to
+    /// ungatewayed decoding.
+    pub fn with_gateway(mut self, gateway: GatewayConfig) -> Self {
+        self.config.gateway = Some(gateway);
+        self
+    }
+
+    /// The server's live metrics registry (also served to clients via the
+    /// `STATS` frame). The handle survives the server, so an embedder can
+    /// scrape it after shutdown.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        self.metrics.clone()
     }
 
     /// Serves connections on `listener` until the process exits, blocking
@@ -138,11 +181,12 @@ impl EaszServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(Connections::default());
+        let metrics = self.metrics.clone();
         let (flag, conns) = (shutdown.clone(), connections.clone());
         let thread = std::thread::Builder::new()
             .name("easz-serve".into())
             .spawn(move || self.serve_until(listener, &flag, &conns))?;
-        Ok(ServerHandle { addr, shutdown, connections, thread: Some(thread) })
+        Ok(ServerHandle { addr, shutdown, connections, metrics, thread: Some(thread) })
     }
 
     fn serve_until(
@@ -151,38 +195,95 @@ impl EaszServer {
         shutdown: &AtomicBool,
         connections: &Connections,
     ) -> io::Result<()> {
-        let Self { model, registry, config } = self;
+        let Self { model, registry, config, metrics } = self;
         let decoder = EaszDecoder::with_registry(&model, registry);
-        std::thread::scope(|scope| loop {
-            let (stream, _) = match listener.accept() {
-                Ok(conn) => conn,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            };
-            if shutdown.load(Ordering::Acquire) {
-                // The waking connection is dropped unanswered; the scope
-                // drains in-flight handlers (unblocked by `shutdown_all`)
-                // before we return.
-                return Ok(());
-            }
-            let (decoder, config) = (&decoder, &config);
-            scope.spawn(move || {
-                // A connection that cannot be registered (fd pressure broke
-                // the try_clone) could never be force-closed and would pin
-                // shutdown forever — refuse it instead of serving it.
-                let Some(id) = connections.register(&stream) else {
-                    return;
-                };
-                // Re-check after registering: a shutdown signalled between
-                // accept and register has already swept the registry, and
-                // this handler must not start a blocking read it would
-                // never be woken from.
-                if !shutdown.load(Ordering::Acquire) {
-                    let _ = handle_connection(stream, decoder, config);
+        let batcher = config.gateway.clone().map(|g| Batcher::new(g, metrics.clone()));
+        std::thread::scope(|scope| {
+            // The gateway threads live inside the connection scope so they
+            // can borrow the shared decoder; they exit when `shutdown()`
+            // below flushes the queue.
+            if let Some(batcher) = &batcher {
+                let workers = config.gateway.as_ref().expect("gateway config present").workers;
+                scope.spawn(|| batcher.run_scheduler());
+                for _ in 0..workers {
+                    let decoder = &decoder;
+                    scope.spawn(move || batcher.run_worker(decoder));
                 }
-                connections.deregister(id);
-            });
+            }
+            let result = loop {
+                let (stream, _) = match listener.accept() {
+                    Ok(conn) => conn,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => break Err(e),
+                };
+                if shutdown.load(Ordering::Acquire) {
+                    // The waking connection is dropped unanswered; the scope
+                    // drains in-flight handlers (unblocked by `shutdown_all`)
+                    // before we return.
+                    break Ok(());
+                }
+                let ctx = ConnCtx {
+                    decoder: &decoder,
+                    config: &config,
+                    metrics: &metrics,
+                    batcher: batcher.as_ref(),
+                };
+                scope.spawn(move || {
+                    // A connection that cannot be registered (fd pressure broke
+                    // the try_clone) could never be force-closed and would pin
+                    // shutdown forever — refuse it instead of serving it.
+                    let Some(id) = connections.register(&stream) else {
+                        return;
+                    };
+                    // Re-check after registering: a shutdown signalled between
+                    // accept and register has already swept the registry, and
+                    // this handler must not start a blocking read it would
+                    // never be woken from.
+                    if !shutdown.load(Ordering::Acquire) {
+                        let _ = handle_connection(stream, &ctx);
+                    }
+                    connections.deregister(id);
+                });
+            };
+            // Stop the gateway before the scope joins: the scheduler
+            // flushes parked jobs into final windows, workers drain them
+            // (so draining connections still get replies), then all gateway
+            // threads exit.
+            if let Some(batcher) = &batcher {
+                batcher.shutdown();
+            }
+            result
         })
+    }
+}
+
+/// Everything a connection handler needs, bundled so handler signatures
+/// stay readable.
+#[derive(Clone, Copy)]
+struct ConnCtx<'a> {
+    decoder: &'a EaszDecoder<'a>,
+    config: &'a ServerConfig,
+    metrics: &'a ServerMetrics,
+    batcher: Option<&'a Batcher>,
+}
+
+impl ConnCtx<'_> {
+    /// Decodes one parsed container — through the gateway when enabled and
+    /// willing, inline otherwise. `Err(())` means the gateway accepted the
+    /// job but shut down before answering; the connection should close.
+    fn decode(&self, encoded: EaszEncoded) -> Result<Result<ImageF32, EaszError>, ()> {
+        if let Some(batcher) = self.batcher {
+            match batcher.submit(encoded) {
+                Ok(rx) => return rx.recv().map_err(|_| ()),
+                Err(back) => {
+                    // Full queue or shutdown: degrade to inline decode.
+                    self.metrics.record_inline_decode();
+                    return Ok(self.decoder.decode(&back));
+                }
+            }
+        }
+        self.metrics.record_inline_decode();
+        Ok(self.decoder.decode(&encoded))
     }
 }
 
@@ -197,6 +298,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     connections: Arc<Connections>,
+    metrics: Arc<ServerMetrics>,
     thread: Option<JoinHandle<io::Result<()>>>,
 }
 
@@ -205,6 +307,12 @@ impl ServerHandle {
     /// resolved, so `spawn("127.0.0.1:0")` is directly connectable).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The running server's metrics registry — the same counters the
+    /// `STATS` frame serves, scrapeable in-process (and after shutdown).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     fn signal(&self) {
@@ -243,12 +351,11 @@ impl Drop for ServerHandle {
 /// Serves one connection until clean EOF, a timeout, or a framing-level
 /// violation. Container-level failures are answered with typed error frames
 /// and never close the connection, let alone the server.
-fn handle_connection(
-    mut stream: TcpStream,
-    decoder: &EaszDecoder<'_>,
-    config: &ServerConfig,
-) -> io::Result<()> {
-    stream.set_read_timeout(config.read_timeout)?;
+fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) -> io::Result<()> {
+    let (config, metrics) = (ctx.config, ctx.metrics);
+    // A zero Duration means "no timeout" here, but is InvalidInput to the
+    // OS call — normalise it instead of silently dropping the connection.
+    stream.set_read_timeout(config.read_timeout.filter(|t| !t.is_zero()))?;
     loop {
         let (frame_type, payload) = match protocol::read_frame(&mut stream, config.max_frame_len) {
             Ok(Some(frame)) => frame,
@@ -262,6 +369,7 @@ fn handle_connection(
                 // but drain what the peer already sent first, else the
                 // kernel turns our close into an RST that discards the
                 // error frame before the peer can read it.
+                metrics.record_error(ErrorCode::Oversize);
                 let result = protocol::write_frame(&mut stream, protocol::ERROR, &err.to_payload());
                 drain_bounded(&mut stream, announced);
                 return result;
@@ -280,40 +388,26 @@ fn handle_connection(
         };
         match frame_type {
             protocol::DECODE => {
-                let result =
-                    EaszEncoded::from_bytes(&payload).and_then(|encoded| decoder.decode(&encoded));
-                send_decode_result(&mut stream, result)?;
+                metrics.record_requests(1);
+                let result = match EaszEncoded::from_bytes(&payload) {
+                    Err(e) => Err(e),
+                    // A gateway recv failure means shutdown beat the reply;
+                    // the connection is closing anyway.
+                    Ok(encoded) => match ctx.decode(encoded) {
+                        Ok(result) => result,
+                        Err(()) => return Ok(()),
+                    },
+                };
+                send_decode_result(&mut stream, result, metrics)?;
             }
             protocol::DECODE_BATCH => {
                 match protocol::decode_batch_payload(&payload, config.max_batch) {
                     Err(message) => {
-                        let err = WireError { code: ErrorCode::Protocol, message };
-                        protocol::write_frame(&mut stream, protocol::ERROR, &err.to_payload())?;
+                        send_wire_error(&mut stream, ErrorCode::Protocol, message, metrics)?;
                     }
                     Ok(containers) => {
-                        // Parse every container first so decodable streams
-                        // share one batched forward regardless of corrupt
-                        // neighbours, then reply strictly in request order.
-                        let mut slots: Vec<Result<(), EaszError>> =
-                            Vec::with_capacity(containers.len());
-                        let mut good: Vec<EaszEncoded> = Vec::with_capacity(containers.len());
-                        for container in &containers {
-                            match EaszEncoded::from_bytes(container) {
-                                Ok(encoded) => {
-                                    good.push(encoded);
-                                    slots.push(Ok(()));
-                                }
-                                Err(e) => slots.push(Err(e)),
-                            }
-                        }
-                        let mut decoded = decoder.decode_batch(&good).into_iter();
-                        for slot in slots {
-                            let result = match slot {
-                                Ok(()) => decoded.next().expect("one decode per parsed container"),
-                                Err(e) => Err(e),
-                            };
-                            send_decode_result(&mut stream, result)?;
-                        }
+                        metrics.record_requests(containers.len() as u64);
+                        handle_decode_batch(&mut stream, ctx, &containers)?;
                     }
                 }
             }
@@ -325,11 +419,21 @@ fn handle_connection(
                         &[protocol::PROTOCOL_VERSION],
                     )?;
                 } else {
-                    let err = WireError {
-                        code: ErrorCode::Protocol,
-                        message: format!("ping payload must be 1 byte, got {}", payload.len()),
-                    };
-                    protocol::write_frame(&mut stream, protocol::ERROR, &err.to_payload())?;
+                    let message = format!("ping payload must be 1 byte, got {}", payload.len());
+                    send_wire_error(&mut stream, ErrorCode::Protocol, message, metrics)?;
+                }
+            }
+            protocol::STATS => {
+                if payload.is_empty() {
+                    let snapshot: ServerStats = metrics.snapshot();
+                    protocol::write_frame(
+                        &mut stream,
+                        protocol::STATS_REPLY,
+                        &snapshot.to_payload(),
+                    )?;
+                } else {
+                    let message = format!("stats payload must be empty, got {}", payload.len());
+                    send_wire_error(&mut stream, ErrorCode::Protocol, message, metrics)?;
                 }
             }
             other => {
@@ -338,10 +442,88 @@ fn handle_connection(
                     message: format!("unknown frame type 0x{other:02x}"),
                 };
                 // The peer speaks something else: answer once and close.
+                metrics.record_error(ErrorCode::UnknownFrame);
                 return protocol::write_frame(&mut stream, protocol::ERROR, &err.to_payload());
             }
         }
     }
+}
+
+/// A batch reply slot: what the i-th container is waiting on.
+enum BatchSlot {
+    /// The container did not parse; answered with its typed error.
+    ParseError(EaszError),
+    /// Result already in hand (ungatewayed bulk decode, or inline
+    /// fallback).
+    Done(Result<ImageF32, EaszError>),
+    /// Parked in the gateway; the result arrives on this channel.
+    Pending(std::sync::mpsc::Receiver<Result<ImageF32, EaszError>>),
+}
+
+/// Decodes a `DECODE_BATCH` request and replies strictly in request order.
+///
+/// Without a gateway the parsed containers go through one bulk
+/// [`EaszDecoder::decode_batch`] exactly as before; with a gateway each
+/// container is parked individually, so a window can fuse them with
+/// requests from *other* connections too.
+fn handle_decode_batch(
+    stream: &mut TcpStream,
+    ctx: &ConnCtx<'_>,
+    containers: &[&[u8]],
+) -> io::Result<()> {
+    // Parse every container first so decodable streams share batched
+    // forwards regardless of corrupt neighbours.
+    let mut slots: Vec<BatchSlot> = Vec::with_capacity(containers.len());
+    if let Some(batcher) = ctx.batcher {
+        for container in containers {
+            slots.push(match EaszEncoded::from_bytes(container) {
+                Err(e) => BatchSlot::ParseError(e),
+                Ok(encoded) => match batcher.submit(encoded) {
+                    Ok(rx) => BatchSlot::Pending(rx),
+                    Err(back) => {
+                        ctx.metrics.record_inline_decode();
+                        BatchSlot::Done(ctx.decoder.decode(&back))
+                    }
+                },
+            });
+        }
+    } else {
+        let mut statuses: Vec<Result<(), EaszError>> = Vec::with_capacity(containers.len());
+        let mut good: Vec<EaszEncoded> = Vec::with_capacity(containers.len());
+        for container in containers {
+            match EaszEncoded::from_bytes(container) {
+                Ok(encoded) => {
+                    good.push(encoded);
+                    statuses.push(Ok(()));
+                }
+                Err(e) => statuses.push(Err(e)),
+            }
+        }
+        let started = std::time::Instant::now();
+        let mut decoded = ctx.decoder.decode_batch(&good).into_iter();
+        if !good.is_empty() {
+            ctx.metrics.record_batch(good.len(), started.elapsed().as_micros() as u64);
+        }
+        for status in statuses {
+            slots.push(match status {
+                Ok(()) => BatchSlot::Done(decoded.next().expect("one decode per parsed container")),
+                Err(e) => BatchSlot::ParseError(e),
+            });
+        }
+    }
+    for slot in slots {
+        let result = match slot {
+            BatchSlot::ParseError(e) => Err(e),
+            BatchSlot::Done(result) => result,
+            BatchSlot::Pending(rx) => match rx.recv() {
+                Ok(result) => result,
+                // Gateway shutdown dropped the job; close the connection.
+                Err(_) => return Ok(()),
+            },
+        };
+        send_decode_result(stream, result, ctx.metrics)?;
+    }
+    Ok(())
 }
 
 /// Reads and discards up to `limit` pending bytes so closing the socket
@@ -368,14 +550,30 @@ fn drain_bounded(stream: &mut TcpStream, limit: usize) {
 
 fn send_decode_result(
     stream: &mut TcpStream,
-    result: Result<easz_image::ImageF32, EaszError>,
+    result: Result<ImageF32, EaszError>,
+    metrics: &ServerMetrics,
 ) -> io::Result<()> {
+    metrics.record_decode(result.is_ok());
     match result {
         Ok(image) => {
             protocol::write_frame(stream, protocol::IMAGE, &protocol::encode_image(&image.to_u8()))
         }
         Err(e) => {
-            protocol::write_frame(stream, protocol::ERROR, &WireError::from_easz(&e).to_payload())
+            let err = WireError::from_easz(&e);
+            metrics.record_error(err.code);
+            protocol::write_frame(stream, protocol::ERROR, &err.to_payload())
         }
     }
+}
+
+/// Writes one typed error frame, counting it in the metrics registry.
+fn send_wire_error(
+    stream: &mut TcpStream,
+    code: ErrorCode,
+    message: String,
+    metrics: &ServerMetrics,
+) -> io::Result<()> {
+    metrics.record_error(code);
+    let err = WireError { code, message };
+    protocol::write_frame(stream, protocol::ERROR, &err.to_payload())
 }

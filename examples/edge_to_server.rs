@@ -1,19 +1,24 @@
 //! The paper's deployment story over a real (loopback) socket: model-free
 //! edge encoders streaming `.easz` containers to an `easz-server` that
-//! batches the transformer reconstruction across streams.
+//! batches the transformer reconstruction across streams — here with the
+//! **cross-connection decode gateway** enabled, so concurrent clients with
+//! *distinct mask seeds* (the realistic mixed fleet) still share fused
+//! transformer forwards.
 //!
 //! ```sh
 //! cargo run --release --example edge_to_server
 //! ```
 //!
-//! The wire protocol (framing, error codes, the container itself) is
-//! specified in `docs/FORMAT.md`.
+//! Every reply is asserted byte-identical to a local serial decode — CI
+//! runs this example as the gateway's end-to-end smoke test and fails on
+//! any divergence. The wire protocol (framing, error codes, the container
+//! itself) is specified in `docs/FORMAT.md`.
 
 use easz::codecs::{BpgLikeCodec, ImageCodec, JpegLikeCodec, Quality};
-use easz::core::{zoo, EaszConfig, EaszEncoder};
+use easz::core::{zoo, EaszConfig, EaszDecoder, EaszEncoder};
 use easz::data::Dataset;
 use easz::metrics::psnr;
-use easz::server::{ClientError, EaszClient, EaszServer};
+use easz::server::{ClientError, EaszClient, EaszServer, GatewayConfig};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,54 +26,85 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
 
     // The server half: normally another machine; here a loopback port.
-    let handle = EaszServer::new(model).spawn("127.0.0.1:0")?;
-    println!("easz-serve listening on {}", handle.addr());
+    // The gateway parks requests from every connection into batching
+    // windows (up to 4 requests or 20 ms) decoded by a shared worker pool.
+    let gateway =
+        GatewayConfig { max_batch: 4, max_wait_us: 20_000, workers: 2, ..Default::default() };
+    let handle = EaszServer::new(model.clone()).with_gateway(gateway).spawn("127.0.0.1:0")?;
+    println!("easz-serve listening on {} (gateway: window 4 reqs / 20 ms)", handle.addr());
 
     let mut client = EaszClient::connect(handle.addr())?;
     println!("server speaks protocol v{}", client.ping()?);
 
-    // The edge half: compress a few frames with different inner codecs —
-    // the server resolves each codec from the container header itself.
-    let encoder = EaszEncoder::new(EaszConfig::builder().erase_ratio(0.25).build()?)?;
+    // The edge half: a mixed fleet. Every sender rolls its own mask seed
+    // and picks its own inner codec — the server resolves the codec from
+    // the container header and fuses the distinct-mask streams into one
+    // transformer forward (same geometry + erase count is enough).
     let jpeg = JpegLikeCodec::new();
     let bpg = BpgLikeCodec::new();
-    let frames: Vec<(&dyn ImageCodec, usize)> = vec![(&jpeg, 0), (&bpg, 1), (&jpeg, 2)];
+    let frames: Vec<(&dyn ImageCodec, usize, u64)> =
+        vec![(&jpeg, 0, 1), (&bpg, 1, 2), (&jpeg, 2, 3)];
     let mut originals = Vec::new();
     let mut wires: Vec<Vec<u8>> = Vec::new();
-    for &(codec, i) in &frames {
+    for &(codec, i, seed) in &frames {
+        let encoder =
+            EaszEncoder::new(EaszConfig::builder().erase_ratio(0.25).mask_seed(seed).build()?)?;
         let img = Dataset::KodakLike.image(i).crop(0, 0, 128, 96);
         wires.push(encoder.compress(&img, codec, Quality::new(80))?.to_bytes());
         originals.push(img);
     }
 
-    // One DECODE_BATCH frame: same-mask streams share a transformer
-    // forward server-side.
-    let batch: Vec<&[u8]> = wires.iter().map(Vec::as_slice).collect();
+    // Local serial reference: the gateway must reproduce it bit-for-bit.
+    let local = EaszDecoder::new(&model);
+    let references: Vec<_> =
+        wires.iter().map(|w| local.decode_bytes(w).expect("local decode").to_u8()).collect();
+
+    // Concurrent single-frame clients: cross-connection batching is the
+    // gateway's whole point, so each frame travels on its own connection.
     let start = Instant::now();
-    let results = client.decode_batch(&batch)?;
+    let decoded: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = wires
+            .iter()
+            .map(|wire| {
+                let addr = handle.addr();
+                scope.spawn(move || {
+                    let mut c = EaszClient::connect(addr).expect("connect");
+                    c.decode(wire).expect("gateway decode")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
     let elapsed = start.elapsed();
-    println!("\nbatched decode of {} streams in {elapsed:?}:", results.len());
-    println!("{:<6} {:>10} {:>10} {:>9}", "frame", "codec", "wire B", "psnr dB");
-    for (i, (result, &(codec, _))) in results.iter().zip(&frames).enumerate() {
-        let img = result.as_ref().expect("decode").to_f32();
+
+    println!("\ngateway decode of {} concurrent mixed-mask streams in {elapsed:?}:", decoded.len());
+    println!("{:<6} {:>10} {:>6} {:>10} {:>9}", "frame", "codec", "seed", "wire B", "psnr dB");
+    for (i, (img, &(codec, _, seed))) in decoded.iter().zip(&frames).enumerate() {
+        assert_eq!(
+            img.data(),
+            references[i].data(),
+            "gateway reply {i} must be byte-identical to the local serial decode"
+        );
         println!(
-            "{:<6} {:>10} {:>10} {:>9.2}",
+            "{:<6} {:>10} {:>6} {:>10} {:>9.2}",
             i,
             codec.name(),
+            seed,
             wires[i].len(),
-            psnr(&originals[i], &img)
+            psnr(&originals[i], &img.to_f32())
         );
     }
+    println!("all gateway replies byte-identical to local serial decode");
 
-    // Single decode round trip for comparison.
-    let start = Instant::now();
-    let single = client.decode(&wires[0])?;
-    println!(
-        "\nsingle decode round trip: {:?} ({}x{})",
-        start.elapsed(),
-        single.width(),
-        single.height()
-    );
+    // One DECODE_BATCH frame still works with the gateway on (each entry
+    // is parked individually, so it can fuse with other connections too).
+    let batch: Vec<&[u8]> = wires.iter().map(Vec::as_slice).collect();
+    let results = client.decode_batch(&batch)?;
+    for (i, result) in results.iter().enumerate() {
+        let img = result.as_ref().expect("batch decode");
+        assert_eq!(img.data(), references[i].data(), "batch reply {i} diverges");
+    }
+    println!("batched decode of {} streams: byte-identical too", results.len());
 
     // Malformed input comes back as a typed error frame, and the
     // connection (and server) stay up.
@@ -78,6 +114,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let again = client.decode(&wires[1])?;
     println!("connection survives: re-decoded frame 1 ({}x{})", again.width(), again.height());
+
+    // The server's own accounting, over the wire.
+    let stats = client.stats()?;
+    println!(
+        "\nserver stats: {} containers, {} ok / {} errors, {} windows (widths: {:?}), \
+         queue peak {}, {} µs decoding",
+        stats.decode_requests,
+        stats.decode_ok,
+        stats.decode_err,
+        stats.batches_dispatched,
+        stats
+            .batch_widths
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("{}x{}", i + 1, c))
+            .collect::<Vec<_>>(),
+        stats.queue_peak,
+        stats.decode_us,
+    );
 
     drop(client);
     handle.shutdown()?;

@@ -7,9 +7,12 @@ use easz::codecs::{JpegLikeCodec, Quality};
 use easz::core::{EaszConfig, EaszDecoder, EaszEncoder, Reconstructor, ReconstructorConfig};
 use easz::data::Dataset;
 use easz::image::ImageU8;
-use easz::server::{protocol, ClientError, EaszClient, EaszServer, ErrorCode, ServerConfig};
+use easz::server::{
+    protocol, ClientError, EaszClient, EaszServer, ErrorCode, GatewayConfig, ServerConfig,
+};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Weights don't matter for wire-level behaviour, so an untrained (seeded,
 /// deterministic) model keeps these tests fast.
@@ -213,6 +216,135 @@ fn concurrent_clients_decode_byte_identically_to_serial() {
             }
         }
     });
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// One container per mask seed: the mixed-fleet shape where every edge
+/// sender rolls its own mask, so pre-gateway batching never fused them.
+fn fleet_containers(seeds: &[u64]) -> Vec<Vec<u8>> {
+    let codec = JpegLikeCodec::new();
+    seeds
+        .iter()
+        .map(|&seed| {
+            let enc = EaszEncoder::new(EaszConfig { mask_seed: seed, ..EaszConfig::default() })
+                .expect("encoder");
+            let img = Dataset::KodakLike.image(seed as usize % 8).crop(0, 0, 96, 64);
+            enc.compress(&img, &codec, Quality::new(80)).expect("compress").to_bytes()
+        })
+        .collect()
+}
+
+#[test]
+fn gateway_fuses_concurrent_mixed_mask_clients_byte_identically() {
+    // K concurrent clients, each with a distinct mask seed, decode through
+    // the cross-connection gateway; every reply must be byte-identical to
+    // a local serial decode. The generous window wait makes the clients
+    // overwhelmingly likely to share windows, but correctness here must
+    // not depend on how the windows actually formed.
+    let model = model();
+    let gateway =
+        GatewayConfig { max_batch: 4, max_wait_us: 50_000, workers: 2, ..GatewayConfig::default() };
+    let handle =
+        EaszServer::new(model.clone()).with_gateway(gateway).spawn("127.0.0.1:0").expect("spawn");
+    let wires = fleet_containers(&[11, 22, 33, 44]);
+    let local = EaszDecoder::new(&model);
+    let references: Vec<ImageU8> =
+        wires.iter().map(|w| local.decode_bytes(w).expect("local decode").to_u8()).collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = wires
+            .iter()
+            .zip(&references)
+            .map(|(wire, reference)| {
+                let addr = handle.addr();
+                scope.spawn(move || {
+                    let mut client = EaszClient::connect(addr).expect("connect");
+                    for _ in 0..3 {
+                        let remote = client.decode(wire).expect("gateway decode");
+                        assert_eq!(
+                            remote.data(),
+                            reference.data(),
+                            "gateway decode must be byte-identical to local serial decode"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    // The gateway must have actually batched: all 12 decodes succeeded and
+    // were dispatched through windows (not the inline fallback, whose
+    // queue never filled here).
+    let stats = handle.metrics().snapshot();
+    assert_eq!(stats.decode_ok, 12, "every request must decode");
+    assert_eq!(stats.decode_requests, 12);
+    assert!(stats.batches_dispatched >= 1, "windows must dispatch through the gateway");
+    let histogram_total: u64 = stats.batch_widths.iter().sum();
+    assert_eq!(histogram_total, stats.batches_dispatched, "histogram covers every window");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn stats_frame_round_trips_and_counts_errors() {
+    let handle = EaszServer::new(model()).spawn("127.0.0.1:0").expect("spawn");
+    let mut client = EaszClient::connect(handle.addr()).expect("connect");
+    let wire = containers().remove(0);
+
+    let before = client.stats().expect("stats");
+    assert_eq!(before.decode_requests, 0);
+    assert_eq!(before.error_count(ErrorCode::BadMagic), 0);
+
+    // One good decode, one malformed container.
+    client.decode(&wire).expect("decode");
+    match client.decode(&[b'X'; 64]) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::BadMagic),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+
+    let after = client.stats().expect("stats");
+    assert_eq!(after.decode_requests, 2);
+    assert_eq!(after.decode_ok, 1);
+    assert_eq!(after.decode_err, 1);
+    assert_eq!(after.error_count(ErrorCode::BadMagic), 1, "malformed frame must be counted");
+
+    // A malformed STATS request (non-empty payload) is a protocol error —
+    // and itself lands in the counters.
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    protocol::write_frame(&mut raw, protocol::STATS, b"x").expect("write");
+    let (ty, payload) = protocol::read_frame(&mut raw, 1 << 20).expect("read").expect("frame");
+    assert_eq!(ty, protocol::ERROR);
+    let err = protocol::WireError::from_payload(&payload).expect("error payload");
+    assert_eq!(err.code, ErrorCode::Protocol);
+    let last = client.stats().expect("stats");
+    assert_eq!(last.error_count(ErrorCode::Protocol), 1);
+
+    // The wire snapshot and the in-process registry agree.
+    assert_eq!(handle.metrics().snapshot(), last);
+    drop((client, raw));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn idle_connections_are_disconnected_by_the_read_timeout() {
+    let handle = EaszServer::new(model())
+        .with_read_timeout(Duration::from_millis(100))
+        .spawn("127.0.0.1:0")
+        .expect("spawn");
+    let mut client = EaszClient::connect(handle.addr()).expect("connect");
+    assert!(client.ping().is_ok(), "live connection answers before the timeout");
+    // Stay idle past the timeout: the server must close the connection, so
+    // the next read observes EOF instead of hanging.
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).expect("client timeout");
+    let mut buf = [0u8; 1];
+    match std::io::Read::read(&mut raw, &mut buf) {
+        Ok(0) => {} // server closed the idle connection
+        other => panic!("expected EOF from the idle timeout, got {other:?}"),
+    }
+    drop((client, raw));
     handle.shutdown().expect("clean shutdown");
 }
 
