@@ -38,6 +38,7 @@ fn main() {
                     orientation: Orientation::Horizontal,
                     mask_seed: 11,
                     synthesize_grain: true,
+                    allow_quantized: false,
                 };
                 // File saving is edge-side only: no model needed.
                 let encoder = EaszEncoder::new(cfg).expect("encoder");

@@ -159,8 +159,10 @@ fn main() {
     for (enc, tile, engine, ename) in [
         (&enc32, 32usize, DecodeEngine::Graph, "graph"),
         (&enc32, 32, DecodeEngine::TapeFree, "tape_free"),
+        (&enc32, 32, DecodeEngine::QuantizedInt8, "quant"),
         (&enc64, 64, DecodeEngine::Graph, "graph"),
         (&enc64, 64, DecodeEngine::TapeFree, "tape_free"),
+        (&enc64, 64, DecodeEngine::QuantizedInt8, "quant"),
     ] {
         let decoder = &decoder;
         let codec = &codec;
@@ -204,6 +206,40 @@ fn main() {
             tile_px: 32,
             batch: 8,
             routine,
+            iters: 0,
+            total_ns: 0,
+        });
+    }
+    // The same fleet on the int8 tier: per-stream serial quantized decode
+    // and one fused multi-mask quantized window.
+    {
+        let (decoder, enc) = (&decoder, &fleet32x8);
+        let engines = vec![DecodeEngine::QuantizedInt8; fleet32x8.len()];
+        cases.push(Case {
+            name: "tile32_fleet_serial_x8_quant".into(),
+            engine: "quant",
+            mode: "serial",
+            tile_px: 32,
+            batch: 8,
+            routine: Box::new(move || {
+                for e in enc {
+                    decoder.decode_as(e, DecodeEngine::QuantizedInt8).expect("fleet quant decode");
+                }
+            }),
+            iters: 0,
+            total_ns: 0,
+        });
+        cases.push(Case {
+            name: "tile32_fleet_batch_x8_quant".into(),
+            engine: "quant",
+            mode: "batch",
+            tile_px: 32,
+            batch: 8,
+            routine: Box::new(move || {
+                for r in decoder.decode_batch_with(enc, &engines) {
+                    r.expect("fleet quant batched decode");
+                }
+            }),
             iters: 0,
             total_ns: 0,
         });
@@ -268,6 +304,19 @@ fn main() {
             iters: 0,
             total_ns: 0,
         });
+        let quant_arena = std::cell::RefCell::new(ScratchArena::new());
+        cases.push(Case {
+            name: "forward_x1_quant".into(),
+            engine: "quant",
+            mode: "forward",
+            tile_px: 32,
+            batch: 1,
+            routine: Box::new(move || {
+                let _ = model.infer_tokens_quant(batch, plan, &mut quant_arena.borrow_mut());
+            }),
+            iters: 0,
+            total_ns: 0,
+        });
     }
 
     let rows = run_cases(&mut cases, per_round, rounds);
@@ -283,9 +332,14 @@ fn main() {
     let batch32 = speedup("tile32_serial_x8_tape_free", "tile32_batch_x8_tape_free");
     let batch64 = speedup("tile64_serial_x4_tape_free", "tile64_batch_x4_tape_free");
     let fleet32 = speedup("tile32_fleet_serial_x8_tape_free", "tile32_fleet_batch_x8_tape_free");
+    let quant32 = speedup("tile32_serial_x1_tape_free", "tile32_serial_x1_quant");
+    let quant64 = speedup("tile64_serial_x1_tape_free", "tile64_serial_x1_quant");
+    let quant_fwd = speedup("forward_x1_tape_free", "forward_x1_quant");
+    let quant_fleet = speedup("tile32_fleet_batch_x8_tape_free", "tile32_fleet_batch_x8_quant");
 
     // Optional pre-PR baseline: `--pre-pr name=ns_per_container,...`, where
-    // each name matches a `*_tape_free` row minus that suffix. Values come
+    // each name is either a full row name or a `*_tape_free` row minus that
+    // suffix (the pre-quantized-tier anchor spelling). Values come
     // from running the *parent commit's* decode bench on the same machine
     // (identical container construction; scenario cases the parent lacks
     // are backported to it unchanged), anchoring the trajectory to the
@@ -318,10 +372,20 @@ fn main() {
         "batch vs serial (tape-free):          tile32x8 {batch32:.2}x, tile64x4 {batch64:.2}x"
     );
     println!("mixed-mask fleet, fused vs per-connection serial: tile32x8 {fleet32:.2}x (headline)");
+    println!(
+        "int8 quantized tier vs tape-free f32:  serial tile32 {quant32:.2}x, tile64 {quant64:.2}x, \
+         forward {quant_fwd:.2}x, fused fleet x8 {quant_fleet:.2}x"
+    );
+    let anchor = |name: &str| -> &Row {
+        rows.iter()
+            .find(|r| r.name == name)
+            .or_else(|| rows.iter().find(|r| r.name == format!("{name}_tape_free")))
+            .unwrap_or_else(|| panic!("--pre-pr anchor {name} matches no recorded row"))
+    };
     for (name, base_ns) in &pre_pr {
-        let now = lookup(&format!("{name}_tape_free")).ns_per_container();
+        let now = anchor(name).ns_per_container();
         println!(
-            "{name}: {:.2}x vs pre-PR tape path ({:.1} -> {:.1} µs)",
+            "{name}: {:.2}x vs pre-PR decode path ({:.1} -> {:.1} µs)",
             base_ns / now,
             base_ns / 1e3,
             now / 1e3
@@ -369,7 +433,11 @@ fn main() {
     );
     let _ = writeln!(
         j,
-        "    \"mixed_fleet_batch_speedup_vs_serial\": {{ \"tile32_x8\": {fleet32:.3} }}{}",
+        "    \"mixed_fleet_batch_speedup_vs_serial\": {{ \"tile32_x8\": {fleet32:.3} }},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"quantized_speedup_vs_tape_free\": {{ \"tile32_x1\": {quant32:.3}, \"tile64_x1\": {quant64:.3}, \"forward_x1\": {quant_fwd:.3}, \"fleet_batch_x8\": {quant_fleet:.3} }}{}",
         if pre_pr.is_empty() { "" } else { "," }
     );
     if !pre_pr.is_empty() {
@@ -379,10 +447,10 @@ fn main() {
             "      \"source\": \"parent commit's decode bench (missing scenario cases backported unchanged), same machine and toolchain, identical containers\","
         );
         for (i, (name, base_ns)) in pre_pr.iter().enumerate() {
-            let now = lookup(&format!("{name}_tape_free")).ns_per_container();
+            let now = anchor(name).ns_per_container();
             let _ = writeln!(
                 j,
-                "      \"{}\": {{ \"ns_per_container\": {:.1}, \"speedup_tape_free_vs_pre_pr\": {:.3} }}{}",
+                "      \"{}\": {{ \"ns_per_container\": {:.1}, \"speedup_vs_pre_pr\": {:.3} }}{}",
                 json_escape_free(name),
                 base_ns,
                 base_ns / now,

@@ -100,24 +100,34 @@ impl HuffmanTable {
         Self::from_lengths(lengths)
     }
 
-    /// Builds the canonical code from explicit lengths (as read from a
-    /// bitstream header).
+    /// Builds the canonical code from explicit lengths produced by a
+    /// trusted builder.
     ///
     /// # Panics
     ///
     /// Panics if a length exceeds [`MAX_CODE_LEN`] or the lengths violate the
-    /// Kraft inequality.
+    /// Kraft inequality. Lengths read from an untrusted bitstream header must
+    /// go through [`Self::try_from_lengths`] instead.
     pub fn from_lengths(lengths: [u8; 256]) -> Self {
+        Self::try_from_lengths(lengths).expect("code lengths within MAX_CODE_LEN and kraft-valid")
+    }
+
+    /// Builds the canonical code from explicit lengths (as read from a
+    /// bitstream header), or `None` if a length exceeds [`MAX_CODE_LEN`] or
+    /// the lengths violate the Kraft inequality — the untrusted-input
+    /// counterpart of [`Self::from_lengths`].
+    pub fn try_from_lengths(lengths: [u8; 256]) -> Option<Self> {
         let unit = 1u64 << MAX_CODE_LEN;
-        let kraft: u64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| {
-                assert!(l <= MAX_CODE_LEN, "code length {l} too long");
-                unit >> l
-            })
-            .sum();
-        assert!(kraft <= unit, "code lengths violate kraft inequality");
+        let mut kraft = 0u64;
+        for &l in lengths.iter().filter(|&&l| l > 0) {
+            if l > MAX_CODE_LEN {
+                return None;
+            }
+            kraft += unit >> l;
+        }
+        if kraft > unit {
+            return None;
+        }
         // Canonical assignment: sort by (length, symbol).
         let mut order: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
         order.sort_by_key(|&s| (lengths[s], s));
@@ -148,7 +158,7 @@ impl HuffmanTable {
             off += count[l];
         }
         let sorted: Vec<u8> = order.iter().map(|&s| s as u8).collect();
-        Self { lengths, codes, first_code, offset, count, sorted }
+        Some(Self { lengths, codes, first_code, offset, count, sorted })
     }
 
     /// Code lengths (for serialising the table).
@@ -254,6 +264,22 @@ mod tests {
         let t1 = HuffmanTable::from_frequencies(&histogram(&symbols));
         let t2 = HuffmanTable::from_lengths(*t1.lengths());
         assert_eq!(t1, t2, "canonical rebuild from lengths must match");
+    }
+
+    #[test]
+    fn untrusted_lengths_are_rejected_not_panicked() {
+        // Overlong code.
+        let mut lengths = [0u8; 256];
+        lengths[0] = MAX_CODE_LEN + 1;
+        assert!(HuffmanTable::try_from_lengths(lengths).is_none());
+        // Kraft violation: three 1-bit codes.
+        let mut lengths = [0u8; 256];
+        lengths[..3].fill(1);
+        assert!(HuffmanTable::try_from_lengths(lengths).is_none());
+        // A valid header still builds.
+        let mut lengths = [0u8; 256];
+        lengths[..2].fill(1);
+        assert!(HuffmanTable::try_from_lengths(lengths).is_some());
     }
 
     #[test]

@@ -215,6 +215,12 @@ impl JpegLikeCodec {
             for bx in 0..grid.cols() {
                 let mut q = vec![0i32; 64];
                 let size = dc_table.decode(reader).ok_or_else(bad)?;
+                // The size category is itself entropy-coded, so a corrupt
+                // stream can claim any byte; past 30 bits the amplitude maths
+                // leaves i32 (and a genuine DC diff never gets close).
+                if size > 30 {
+                    return Err(CodecError::Format("dc size category out of range".into()));
+                }
                 let bits = reader.read_bits(size).ok_or_else(bad)?;
                 prev_dc += amplitude_decode(bits, size);
                 q[0] = prev_dc;
@@ -284,7 +290,8 @@ fn read_table(bytes: &[u8], pos: &mut usize) -> Result<HuffmanTable, CodecError>
         *pos += 2;
         lengths[s as usize] = l;
     }
-    Ok(HuffmanTable::from_lengths(lengths))
+    HuffmanTable::try_from_lengths(lengths)
+        .ok_or_else(|| CodecError::Format("invalid huffman table lengths".into()))
 }
 
 impl ImageCodec for JpegLikeCodec {

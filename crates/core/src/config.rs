@@ -65,6 +65,14 @@ pub struct EaszConfig {
     /// synthesis is the classical analogue). Disable for PSNR-optimal
     /// decoding.
     pub synthesize_grain: bool,
+    /// Standing opt-in to the server's int8 quantized decode tier
+    /// ([`DecodeEngine::QuantizedInt8`](crate::DecodeEngine::QuantizedInt8)):
+    /// the edge declares it accepts ε/PSNR-bounded (not bit-exact) decodes
+    /// in exchange for lower server latency. Stamped into the container as
+    /// a flag bit (which bumps the written container version to 2); servers
+    /// honour it by default, and tiered request frames can override it
+    /// per request. Off by default — bit-exact f32 decoding.
+    pub allow_quantized: bool,
 }
 
 impl Default for EaszConfig {
@@ -77,6 +85,7 @@ impl Default for EaszConfig {
             orientation: Orientation::Horizontal,
             mask_seed: 1,
             synthesize_grain: true,
+            allow_quantized: false,
         }
     }
 }
@@ -198,6 +207,14 @@ impl EaszConfigBuilder {
     /// Whether the server synthesizes film-grain detail in erased regions.
     pub fn synthesize_grain(mut self, on: bool) -> Self {
         self.cfg.synthesize_grain = on;
+        self
+    }
+
+    /// Whether containers carry a standing opt-in to the server's int8
+    /// quantized decode tier (bounded divergence instead of bit-exact f32;
+    /// see [`EaszConfig::allow_quantized`]).
+    pub fn allow_quantized(mut self, on: bool) -> Self {
+        self.cfg.allow_quantized = on;
         self
     }
 

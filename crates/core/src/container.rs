@@ -39,13 +39,22 @@ use easz_codecs::{CodecId, Quality};
 
 /// Container magic, `"EASZ"`.
 pub const MAGIC: [u8; 4] = *b"EASZ";
-/// The container format version this build writes and parses.
+/// The baseline container format version.
 pub const FORMAT_VERSION: u8 = 1;
+/// The newest container format version this build parses. Version 2 keeps
+/// the byte layout of version 1 identically and assigns meaning to flag
+/// bit 2 (the quantized-tier opt-in, spec §1.4); writers emit the lowest
+/// version that can express a container, so every pre-existing container
+/// stays byte-identical at version 1.
+pub const FORMAT_VERSION_MAX: u8 = 2;
 /// Fixed header length in bytes (sections follow).
 pub const HEADER_LEN: usize = 46;
 
 const FLAG_GRAIN: u8 = 1 << 0;
 const FLAG_VERTICAL: u8 = 1 << 1;
+/// Version-2 flag: the edge opts this container into the server's int8
+/// quantized decode tier (ε/PSNR-bounded, not bit-exact).
+const FLAG_QUANT: u8 = 1 << 2;
 /// Per-side dimension bound shared with the inner codecs; the total canvas
 /// is additionally bounded by [`easz_codecs::MAX_PIXELS`] so a small
 /// untrusted header can never drive a huge allocation. The encoder
@@ -89,15 +98,23 @@ impl EaszEncoded {
         self.total_bytes() as f64 * 8.0 / (self.width * self.height).max(1) as f64
     }
 
+    /// The decode engine this container's standing preference selects: the
+    /// int8 quantized tier iff the edge opted in
+    /// ([`EaszConfig::allow_quantized`], flag bit 2), the bit-exact f32
+    /// engine otherwise. Tiered server requests override this per call.
+    pub fn preferred_engine(&self) -> crate::DecodeEngine {
+        if self.config.allow_quantized {
+            crate::DecodeEngine::QuantizedInt8
+        } else {
+            crate::DecodeEngine::TapeFree
+        }
+    }
+
     /// Serializes to the `.easz` container (see the module docs for the
     /// byte layout).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.total_bytes());
         out.extend_from_slice(&MAGIC);
-        out.push(FORMAT_VERSION);
-        out.push(self.codec_id.value());
-        out.push(self.quality.value());
-        out.push(self.config.strategy.wire_byte());
         let mut flags = 0u8;
         if self.config.synthesize_grain {
             flags |= FLAG_GRAIN;
@@ -105,6 +122,16 @@ impl EaszEncoded {
         if self.config.orientation == Orientation::Vertical {
             flags |= FLAG_VERTICAL;
         }
+        if self.config.allow_quantized {
+            flags |= FLAG_QUANT;
+        }
+        // Lowest sufficient version: the quantized-tier flag is the only
+        // version-2 feature, so containers without it stay version 1
+        // byte-for-byte.
+        out.push(if flags & FLAG_QUANT != 0 { FORMAT_VERSION_MAX } else { FORMAT_VERSION });
+        out.push(self.codec_id.value());
+        out.push(self.quality.value());
+        out.push(self.config.strategy.wire_byte());
         out.push(flags);
         out.push(0); // reserved
         out.extend_from_slice(&(self.config.n as u16).to_le_bytes());
@@ -137,15 +164,25 @@ impl EaszEncoded {
         if bytes[0..4] != MAGIC {
             return Err(EaszError::BadMagic);
         }
-        if bytes[4] != FORMAT_VERSION {
-            return Err(EaszError::UnsupportedVersion(bytes[4]));
+        let version = bytes[4];
+        if !(FORMAT_VERSION..=FORMAT_VERSION_MAX).contains(&version) {
+            return Err(EaszError::UnsupportedVersion(version));
         }
         let codec_id = CodecId(bytes[5]);
         let quality = Quality::try_new(bytes[6]).map_err(EaszError::Codec)?;
         let strategy = MaskStrategy::from_wire_byte(bytes[7])?;
         let flags = bytes[8];
-        if flags & !(FLAG_GRAIN | FLAG_VERTICAL) != 0 {
-            return Err(EaszError::Malformed(format!("unknown flag bits 0x{flags:02x}")));
+        // Each version rejects the flag bits it has not assigned: that is
+        // the escape hatch that lets a later version give them meaning.
+        let known = if version >= 2 {
+            FLAG_GRAIN | FLAG_VERTICAL | FLAG_QUANT
+        } else {
+            FLAG_GRAIN | FLAG_VERTICAL
+        };
+        if flags & !known != 0 {
+            return Err(EaszError::Malformed(format!(
+                "unknown flag bits 0x{flags:02x} for version {version}"
+            )));
         }
         if bytes[9] != 0 {
             return Err(EaszError::Malformed(format!("reserved byte 0x{:02x} != 0", bytes[9])));
@@ -184,6 +221,7 @@ impl EaszEncoded {
             },
             mask_seed,
             synthesize_grain: flags & FLAG_GRAIN != 0,
+            allow_quantized: flags & FLAG_QUANT != 0,
         };
         config.validate()?;
 
@@ -271,6 +309,58 @@ mod tests {
         let mut bad = bytes;
         bad[4] = 99;
         assert!(matches!(EaszEncoded::from_bytes(&bad), Err(EaszError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn quantized_opt_in_writes_version_2_and_round_trips() {
+        let mut enc = sample();
+        enc.config.allow_quantized = true;
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes[4], FORMAT_VERSION_MAX, "quant opt-in needs version 2");
+        assert_eq!(bytes[8] & FLAG_QUANT, FLAG_QUANT);
+        let back = EaszEncoded::from_bytes(&bytes).expect("parse v2");
+        assert_eq!(back, enc);
+        assert!(back.config.allow_quantized);
+        assert_eq!(back.preferred_engine(), crate::DecodeEngine::QuantizedInt8);
+    }
+
+    #[test]
+    fn containers_without_quant_opt_in_stay_version_1() {
+        // The compatibility contract: nothing about this change may move a
+        // single byte of a pre-existing container.
+        let enc = sample();
+        assert!(!enc.config.allow_quantized);
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes[4], FORMAT_VERSION);
+        assert_eq!(bytes[8] & FLAG_QUANT, 0);
+        assert_eq!(enc.preferred_engine(), crate::DecodeEngine::TapeFree);
+    }
+
+    #[test]
+    fn version_1_still_rejects_the_quant_flag_bit() {
+        // Bit 2 only has meaning from version 2 on; a v1 container carrying
+        // it is malformed, exactly as before this version existed.
+        let mut bytes = sample().to_bytes();
+        assert_eq!(bytes[4], FORMAT_VERSION);
+        bytes[8] |= FLAG_QUANT;
+        assert!(matches!(EaszEncoded::from_bytes(&bytes), Err(EaszError::Malformed(_))));
+        // And both versions still reject the genuinely reserved bits 3-7.
+        for version in [FORMAT_VERSION, FORMAT_VERSION_MAX] {
+            let mut bad = sample().to_bytes();
+            bad[4] = version;
+            bad[8] |= 1 << 5;
+            assert!(matches!(EaszEncoded::from_bytes(&bad), Err(EaszError::Malformed(_))));
+        }
+    }
+
+    #[test]
+    fn version_2_without_quant_flag_parses_leniently() {
+        // Readers accept any v2 container; writers just never emit this
+        // form (they pick the lowest sufficient version).
+        let mut bytes = sample().to_bytes();
+        bytes[4] = FORMAT_VERSION_MAX;
+        let back = EaszEncoded::from_bytes(&bytes).expect("lenient v2 parse");
+        assert!(!back.config.allow_quantized);
     }
 
     #[test]

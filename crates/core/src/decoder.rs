@@ -29,20 +29,30 @@ use easz_image::{Channels, ImageF32};
 
 /// Which transformer execution engine a decode runs on.
 ///
-/// Results are byte-identical across engines; the default
+/// The two f32 engines are byte-identical to each other; the default
 /// [`TapeFree`](DecodeEngine::TapeFree) engine exists because the
 /// [`Graph`](easz_tensor::Graph) engine pays full training overhead
 /// (per-op clones, tape node allocation, every intermediate pinned for a
-/// backward pass that inference never runs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// backward pass that inference never runs). The
+/// [`QuantizedInt8`](DecodeEngine::QuantizedInt8) tier trades bit-exactness
+/// for speed under an explicit numeric contract: per-pixel error ≤ ε and
+/// ≥ 40 dB PSNR against the f32 reference decode (enforced by
+/// `tests/quantized_divergence.rs`), while staying deterministic — the same
+/// container yields the same bytes on every ISA, worker count and batch
+/// composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DecodeEngine {
-    /// Forward-only executor with cached decode plans and scratch-arena
-    /// buffer reuse (the production path).
+    /// Forward-only f32 executor with cached decode plans and scratch-arena
+    /// buffer reuse (the bit-exact production path).
     #[default]
     TapeFree,
     /// The autodiff tape run forward-only (the training engine; reference
     /// implementation and benchmark baseline).
     Graph,
+    /// The int8 fast tier: per-column weight quantization, widening
+    /// multiply-accumulate matmuls, f16-rounded activations. Bounded
+    /// divergence from the f32 engines, not bit-equal.
+    QuantizedInt8,
 }
 
 /// The server-side session: a trained reconstructor plus the codec
@@ -84,11 +94,22 @@ impl<'m> EaszDecoder<'m> {
 
     /// The transformer forward on the decoder's cached inference state:
     /// plan looked up (or built) per effective mask, scratch arena leased
-    /// from the pool so concurrent decodes each reuse warm buffers.
-    fn reconstruct(&self, batch: &TokenBatch, mask: &EraseMask) -> Vec<Vec<Vec<f32>>> {
+    /// from the pool so concurrent decodes each reuse warm buffers. The
+    /// `quantized` flag selects the int8 session over the f32 one; both
+    /// share the same plans and arenas.
+    fn reconstruct(
+        &self,
+        batch: &TokenBatch,
+        mask: &EraseMask,
+        quantized: bool,
+    ) -> Vec<Vec<Vec<f32>>> {
         let plan = self.plans.get_or_build(mask);
         let mut arena = self.arenas.take();
-        let recon = self.model.infer_tokens(batch, &plan, &mut arena);
+        let recon = if quantized {
+            self.model.infer_tokens_quant(batch, &plan, &mut arena)
+        } else {
+            self.model.infer_tokens(batch, &plan, &mut arena)
+        };
         self.arenas.put(arena);
         recon
     }
@@ -123,9 +144,24 @@ impl<'m> EaszDecoder<'m> {
     /// bitstream's id, plus everything [`decode_with`](Self::decode_with)
     /// can return.
     pub fn decode(&self, encoded: &EaszEncoded) -> Result<ImageF32, EaszError> {
+        self.decode_as(encoded, encoded.preferred_engine())
+    }
+
+    /// [`decode`](Self::decode) on an explicit execution engine, overriding
+    /// the container's standing preference (its quantized-tier opt-in flag)
+    /// for this call. The server's tiered request frames route here.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`decode`](Self::decode) can return.
+    pub fn decode_as(
+        &self,
+        encoded: &EaszEncoded,
+        engine: DecodeEngine,
+    ) -> Result<ImageF32, EaszError> {
         let codec =
             self.registry.get(encoded.codec_id).ok_or(EaszError::UnknownCodec(encoded.codec_id))?;
-        self.decode_with(encoded, codec)
+        self.decode_with_engine(encoded, codec, engine)
     }
 
     /// Decodes with an explicitly supplied inner codec, bypassing the
@@ -148,10 +184,12 @@ impl<'m> EaszDecoder<'m> {
 
     /// [`decode_with`](Self::decode_with) on an explicit execution engine.
     ///
-    /// Both engines produce byte-identical images; the
+    /// The two f32 engines produce byte-identical images; the
     /// [`Graph`](DecodeEngine::Graph) engine is the pre-inference-engine
     /// decode path, kept for equivalence tests and as the benchmark
-    /// baseline (`easz-bench`'s `decode_bench`).
+    /// baseline (`easz-bench`'s `decode_bench`). The
+    /// [`QuantizedInt8`](DecodeEngine::QuantizedInt8) engine is
+    /// deterministic but only ε/PSNR-bounded against them.
     ///
     /// # Errors
     ///
@@ -168,7 +206,8 @@ impl<'m> EaszDecoder<'m> {
             prepared.patches.iter().map(|p| patch_tokens(p, prepared.geometry)).collect();
         let batch = TokenBatch::from_patches(&tokens);
         let recon = match engine {
-            DecodeEngine::TapeFree => self.reconstruct(&batch, &prepared.mask),
+            DecodeEngine::TapeFree => self.reconstruct(&batch, &prepared.mask, false),
+            DecodeEngine::QuantizedInt8 => self.reconstruct(&batch, &prepared.mask, true),
             DecodeEngine::Graph => self.model.reconstruct_tokens_graph(&batch, &prepared.mask),
         };
         Ok(finish(prepared, &recon))
@@ -187,7 +226,33 @@ impl<'m> EaszDecoder<'m> {
     /// stream never fails its batch mates — and every produced image is
     /// byte-identical to the one the equivalent serial
     /// [`decode`](Self::decode) call returns, in input order.
+    ///
+    /// Each container runs on its own preferred engine (its quantized-tier
+    /// opt-in flag); containers on different engines never share a forward.
     pub fn decode_batch(&self, encoded: &[EaszEncoded]) -> Vec<Result<ImageF32, EaszError>> {
+        let engines: Vec<DecodeEngine> = encoded.iter().map(|e| e.preferred_engine()).collect();
+        self.decode_batch_with(encoded, &engines)
+    }
+
+    /// [`decode_batch`](Self::decode_batch) with an explicit per-container
+    /// engine, overriding the containers' standing preferences. The engine
+    /// joins the fusion key: only containers on the *same* engine (and
+    /// kept-token count) share a forward, so a mixed-tier window never
+    /// fuses f32 streams with quantized ones. Within each engine the serial
+    /// byte-identity guarantee of [`decode_batch`](Self::decode_batch)
+    /// holds — including on the quantized tier, whose per-row arithmetic
+    /// makes fused and serial decodes bit-equal *to each other* (though
+    /// only ε-close to the f32 engines).
+    ///
+    /// # Panics
+    ///
+    /// If `engines.len() != encoded.len()`.
+    pub fn decode_batch_with(
+        &self,
+        encoded: &[EaszEncoded],
+        engines: &[DecodeEngine],
+    ) -> Vec<Result<ImageF32, EaszError>> {
+        assert_eq!(engines.len(), encoded.len(), "one engine per container");
         // Cheap wire-level validation first: grouping needs every effective
         // mask before any pixel work, and the expensive stages then run
         // group-by-group so each stream's pixels stay warm from inner
@@ -204,17 +269,22 @@ impl<'m> EaszDecoder<'m> {
                 }
             }
         }
-        // Group by kept-token count: the geometry is already pinned to the
-        // model's, so equal counts are sufficient for one fused forward
-        // even when the erase positions differ per stream.
-        let kept_counts: Vec<Option<usize>> = masks
+        // Group by (kept-token count, engine): the geometry is already
+        // pinned to the model's, so equal counts are sufficient for one
+        // fused forward even when the erase positions differ per stream —
+        // but only among streams running the same numeric tier.
+        let fusion_keys: Vec<Option<(usize, DecodeEngine)>> = masks
             .iter()
-            .map(|m| m.as_ref().map(|(_, eff)| eff.iter().filter(|&(_, _, e)| !e).count()))
+            .zip(engines)
+            .map(|(m, &engine)| {
+                m.as_ref().map(|(_, eff)| (eff.iter().filter(|&(_, _, e)| !e).count(), engine))
+            })
             .collect();
-        for group in batch_groups(&kept_counts) {
+        for group in batch_groups(&fusion_keys) {
             // Heavy per-stream stage; failures here (unresolvable codec,
             // corrupt payload) drop the stream from the forward, not the
             // batch.
+            let engine = engines[group[0]];
             let mut members: Vec<(usize, PreparedStream)> = Vec::with_capacity(group.len());
             let mut tokens: Vec<Vec<Vec<f32>>> = Vec::new();
             for i in group {
@@ -238,12 +308,27 @@ impl<'m> EaszDecoder<'m> {
             }
             // One transformer forward for the whole group. Uniform-mask
             // groups keep the cheaper broadcast positional embedding;
-            // mixed-mask groups fuse through a MultiMaskPlan.
-            let batch = TokenBatch::from_patches(&tokens);
+            // mixed-mask groups fuse through a MultiMaskPlan. The Graph
+            // engine has no fused multi-mask path (it is a reference
+            // implementation, not a throughput one), so its groups decode
+            // member-by-member.
+            let quantized = engine == DecodeEngine::QuantizedInt8;
             let uniform = members.iter().all(|(_, p)| p.mask == members[0].1.mask);
-            let recon = if uniform {
-                self.reconstruct(&batch, &members[0].1.mask)
+            let recon = if engine == DecodeEngine::Graph {
+                let mut recon = Vec::with_capacity(tokens.len());
+                let mut offset = 0usize;
+                for (_, p) in &members {
+                    let count = p.patches.len();
+                    let member_batch = TokenBatch::from_patches(&tokens[offset..offset + count]);
+                    recon.extend(self.model.reconstruct_tokens_graph(&member_batch, &p.mask));
+                    offset += count;
+                }
+                recon
+            } else if uniform {
+                let batch = TokenBatch::from_patches(&tokens);
+                self.reconstruct(&batch, &members[0].1.mask, quantized)
             } else {
+                let batch = TokenBatch::from_patches(&tokens);
                 let plans: Vec<(std::sync::Arc<DecodePlan>, usize)> = members
                     .iter()
                     .map(|(_, p)| (self.plans.get_or_build(&p.mask), p.patches.len()))
@@ -252,7 +337,11 @@ impl<'m> EaszDecoder<'m> {
                     plans.iter().map(|(plan, count)| (plan.as_ref(), *count)).collect();
                 let fused = MultiMaskPlan::new(&streams);
                 let mut arena = self.arenas.take();
-                let recon = self.model.infer_tokens_multi(&batch, &fused, &mut arena);
+                let recon = if quantized {
+                    self.model.infer_tokens_multi_quant(&batch, &fused, &mut arena)
+                } else {
+                    self.model.infer_tokens_multi(&batch, &fused, &mut arena)
+                };
                 self.arenas.put(arena);
                 recon
             };
@@ -407,10 +496,10 @@ fn finish(mut prepared: PreparedStream, recon: &[Vec<Vec<f32>>]) -> ImageF32 {
     out
 }
 
-/// Groups stream indices by a fusion key (today: kept-token count),
-/// preserving first-seen order within and across groups (`None` slots —
-/// failed validations — are skipped). Each returned group is served by one
-/// transformer forward.
+/// Groups stream indices by a fusion key (today: kept-token count plus
+/// execution engine), preserving first-seen order within and across groups
+/// (`None` slots — failed validations — are skipped). Each returned group
+/// is served by one transformer forward.
 fn batch_groups<K: PartialEq>(keys: &[Option<K>]) -> Vec<Vec<usize>> {
     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
     for (i, key) in keys.iter().enumerate() {
@@ -704,6 +793,115 @@ mod tests {
         let uniform = batch_groups(&[Some(60usize), Some(60), Some(60), Some(60)]);
         assert_eq!(uniform.len(), 1, "same-count streams must share one transformer forward");
         assert_eq!(uniform[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mixed_tier_windows_never_fuse() {
+        // The engine joins the fusion key: same kept count on different
+        // tiers must land in different forward groups, in first-seen order.
+        use DecodeEngine::{QuantizedInt8 as Q, TapeFree as F};
+        let keys =
+            [Some((60usize, F)), Some((60, Q)), Some((60, F)), None, Some((48, Q)), Some((60, Q))];
+        let groups = batch_groups(&keys);
+        assert_eq!(groups, vec![vec![0, 2], vec![1, 5], vec![4]]);
+    }
+
+    #[test]
+    fn quantized_decode_is_deterministic_and_close_to_reference() {
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let img = Dataset::KodakLike.image(1).crop(0, 0, 96, 64);
+        let enc =
+            encoder().compress(&img, &JpegLikeCodec::new(), Quality::new(85)).expect("compress");
+        let reference = dec.decode_as(&enc, DecodeEngine::TapeFree).expect("f32 decode");
+        let quant = dec.decode_as(&enc, DecodeEngine::QuantizedInt8).expect("quant decode");
+        let quant2 = dec.decode_as(&enc, DecodeEngine::QuantizedInt8).expect("quant decode 2");
+        assert_eq!(quant.data(), quant2.data(), "quantized decode must be deterministic");
+        assert_eq!((quant.width(), quant.height()), (96, 64));
+        // Different numerics, same picture: bounded divergence from f32.
+        let worst = reference
+            .data()
+            .iter()
+            .zip(quant.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst > 0.0, "quantized tier should not be bit-equal to f32");
+        assert!(worst < 0.25, "quantized divergence too large: {worst}");
+    }
+
+    #[test]
+    fn quantized_batch_is_byte_identical_to_quantized_serial() {
+        // The quant tier's per-row arithmetic means fusion cannot change
+        // its output: batched quantized decodes must reproduce the serial
+        // quantized decode bit-for-bit, for uniform and mixed masks alike.
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let codec = JpegLikeCodec::new();
+        let containers: Vec<EaszEncoded> =
+            [(1usize, 1u64, 96, 64), (2, 9, 64, 64), (3, 42, 64, 96)]
+                .iter()
+                .map(|&(i, seed, w, h)| {
+                    let enc =
+                        EaszEncoder::new(EaszConfig { mask_seed: seed, ..EaszConfig::default() })
+                            .expect("encoder");
+                    let img = Dataset::KodakLike.image(i).crop(0, 0, w, h);
+                    enc.compress(&img, &codec, Quality::new(80)).expect("compress")
+                })
+                .collect();
+        let engines = vec![DecodeEngine::QuantizedInt8; containers.len()];
+        let batched = dec.decode_batch_with(&containers, &engines);
+        for (c, b) in containers.iter().zip(&batched) {
+            let serial = dec.decode_as(c, DecodeEngine::QuantizedInt8).expect("serial quant");
+            let b = b.as_ref().expect("batched quant");
+            assert_eq!(serial.data(), b.data(), "quant fusion must be byte-identical to serial");
+        }
+    }
+
+    #[test]
+    fn mixed_tier_batch_matches_per_tier_serial_decodes() {
+        // A window mixing tiers: each stream must come back exactly as its
+        // own tier's serial decode — fusion never leaks one tier's numerics
+        // into another's output.
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let codec = JpegLikeCodec::new();
+        let img = Dataset::KodakLike.image(5).crop(0, 0, 64, 64);
+        let c = encoder().compress(&img, &codec, Quality::new(80)).expect("compress");
+        let containers = vec![c.clone(), c.clone(), c.clone(), c];
+        let engines = [
+            DecodeEngine::TapeFree,
+            DecodeEngine::QuantizedInt8,
+            DecodeEngine::TapeFree,
+            DecodeEngine::QuantizedInt8,
+        ];
+        let batched = dec.decode_batch_with(&containers, &engines);
+        for ((c, &engine), b) in containers.iter().zip(&engines).zip(&batched) {
+            let serial = dec.decode_as(c, engine).expect("serial decode");
+            let b = b.as_ref().expect("batched decode");
+            assert_eq!(serial.data(), b.data(), "tier {engine:?} must match its serial decode");
+        }
+        let f32_img = batched[0].as_ref().expect("f32");
+        let q_img = batched[1].as_ref().expect("quant");
+        assert_ne!(f32_img.data(), q_img.data(), "tiers must actually differ numerically");
+    }
+
+    #[test]
+    fn graph_engine_batches_decode_per_member() {
+        // Graph groups take the member-by-member path; results still match
+        // the serial graph decode exactly.
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let codec = JpegLikeCodec::new();
+        let img = Dataset::KodakLike.image(2).crop(0, 0, 64, 64);
+        let c = encoder().compress(&img, &codec, Quality::new(75)).expect("compress");
+        let containers = vec![c.clone(), c];
+        let engines = [DecodeEngine::Graph, DecodeEngine::Graph];
+        let batched = dec.decode_batch_with(&containers, &engines);
+        for (c, b) in containers.iter().zip(&batched) {
+            let serial = dec.decode_as(c, DecodeEngine::Graph).expect("serial graph");
+            let b = b.as_ref().expect("batched graph");
+            assert_eq!(serial.data(), b.data());
+        }
     }
 
     #[test]

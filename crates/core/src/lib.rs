@@ -73,7 +73,7 @@ mod train;
 pub mod zoo;
 
 pub use config::{EaszConfig, EaszConfigBuilder, MaskStrategy};
-pub use container::{EaszEncoded, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use container::{EaszEncoded, FORMAT_VERSION, FORMAT_VERSION_MAX, HEADER_LEN, MAGIC};
 pub use decoder::{DecodeEngine, EaszDecoder};
 pub use encoder::EaszEncoder;
 pub use error::EaszError;

@@ -14,9 +14,11 @@ use crate::patchify::PatchGeometry;
 use crate::plan::{DecodePlan, MultiMaskPlan};
 use easz_image::Channels;
 use easz_tensor::{
-    init, nn, Gradients, Graph, InferenceSession, ParamSet, ScratchArena, Tensor, Var,
+    init, nn, Gradients, Graph, InferenceSession, ParamSet, QuantizedParams, ScratchArena, Tensor,
+    Var,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Hyper-parameters of the reconstructor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,6 +111,10 @@ pub struct Reconstructor {
     dec_pos: easz_tensor::ParamId,
     dec_blocks: Vec<nn::TransformerBlock>,
     out_proj: nn::Linear,
+    /// Lazily-built int8 form of every matmul weight, shared by all
+    /// quantized-tier decodes of this model. Invalidated whenever the
+    /// caller takes mutable access to the parameters.
+    quant_cache: OnceLock<QuantizedParams>,
 }
 
 impl std::fmt::Debug for Reconstructor {
@@ -212,6 +218,7 @@ impl Reconstructor {
             dec_pos,
             dec_blocks,
             out_proj,
+            quant_cache: OnceLock::new(),
         }
     }
 
@@ -226,8 +233,30 @@ impl Reconstructor {
     }
 
     /// Mutable parameter set (for optimisers and weight loading).
+    ///
+    /// Drops any cached quantized weights: the int8 tables are derived
+    /// from the f32 values and must be rebuilt after training steps or a
+    /// weight load.
     pub fn params_mut(&mut self) -> &mut ParamSet {
+        self.quant_cache = OnceLock::new();
         &mut self.params
+    }
+
+    /// The int8-quantized form of every matmul weight, built on first use
+    /// and cached until [`params_mut`](Self::params_mut) is next called.
+    pub fn quantized_params(&self) -> &QuantizedParams {
+        self.quant_cache.get_or_init(|| {
+            let mut q = QuantizedParams::new();
+            self.in_proj.quantize_into(&self.params, &mut q);
+            for block in &self.enc_blocks {
+                block.quantize_into(&self.params, &mut q);
+            }
+            for block in &self.dec_blocks {
+                block.quantize_into(&self.params, &mut q);
+            }
+            self.out_proj.quantize_into(&self.params, &mut q);
+            q
+        })
     }
 
     /// Serialized model size in bytes (the paper's 8.7 MB accounting).
@@ -356,6 +385,30 @@ impl Reconstructor {
         plan: &DecodePlan,
         arena: &mut ScratchArena,
     ) -> Vec<Vec<Vec<f32>>> {
+        self.infer_tokens_impl(batch, plan, arena, None)
+    }
+
+    /// [`infer_tokens`](Self::infer_tokens) on the quantized int8 tier:
+    /// same plan and arena machinery, but every `Linear` runs the int8
+    /// widening kernel with f16-rounded activations. Deterministic (same
+    /// bytes for any batch packing or worker count) but **not** bit-equal
+    /// to the f32 engines; the workspace divergence suite bounds the gap.
+    pub fn infer_tokens_quant(
+        &self,
+        batch: &TokenBatch,
+        plan: &DecodePlan,
+        arena: &mut ScratchArena,
+    ) -> Vec<Vec<Vec<f32>>> {
+        self.infer_tokens_impl(batch, plan, arena, Some(self.quantized_params()))
+    }
+
+    fn infer_tokens_impl(
+        &self,
+        batch: &TokenBatch,
+        plan: &DecodePlan,
+        arena: &mut ScratchArena,
+        quant: Option<&QuantizedParams>,
+    ) -> Vec<Vec<Vec<f32>>> {
         let cfg = &self.cfg;
         assert_eq!(batch.seq, cfg.seq_len(), "sequence length mismatch");
         assert_eq!(plan.seq(), batch.seq, "plan grid does not match the model");
@@ -363,7 +416,10 @@ impl Reconstructor {
         let bsz = batch.batch;
         let m = plan.kept().len();
         let maps = plan.maps_for(bsz);
-        let mut s = InferenceSession::new(&self.params, arena);
+        let mut s = match quant {
+            Some(q) => InferenceSession::with_quantized(&self.params, q, arena),
+            None => InferenceSession::new(&self.params, arena),
+        };
 
         // --- Encoder: only un-erased tokens. ---
         let enc_in = s.gather_rows(&batch.tokens, &maps.kept_rows);
@@ -427,6 +483,30 @@ impl Reconstructor {
         plan: &MultiMaskPlan,
         arena: &mut ScratchArena,
     ) -> Vec<Vec<Vec<f32>>> {
+        self.infer_tokens_multi_impl(batch, plan, arena, None)
+    }
+
+    /// [`infer_tokens_multi`](Self::infer_tokens_multi) on the quantized
+    /// int8 tier. The fused forward stays row-invariant on this tier too —
+    /// activation quantization, the integer accumulation and f16 rounding
+    /// are all per-row — so a stream's quantized output is byte-identical
+    /// whether it decodes serially or fused into a mixed-mask batch.
+    pub fn infer_tokens_multi_quant(
+        &self,
+        batch: &TokenBatch,
+        plan: &MultiMaskPlan,
+        arena: &mut ScratchArena,
+    ) -> Vec<Vec<Vec<f32>>> {
+        self.infer_tokens_multi_impl(batch, plan, arena, Some(self.quantized_params()))
+    }
+
+    fn infer_tokens_multi_impl(
+        &self,
+        batch: &TokenBatch,
+        plan: &MultiMaskPlan,
+        arena: &mut ScratchArena,
+        quant: Option<&QuantizedParams>,
+    ) -> Vec<Vec<Vec<f32>>> {
         let cfg = &self.cfg;
         assert_eq!(batch.seq, cfg.seq_len(), "sequence length mismatch");
         assert_eq!(plan.seq(), batch.seq, "plan grid does not match the model");
@@ -434,7 +514,10 @@ impl Reconstructor {
         let seq = batch.seq;
         let bsz = batch.batch;
         let m = plan.kept_per_patch();
-        let mut s = InferenceSession::new(&self.params, arena);
+        let mut s = match quant {
+            Some(q) => InferenceSession::with_quantized(&self.params, q, arena),
+            None => InferenceSession::new(&self.params, arena),
+        };
 
         // --- Encoder: each patch's own un-erased tokens. ---
         let enc_in = s.gather_rows(&batch.tokens, plan.kept_rows());

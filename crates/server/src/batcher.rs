@@ -17,7 +17,7 @@
 //! which decodes it inline exactly as a gateway-less server would.
 
 use crate::metrics::ServerMetrics;
-use easz_core::{EaszDecoder, EaszEncoded, EaszError};
+use easz_core::{DecodeEngine, EaszDecoder, EaszEncoded, EaszError};
 use easz_image::ImageF32;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -48,10 +48,11 @@ impl Default for GatewayConfig {
     }
 }
 
-/// One parked decode request: the parsed container and the channel its
-/// reply returns on.
+/// One parked decode request: the parsed container, the engine tier it
+/// decodes on, and the channel its reply returns on.
 struct Job {
     container: EaszEncoded,
+    engine: DecodeEngine,
     enqueued: Instant,
     reply: mpsc::Sender<Result<ImageF32, EaszError>>,
 }
@@ -100,20 +101,23 @@ impl Batcher {
         }
     }
 
-    /// Parks a parsed container for batched decoding, returning the
-    /// receiver its result arrives on — or the container back if the
-    /// gateway cannot take it (full queue or shutdown), in which case the
-    /// caller decodes inline.
+    /// Parks a parsed container for batched decoding on the given engine
+    /// tier, returning the receiver its result arrives on — or the
+    /// container back if the gateway cannot take it (full queue or
+    /// shutdown), in which case the caller decodes inline. Jobs on
+    /// different tiers may share a window but never a model forward (the
+    /// tier joins the decoder's fusion key).
     pub fn submit(
         &self,
         container: EaszEncoded,
+        engine: DecodeEngine,
     ) -> Result<mpsc::Receiver<Result<ImageF32, EaszError>>, EaszEncoded> {
         let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if state.shutdown || state.jobs.len() >= self.config.queue_depth {
             return Err(container);
         }
         let (tx, rx) = mpsc::channel();
-        state.jobs.push_back(Job { container, enqueued: Instant::now(), reply: tx });
+        state.jobs.push_back(Job { container, engine, enqueued: Instant::now(), reply: tx });
         self.metrics.record_queue_depth(state.jobs.len());
         drop(state);
         self.queue_cond.notify_one();
@@ -209,10 +213,16 @@ impl Batcher {
             let waited = dispatched.saturating_duration_since(job.enqueued);
             self.metrics.record_queue_wait(waited.as_micros() as u64);
         }
-        let (containers, replies): (Vec<EaszEncoded>, Vec<_>) =
-            window.into_iter().map(|j| (j.container, j.reply)).unzip();
+        let mut containers = Vec::with_capacity(window.len());
+        let mut engines = Vec::with_capacity(window.len());
+        let mut replies = Vec::with_capacity(window.len());
+        for j in window {
+            containers.push(j.container);
+            engines.push(j.engine);
+            replies.push(j.reply);
+        }
         let started = Instant::now();
-        let results = decoder.decode_batch(&containers);
+        let results = decoder.decode_batch_with(&containers, &engines);
         self.metrics.record_batch(containers.len(), started.elapsed().as_micros() as u64);
         for (reply, result) in replies.iter().zip(results) {
             // A send error means the connection died while its job was
@@ -279,7 +289,7 @@ mod tests {
             let containers = [container(1), container(2), container(3)];
             let receivers: Vec<_> = containers
                 .iter()
-                .map(|c| batcher.submit(c.clone()).expect("queue has room"))
+                .map(|c| batcher.submit(c.clone(), DecodeEngine::TapeFree).expect("queue has room"))
                 .collect();
             for (c, rx) in containers.iter().zip(receivers) {
                 let batched = rx.recv().expect("reply").expect("decode");
@@ -295,10 +305,43 @@ mod tests {
     }
 
     #[test]
+    fn mixed_tier_window_never_fuses_but_replies_match_serial_per_tier() {
+        // One window holding both tiers of the same container: each reply
+        // must be bit-equal to its own tier's serial decode, and the two
+        // tiers must differ — proof the fused window kept them on separate
+        // forwards.
+        let config = GatewayConfig { max_batch: 4, max_wait_us: 60_000_000, ..Default::default() };
+        let ((), metrics) = with_batcher(config, |batcher, decoder| {
+            let c = container(7);
+            let tiers = [
+                DecodeEngine::TapeFree,
+                DecodeEngine::QuantizedInt8,
+                DecodeEngine::TapeFree,
+                DecodeEngine::QuantizedInt8,
+            ];
+            let receivers: Vec<_> = tiers
+                .iter()
+                .map(|&tier| batcher.submit(c.clone(), tier).expect("queue has room"))
+                .collect();
+            let mut images = Vec::new();
+            for (&tier, rx) in tiers.iter().zip(receivers) {
+                let batched = rx.recv().expect("reply").expect("decode");
+                let serial = decoder.decode_as(&c, tier).expect("serial decode");
+                assert_eq!(batched.data(), serial.data(), "tier {tier:?} must match serial");
+                images.push(batched);
+            }
+            assert_ne!(images[0].data(), images[1].data(), "tiers must differ numerically");
+        });
+        let stats = metrics.snapshot();
+        assert_eq!(stats.batches_dispatched, 1, "all four jobs share one window");
+        assert_eq!(stats.batch_widths[3], 1, "the one window holds 4 jobs");
+    }
+
+    #[test]
     fn window_closes_on_max_wait() {
         let config = GatewayConfig { max_batch: 64, max_wait_us: 1_000, ..Default::default() };
         let ((), metrics) = with_batcher(config, |batcher, _| {
-            let rx = batcher.submit(container(5)).expect("queue has room");
+            let rx = batcher.submit(container(5), DecodeEngine::TapeFree).expect("queue has room");
             rx.recv().expect("reply").expect("decode");
         });
         let stats = metrics.snapshot();
@@ -317,12 +360,13 @@ mod tests {
         // No scheduler/workers: the queue can only fill.
         let batcher = Batcher::new(config, Arc::new(ServerMetrics::new()));
         let c = container(9);
-        assert!(batcher.submit(c.clone()).is_ok());
-        assert!(batcher.submit(c.clone()).is_ok());
-        let refused = batcher.submit(c.clone()).expect_err("queue is full");
+        let tier = DecodeEngine::TapeFree;
+        assert!(batcher.submit(c.clone(), tier).is_ok());
+        assert!(batcher.submit(c.clone(), tier).is_ok());
+        let refused = batcher.submit(c.clone(), tier).expect_err("queue is full");
         assert_eq!(refused, c, "the container comes back for inline decode");
         batcher.shutdown();
-        let refused = batcher.submit(c.clone()).expect_err("shutdown refuses work");
+        let refused = batcher.submit(c.clone(), tier).expect_err("shutdown refuses work");
         assert_eq!(refused, c);
     }
 
@@ -335,7 +379,7 @@ mod tests {
         let batcher = Batcher::new(config, metrics);
         let c = container(4);
         std::thread::scope(|scope| {
-            let rx = batcher.submit(c.clone()).expect("queue has room");
+            let rx = batcher.submit(c.clone(), DecodeEngine::TapeFree).expect("queue has room");
             // Scheduler started *after* submission, with an hour-long wait
             // budget: only the shutdown flush can dispatch the window.
             scope.spawn(|| batcher.run_scheduler());

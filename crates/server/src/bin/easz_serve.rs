@@ -6,7 +6,10 @@
 //!
 //! The first run pretrains the quick reconstructor (minutes on one CPU
 //! core); afterwards weights load from `target/easz-weights/`. The wire
-//! protocol is specified in `docs/FORMAT.md`.
+//! protocol is specified in `docs/FORMAT.md`. Both decode tiers are always
+//! served: containers carrying the quantized opt-in flag (and `DECODE_TIERED`
+//! requests naming tier 1) run on the int8 fast path, everything else on the
+//! bit-exact f32 path.
 
 use easz_core::zoo;
 use easz_server::{EaszServer, GatewayConfig, ServerConfig};

@@ -2,7 +2,7 @@
 //! wire, or any consumer that wants decoded frames back from a server.
 
 use crate::metrics::ServerStats;
-use crate::protocol::{self, WireError};
+use crate::protocol::{self, EngineTier, WireError};
 use easz_image::ImageU8;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -149,6 +149,32 @@ impl EaszClient {
         }
     }
 
+    /// As [`decode`](Self::decode), but names the engine tier explicitly
+    /// (`DECODE_TIERED`), overriding the container's standing preference:
+    /// [`EngineTier::QuantizedInt8`] requests the fast ε/PSNR-bounded
+    /// decode, [`EngineTier::Reference`] forces the bit-exact f32 one.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode); additionally, a server predating the
+    /// tiered frames answers with `UNKNOWN_FRAME` and closes.
+    pub fn decode_tiered(
+        &mut self,
+        container: &[u8],
+        tier: EngineTier,
+    ) -> Result<ImageU8, ClientError> {
+        self.ensure_usable()?;
+        let mut payload = Vec::with_capacity(1 + container.len());
+        payload.push(tier.wire_byte());
+        payload.extend_from_slice(container);
+        protocol::write_frame(&mut self.stream, protocol::DECODE_TIERED, &payload)?;
+        let (frame_type, payload) = self.read_reply()?;
+        match frame_type {
+            protocol::IMAGE => protocol::decode_image(&payload).map_err(ClientError::Protocol),
+            other => Err(self.unexpected(other, &payload)),
+        }
+    }
+
     /// Sends a batch of serialized containers in one frame and collects one
     /// result per container, in order. Server-side, containers sharing a
     /// mask share a single transformer forward — this is the cheap way to
@@ -163,12 +189,43 @@ impl EaszClient {
         &mut self,
         containers: &[&[u8]],
     ) -> Result<Vec<Result<ImageU8, WireError>>, ClientError> {
+        self.decode_batch_frame(protocol::DECODE_BATCH, None, containers)
+    }
+
+    /// As [`decode_batch`](Self::decode_batch), but decodes every container
+    /// in the batch on the named engine tier (`DECODE_BATCH_TIERED`),
+    /// overriding each container's standing preference.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode_batch`](Self::decode_batch); additionally, a server
+    /// predating the tiered frames answers with `UNKNOWN_FRAME` and closes.
+    pub fn decode_batch_tiered(
+        &mut self,
+        containers: &[&[u8]],
+        tier: EngineTier,
+    ) -> Result<Vec<Result<ImageU8, WireError>>, ClientError> {
+        self.decode_batch_frame(protocol::DECODE_BATCH_TIERED, Some(tier), containers)
+    }
+
+    fn decode_batch_frame(
+        &mut self,
+        frame: u8,
+        tier: Option<EngineTier>,
+        containers: &[&[u8]],
+    ) -> Result<Vec<Result<ImageU8, WireError>>, ClientError> {
         self.ensure_usable()?;
-        protocol::write_frame(
-            &mut self.stream,
-            protocol::DECODE_BATCH,
-            &protocol::encode_batch(containers),
-        )?;
+        let batch = protocol::encode_batch(containers);
+        let payload = match tier {
+            None => batch,
+            Some(tier) => {
+                let mut tiered = Vec::with_capacity(1 + batch.len());
+                tiered.push(tier.wire_byte());
+                tiered.extend_from_slice(&batch);
+                tiered
+            }
+        };
+        protocol::write_frame(&mut self.stream, frame, &payload)?;
         let mut results = Vec::with_capacity(containers.len());
         while results.len() < containers.len() {
             let (frame_type, payload) = self.read_reply()?;

@@ -67,5 +67,5 @@ mod server;
 pub use batcher::GatewayConfig;
 pub use client::{ClientError, EaszClient};
 pub use metrics::{ServerMetrics, ServerStats, WIDTH_BUCKETS};
-pub use protocol::{ErrorCode, WireError};
+pub use protocol::{EngineTier, ErrorCode, WireError};
 pub use server::{EaszServer, ServerConfig, ServerHandle};

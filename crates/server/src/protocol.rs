@@ -39,6 +39,13 @@ pub const PING: u8 = 0x03;
 /// Request: empty payload; answered with [`STATS_REPLY`] carrying a
 /// [`ServerStats`](crate::ServerStats) snapshot.
 pub const STATS: u8 = 0x04;
+/// Request: a 1-byte [`EngineTier`] then one `.easz` container; as
+/// [`DECODE`], with the named tier overriding the container's standing
+/// engine preference for this request.
+pub const DECODE_TIERED: u8 = 0x05;
+/// Request: a 1-byte [`EngineTier`] then a [batch](encode_batch) payload;
+/// as [`DECODE_BATCH`], with every container decoded on the named tier.
+pub const DECODE_BATCH_TIERED: u8 = 0x06;
 /// Response: payload is a [decoded image](encode_image).
 pub const IMAGE: u8 = 0x81;
 /// Response to [`PING`]: payload is the server's 1-byte protocol version.
@@ -49,6 +56,47 @@ pub const STATS_REPLY: u8 = 0x84;
 /// Response: payload is an [error code](ErrorCode) byte, a u16 LE message
 /// length, and the UTF-8 message.
 pub const ERROR: u8 = 0xEE;
+
+/// The engine-tier byte carried by [`DECODE_TIERED`] /
+/// [`DECODE_BATCH_TIERED`] requests (`docs/FORMAT.md` §2.6).
+///
+/// Tier bytes are append-only; a server receiving a reserved byte answers
+/// with one [`ErrorCode::Protocol`] error and keeps the connection open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum EngineTier {
+    /// The bit-exact f32 decode — byte-identical to what [`DECODE`]
+    /// returns for a container without the quantized opt-in flag.
+    #[default]
+    Reference = 0,
+    /// The int8 quantized tier: deterministic, ε/PSNR-bounded divergence
+    /// from [`Reference`](EngineTier::Reference).
+    QuantizedInt8 = 1,
+}
+
+impl EngineTier {
+    /// The raw wire byte.
+    pub fn wire_byte(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire byte back into a tier (`None` for reserved bytes).
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Self::Reference),
+            1 => Some(Self::QuantizedInt8),
+            _ => None,
+        }
+    }
+
+    /// The decode engine this tier selects.
+    pub fn engine(self) -> easz_core::DecodeEngine {
+        match self {
+            Self::Reference => easz_core::DecodeEngine::TapeFree,
+            Self::QuantizedInt8 => easz_core::DecodeEngine::QuantizedInt8,
+        }
+    }
+}
 
 /// Typed wire identity of everything that can go wrong server-side.
 ///
@@ -464,6 +512,18 @@ mod tests {
             ErrorCode::of(&EaszError::Truncated { needed: 46, got: 0 }),
             ErrorCode::Truncated
         );
+    }
+
+    #[test]
+    fn engine_tier_bytes_round_trip_and_reserved_bytes_are_none() {
+        for tier in [EngineTier::Reference, EngineTier::QuantizedInt8] {
+            assert_eq!(EngineTier::from_byte(tier.wire_byte()), Some(tier));
+        }
+        assert_eq!(EngineTier::from_byte(2), None);
+        assert_eq!(EngineTier::from_byte(0xFF), None);
+        assert_eq!(EngineTier::default(), EngineTier::Reference);
+        assert_eq!(EngineTier::Reference.engine(), easz_core::DecodeEngine::TapeFree);
+        assert_eq!(EngineTier::QuantizedInt8.engine(), easz_core::DecodeEngine::QuantizedInt8);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 
 use crate::batcher::{Batcher, GatewayConfig};
 use crate::metrics::{ServerMetrics, ServerStats};
-use crate::protocol::{self, ErrorCode, FrameReadError, WireError};
+use crate::protocol::{self, EngineTier, ErrorCode, FrameReadError, WireError};
 use easz_codecs::CodecRegistry;
-use easz_core::{EaszDecoder, EaszEncoded, EaszError, Reconstructor};
+use easz_core::{DecodeEngine, EaszDecoder, EaszEncoded, EaszError, Reconstructor};
 use easz_image::ImageF32;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -268,22 +268,27 @@ struct ConnCtx<'a> {
 }
 
 impl ConnCtx<'_> {
-    /// Decodes one parsed container — through the gateway when enabled and
-    /// willing, inline otherwise. `Err(())` means the gateway accepted the
-    /// job but shut down before answering; the connection should close.
-    fn decode(&self, encoded: EaszEncoded) -> Result<Result<ImageF32, EaszError>, ()> {
+    /// Decodes one parsed container on `engine` — through the gateway when
+    /// enabled and willing, inline otherwise. `Err(())` means the gateway
+    /// accepted the job but shut down before answering; the connection
+    /// should close.
+    fn decode(
+        &self,
+        encoded: EaszEncoded,
+        engine: DecodeEngine,
+    ) -> Result<Result<ImageF32, EaszError>, ()> {
         if let Some(batcher) = self.batcher {
-            match batcher.submit(encoded) {
+            match batcher.submit(encoded, engine) {
                 Ok(rx) => return rx.recv().map_err(|_| ()),
                 Err(back) => {
                     // Full queue or shutdown: degrade to inline decode.
                     self.metrics.record_inline_decode();
-                    return Ok(self.decoder.decode(&back));
+                    return Ok(self.decoder.decode_as(&back, engine));
                 }
             }
         }
         self.metrics.record_inline_decode();
-        Ok(self.decoder.decode(&encoded))
+        Ok(self.decoder.decode_as(&encoded, engine))
     }
 }
 
@@ -387,27 +392,55 @@ fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) -> io::Result<()>
             }
         };
         match frame_type {
-            protocol::DECODE => {
+            protocol::DECODE | protocol::DECODE_TIERED => {
+                // A tiered request prefixes the container with one engine
+                // byte that overrides the container's standing preference.
+                let (tier, container) = if frame_type == protocol::DECODE_TIERED {
+                    match split_tier(&payload) {
+                        Ok(pair) => pair,
+                        Err(message) => {
+                            send_wire_error(&mut stream, ErrorCode::Protocol, message, metrics)?;
+                            continue;
+                        }
+                    }
+                } else {
+                    (None, payload.as_slice())
+                };
                 metrics.record_requests(1);
-                let result = match EaszEncoded::from_bytes(&payload) {
+                let result = match EaszEncoded::from_bytes(container) {
                     Err(e) => Err(e),
                     // A gateway recv failure means shutdown beat the reply;
                     // the connection is closing anyway.
-                    Ok(encoded) => match ctx.decode(encoded) {
-                        Ok(result) => result,
-                        Err(()) => return Ok(()),
-                    },
+                    Ok(encoded) => {
+                        let engine =
+                            tier.map_or_else(|| encoded.preferred_engine(), EngineTier::engine);
+                        match ctx.decode(encoded, engine) {
+                            Ok(result) => result,
+                            Err(()) => return Ok(()),
+                        }
+                    }
                 };
                 send_decode_result(&mut stream, result, metrics)?;
             }
-            protocol::DECODE_BATCH => {
-                match protocol::decode_batch_payload(&payload, config.max_batch) {
+            protocol::DECODE_BATCH | protocol::DECODE_BATCH_TIERED => {
+                let (tier, batch_payload) = if frame_type == protocol::DECODE_BATCH_TIERED {
+                    match split_tier(&payload) {
+                        Ok(pair) => pair,
+                        Err(message) => {
+                            send_wire_error(&mut stream, ErrorCode::Protocol, message, metrics)?;
+                            continue;
+                        }
+                    }
+                } else {
+                    (None, payload.as_slice())
+                };
+                match protocol::decode_batch_payload(batch_payload, config.max_batch) {
                     Err(message) => {
                         send_wire_error(&mut stream, ErrorCode::Protocol, message, metrics)?;
                     }
                     Ok(containers) => {
                         metrics.record_requests(containers.len() as u64);
-                        handle_decode_batch(&mut stream, ctx, &containers)?;
+                        handle_decode_batch(&mut stream, ctx, &containers, tier)?;
                     }
                 }
             }
@@ -460,17 +493,37 @@ enum BatchSlot {
     Pending(std::sync::mpsc::Receiver<Result<ImageF32, EaszError>>),
 }
 
-/// Decodes a `DECODE_BATCH` request and replies strictly in request order.
+/// Splits the leading engine-tier byte off a tiered request payload.
+///
+/// # Errors
+///
+/// A `PROTOCOL`-class message for an empty payload or a reserved tier byte
+/// (the connection stays open; only the request is unhonourable).
+fn split_tier(payload: &[u8]) -> Result<(Option<EngineTier>, &[u8]), String> {
+    let (&tier_byte, rest) =
+        payload.split_first().ok_or("tiered request is missing its engine byte")?;
+    let tier = EngineTier::from_byte(tier_byte)
+        .ok_or_else(|| format!("unknown engine tier byte {tier_byte}"))?;
+    Ok((Some(tier), rest))
+}
+
+/// Decodes a `DECODE_BATCH`/`DECODE_BATCH_TIERED` request and replies
+/// strictly in request order. `tier`, when present, overrides every
+/// container's standing engine preference.
 ///
 /// Without a gateway the parsed containers go through one bulk
-/// [`EaszDecoder::decode_batch`] exactly as before; with a gateway each
-/// container is parked individually, so a window can fuse them with
-/// requests from *other* connections too.
+/// [`EaszDecoder::decode_batch_with`] exactly as before; with a gateway
+/// each container is parked individually, so a window can fuse them with
+/// requests from *other* connections too (though never across engine
+/// tiers).
 fn handle_decode_batch(
     stream: &mut TcpStream,
     ctx: &ConnCtx<'_>,
     containers: &[&[u8]],
+    tier: Option<EngineTier>,
 ) -> io::Result<()> {
+    let engine_for =
+        |encoded: &EaszEncoded| tier.map_or_else(|| encoded.preferred_engine(), EngineTier::engine);
     // Parse every container first so decodable streams share batched
     // forwards regardless of corrupt neighbours.
     let mut slots: Vec<BatchSlot> = Vec::with_capacity(containers.len());
@@ -478,21 +531,26 @@ fn handle_decode_batch(
         for container in containers {
             slots.push(match EaszEncoded::from_bytes(container) {
                 Err(e) => BatchSlot::ParseError(e),
-                Ok(encoded) => match batcher.submit(encoded) {
-                    Ok(rx) => BatchSlot::Pending(rx),
-                    Err(back) => {
-                        ctx.metrics.record_inline_decode();
-                        BatchSlot::Done(ctx.decoder.decode(&back))
+                Ok(encoded) => {
+                    let engine = engine_for(&encoded);
+                    match batcher.submit(encoded, engine) {
+                        Ok(rx) => BatchSlot::Pending(rx),
+                        Err(back) => {
+                            ctx.metrics.record_inline_decode();
+                            BatchSlot::Done(ctx.decoder.decode_as(&back, engine))
+                        }
                     }
-                },
+                }
             });
         }
     } else {
         let mut statuses: Vec<Result<(), EaszError>> = Vec::with_capacity(containers.len());
         let mut good: Vec<EaszEncoded> = Vec::with_capacity(containers.len());
+        let mut engines: Vec<DecodeEngine> = Vec::with_capacity(containers.len());
         for container in containers {
             match EaszEncoded::from_bytes(container) {
                 Ok(encoded) => {
+                    engines.push(engine_for(&encoded));
                     good.push(encoded);
                     statuses.push(Ok(()));
                 }
@@ -500,7 +558,7 @@ fn handle_decode_batch(
             }
         }
         let started = std::time::Instant::now();
-        let mut decoded = ctx.decoder.decode_batch(&good).into_iter();
+        let mut decoded = ctx.decoder.decode_batch_with(&good, &engines).into_iter();
         if !good.is_empty() {
             ctx.metrics.record_batch(good.len(), started.elapsed().as_micros() as u64);
         }

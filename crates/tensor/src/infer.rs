@@ -22,6 +22,7 @@
 
 use crate::kernels;
 use crate::params::{ParamId, ParamSet};
+use crate::quant::{QuantizedMatrix, QuantizedParams};
 use crate::tensor::Tensor;
 
 /// Maximum rank a [`ScratchTensor`] can carry (the transformer needs 4).
@@ -150,6 +151,10 @@ impl ScratchTensor {
 #[derive(Debug, Default)]
 pub struct ScratchArena {
     free: Vec<Vec<f32>>,
+    /// Separate pool for the quantized tier's activation-code buffers
+    /// (int8-valued, stored widened to i16 for the kernel's pair
+    /// broadcasts; same leasing discipline, same counters).
+    free_bytes: Vec<Vec<i16>>,
     allocated_buffers: usize,
     allocated_bytes: usize,
 }
@@ -197,6 +202,27 @@ impl ScratchArena {
     fn put(&mut self, buf: Vec<f32>) {
         self.free.push(buf);
     }
+
+    fn take_bytes(&mut self, len: usize) -> Vec<i16> {
+        let mut best: Option<usize> = None;
+        for (i, b) in self.free_bytes.iter().enumerate() {
+            if b.len() >= len && best.is_none_or(|j| b.len() < self.free_bytes[j].len()) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => self.free_bytes.swap_remove(i),
+            None => {
+                self.allocated_buffers += 1;
+                self.allocated_bytes += len * std::mem::size_of::<i16>();
+                vec![0i16; len]
+            }
+        }
+    }
+
+    fn put_bytes(&mut self, buf: Vec<i16>) {
+        self.free_bytes.push(buf);
+    }
 }
 
 /// A forward-only executor over a [`ParamSet`] with arena-backed buffers.
@@ -220,13 +246,29 @@ impl ScratchArena {
 /// ```
 pub struct InferenceSession<'p, 'a> {
     params: &'p ParamSet,
+    /// When set, the session runs the int8 fast tier: `Linear` layers
+    /// dispatch to [`qmatmul`](Self::qmatmul) for weights present in the
+    /// table and cap activation precision at f16 between layers.
+    quant: Option<&'p QuantizedParams>,
     arena: &'a mut ScratchArena,
 }
 
 impl<'p, 'a> InferenceSession<'p, 'a> {
-    /// Starts a session over `params` with buffers leased from `arena`.
+    /// Starts a session over `params` with buffers leased from `arena`
+    /// (the bit-exact f32 reference mode).
     pub fn new(params: &'p ParamSet, arena: &'a mut ScratchArena) -> Self {
-        Self { params, arena }
+        Self { params, quant: None, arena }
+    }
+
+    /// Starts a session in the quantized int8 tier: layers consult `quant`
+    /// for pre-packed weights and fall back to the f32 path for ids not in
+    /// the table.
+    pub fn with_quantized(
+        params: &'p ParamSet,
+        quant: &'p QuantizedParams,
+        arena: &'a mut ScratchArena,
+    ) -> Self {
+        Self { params, quant: Some(quant), arena }
     }
 
     /// Borrows a parameter value (no clone — the `Graph` engine copies the
@@ -234,6 +276,17 @@ impl<'p, 'a> InferenceSession<'p, 'a> {
     pub fn param(&self, id: ParamId) -> &'p Tensor {
         let params: &'p ParamSet = self.params;
         params.value(id)
+    }
+
+    /// The quantized form of parameter `id`, if this session runs the
+    /// quantized tier and the id was quantized.
+    pub fn quantized(&self, id: ParamId) -> Option<&'p QuantizedMatrix> {
+        self.quant.and_then(|q| q.get(id))
+    }
+
+    /// Whether this session runs the quantized int8 tier.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// Returns a dead intermediate's buffer to the arena.
@@ -286,6 +339,48 @@ impl<'p, 'a> InferenceSession<'p, 'a> {
         let mut out = self.alloc(&[m, n]);
         crate::parallel::par_matmul(a.view_data(), b.view_data(), out.data_mut(), m, k, n);
         out
+    }
+
+    /// Rank-2 matrix product against a pre-quantized weight matrix: the
+    /// activation rows are quantized to int8 on the fly (per-row scales),
+    /// multiplied through the widening int8 kernel, and dequantized into
+    /// f32 output. The int8 staging buffers are leased from the arena like
+    /// every other intermediate, so the zero-steady-state-allocation
+    /// contract holds for the quantized tier too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not rank 2 or its width differs from `qw.k()`.
+    pub fn qmatmul(&mut self, a: &impl TensorView, qw: &QuantizedMatrix) -> ScratchTensor {
+        let ashape = a.view_shape();
+        assert_eq!(ashape.len(), 2, "qmatmul lhs must be rank 2, got {ashape:?}");
+        let (m, k) = (ashape[0], ashape[1]);
+        assert_eq!(k, qw.k(), "qmatmul inner dims: {ashape:?} x [{}, {}]", qw.k(), qw.n());
+        let k_pad = qw.k_pad();
+        let mut qa = self.arena.take_bytes(m * k_pad);
+        let mut scales = self.arena.take(m);
+        kernels::quantize_rows(a.view_data(), k, k_pad, &mut qa[..m * k_pad], &mut scales[..m]);
+        let mut out = self.alloc(&[m, qw.n()]);
+        crate::parallel::par_qmatmul(
+            &qa[..m * k_pad],
+            &scales[..m],
+            qw.packed(),
+            qw.scales(),
+            out.data_mut(),
+            m,
+            k_pad,
+            qw.n(),
+        );
+        self.arena.put_bytes(qa);
+        self.arena.put(scales);
+        out
+    }
+
+    /// Rounds every element to its nearest f16 value in place (storage
+    /// stays f32-width) — the quantized tier's inter-layer activation
+    /// precision cap.
+    pub fn f16_round_in_place(&mut self, t: &mut ScratchTensor) {
+        kernels::f16_round_slice(t.data_mut());
     }
 
     /// Rank-3 batched matrix product (same kernel as
@@ -521,6 +616,54 @@ mod tests {
         s.softmax_in_place(&mut b);
         assert_eq!(bits(&tape), bits(b.data()));
         s.free(b);
+    }
+
+    #[test]
+    fn quantized_block_tracks_reference_and_reuses_arena() {
+        let mut p = ParamSet::new();
+        let mut r = init::rng(11);
+        let block = nn::TransformerBlock::new(&mut p, &mut r, "blk", 16, 4, 32);
+        let mut q = QuantizedParams::new();
+        block.quantize_into(&p, &mut q);
+        assert_eq!(q.len(), 6, "4 attention projections + 2 ffn layers");
+        let input = seeded(&[3 * 6, 16], 5);
+
+        // Bit-exact f32 reference.
+        let mut arena = ScratchArena::new();
+        let mut s = InferenceSession::new(&p, &mut arena);
+        let x = s.copy_in(&input);
+        let y = block.infer(&mut s, x, 3, 6);
+        let reference = y.data().to_vec();
+        s.free(y);
+
+        // Quantized tier: deterministic, arena-steady, bounded divergence.
+        let mut arena = ScratchArena::new();
+        let run = |arena: &mut ScratchArena| {
+            let mut s = InferenceSession::with_quantized(&p, &q, arena);
+            assert!(s.is_quantized());
+            let x = s.copy_in(&input);
+            let y = block.infer(&mut s, x, 3, 6);
+            let out = y.data().to_vec();
+            s.free(y);
+            out
+        };
+        let first = run(&mut arena);
+        let (buffers, bytes) = (arena.allocated_buffers(), arena.allocated_bytes());
+        assert!(buffers > 0, "first quantized forward must warm the arena");
+        for _ in 0..4 {
+            let again = run(&mut arena);
+            assert_eq!(bits(&first), bits(&again), "quantized tier must be deterministic");
+        }
+        assert_eq!(
+            (arena.allocated_buffers(), arena.allocated_bytes()),
+            (buffers, bytes),
+            "quantized steady state must not allocate"
+        );
+        assert_ne!(bits(&first), bits(&reference), "the int8 tier must actually be in play");
+        // Post-layer-norm outputs are O(1); int8+f16 error stays well under
+        // this after one block.
+        let worst = first.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(worst < 0.25, "quantized block diverged too far from f32: {worst}");
     }
 
     #[test]

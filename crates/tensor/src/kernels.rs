@@ -131,6 +131,420 @@ pub(crate) fn add_rows_broadcast(out: &mut [f32], b: &[f32], d: usize, s: usize)
     }
 }
 
+/// IEEE-754 binary32 → binary16 bit conversion with round-to-nearest-even.
+///
+/// Pure integer arithmetic (no libm, no hardware `f16` dependence), so the
+/// quantized tier's activation rounding is portable-deterministic like
+/// [`fast_tanh`]/[`fast_exp`]. f32 subnormals (< 2^-126) flush to zero —
+/// irrelevant at activation magnitudes.
+pub(crate) fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp32 = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp32 == 0xff {
+        // Inf stays inf; NaN keeps a quiet payload bit.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    let exp = exp32 - 127 + 15;
+    if exp >= 0x1f {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if exp <= 0 {
+        if exp < -10 {
+            return sign; // rounds to ±0 (includes f32 subnormal inputs)
+        }
+        // f16 subnormal: shift the full 24-bit mantissa down, ties to even.
+        let full = mant | 0x0080_0000;
+        let shift = (14 - exp) as u32;
+        let bias = (1u32 << (shift - 1)) - 1 + ((full >> shift) & 1);
+        return sign | ((full + bias) >> shift) as u16;
+    }
+    // Normal: drop 13 mantissa bits with ties to even; a mantissa carry
+    // propagates into the exponent field arithmetically (incl. → inf).
+    let bias = 0x0fff + ((mant >> 13) & 1);
+    sign | (((exp as u32) << 10) + ((mant + bias) >> 13)) as u16
+}
+
+/// IEEE-754 binary16 → binary32 bit conversion (exact; every f16 value is
+/// representable in f32).
+pub(crate) fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    if exp == 0 {
+        if mant == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal: normalise the mantissa into an f32 exponent.
+        let p = 31 - mant.leading_zeros();
+        let frac = (mant << (10 - p)) & 0x03ff;
+        return f32::from_bits(sign | ((103 + p) << 23) | (frac << 13));
+    }
+    if exp == 0x1f {
+        return f32::from_bits(sign | 0x7f80_0000 | (mant << 13));
+    }
+    f32::from_bits(sign | ((exp + 127 - 15) << 23) | (mant << 13))
+}
+
+/// Rounds every element to the nearest f16 value (storing the result back
+/// in f32 width) — the quantized tier's "f16-stored activations" contract:
+/// activation precision between layers is capped at half precision while
+/// buffers stay `f32` so every downstream kernel is shared.
+///
+/// Dispatches to hardware F16C (`vcvtps2ph`/`vcvtph2ps`, round-to-nearest-
+/// even) when available: bit-identical to the software path on every
+/// non-NaN input (both are IEEE RNE and both send f32 subnormals to ±0 —
+/// they sit far below half the smallest f16 subnormal), and NaN never
+/// survives the layer norms that precede every rounded activation. The
+/// software path runs one element at a time through the bit converters, so
+/// on an f16-rounded layer it would otherwise cost more than the matmul
+/// that produced the activations.
+pub(crate) fn f16_round_slice(data: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("f16c") {
+        // Safety: the `f16c` feature was just verified at runtime.
+        unsafe { f16_round_slice_f16c(data) };
+        return;
+    }
+    for v in data {
+        *v = f16_bits_to_f32(f32_to_f16_bits(*v));
+    }
+}
+
+/// Hardware body of [`f16_round_slice`]: eight lanes per round trip.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c")]
+unsafe fn f16_round_slice_f16c(data: &mut [f32]) {
+    use std::arch::x86_64::*;
+    const RNE: i32 = _MM_FROUND_TO_NEAREST_INT;
+    let mut chunks = data.chunks_exact_mut(8);
+    for c in &mut chunks {
+        let h = _mm256_cvtps_ph::<RNE>(_mm256_loadu_ps(c.as_ptr()));
+        _mm256_storeu_ps(c.as_mut_ptr(), _mm256_cvtph_ps(h));
+    }
+    for v in chunks.into_remainder() {
+        *v = f16_bits_to_f32(f32_to_f16_bits(*v));
+    }
+}
+
+/// Per-row symmetric int8 quantization of a `[m, k]` activation matrix into
+/// a zero-padded `[m, k_pad]` matrix of sign-extended i16 codes plus one
+/// scale per row.
+///
+/// `scale_i = max_j |a[i,j]| / 127`, `q = round(v / scale)` clamped to
+/// ±127, with round-to-nearest-even ties (`f32::round_ties_even` is the
+/// IEEE `roundToIntegralTiesToEven` operation — exactly what `vroundps`
+/// computes, so the scalar and AVX2 bodies below are bit-identical by
+/// construction and the quantization is deterministic everywhere). An
+/// all-zero row gets scale 0 and all-zero codes, which dequantizes
+/// exactly. Columns `k..k_pad` are written 0 so the packed-pair kernel can
+/// treat odd `k` uniformly.
+///
+/// Codes are int8-valued but stored widened to i16: a consecutive pair is
+/// then exactly the 32-bit memory word the AVX2 kernel broadcasts per `k`
+/// step (one `vpbroadcastd` instead of two byte loads plus shifts), which
+/// is where the int8 path wins or loses its speed. Quantization runs once
+/// per Linear over `m·k` elements while the matmul it feeds does `m·k·n`
+/// MACs — but at transformer widths (`n` ~ 10²) a scalar `round` per
+/// element still costs as much as a row of `madd`s, hence the SIMD body.
+pub(crate) fn quantize_rows(a: &[f32], k: usize, k_pad: usize, qa: &mut [i16], scales: &mut [f32]) {
+    let m = scales.len();
+    debug_assert_eq!(a.len(), m * k, "activation size");
+    debug_assert!(qa.len() >= m * k_pad, "quantized buffer size");
+    debug_assert!(k_pad >= k && k_pad.is_multiple_of(2), "k_pad must be even and >= k");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // Safety: the `avx2` feature was just verified at runtime.
+        unsafe { quantize_rows_avx2(a, k, k_pad, qa, scales) };
+        return;
+    }
+    for i in 0..m {
+        let row = &a[i * k..(i + 1) * k];
+        let amax = row.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        let scale = amax / 127.0;
+        scales[i] = scale;
+        let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+        let q = &mut qa[i * k_pad..(i + 1) * k_pad];
+        for (dst, &v) in q.iter_mut().zip(row) {
+            *dst = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i16;
+        }
+        for dst in &mut q[k..] {
+            *dst = 0;
+        }
+    }
+}
+
+/// AVX2 body of [`quantize_rows`]: vector abs-max reduction, then
+/// 16 codes per iteration (`mul` → `vroundps` → clamp → `cvtps2dq` →
+/// saturating pack to i16). Every step is an exact IEEE operation the
+/// scalar body also performs, in the same per-element order, so the two
+/// bodies agree bit-for-bit — max/min/abs never round, `vroundps` nearest
+/// is `round_ties_even`, and the `i32` conversion is exact because the
+/// value is already integral in ±127.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_rows_avx2(
+    a: &[f32],
+    k: usize,
+    k_pad: usize,
+    qa: &mut [i16],
+    scales: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    const RNE: i32 = _MM_FROUND_TO_NEAREST_INT;
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+    let lo = _mm256_set1_ps(-127.0);
+    let hi = _mm256_set1_ps(127.0);
+    for (i, scale_slot) in scales.iter_mut().enumerate() {
+        let row = &a[i * k..(i + 1) * k];
+        // |amax| reduction: 8-lane max, folded horizontally, scalar tail.
+        let mut vmax = _mm256_setzero_ps();
+        let mut chunks = row.chunks_exact(8);
+        for c in &mut chunks {
+            vmax = _mm256_max_ps(vmax, _mm256_and_ps(_mm256_loadu_ps(c.as_ptr()), abs_mask));
+        }
+        let mut lanes = [0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), vmax);
+        let mut amax = lanes.iter().fold(0.0f32, |acc, &v| acc.max(v));
+        for &v in chunks.remainder() {
+            amax = amax.max(v.abs());
+        }
+        let scale = amax / 127.0;
+        *scale_slot = scale;
+        let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+        let vinv = _mm256_set1_ps(inv);
+        let q = &mut qa[i * k_pad..(i + 1) * k_pad];
+        let mut j = 0usize;
+        while j + 16 <= k {
+            let q0 = _mm256_cvtps_epi32(_mm256_max_ps(
+                lo,
+                _mm256_min_ps(
+                    hi,
+                    _mm256_round_ps::<RNE>(_mm256_mul_ps(
+                        _mm256_loadu_ps(row.as_ptr().add(j)),
+                        vinv,
+                    )),
+                ),
+            ));
+            let q1 = _mm256_cvtps_epi32(_mm256_max_ps(
+                lo,
+                _mm256_min_ps(
+                    hi,
+                    _mm256_round_ps::<RNE>(_mm256_mul_ps(
+                        _mm256_loadu_ps(row.as_ptr().add(j + 8)),
+                        vinv,
+                    )),
+                ),
+            ));
+            // packs interleaves 128-bit lanes; permute restores order.
+            let packed = _mm256_permute4x64_epi64::<0b11_01_10_00>(_mm256_packs_epi32(q0, q1));
+            _mm256_storeu_si256(q.as_mut_ptr().add(j).cast(), packed);
+            j += 16;
+        }
+        for (dst, &v) in q[j..k].iter_mut().zip(&row[j..]) {
+            *dst = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i16;
+        }
+        for dst in &mut q[k..] {
+            *dst = 0;
+        }
+    }
+}
+
+/// Output-column block width of the int8 kernel: 8 columns is exactly one
+/// 256-bit `madd` accumulator, and the scalar path uses the same block so
+/// both produce identical i32 sums (integer addition is associative — the
+/// two paths are bit-identical by construction, unlike a float reorder).
+const QCOL_BLOCK: usize = 8;
+
+/// `C[m,n] = dequant(QA[m,k_pad] · QW[k_pad,n])`: int8×int8 widening
+/// multiply-accumulate in i32, dequantized as
+/// `((acc as f32) * a_scale_i) * w_scale_j`.
+///
+/// `packed` is the weight matrix pre-packed by
+/// [`pack_weight_pairs`]: k-pair interleaved i16
+/// (`packed[(kp * n + j) * 2 + t]` holds `qw[2*kp + t, j]`), which is the
+/// exact operand layout of AVX2 `madd` — and the scalar path walks the same
+/// array, so there is one packing, two ISAs, one result.
+///
+/// Accumulation is exact: `k_pad ≤ 2^16` keeps `Σ |127·127|` far below
+/// `i32::MAX`, so no saturation path exists.
+pub(crate) fn qmatmul_rows(
+    qa: &[i16],
+    a_scales: &[f32],
+    packed: &[i16],
+    w_scales: &[f32],
+    out: &mut [f32],
+    k_pad: usize,
+    n: usize,
+) {
+    debug_assert!(k_pad.is_multiple_of(2), "k_pad must be even");
+    debug_assert!(qa.len() >= a_scales.len() * k_pad, "qa size");
+    debug_assert_eq!(packed.len(), k_pad * n, "packed weight size");
+    debug_assert_eq!(w_scales.len(), n, "weight scale count");
+    debug_assert_eq!(out.len(), a_scales.len() * n, "output size");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // Safety: the `avx2` feature was just verified at runtime.
+        unsafe { qmatmul_rows_avx2(qa, a_scales, packed, w_scales, out, k_pad, n) };
+        return;
+    }
+    qmatmul_rows_generic(qa, a_scales, packed, w_scales, out, k_pad, n);
+}
+
+/// AVX2 body: broadcast one activation pair per `k` step — a single
+/// `vpbroadcastd` straight from the i16 activation row — and `madd` it
+/// against four blocks of 8 packed weight columns at once (4 independent
+/// i32 accumulators, 64 exact MACs per broadcast), so the per-`k`
+/// broadcast cost is amortised across 32 output columns. Narrower
+/// remainders fall to a one-block loop, then the scalar tail. Every path
+/// produces the same i32 sums (integer addition is associative), so the
+/// unroll factor cannot change results.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qmatmul_rows_avx2(
+    qa: &[i16],
+    a_scales: &[f32],
+    packed: &[i16],
+    w_scales: &[f32],
+    out: &mut [f32],
+    k_pad: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    const UNROLL: usize = 4;
+    let pairs = k_pad / 2;
+    let n32 = n - n % (UNROLL * QCOL_BLOCK);
+    let n8 = n - n % QCOL_BLOCK;
+    for (i, &a_scale) in a_scales.iter().enumerate() {
+        let qrow = &qa[i * k_pad..(i + 1) * k_pad];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut j = 0usize;
+        while j < n32 {
+            let mut acc = [_mm256_setzero_si256(); UNROLL];
+            for kp in 0..pairs {
+                // Safety: 2*kp + 2 <= k_pad == qrow.len(); a consecutive
+                // i16 pair is read as one (unaligned) 32-bit word.
+                let av = _mm256_set1_epi32(std::ptr::read_unaligned(
+                    qrow.as_ptr().add(2 * kp).cast::<i32>(),
+                ));
+                let base = (kp * n + j) * 2;
+                for (u, slot) in acc.iter_mut().enumerate() {
+                    // Safety: base + 2*QCOL_BLOCK*(u+1) <= (kp*n + n)*2
+                    // <= k_pad*n == packed.len() because j + 32 <= n.
+                    let bv =
+                        _mm256_loadu_si256(packed.as_ptr().add(base + 2 * QCOL_BLOCK * u).cast());
+                    *slot = _mm256_add_epi32(*slot, _mm256_madd_epi16(av, bv));
+                }
+            }
+            let av_scale = _mm256_set1_ps(a_scale);
+            for (u, slot) in acc.iter().enumerate() {
+                let at = j + QCOL_BLOCK * u;
+                // `vcvtdq2ps` rounds to nearest-even exactly like Rust's
+                // `i32 as f32`, and the multiply order matches the scalar
+                // `(v as f32) * a_scale * w_scales[j]` — bit-identical.
+                let f = _mm256_mul_ps(_mm256_cvtepi32_ps(*slot), av_scale);
+                let ws = _mm256_loadu_ps(w_scales.as_ptr().add(at));
+                _mm256_storeu_ps(orow.as_mut_ptr().add(at), _mm256_mul_ps(f, ws));
+            }
+            j += UNROLL * QCOL_BLOCK;
+        }
+        while j < n8 {
+            let mut acc = _mm256_setzero_si256();
+            for kp in 0..pairs {
+                let av = _mm256_set1_epi32(std::ptr::read_unaligned(
+                    qrow.as_ptr().add(2 * kp).cast::<i32>(),
+                ));
+                // Safety: (kp*n + j)*2 + 16 <= k_pad*n == packed.len()
+                // because j + 8 <= n.
+                let bv = _mm256_loadu_si256(packed.as_ptr().add((kp * n + j) * 2).cast());
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+            }
+            let f = _mm256_mul_ps(_mm256_cvtepi32_ps(acc), _mm256_set1_ps(a_scale));
+            let ws = _mm256_loadu_ps(w_scales.as_ptr().add(j));
+            _mm256_storeu_ps(orow.as_mut_ptr().add(j), _mm256_mul_ps(f, ws));
+            j += QCOL_BLOCK;
+        }
+        qcols_remainder(qrow, a_scale, packed, w_scales, orow, n, j);
+    }
+}
+
+/// Portable body over the same packed operand; identical i32 sums to the
+/// AVX2 path (see [`qmatmul_rows`]).
+fn qmatmul_rows_generic(
+    qa: &[i16],
+    a_scales: &[f32],
+    packed: &[i16],
+    w_scales: &[f32],
+    out: &mut [f32],
+    k_pad: usize,
+    n: usize,
+) {
+    let pairs = k_pad / 2;
+    for (i, &a_scale) in a_scales.iter().enumerate() {
+        let qrow = &qa[i * k_pad..(i + 1) * k_pad];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut j = 0usize;
+        while j + QCOL_BLOCK <= n {
+            let mut acc = [0i32; QCOL_BLOCK];
+            for kp in 0..pairs {
+                let a0 = qrow[2 * kp] as i32;
+                let a1 = qrow[2 * kp + 1] as i32;
+                let base = (kp * n + j) * 2;
+                let brow = &packed[base..base + 2 * QCOL_BLOCK];
+                for (l, slot) in acc.iter_mut().enumerate() {
+                    *slot += a0 * brow[2 * l] as i32 + a1 * brow[2 * l + 1] as i32;
+                }
+            }
+            for (l, &v) in acc.iter().enumerate() {
+                orow[j + l] = (v as f32) * a_scale * w_scales[j + l];
+            }
+            j += QCOL_BLOCK;
+        }
+        qcols_remainder(qrow, a_scale, packed, w_scales, orow, n, j);
+    }
+}
+
+/// Scalar tail for output columns past the last full [`QCOL_BLOCK`].
+fn qcols_remainder(
+    qrow: &[i16],
+    a_scale: f32,
+    packed: &[i16],
+    w_scales: &[f32],
+    orow: &mut [f32],
+    n: usize,
+    mut j: usize,
+) {
+    let pairs = qrow.len() / 2;
+    while j < n {
+        let mut acc = 0i32;
+        for kp in 0..pairs {
+            let base = (kp * n + j) * 2;
+            acc += qrow[2 * kp] as i32 * packed[base] as i32
+                + qrow[2 * kp + 1] as i32 * packed[base + 1] as i32;
+        }
+        orow[j] = (acc as f32) * a_scale * w_scales[j];
+        j += 1;
+    }
+}
+
+/// Packs an already-quantized `[k, n]` int8 weight matrix into the
+/// k-pair-interleaved, sign-extended i16 layout [`qmatmul_rows`] consumes:
+/// `packed[(kp * n + j) * 2 + t] = qw[2*kp + t, j]`, with an implicit zero
+/// row appended when `k` is odd.
+pub(crate) fn pack_weight_pairs(qw: &[i8], k: usize, n: usize) -> Vec<i16> {
+    debug_assert_eq!(qw.len(), k * n, "quantized weight size");
+    let k_pad = k + k % 2;
+    let mut packed = vec![0i16; k_pad * n];
+    for kk in 0..k {
+        let (kp, t) = (kk / 2, kk % 2);
+        for j in 0..n {
+            packed[(kp * n + j) * 2 + t] = qw[kk * n + j] as i16;
+        }
+    }
+    packed
+}
+
 /// Maximum tensor rank the permute kernel supports (and the stack rank the
 /// inference arena assumes). The transformer uses rank 0 through 4.
 pub const MAX_RANK: usize = 8;
@@ -260,6 +674,177 @@ mod tests {
         let mut out = vec![0.0f32; 6];
         add_rows_broadcast(&mut out, &[1.0, 2.0], 2, 1);
         assert_eq!(out, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn f16_round_trip_is_exact_and_rne() {
+        // Exactly representable values survive unchanged.
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 65504.0, -65504.0, 2.0f32.powi(-24)] {
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)).to_bits(), v.to_bits(), "{v}");
+        }
+        // Ties round to even: 1 + 2^-11 is exactly between 1.0 and the next
+        // f16 (1 + 2^-10); even mantissa wins → 1.0.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1.0 + 2f32.powi(-11))), 1.0);
+        // 1 + 3·2^-11 ties between 1+2^-10 and 1+2^-9 → the even 1+2^-9.
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(1.0 + 3.0 * 2f32.powi(-11))),
+            1.0 + 2.0 * 2f32.powi(-10)
+        );
+        // Overflow saturates to inf, specials survive.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e9)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        // Subnormal f16 range round-trips through the normalisation path.
+        let tiny = 3.0 * 2f32.powi(-24);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(tiny)), tiny);
+        // Everything in the normal range lands within half an f16 ulp.
+        let mut x = -8.0f32;
+        while x <= 8.0 {
+            let r = f16_bits_to_f32(f32_to_f16_bits(x));
+            let ulp = 2f32.powi((x.abs().max(2f32.powi(-24)).log2().floor() as i32 - 10).max(-24));
+            assert!((r - x).abs() <= ulp * 0.5 + 1e-12, "f16({x}) = {r}");
+            x += 1e-2;
+        }
+    }
+
+    #[test]
+    fn f16_round_hardware_path_matches_software_bits() {
+        // Sweep every finite f16 payload (exactly representable values must
+        // survive both paths unchanged) plus a dense random-ish grid of f32
+        // inputs that exercise rounding, overflow and subnormal flushing.
+        let mut inputs = Vec::new();
+        for h in 0..=u16::MAX {
+            let v = f16_bits_to_f32(h);
+            if v.is_finite() {
+                inputs.push(v);
+            }
+        }
+        let mut state = 0x2545_f491u32;
+        for _ in 0..100_000 {
+            // xorshift over the full f32 bit space, NaN/inf filtered.
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            let v = f32::from_bits(state);
+            if v.is_finite() {
+                inputs.push(v);
+            }
+        }
+        inputs.extend([0.0, -0.0, 65519.9, -65520.1, 1e-40, -1e-40, 2f32.powi(-25)]);
+        let mut hw = inputs.clone();
+        f16_round_slice(&mut hw); // dispatches to F16C when present
+        for (&x, &h) in inputs.iter().zip(&hw) {
+            let sw = f16_bits_to_f32(f32_to_f16_bits(x));
+            assert_eq!(h.to_bits(), sw.to_bits(), "f16_round({x:e}): hw {h:e} vs sw {sw:e}");
+        }
+    }
+
+    #[test]
+    fn quantize_rows_simd_matches_scalar_reference() {
+        // Dispatched quantize_rows (AVX2 on x86) against a from-scratch
+        // scalar transcription of the spec, across sizes hitting the
+        // 16-wide main loop, the scalar tail, and the odd-k zero pad.
+        let mut state = 0x9e37_79b9u32;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            (state as f32 / u32::MAX as f32) * 4.0 - 2.0
+        };
+        for (m, k) in [(1usize, 1usize), (3, 16), (2, 17), (5, 37), (4, 96), (1, 130)] {
+            let k_pad = k + k % 2;
+            let a: Vec<f32> = (0..m * k).map(|_| rnd()).collect();
+            let mut qa = vec![0i16; m * k_pad];
+            let mut scales = vec![0f32; m];
+            quantize_rows(&a, k, k_pad, &mut qa, &mut scales);
+            for i in 0..m {
+                let row = &a[i * k..(i + 1) * k];
+                let amax = row.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+                let scale = amax / 127.0;
+                assert_eq!(scales[i].to_bits(), scale.to_bits(), "scale row {i} (m={m},k={k})");
+                let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+                for (j, &v) in row.iter().enumerate() {
+                    let want = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i16;
+                    assert_eq!(qa[i * k_pad + j], want, "code ({i},{j}) (m={m},k={k})");
+                }
+                for j in k..k_pad {
+                    assert_eq!(qa[i * k_pad + j], 0, "pad ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_rows_round_trips_within_half_step() {
+        let a = [0.5f32, -1.0, 0.25, 0.0, 0.0, 0.0]; // second row all-zero
+        let (k, k_pad) = (3usize, 4usize);
+        let mut qa = [0i16; 8];
+        let mut scales = [0f32; 2];
+        quantize_rows(&a, k, k_pad, &mut qa, &mut scales);
+        assert_eq!(qa[1], -127, "amax element maps to -127");
+        assert_eq!(qa[3], 0, "padding column is zero");
+        assert_eq!(scales[1], 0.0, "all-zero row gets scale 0");
+        assert_eq!(&qa[4..], &[0i16; 4], "all-zero row quantizes to zeros");
+        for (j, &v) in a[..k].iter().enumerate() {
+            let deq = qa[j] as f32 * scales[0];
+            assert!((deq - v).abs() <= scales[0] * 0.5 + 1e-7, "col {j}: {deq} vs {v}");
+        }
+    }
+
+    #[test]
+    fn qmatmul_matches_dequantized_reference_on_both_paths() {
+        // Odd k exercises the pair padding; n = 43 exercises one full
+        // 32-wide unrolled block, one 8-wide block, and the scalar
+        // column remainder.
+        let (m, k, n) = (5usize, 7usize, 43usize);
+        let k_pad = k + k % 2;
+        let mut s = 0x1234_5678u64;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| rnd()).collect();
+        let w: Vec<f32> = (0..k * n).map(|_| rnd()).collect();
+        // Quantize weights per column, activations per row.
+        let mut qw = vec![0i8; k * n];
+        let mut w_scales = vec![0f32; n];
+        for j in 0..n {
+            let wmax = (0..k).fold(0.0f32, |acc, i| acc.max(w[i * n + j].abs()));
+            let scale = wmax / 127.0;
+            w_scales[j] = scale;
+            let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+            for i in 0..k {
+                qw[i * n + j] = (w[i * n + j] * inv).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        let packed = pack_weight_pairs(&qw, k, n);
+        let mut qa = vec![0i16; m * k_pad];
+        let mut a_scales = vec![0f32; m];
+        quantize_rows(&a, k, k_pad, &mut qa, &mut a_scales);
+
+        let mut got = vec![0f32; m * n];
+        qmatmul_rows(&qa, &a_scales, &packed, &w_scales, &mut got, k_pad, n);
+        // Reference: exact integer dot products dequantized in f64.
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for kk in 0..k {
+                    acc += qa[i * k_pad + kk] as i64 * qw[kk * n + j] as i64;
+                }
+                let want = acc as f64 * a_scales[i] as f64 * w_scales[j] as f64;
+                let err = (got[i * n + j] as f64 - want).abs();
+                assert!(err < 1e-4, "({i},{j}): {} vs {want}", got[i * n + j]);
+            }
+        }
+        // The generic path must agree bit-for-bit with whatever the
+        // dispatcher picked (i32 sums are associative; dequant order fixed).
+        let mut generic = vec![0f32; m * n];
+        qmatmul_rows_generic(&qa, &a_scales, &packed, &w_scales, &mut generic, k_pad, n);
+        let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u32> = generic.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(gb, sb, "AVX2 and scalar int8 kernels must be bit-identical");
     }
 
     #[test]

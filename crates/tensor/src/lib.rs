@@ -49,6 +49,7 @@ pub mod nn;
 mod optim;
 pub mod parallel;
 mod params;
+mod quant;
 mod tensor;
 
 pub use graph::{Gradients, Graph, Var};
@@ -58,4 +59,5 @@ pub use io::{
 };
 pub use optim::{AdamW, AdamWConfig};
 pub use params::{ParamId, ParamSet};
+pub use quant::{QuantizedMatrix, QuantizedParams};
 pub use tensor::{inverse_permutation, strides_of, Tensor};

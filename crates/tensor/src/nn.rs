@@ -10,6 +10,7 @@ use crate::graph::{Graph, Var};
 use crate::infer::{InferenceSession, ScratchTensor};
 use crate::init;
 use crate::params::{ParamId, ParamSet};
+use crate::quant::QuantizedParams;
 use rand::rngs::StdRng;
 
 /// A dense affine layer `y = x W + b` on `[rows, in] -> [rows, out]`.
@@ -50,13 +51,31 @@ impl Linear {
 
     /// Applies the layer on the tape-free engine (byte-identical to
     /// [`forward`](Self::forward); weights are borrowed, not cloned).
+    ///
+    /// In a quantized session with this layer's weight in the table, the
+    /// product runs through the int8 kernel and the output (after the f32
+    /// bias add) is rounded to f16 precision — the quantized tier's
+    /// inter-layer activation contract. Otherwise this is the bit-exact
+    /// f32 path.
     pub fn infer(&self, s: &mut InferenceSession<'_, '_>, x: &ScratchTensor) -> ScratchTensor {
         debug_assert_eq!(x.shape()[1], self.in_dim);
-        let w = s.param(self.w);
         let b = s.param(self.b);
+        if let Some(qw) = s.quantized(self.w) {
+            let mut y = s.qmatmul(x, qw);
+            s.add_broadcast_rows(&mut y, b);
+            s.f16_round_in_place(&mut y);
+            return y;
+        }
+        let w = s.param(self.w);
         let mut y = s.matmul(x, w);
         s.add_broadcast_rows(&mut y, b);
         y
+    }
+
+    /// Quantizes this layer's weight matrix into `out` (the bias stays
+    /// f32; it is added after dequantization).
+    pub fn quantize_into(&self, params: &ParamSet, out: &mut QuantizedParams) {
+        out.quantize(params, self.w);
     }
 
     /// Input width.
@@ -221,6 +240,14 @@ impl MultiHeadAttention {
         s.free(merged);
         out
     }
+
+    /// Quantizes the Q/K/V/O projection weights into `out`.
+    pub fn quantize_into(&self, params: &ParamSet, out: &mut QuantizedParams) {
+        self.q.quantize_into(params, out);
+        self.k.quantize_into(params, out);
+        self.v.quantize_into(params, out);
+        self.o.quantize_into(params, out);
+    }
 }
 
 /// Two-layer GELU feed-forward network.
@@ -260,6 +287,12 @@ impl FeedForward {
         let out = self.fc2.infer(s, &h);
         s.free(h);
         out
+    }
+
+    /// Quantizes both projection weights into `out`.
+    pub fn quantize_into(&self, params: &ParamSet, out: &mut QuantizedParams) {
+        self.fc1.quantize_into(params, out);
+        self.fc2.quantize_into(params, out);
     }
 }
 
@@ -326,6 +359,13 @@ impl TransformerBlock {
         let out = self.ln3.infer(s, &f);
         s.free(f);
         out
+    }
+
+    /// Quantizes every matmul weight of the block (attention projections
+    /// and feed-forward layers; layer norms stay f32) into `out`.
+    pub fn quantize_into(&self, params: &ParamSet, out: &mut QuantizedParams) {
+        self.attn.quantize_into(params, out);
+        self.ffn.quantize_into(params, out);
     }
 }
 

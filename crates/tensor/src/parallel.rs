@@ -61,6 +61,55 @@ pub fn par_matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     });
 }
 
+/// Int8 twin of [`par_matmul`]: `C[m,n] = dequant(QA[m,k_pad] · QW)`,
+/// parallelised across row blocks of `QA`/`C`.
+///
+/// Each output row is produced by exactly one worker from exact i32
+/// accumulation, so the result is bit-identical for any worker count and
+/// any row partition — the quantized tier keeps the determinism contract
+/// of the f32 kernels.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel signature; a struct would obscure the hot path
+pub fn par_qmatmul(
+    qa: &[i16],
+    a_scales: &[f32],
+    packed: &[i16],
+    w_scales: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k_pad: usize,
+    n: usize,
+) {
+    debug_assert_eq!(qa.len(), m * k_pad);
+    debug_assert_eq!(a_scales.len(), m);
+    debug_assert_eq!(packed.len(), k_pad * n);
+    debug_assert_eq!(c.len(), m * n);
+    let workers = worker_count();
+    if m * n * k_pad < PAR_THRESHOLD || workers <= 1 || m < 2 {
+        crate::kernels::qmatmul_rows(qa, a_scales, packed, w_scales, c, k_pad, n);
+        return;
+    }
+    let chunk = m.div_ceil(workers);
+    let n_chunks = m.div_ceil(chunk);
+    let c_base = SendPtr(c.as_mut_ptr());
+    pool::run(n_chunks, &move |ci| {
+        let c_base = c_base; // capture the Sync wrapper, not the raw field
+        let row0 = ci * chunk;
+        let rows = chunk.min(m - row0);
+        // Safety: chunks index disjoint row ranges of `c`, and `pool::run`
+        // does not return until every task has finished.
+        let c_block = unsafe { std::slice::from_raw_parts_mut(c_base.0.add(row0 * n), rows * n) };
+        crate::kernels::qmatmul_rows(
+            &qa[row0 * k_pad..(row0 + rows) * k_pad],
+            &a_scales[row0..row0 + rows],
+            packed,
+            w_scales,
+            c_block,
+            k_pad,
+            n,
+        );
+    });
+}
+
 /// Raw mutable base pointer that may cross thread boundaries; the row-block
 /// partition guarantees disjoint access.
 #[derive(Clone, Copy)]

@@ -1,0 +1,185 @@
+//! Int8 weight quantization for the fast-decode inference tier.
+//!
+//! The f32 engines are the *bit-exact reference*; this module is the lossy
+//! but bounded speed tier: every `Linear` weight matrix is quantized once
+//! (per-output-column symmetric int8) and pre-packed into the
+//! k-pair-interleaved i16 layout the widening multiply-accumulate kernel
+//! consumes ([`crate::kernels`]). At decode time activations are quantized
+//! per row on the fly, the product accumulates exactly in i32, and the
+//! result is dequantized in a fixed multiply order — so the quantized tier
+//! is itself *deterministic*: same bytes on every ISA, worker count and
+//! batch composition, even though it is not bit-equal to the f32 tier.
+//!
+//! Quality is governed by a numeric contract (per-pixel ε, ≥40 dB PSNR
+//! against the reference decode) enforced by the workspace divergence
+//! suite, mirroring how the bit-identity suite pins the f32 engines.
+
+use crate::kernels;
+use crate::params::{ParamId, ParamSet};
+use crate::tensor::Tensor;
+
+/// One `[k, n]` weight matrix quantized per output column and pre-packed
+/// for the int8 kernel.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    /// Sign-extended i16 codes in k-pair-interleaved order:
+    /// `packed[(kp * n + j) * 2 + t]` holds column `j`, row `2*kp + t`
+    /// (zero row appended for odd `k`).
+    packed: Vec<i16>,
+    /// Per-output-column dequantization scales (`max_i |w[i,j]| / 127`).
+    scales: Vec<f32>,
+    /// Logical inner dimension (rows of the original matrix).
+    k: usize,
+    /// Padded inner dimension the kernel iterates (`k` rounded up to even).
+    k_pad: usize,
+    /// Output dimension (columns).
+    n: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a rank-2 `[k, n]` weight tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank 2.
+    pub fn new(w: &Tensor) -> Self {
+        assert_eq!(w.rank(), 2, "quantized weights must be rank 2, got {:?}", w.shape());
+        let (k, n) = (w.shape()[0], w.shape()[1]);
+        let data = w.data();
+        let mut qw = vec![0i8; k * n];
+        let mut scales = vec![0f32; n];
+        for j in 0..n {
+            let wmax = (0..k).fold(0.0f32, |acc, i| acc.max(data[i * n + j].abs()));
+            let scale = wmax / 127.0;
+            scales[j] = scale;
+            let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+            for i in 0..k {
+                qw[i * n + j] = (data[i * n + j] * inv).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        let packed = kernels::pack_weight_pairs(&qw, k, n);
+        Self { packed, scales, k, k_pad: k + k % 2, n }
+    }
+
+    /// Packed i16 codes (see the field docs for the layout).
+    pub(crate) fn packed(&self) -> &[i16] {
+        &self.packed
+    }
+
+    /// Per-column dequantization scales.
+    pub(crate) fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Logical inner dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Padded inner dimension the kernel iterates.
+    pub(crate) fn k_pad(&self) -> usize {
+        self.k_pad
+    }
+
+    /// Output dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Heap bytes held by the packed codes and scales.
+    pub fn payload_bytes(&self) -> usize {
+        self.packed.len() * std::mem::size_of::<i16>()
+            + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// A sparse side table of quantized weights, indexed by [`ParamId`] —
+/// the quantized companion of a [`ParamSet`]. Only matmul weights are
+/// quantized; biases, norms and embeddings stay f32 and keep flowing
+/// through the shared kernels.
+#[derive(Debug, Default)]
+pub struct QuantizedParams {
+    entries: Vec<Option<QuantizedMatrix>>,
+}
+
+impl QuantizedParams {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantizes parameter `id` of `params` and stores it under the same
+    /// handle. Re-quantizing an id replaces the entry.
+    pub fn quantize(&mut self, params: &ParamSet, id: ParamId) {
+        if self.entries.len() <= id.0 {
+            self.entries.resize_with(id.0 + 1, || None);
+        }
+        self.entries[id.0] = Some(QuantizedMatrix::new(params.value(id)));
+    }
+
+    /// The quantized form of parameter `id`, if it was quantized.
+    pub fn get(&self, id: ParamId) -> Option<&QuantizedMatrix> {
+        self.entries.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Number of quantized matrices in the table.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether the table holds no quantized matrices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total heap bytes across all quantized matrices.
+    pub fn payload_bytes(&self) -> usize {
+        self.entries.iter().flatten().map(QuantizedMatrix::payload_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantized_matrix_dequantizes_within_half_step() {
+        let w = Tensor::from_vec(vec![0.4, -0.8, 0.2, 0.1, 0.6, -0.3], &[3, 2]);
+        let q = QuantizedMatrix::new(&w);
+        assert_eq!((q.k(), q.n()), (3, 2));
+        assert_eq!(q.k_pad(), 4, "odd k pads one zero row");
+        assert_eq!(q.packed().len(), q.k_pad() * q.n());
+        for j in 0..2 {
+            for i in 0..3 {
+                let (kp, t) = (i / 2, i % 2);
+                let code = q.packed()[(kp * 2 + j) * 2 + t];
+                let deq = code as f32 * q.scales()[j];
+                let want = w.data()[i * 2 + j];
+                assert!(
+                    (deq - want).abs() <= q.scales()[j] * 0.5 + 1e-7,
+                    "({i},{j}): {deq} vs {want}"
+                );
+            }
+        }
+        // Padding row (kp = 1, t = 1 → logical row 3) is zero codes.
+        for j in 0..2 {
+            assert_eq!(q.packed()[(2 + j) * 2 + 1], 0);
+        }
+    }
+
+    #[test]
+    fn table_is_sparse_and_replaceable() {
+        let mut params = ParamSet::new();
+        let a = params.add("a", Tensor::zeros(&[4, 4]));
+        let b = params.add("b", Tensor::full(&[2, 2], 1.0));
+        let mut q = QuantizedParams::new();
+        assert!(q.is_empty());
+        q.quantize(&params, b);
+        assert_eq!(q.len(), 1);
+        assert!(q.get(a).is_none(), "unquantized ids stay absent");
+        assert_eq!(q.get(b).expect("b").n(), 2);
+        q.quantize(&params, b);
+        assert_eq!(q.len(), 1, "re-quantizing replaces, not appends");
+        assert!(q.payload_bytes() > 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared fixtures for the facade-level integration tests.
+
+use easz::core::{zoo, Reconstructor};
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide quick-zoo reconstructor.
+///
+/// The first caller pays the load — a one-off ~2000-step pretrain when
+/// `target/easz-weights/` is cold, a file read when it is warm — and every
+/// later caller, across test threads, clones the same `Arc`. Test files
+/// that need trained weights should come through here instead of calling
+/// `zoo::pretrained` directly, so one binary never builds the model twice.
+pub fn quick_model() -> Arc<Reconstructor> {
+    static MODEL: OnceLock<Arc<Reconstructor>> = OnceLock::new();
+    MODEL.get_or_init(|| zoo::pretrained(zoo::PretrainSpec::quick())).clone()
+}

@@ -3,9 +3,11 @@
 //! asserting that untrusted input always yields a typed [`EaszError`],
 //! never a panic.
 
+mod common;
+
 use easz::codecs::{BpgLikeCodec, CodecId, ImageCodec, JpegLikeCodec, Quality};
 use easz::core::{
-    zoo, EaszConfig, EaszDecoder, EaszEncoded, EaszEncoder, EaszError, MaskStrategy, Orientation,
+    EaszConfig, EaszDecoder, EaszEncoded, EaszEncoder, EaszError, MaskStrategy, Orientation,
     HEADER_LEN,
 };
 use easz::data::Dataset;
@@ -30,7 +32,7 @@ fn wire_round_trip_uses_only_the_registry() {
     for codec in [&JpegLikeCodec::new() as &dyn ImageCodec, &BpgLikeCodec::new()] {
         let wire = edge_compress(codec);
 
-        let model = zoo::pretrained(zoo::PretrainSpec::quick());
+        let model = common::quick_model();
         let decoder = EaszDecoder::new(&model);
         let restored = decoder.decode_bytes(&wire).expect("decode from wire");
         let img = test_image();
@@ -78,7 +80,7 @@ fn parse_and_decode(decoder: &EaszDecoder<'_>, bytes: &[u8]) -> Result<(), EaszE
 #[test]
 fn truncation_at_every_length_is_a_typed_error() {
     let wire = edge_compress(&JpegLikeCodec::new());
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let decoder = EaszDecoder::new(&model);
     for len in 0..wire.len() {
         let err = parse_and_decode(&decoder, &wire[..len])
@@ -103,7 +105,7 @@ fn truncation_at_every_length_is_a_typed_error() {
 #[test]
 fn header_byte_flips_are_typed_errors_never_panics() {
     let wire = edge_compress(&JpegLikeCodec::new());
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let decoder = EaszDecoder::new(&model);
     let mask_len = u32::from_le_bytes(wire[38..42].try_into().expect("4 bytes")) as usize;
 
@@ -149,7 +151,7 @@ fn payload_corruption_never_panics() {
     // Flips inside the inner-codec payload are the codec's problem; the
     // contract here is only "typed result, no panic".
     let wire = edge_compress(&JpegLikeCodec::new());
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let decoder = EaszDecoder::new(&model);
     let mask_len = u32::from_le_bytes(wire[38..42].try_into().expect("4 bytes")) as usize;
     let payload_start = HEADER_LEN + mask_len;

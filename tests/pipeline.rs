@@ -1,10 +1,10 @@
 //! Cross-crate integration tests: the split Easz pipeline against every
 //! codec, at several erase ratios, with a (quickly) trained reconstructor.
 
+mod common;
+
 use easz::codecs::{BpgLikeCodec, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality};
-use easz::core::{
-    zoo, EaszConfig, EaszDecoder, EaszEncoder, FillMethod, MaskStrategy, Orientation,
-};
+use easz::core::{EaszConfig, EaszDecoder, EaszEncoder, FillMethod, MaskStrategy, Orientation};
 use easz::data::Dataset;
 use easz::metrics::{mse, psnr};
 
@@ -18,7 +18,7 @@ fn default_encoder() -> EaszEncoder {
 
 #[test]
 fn pipeline_round_trips_across_all_codecs() {
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let encoder = default_encoder();
     let decoder = EaszDecoder::new(&model);
     let img = test_image();
@@ -42,7 +42,7 @@ fn pipeline_round_trips_across_all_codecs() {
 fn pipeline_works_at_multiple_erase_ratios_with_one_model() {
     // The agility claim: the same weights serve every erase ratio, and the
     // edge retunes by rebuilding its model-free encoder.
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let decoder = EaszDecoder::new(&model);
     let img = test_image();
     let codec = JpegLikeCodec::new();
@@ -66,7 +66,7 @@ fn trained_reconstruction_beats_neighbor_fill() {
     // The model must outperform the cheap no-model baseline (Fig. 2(b)'s
     // neighbour fill) on erased content. MSE comparison, so grain synthesis
     // (a deliberate MSE-for-naturalness trade) is off.
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let cfg = EaszConfig { synthesize_grain: false, ..EaszConfig::default() };
     let encoder = EaszEncoder::new(cfg).expect("encoder");
     let decoder = EaszDecoder::new(&model);
@@ -104,7 +104,7 @@ fn trained_reconstruction_beats_neighbor_fill() {
 #[test]
 fn proposed_mask_reconstructs_better_than_random() {
     // Fig. 3b's claim at the integration level.
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let decoder = EaszDecoder::new(&model);
     let img = test_image();
     let codec = JpegLikeCodec::new();
@@ -152,7 +152,7 @@ fn independently_built_encoders_are_byte_equivalent() {
     // test: two independently constructed sessions over the same config
     // must produce byte-identical containers, and the wire bytes must
     // round-trip losslessly through serialize/parse/decode.
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let decoder = EaszDecoder::new(&model);
     let img = test_image();
     let codec = JpegLikeCodec::new();

@@ -5,7 +5,9 @@ use easz::codecs::sr::{EnhancedUpscaler, Upscaler};
 use easz::codecs::{
     encode_to_bpp, BpgLikeCodec, ImageCodec, JpegLikeCodec, NeuralSimCodec, NeuralTier, Quality,
 };
-use easz::core::{zoo, EaszConfig, EaszDecoder, EaszEncoder};
+mod common;
+
+use easz::core::{EaszConfig, EaszDecoder, EaszEncoder};
 use easz::data::Dataset;
 use easz::image::resample::downsample2;
 use easz::metrics::{brisque, ms_ssim, psnr};
@@ -54,7 +56,7 @@ fn easz_beats_2x_super_resolution_in_psnr_and_ms_ssim() {
     // Table I's headline at integration level. The GAN-SR stand-in trades
     // PSNR for invented texture like the published models do; Easz at a
     // light erase ratio keeps 87.5% of pixels exactly.
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let cfg =
         EaszConfig::builder().erase_ratio(0.125).synthesize_grain(false).build().expect("cfg");
     let encoder = EaszEncoder::new(cfg).expect("encoder");
@@ -84,7 +86,7 @@ fn easz_beats_2x_super_resolution_in_psnr_and_ms_ssim() {
 #[test]
 fn easz_improves_jpeg_brisque_at_comparable_rate() {
     // Table II's enhancement claim for the JPEG row.
-    let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let model = common::quick_model();
     let cfg = EaszConfig::builder().mask_seed(4).build().expect("cfg");
     let encoder = EaszEncoder::new(cfg).expect("encoder");
     let decoder = EaszDecoder::new(&model);

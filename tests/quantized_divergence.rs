@@ -1,0 +1,253 @@
+//! Divergence bounds for the int8 quantized decode tier: unlike the f32
+//! engines (which `infer_equivalence.rs` pins bit-for-bit), the
+//! [`DecodeEngine::QuantizedInt8`] path is only *ε/PSNR-bounded* against
+//! the reference — and this file is the normative statement of how far it
+//! is allowed to drift.
+//!
+//! Three contracts, on a seeded sweep of mask strategies × batch sizes ×
+//! model geometries, with uniform and mixed-mask batch groups:
+//!
+//! 1. every reconstructed sample stays within an absolute ε of the f32
+//!    reference;
+//! 2. every decoded image scores ≥ 40 dB PSNR against its f32 decode;
+//! 3. end-to-end quality versus the ground-truth image loses at most
+//!    0.3 dB relative to the f32 tier (on the committed quick-zoo weights).
+//!
+//! Within the quantized tier itself the engine is *deterministic*: serial,
+//! repeated and batch-fused decodes are byte-identical to each other.
+
+mod common;
+
+use easz::codecs::{JpegLikeCodec, Quality};
+use easz::core::{
+    DecodeEngine, DecodePlan, EaszConfig, EaszDecoder, EaszEncoder, EraseMask, MaskKind,
+    MaskStrategy, Reconstructor, ReconstructorConfig, RowSamplerConfig, TokenBatch,
+};
+use easz::data::Dataset;
+use easz::image::ImageF32;
+use easz::metrics::psnr;
+use easz::tensor::ScratchArena;
+
+/// Per-sample absolute divergence budget, in `[0, 1]` sample units, for
+/// the *untrained* geometries (random init produces activations far from
+/// the trained distribution, so this is the loose structural bound; the
+/// sweep's observed maximum is ≈ 0.131).
+const EPS_TOKEN: f32 = 0.2;
+
+/// Per-pixel absolute divergence budget for decodes on the trained
+/// quick-zoo weights (observed maximum ≈ 0.033).
+const EPS_PIXEL: f32 = 0.05;
+
+/// Per-image floor on PSNR(quantized, f32 reference), in dB (observed
+/// minimum ≈ 49.1 dB — ~9 dB of headroom over the contract).
+const MIN_TIER_PSNR: f64 = 40.0;
+
+/// Largest admissible end-to-end quality loss versus ground truth, in dB
+/// (observed maximum ≈ 0.085 dB).
+const MAX_QUALITY_LOSS: f64 = 0.3;
+
+/// The pipeline-default geometry and the small-tile ablation geometry —
+/// the same pair `infer_equivalence.rs` sweeps for the f32 engines.
+fn geometries() -> [ReconstructorConfig; 2] {
+    [
+        ReconstructorConfig::fast(),
+        ReconstructorConfig {
+            n: 16,
+            b: 2,
+            d_model: 32,
+            heads: 2,
+            ffn: 64,
+            ..ReconstructorConfig::fast()
+        },
+    ]
+}
+
+/// Every shipped mask family at the given grid size.
+fn mask_strategies(grid: usize, seed: u64) -> Vec<(&'static str, EraseMask)> {
+    vec![
+        (
+            "row_conditional",
+            MaskKind::RowConditional(RowSamplerConfig::with_ratio(grid, 0.25)).generate(seed),
+        ),
+        ("random_row", MaskKind::RandomRow { n_grid: grid, t: grid / 4 }.generate(seed)),
+        ("diagonal", MaskKind::Diagonal { n_grid: grid }.generate(seed)),
+    ]
+}
+
+fn random_batch(cfg: &ReconstructorConfig, bsz: usize, seed: u64) -> TokenBatch {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let (seq, dim) = (cfg.seq_len(), cfg.token_dim());
+    let patches: Vec<Vec<Vec<f32>>> = (0..bsz)
+        .map(|_| {
+            (0..seq)
+                .map(|_| {
+                    (0..dim)
+                        .map(|_| {
+                            s ^= s << 13;
+                            s ^= s >> 7;
+                            s ^= s << 17;
+                            ((s >> 40) as f32 / (1u64 << 24) as f32).clamp(0.0, 1.0)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    TokenBatch::from_patches(&patches)
+}
+
+fn max_abs_diff(a: &[Vec<Vec<f32>>], b: &[Vec<Vec<f32>>]) -> f32 {
+    a.iter()
+        .flatten()
+        .flatten()
+        .zip(b.iter().flatten().flatten())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+fn pixel_bits(img: &ImageF32) -> Vec<u32> {
+    img.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn max_pixel_diff(a: &ImageF32, b: &ImageF32) -> f32 {
+    a.data().iter().zip(b.data()).map(|(&x, &y)| (x - y).abs()).fold(0.0f32, f32::max)
+}
+
+/// One encoded container for the given mask strategy and seed, from a
+/// deterministic Kodak-like crop.
+fn container(
+    strategy: MaskStrategy,
+    mask_seed: u64,
+    image_index: usize,
+    side: usize,
+) -> (ImageF32, easz::core::EaszEncoded) {
+    let cfg = EaszConfig { strategy, mask_seed, ..EaszConfig::default() };
+    let encoder = EaszEncoder::new(cfg).expect("encoder");
+    let img = Dataset::KodakLike.image(image_index).crop(0, 0, side, side);
+    let enc = encoder.compress(&img, &JpegLikeCodec::new(), Quality::new(80)).expect("compress");
+    (img, enc)
+}
+
+#[test]
+fn quantized_forward_stays_within_eps_across_masks_batches_and_geometries() {
+    // The structural sweep on untrained (seeded, deterministic) models:
+    // same grid as the f32 bit-exactness gate, but the assertion is an
+    // absolute ε instead of byte identity.
+    for cfg in geometries() {
+        let model = Reconstructor::new(cfg);
+        let grid = cfg.geometry().grid();
+        for (strategy, mask) in mask_strategies(grid, 7) {
+            for bsz in [1usize, 4, 8] {
+                let batch = random_batch(&cfg, bsz, 1000 + bsz as u64);
+                let reference = model.reconstruct_tokens(&batch, &mask);
+                let plan = DecodePlan::new(&mask);
+                let mut arena = ScratchArena::new();
+                let quant = model.infer_tokens_quant(&batch, &plan, &mut arena);
+                let diff = max_abs_diff(&reference, &quant);
+                assert!(
+                    diff <= EPS_TOKEN,
+                    "quantized divergence {diff} > {EPS_TOKEN}: n={} b={} strategy={strategy} \
+                     batch={bsz}",
+                    cfg.n,
+                    cfg.b,
+                );
+                // The tier must actually be the int8 path, not a silent
+                // fall-through to f32 (which would make every bound vacuous).
+                assert!(diff > 0.0, "engines must genuinely differ: strategy={strategy}");
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_decode_bounds_hold_on_the_trained_zoo_model() {
+    // The normative end-to-end contract, on the committed quick-zoo
+    // weights: ε, tier PSNR, and ground-truth quality loss, per image,
+    // for every shipped mask strategy.
+    let model = common::quick_model();
+    let decoder = EaszDecoder::new(&model);
+    for (strategy, name) in [
+        (MaskStrategy::Proposed, "proposed"),
+        (MaskStrategy::Random, "random"),
+        (MaskStrategy::Diagonal, "diagonal"),
+    ] {
+        for (image_index, side) in [(1usize, 64usize), (3, 96)] {
+            let (gt, enc) = container(strategy, 5, image_index, side);
+            let reference = decoder.decode_as(&enc, DecodeEngine::TapeFree).expect("f32 decode");
+            let quant = decoder.decode_as(&enc, DecodeEngine::QuantizedInt8).expect("quant");
+
+            let diff = max_pixel_diff(&reference, &quant);
+            assert!(
+                diff <= EPS_PIXEL,
+                "pixel divergence {diff} > {EPS_PIXEL}: strategy={name} side={side}"
+            );
+            let tier_psnr = psnr(&reference, &quant);
+            assert!(
+                tier_psnr >= MIN_TIER_PSNR,
+                "PSNR(quant, reference) = {tier_psnr:.2} dB < {MIN_TIER_PSNR} dB: \
+                 strategy={name} side={side}"
+            );
+            let (ref_q, quant_q) = (psnr(&gt, &reference), psnr(&gt, &quant));
+            assert!(
+                quant_q >= ref_q - MAX_QUALITY_LOSS,
+                "end-to-end loss {:.3} dB > {MAX_QUALITY_LOSS} dB (f32 {ref_q:.2} dB, \
+                 quant {quant_q:.2} dB): strategy={name} side={side}",
+                ref_q - quant_q,
+            );
+
+            // Deterministic: the quantized tier re-decodes byte-identically.
+            let again = decoder.decode_as(&enc, DecodeEngine::QuantizedInt8).expect("re-decode");
+            assert_eq!(
+                pixel_bits(&quant),
+                pixel_bits(&again),
+                "quantized decode must be deterministic: strategy={name} side={side}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_batches_match_serial_and_stay_bounded_uniform_and_mixed() {
+    // The batch half of the sweep, on the trained weights: uniform-mask
+    // groups (every container shares one seed) and mixed-mask groups
+    // (every container rolls its own seed) at widths 1, 4 and 8. Fused
+    // quantized decodes must be byte-identical to their serial quantized
+    // twins — the quantized tier's own determinism contract — while every
+    // member also stays inside the ε/PSNR bounds against its f32 decode.
+    let model = common::quick_model();
+    let decoder = EaszDecoder::new(&model);
+    for bsz in [1usize, 4, 8] {
+        for mixed in [false, true] {
+            let encoded: Vec<_> = (0..bsz)
+                .map(|i| {
+                    let seed = if mixed { 11 + 7 * i as u64 } else { 11 };
+                    container(MaskStrategy::Proposed, seed, 2, 64).1
+                })
+                .collect();
+            let engines = vec![DecodeEngine::QuantizedInt8; bsz];
+            let batched = decoder.decode_batch_with(&encoded, &engines);
+            assert_eq!(batched.len(), bsz);
+            for (i, (enc, result)) in encoded.iter().zip(&batched).enumerate() {
+                let fused = result.as_ref().expect("batched quant decode");
+                let serial = decoder.decode_as(enc, DecodeEngine::QuantizedInt8).expect("serial");
+                assert_eq!(
+                    pixel_bits(&serial),
+                    pixel_bits(fused),
+                    "fused quantized decode != serial: width={bsz} mixed={mixed} member={i}"
+                );
+                let reference = decoder.decode_as(enc, DecodeEngine::TapeFree).expect("f32");
+                let diff = max_pixel_diff(&reference, fused);
+                assert!(
+                    diff <= EPS_PIXEL,
+                    "batched divergence {diff} > {EPS_PIXEL}: width={bsz} mixed={mixed} member={i}"
+                );
+                let tier_psnr = psnr(&reference, fused);
+                assert!(
+                    tier_psnr >= MIN_TIER_PSNR,
+                    "batched PSNR {tier_psnr:.2} dB < {MIN_TIER_PSNR} dB: width={bsz} \
+                     mixed={mixed} member={i}"
+                );
+            }
+        }
+    }
+}

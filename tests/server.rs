@@ -4,11 +4,14 @@
 //! byte-identically to a serial one.
 
 use easz::codecs::{JpegLikeCodec, Quality};
-use easz::core::{EaszConfig, EaszDecoder, EaszEncoder, Reconstructor, ReconstructorConfig};
+use easz::core::{
+    EaszConfig, EaszDecoder, EaszEncoded, EaszEncoder, Reconstructor, ReconstructorConfig,
+};
 use easz::data::Dataset;
 use easz::image::ImageU8;
 use easz::server::{
-    protocol, ClientError, EaszClient, EaszServer, ErrorCode, GatewayConfig, ServerConfig,
+    protocol, ClientError, EaszClient, EaszServer, EngineTier, ErrorCode, GatewayConfig,
+    ServerConfig,
 };
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -285,6 +288,178 @@ fn gateway_fuses_concurrent_mixed_mask_clients_byte_identically() {
     let histogram_total: u64 = stats.batch_widths.iter().sum();
     assert_eq!(histogram_total, stats.batches_dispatched, "histogram covers every window");
     handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn gateway_stress_mixed_tiers_abusive_peers_and_disconnects_reconcile() {
+    // The gateway under fire: concurrent clients mixing engine tiers
+    // (whose windows must group but never fuse across tiers), an abusive
+    // peer sending malformed containers and a reserved tier byte, and
+    // clients that disconnect mid-decode without reading their reply.
+    // Afterwards the server-side counters must reconcile *exactly* with
+    // what the clients observed, and a final parked burst must be flushed
+    // by shutdown rather than dropped.
+    let model = model();
+    let gateway = GatewayConfig {
+        max_batch: 4,
+        max_wait_us: 150_000,
+        workers: 2,
+        ..GatewayConfig::default()
+    };
+    let server = EaszServer::new(model.clone()).with_gateway(gateway);
+    let metrics = server.metrics();
+    let handle = server.spawn("127.0.0.1:0").expect("spawn");
+    let wires = fleet_containers(&[101, 202, 303, 404]);
+
+    // Per-tier local references: the f32 tier is bit-exact, and the
+    // quantized tier is deterministic, so both compare byte-for-byte.
+    let local = EaszDecoder::new(&model);
+    let reference = |wire: &[u8], tier: EngineTier| -> ImageU8 {
+        let encoded = EaszEncoded::from_bytes(wire).expect("parse");
+        local.decode_as(&encoded, tier.engine()).expect("local decode").to_u8()
+    };
+    let refs_f32: Vec<ImageU8> =
+        wires.iter().map(|w| reference(w, EngineTier::Reference)).collect();
+    let refs_quant: Vec<ImageU8> =
+        wires.iter().map(|w| reference(w, EngineTier::QuantizedInt8)).collect();
+    assert!(
+        refs_f32.iter().zip(&refs_quant).any(|(a, b)| a.data() != b.data()),
+        "tiers must be distinguishable for this test to mean anything"
+    );
+
+    let mut observed_ok = 0u64;
+    std::thread::scope(|scope| {
+        // Four tier-mixing clients: three singles alternating tiers, then
+        // one whole-batch request pinned to the client's tier.
+        let tier_clients: Vec<_> = (0..4usize)
+            .map(|c| {
+                let (wires, refs_f32, refs_quant) = (&wires, &refs_f32, &refs_quant);
+                let addr = handle.addr();
+                scope.spawn(move || {
+                    let mut client = EaszClient::connect(addr).expect("connect");
+                    let mut ok = 0u64;
+                    for i in 0..3usize {
+                        let tier = if (c + i) % 2 == 0 {
+                            EngineTier::Reference
+                        } else {
+                            EngineTier::QuantizedInt8
+                        };
+                        let img = client.decode_tiered(&wires[i], tier).expect("tiered decode");
+                        let expect = if tier == EngineTier::Reference {
+                            &refs_f32[i]
+                        } else {
+                            &refs_quant[i]
+                        };
+                        assert_eq!(img.data(), expect.data(), "client {c} single {i} on {tier:?}");
+                        ok += 1;
+                    }
+                    let tier =
+                        if c % 2 == 0 { EngineTier::QuantizedInt8 } else { EngineTier::Reference };
+                    let batch: Vec<&[u8]> = wires.iter().map(Vec::as_slice).collect();
+                    let results = client.decode_batch_tiered(&batch, tier).expect("tiered batch");
+                    let expect = if tier == EngineTier::Reference { refs_f32 } else { refs_quant };
+                    for (i, (r, e)) in results.iter().zip(expect).enumerate() {
+                        let img = r.as_ref().expect("batch member decode");
+                        assert_eq!(img.data(), e.data(), "client {c} batch member {i} on {tier:?}");
+                        ok += 1;
+                    }
+                    ok
+                })
+            })
+            .collect();
+
+        // One abusive peer: a garbage container (typed decode error), a
+        // reserved tier byte (protocol error, connection survives), then a
+        // good tiered decode on the *same* connection.
+        let abusive = {
+            let (wires, refs_quant) = (&wires, &refs_quant);
+            let addr = handle.addr();
+            scope.spawn(move || {
+                let mut client = EaszClient::connect(addr).expect("connect");
+                match client.decode(&[b'X'; 64]) {
+                    Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::BadMagic),
+                    other => panic!("expected BadMagic, got {other:?}"),
+                }
+                let mut raw = TcpStream::connect(addr).expect("connect");
+                let mut payload = vec![7u8]; // reserved tier byte
+                payload.extend_from_slice(&wires[0]);
+                protocol::write_frame(&mut raw, protocol::DECODE_TIERED, &payload).expect("write");
+                let (ty, reply) =
+                    protocol::read_frame(&mut raw, 1 << 24).expect("read").expect("frame");
+                assert_eq!(ty, protocol::ERROR);
+                let err = protocol::WireError::from_payload(&reply).expect("error payload");
+                assert_eq!(err.code, ErrorCode::Protocol, "reserved tier byte is protocol-class");
+                // The same raw connection still serves a correct quantized
+                // decode afterwards.
+                let mut payload = vec![EngineTier::QuantizedInt8.wire_byte()];
+                payload.extend_from_slice(&wires[0]);
+                protocol::write_frame(&mut raw, protocol::DECODE_TIERED, &payload).expect("write");
+                let (ty, reply) =
+                    protocol::read_frame(&mut raw, 1 << 24).expect("read").expect("frame");
+                assert_eq!(ty, protocol::IMAGE, "connection must survive the reserved byte");
+                let img = protocol::decode_image(&reply).expect("image payload");
+                assert_eq!(img.data(), refs_quant[0].data());
+                1u64 // one client-observed OK decode
+            })
+        };
+
+        // Two clients that request a decode and vanish without reading the
+        // reply — the mid-decode disconnect. The server still decodes (the
+        // frame was complete) and must absorb the failed reply write.
+        let disconnectors: Vec<_> = (0..2usize)
+            .map(|i| {
+                let wires = &wires;
+                let addr = handle.addr();
+                scope.spawn(move || {
+                    let mut raw = TcpStream::connect(addr).expect("connect");
+                    protocol::write_frame(&mut raw, protocol::DECODE, &wires[i]).expect("write");
+                    drop(raw); // vanish mid-decode
+                })
+            })
+            .collect();
+
+        for h in tier_clients {
+            observed_ok += h.join().expect("tier client");
+        }
+        observed_ok += abusive.join().expect("abusive client");
+        for h in disconnectors {
+            h.join().expect("disconnector");
+        }
+    });
+
+    // Final burst: three well-formed requests parked in the gateway with
+    // nobody reading — shutdown must flush them through decode (a dropped
+    // window would leave decode_ok short and fail the reconciliation).
+    let parked: Vec<TcpStream> = (0..3usize)
+        .map(|i| {
+            let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+            protocol::write_frame(&mut raw, protocol::DECODE, &wires[i]).expect("write");
+            raw
+        })
+        .collect();
+    // Wait until the burst is inside the decode path (requests are counted
+    // before parking), so shutdown races against parked jobs, not reads.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while handle.metrics().snapshot().decode_requests < 35 {
+        assert!(std::time::Instant::now() < deadline, "burst never reached the decode path");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    handle.shutdown().expect("clean shutdown");
+    drop(parked);
+
+    // Reconciliation. Client-observed OKs: 4 tier clients x (3 singles +
+    // 4 batch members) + 1 abusive good decode = 29. The server counts
+    // those plus 2 disconnected decodes and 3 flushed parked jobs.
+    let stats = metrics.snapshot();
+    assert_eq!(observed_ok, 29, "clients must have observed every good reply");
+    assert_eq!(stats.decode_requests, 35, "28 tiered + 1 garbage + 1 good + 2 vanished + 3 parked");
+    assert_eq!(stats.decode_ok, observed_ok + 2 + 3, "server OKs = observed + vanished + flushed");
+    assert_eq!(stats.decode_err, 1, "exactly the garbage container fails decode");
+    assert_eq!(stats.error_count(ErrorCode::BadMagic), 1);
+    assert_eq!(stats.error_count(ErrorCode::Protocol), 1, "the reserved tier byte");
+    let histogram_total: u64 = stats.batch_widths.iter().sum();
+    assert_eq!(histogram_total, stats.batches_dispatched, "histogram covers every window");
+    assert!(stats.batches_dispatched >= 1, "the storm must have dispatched through windows");
 }
 
 #[test]
