@@ -1,0 +1,259 @@
+//! Serving-tier loopback bench: a thousand concurrent connections, one
+//! `DECODE` each, against the thread-per-connection front end and the epoll
+//! reactor. Both servers run the same gateway (queue deep enough that
+//! nothing sheds — a `BUSY` reply panics the sweep), so the measured
+//! difference is the connection layer itself.
+//!
+//! This lives in its own binary, not `decode_bench`, on purpose: linking
+//! the server stack into `decode_bench` measurably perturbs its in-process
+//! kernel numbers (code layout), and a sweep churns through a thousand
+//! sockets — and, on the threaded path, a thousand thread stacks — which
+//! would pollute interleaved kernel rounds. Run `decode_bench` first; this
+//! binary then splices its rows and summary ratio into the fresh
+//! `BENCH_decode.json`.
+//!
+//! ```text
+//! cargo run --release -p easz-bench --bin decode_bench             # step 1
+//! cargo run --release -p easz-bench --bin loopback_bench           # step 2
+//! cargo run --release -p easz-bench --bin loopback_bench -- --quick
+//! cargo run --release -p easz-bench --bin loopback_bench -- --diag # metrics, no patch
+//! ```
+//!
+//! `--diag` prints each server's metrics snapshot (batch-width histogram,
+//! decode/queue-wait totals) after the sweeps and skips the JSON patch —
+//! the tool that caught the reactor's shallow accept backlog.
+
+use easz_codecs::{JpegLikeCodec, Quality};
+use easz_core::{EaszConfig, EaszEncoder, Reconstructor, ReconstructorConfig};
+use easz_data::Dataset;
+use easz_server::{protocol, EaszServer, GatewayConfig, ReactorConfig};
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Connections per sweep — the "thousands of senders" regime the reactor
+/// front end exists for.
+const CONNS: usize = 1024;
+
+/// One measured front end: sweep iterations and their total wall time.
+struct Row {
+    name: String,
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Row {
+    /// Wall-clock per *served connection* (one container each).
+    fn ns_per_container(&self) -> f64 {
+        self.total_ns as f64 / (self.iters as f64 * CONNS as f64)
+    }
+
+    fn containers_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_container()
+    }
+}
+
+/// One loopback sweep: open `CONNS` connections, write one `DECODE` on each
+/// (the 8 fleet mask seeds cycled), then read every reply back. Panics on
+/// anything but an `IMAGE` frame, so a dropped or shed reply fails the
+/// bench instead of flattering it.
+fn sweep(addr: SocketAddr, wires: &[Vec<u8>]) {
+    let mut socks = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        let mut sock = TcpStream::connect(addr).expect("loopback connect");
+        sock.set_read_timeout(Some(Duration::from_secs(120))).expect("read timeout");
+        protocol::write_frame(&mut sock, protocol::DECODE, &wires[i % wires.len()])
+            .expect("loopback write");
+        socks.push(sock);
+    }
+    for (i, sock) in socks.iter_mut().enumerate() {
+        let (ty, _payload) =
+            protocol::read_frame(sock, 1 << 24).expect("loopback read").expect("reply frame");
+        assert_eq!(ty, protocol::IMAGE, "connection {i} must be answered with its image");
+    }
+}
+
+/// The mixed-mask fleet wires (matches `decode_bench`'s fleet scenario:
+/// distinct mask seeds, same geometry, tile32).
+fn fleet_wires(count: usize, side: usize) -> Vec<Vec<u8>> {
+    let codec = JpegLikeCodec::new();
+    (0..count)
+        .map(|i| {
+            let encoder =
+                EaszEncoder::new(EaszConfig { mask_seed: 1 + i as u64, ..EaszConfig::default() })
+                    .expect("encoder");
+            let img = Dataset::KodakLike.image(i).crop(0, 0, side, side);
+            encoder.compress(&img, &codec, Quality::new(75)).expect("compress").to_bytes()
+        })
+        .collect()
+}
+
+/// One front end under measurement: name, sweep routine, completed
+/// iterations, accumulated wall time.
+type SweepCase<'a> = (String, Box<dyn FnMut() + 'a>, u64, u128);
+
+/// Interleaved-round timing over the front ends (same discipline as
+/// `decode_bench::run_cases`): order rotates per round so host drift is
+/// spread across both, and each routine runs once un-timed to warm the
+/// servers' plan caches and arenas.
+fn run_rounds(cases: &mut [SweepCase<'_>], rounds: usize) -> Vec<Row> {
+    for (_, routine, _, _) in cases.iter_mut() {
+        routine();
+    }
+    for round in 0..rounds {
+        for idx in 0..cases.len() {
+            let case = &mut cases[(round + idx) % cases.len()];
+            let start = Instant::now();
+            case.1();
+            case.2 += 1;
+            case.3 += start.elapsed().as_nanos();
+        }
+    }
+    cases.iter().map(|c| Row { name: c.0.clone(), iters: c.2, total_ns: c.3 }).collect()
+}
+
+/// Splices the measured rows (and, when the reactor ran, the
+/// reactor-vs-threaded summary ratio) into the `BENCH_decode.json` that
+/// `decode_bench` wrote. Refuses to patch twice: re-run `decode_bench`
+/// for a fresh file first.
+fn patch_json(rows: &[Row], speedup: Option<f64>) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {} (run decode_bench first): {e}", path.display()));
+    assert!(
+        !text.contains("\"mode\": \"loopback\""),
+        "{} already holds loopback rows; re-run decode_bench for a fresh file",
+        path.display()
+    );
+
+    let mut inserted = String::new();
+    for r in rows {
+        let _ = write!(
+            inserted,
+            ",\n    {{ \"name\": \"{}\", \"engine\": \"tape_free\", \"mode\": \"loopback\", \"tile_px\": 32, \"batch\": {CONNS}, \"iters\": {}, \"total_ns\": {}, \"ns_per_container\": {:.1}, \"containers_per_sec\": {:.2} }}",
+            r.name,
+            r.iters,
+            r.total_ns,
+            r.ns_per_container(),
+            r.containers_per_sec(),
+        );
+    }
+    inserted.push('\n');
+    let results_end = "\n  ],\n  \"summary\": {\n";
+    assert!(text.contains(results_end), "unrecognized BENCH_decode.json layout");
+    let mut patched =
+        text.replacen(results_end, &format!("{}  ],\n  \"summary\": {{\n", inserted), 1);
+    if let Some(ratio) = speedup {
+        let summary_start = "  \"summary\": {\n";
+        patched = patched.replacen(
+            summary_start,
+            &format!(
+                "  \"summary\": {{\n    \"loopback_reactor_speedup_vs_threaded\": {{ \"x{CONNS}\": {ratio:.3} }},\n"
+            ),
+            1,
+        );
+    }
+    std::fs::write(&path, patched).expect("write BENCH_decode.json");
+    println!("patched {}", path.display());
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 3 } else { 8 };
+    let model = Arc::new(Reconstructor::new(ReconstructorConfig::fast()));
+    let wires = fleet_wires(8, 32);
+    let gateway = GatewayConfig {
+        max_batch: 8,
+        max_wait_us: 2_000,
+        workers: 2,
+        queue_depth: 2 * CONNS,
+        adaptive_wait: true,
+    };
+
+    let threaded = EaszServer::new(model.clone())
+        .with_gateway(gateway.clone())
+        .spawn("127.0.0.1:0")
+        .expect("spawn threaded loopback server");
+    let reactor = if cfg!(target_os = "linux") {
+        Some(
+            EaszServer::new(model.clone())
+                .with_gateway(gateway)
+                .with_reactor(ReactorConfig { max_connections: 2 * CONNS, ..Default::default() })
+                .spawn("127.0.0.1:0")
+                .expect("spawn reactor loopback server"),
+        )
+    } else {
+        None
+    };
+
+    let mut cases: Vec<SweepCase<'_>> = Vec::new();
+    {
+        let (addr, wires) = (threaded.addr(), &wires);
+        cases.push((
+            format!("loopback_x{CONNS}_threaded"),
+            Box::new(move || sweep(addr, wires)),
+            0,
+            0,
+        ));
+    }
+    if let Some(handle) = &reactor {
+        let (addr, wires) = (handle.addr(), &wires);
+        cases.push((
+            format!("loopback_x{CONNS}_reactor"),
+            Box::new(move || sweep(addr, wires)),
+            0,
+            0,
+        ));
+    }
+    let rows = run_rounds(&mut cases, rounds);
+    drop(cases);
+
+    let diag = std::env::args().any(|a| a == "--diag");
+    if diag {
+        let t = threaded.metrics().snapshot();
+        eprintln!(
+            "threaded: batches={} widths={:?} decode_us={} queue_wait_us={} ewma={}",
+            t.batches_dispatched, t.batch_widths, t.decode_us, t.queue_wait_us, t.arrival_ewma_us
+        );
+    }
+    if let Some(handle) = reactor {
+        let snap = handle.metrics().snapshot();
+        if diag {
+            eprintln!(
+                "reactor:  batches={} widths={:?} decode_us={} queue_wait_us={} ewma={}",
+                snap.batches_dispatched,
+                snap.batch_widths,
+                snap.decode_us,
+                snap.queue_wait_us,
+                snap.arrival_ewma_us
+            );
+        }
+        let shed = snap.requests_shed;
+        assert_eq!(shed, 0, "the loopback sweep must complete without shedding");
+        handle.shutdown().expect("reactor loopback shutdown");
+    }
+    threaded.shutdown().expect("threaded loopback shutdown");
+
+    println!("== loopback_bench ({}) ==", if quick { "quick" } else { "full" });
+    for r in &rows {
+        println!(
+            "{:<28} {:>10.1} µs/conn  ({:>8.1} conns/s, {} sweeps)",
+            r.name,
+            r.ns_per_container() / 1e3,
+            r.containers_per_sec(),
+            r.iters
+        );
+    }
+    let speedup = rows
+        .iter()
+        .find(|r| r.name.ends_with("_reactor"))
+        .map(|r| rows[0].ns_per_container() / r.ns_per_container());
+    if let Some(ratio) = speedup {
+        println!("loopback x{CONNS} served connections, reactor vs threaded: {ratio:.2}x");
+    }
+    if !diag {
+        patch_json(&rows, speedup);
+    }
+}

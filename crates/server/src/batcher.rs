@@ -4,23 +4,34 @@
 //! the dominant server-side cost — runs once per stream. The gateway parks
 //! per-connection `DECODE` requests in a bounded queue; a scheduler thread
 //! closes a *batching window* when either [`GatewayConfig::max_batch`] jobs
-//! have accumulated or [`GatewayConfig::max_wait_us`] has elapsed since the
+//! have accumulated or the window's wait budget has elapsed since the
 //! window opened, then hands the whole window to a small decode-worker
 //! pool sharing one [`EaszDecoder`]. The decoder fuses the window —
 //! containers with matching erase *counts* share a single forward even
 //! with distinct mask positions (`MultiMaskPlan`) — and each reply (or
 //! per-stream typed error) is routed back to its originating connection
-//! over a per-request channel.
+//! through a reply callback.
+//!
+//! Fairness: jobs are parked per *source* (one source per connection) and
+//! windows are drawn round-robin, one job per source per cycle, so a
+//! connection flooding the queue cannot fill every window while others
+//! starve. The `max_wait_us` promise is still measured from the oldest
+//! parked job, whichever source it belongs to.
+//!
+//! With [`GatewayConfig::adaptive_wait`] enabled the wait budget shrinks
+//! below `max_wait_us` when the observed inter-arrival EWMA says the queue
+//! will not plausibly fill a window within the budget — sparse traffic
+//! stops paying latency for batching that will never materialise.
 //!
 //! The gateway degrades gracefully rather than blocking: a full queue or a
 //! shutdown in progress hands the container back to the connection handler,
-//! which decodes it inline exactly as a gateway-less server would.
+//! which decodes it inline (threaded path) or sheds it with a typed `BUSY`
+//! error (reactor path).
 
 use crate::metrics::ServerMetrics;
 use easz_core::{DecodeEngine, EaszDecoder, EaszEncoded, EaszError};
 use easz_image::ImageF32;
-use std::collections::VecDeque;
-use std::sync::mpsc;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -38,30 +49,89 @@ pub struct GatewayConfig {
     /// lets a new window decode while a slow one is still in flight.
     pub workers: usize,
     /// Requests parked in the queue before the gateway starts refusing
-    /// (refused requests decode inline on their connection's thread).
+    /// (refused requests decode inline on their connection's thread, or
+    /// are shed with `BUSY` on the reactor path).
     pub queue_depth: usize,
+    /// Scale the wait budget by the observed arrival rate: when the
+    /// inter-arrival EWMA says the window cannot plausibly fill within
+    /// `max_wait_us`, dispatch early instead of sleeping out the full
+    /// budget. `max_wait_us` remains the hard ceiling either way.
+    pub adaptive_wait: bool,
 }
 
 impl Default for GatewayConfig {
     fn default() -> Self {
-        Self { max_batch: 8, max_wait_us: 2_000, workers: 2, queue_depth: 256 }
+        Self {
+            max_batch: 8,
+            max_wait_us: 2_000,
+            workers: 2,
+            queue_depth: 256,
+            adaptive_wait: false,
+        }
     }
 }
 
+/// How a decode result travels back to its connection: the threaded path
+/// wraps an `mpsc` sender, the reactor path serialises the reply frame and
+/// posts it to the event loop's completion queue.
+pub(crate) type ReplyFn = Box<dyn FnOnce(Result<ImageF32, EaszError>) + Send + 'static>;
+
 /// One parked decode request: the parsed container, the engine tier it
-/// decodes on, and the channel its reply returns on.
+/// decodes on, the submitting source (connection) and the callback its
+/// reply returns through.
 struct Job {
     container: EaszEncoded,
     engine: DecodeEngine,
+    /// The submitting connection, for the fairness draw's rotation (kept
+    /// on the job so tests can assert draw order).
+    #[cfg_attr(not(test), allow(dead_code))]
+    source: u64,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<ImageF32, EaszError>>,
+    reply: ReplyFn,
 }
 
-/// Shared scheduler state behind the queue mutex.
+/// Shared scheduler state behind the queue mutex: per-source queues plus a
+/// round-robin rotation of sources that currently have parked jobs.
 #[derive(Default)]
 struct QueueState {
-    jobs: VecDeque<Job>,
+    queues: HashMap<u64, VecDeque<Job>>,
+    /// Sources with at least one parked job, in draw order.
+    rotation: VecDeque<u64>,
+    /// Total parked jobs across all sources (the queue-depth bound).
+    total: usize,
     shutdown: bool,
+    /// When the previous submission arrived, for the inter-arrival EWMA.
+    last_arrival: Option<Instant>,
+    /// EWMA of µs between submissions (`0` = no estimate yet).
+    arrival_ewma_us: u64,
+}
+
+impl QueueState {
+    /// Enqueue time of the oldest parked job across all sources — the
+    /// instant the current batching window opened.
+    fn oldest_enqueued(&self) -> Option<Instant> {
+        self.queues.values().filter_map(|q| q.front()).map(|j| j.enqueued).min()
+    }
+
+    /// Draws up to `max_batch` jobs round-robin: one job per source per
+    /// cycle, so every active source lands in the window before any source
+    /// gets a second slot.
+    fn draw_window(&mut self, max_batch: usize) -> Vec<Job> {
+        let mut window = Vec::with_capacity(max_batch.min(self.total));
+        while window.len() < max_batch {
+            let Some(source) = self.rotation.pop_front() else { break };
+            let queue = self.queues.get_mut(&source).expect("rotated source has a queue");
+            let job = queue.pop_front().expect("rotated source queue is nonempty");
+            self.total -= 1;
+            window.push(job);
+            if queue.is_empty() {
+                self.queues.remove(&source);
+            } else {
+                self.rotation.push_back(source);
+            }
+        }
+        window
+    }
 }
 
 /// Dispatched-window state behind the worker mutex.
@@ -70,6 +140,25 @@ struct ReadyState {
     windows: VecDeque<Vec<Job>>,
     /// Set once the scheduler has exited; workers drain and stop.
     scheduler_done: bool,
+}
+
+/// The wait budget (µs) for the currently open window, given how many jobs
+/// it already holds and the observed inter-arrival EWMA.
+///
+/// Without `adaptive_wait` (or before any estimate exists) this is simply
+/// `max_wait_us`. Adaptively: if arrivals are slower than the whole budget
+/// there is no point waiting at all; otherwise wait just long enough for
+/// the remaining slots to plausibly fill (25% slack), capped at
+/// `max_wait_us`.
+fn effective_wait_us(config: &GatewayConfig, queued: usize, ewma_us: u64) -> u64 {
+    if !config.adaptive_wait || ewma_us == 0 {
+        return config.max_wait_us;
+    }
+    if ewma_us >= config.max_wait_us {
+        return 0;
+    }
+    let remaining_slots = config.max_batch.saturating_sub(queued) as u64;
+    config.max_wait_us.min(remaining_slots.saturating_mul(ewma_us).saturating_mul(5) / 4)
 }
 
 /// The gateway: submission queue, window scheduler and worker rendezvous.
@@ -102,26 +191,48 @@ impl Batcher {
     }
 
     /// Parks a parsed container for batched decoding on the given engine
-    /// tier, returning the receiver its result arrives on — or the
-    /// container back if the gateway cannot take it (full queue or
-    /// shutdown), in which case the caller decodes inline. Jobs on
-    /// different tiers may share a window but never a model forward (the
-    /// tier joins the decoder's fusion key).
+    /// tier. `source` identifies the submitting connection for the
+    /// round-robin fairness draw; `reply` is invoked exactly once with the
+    /// result, on a decode-worker thread. Returns the container and
+    /// callback back if the gateway cannot take the job (full queue or
+    /// shutdown), in which case the caller decodes inline or sheds. Jobs
+    /// on different tiers may share a window but never a model forward
+    /// (the tier joins the decoder's fusion key).
+    // The large Err variant is the point: the rejected job travels back to
+    // the caller whole so the threaded path can decode it inline and the
+    // reactor can shed it, without either path cloning the container.
+    #[allow(clippy::result_large_err)]
     pub fn submit(
         &self,
         container: EaszEncoded,
         engine: DecodeEngine,
-    ) -> Result<mpsc::Receiver<Result<ImageF32, EaszError>>, EaszEncoded> {
+        source: u64,
+        reply: ReplyFn,
+    ) -> Result<(), (EaszEncoded, ReplyFn)> {
         let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        if state.shutdown || state.jobs.len() >= self.config.queue_depth {
-            return Err(container);
+        if state.shutdown || state.total >= self.config.queue_depth {
+            return Err((container, reply));
         }
-        let (tx, rx) = mpsc::channel();
-        state.jobs.push_back(Job { container, engine, enqueued: Instant::now(), reply: tx });
-        self.metrics.record_queue_depth(state.jobs.len());
+        let now = Instant::now();
+        if let Some(prev) = state.last_arrival {
+            let dt = now.saturating_duration_since(prev).as_micros().min(u64::MAX as u128) as u64;
+            state.arrival_ewma_us =
+                if state.arrival_ewma_us == 0 { dt } else { (7 * state.arrival_ewma_us + dt) / 8 };
+            self.metrics.record_arrival_ewma(state.arrival_ewma_us);
+        }
+        state.last_arrival = Some(now);
+        let job = Job { container, engine, source, enqueued: now, reply };
+        let queue = state.queues.entry(source).or_default();
+        let newly_active = queue.is_empty();
+        queue.push_back(job);
+        if newly_active {
+            state.rotation.push_back(source);
+        }
+        state.total += 1;
+        self.metrics.record_queue_depth(state.total);
         drop(state);
         self.queue_cond.notify_one();
-        Ok(rx)
+        Ok(())
     }
 
     /// Signals shutdown: no new submissions are accepted, the scheduler
@@ -138,23 +249,30 @@ impl Batcher {
     /// workers. Runs until [`shutdown`](Self::shutdown) and the queue is
     /// drained.
     pub fn run_scheduler(&self) {
-        let max_wait = Duration::from_micros(self.config.max_wait_us);
         loop {
             let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-            while state.jobs.is_empty() && !state.shutdown {
+            while state.total == 0 && !state.shutdown {
                 state = self.queue_cond.wait(state).unwrap_or_else(|e| e.into_inner());
             }
-            if state.jobs.is_empty() {
+            if state.total == 0 {
                 break; // shutdown with nothing left to flush
             }
-            // A window is open — and has been since its head job arrived,
-            // which is what the `max_wait_us` promise is measured from (a
+            // A window is open — and has been since its oldest job arrived,
+            // which is what the wait-budget promise is measured from (a
             // leftover job from an earlier burst must not restart the
             // budget). Collect until the window is full, the budget is
-            // spent, or shutdown asks for an immediate flush.
-            let opened = state.jobs.front().expect("window has a head job").enqueued;
-            while state.jobs.len() < self.config.max_batch && !state.shutdown {
-                let Some(remaining) = max_wait.checked_sub(opened.elapsed()) else { break };
+            // spent, or shutdown asks for an immediate flush. The budget
+            // itself is re-evaluated on every wake: with adaptive waiting
+            // it shrinks as the arrival estimate says further jobs are
+            // unlikely to land in time.
+            let opened = state.oldest_enqueued().expect("open window has a head job");
+            while state.total < self.config.max_batch && !state.shutdown {
+                let budget = Duration::from_micros(effective_wait_us(
+                    &self.config,
+                    state.total,
+                    state.arrival_ewma_us,
+                ));
+                let Some(remaining) = budget.checked_sub(opened.elapsed()) else { break };
                 let (next, timeout) = self
                     .queue_cond
                     .wait_timeout(state, remaining)
@@ -164,9 +282,8 @@ impl Batcher {
                     break;
                 }
             }
-            let width = state.jobs.len().min(self.config.max_batch);
-            let window: Vec<Job> = state.jobs.drain(..width).collect();
-            self.metrics.record_queue_depth(state.jobs.len());
+            let window = state.draw_window(self.config.max_batch);
+            self.metrics.record_queue_depth(state.total);
             drop(state);
             // Hand over — but never outrun the workers: the ready backlog
             // is bounded at one pending window per worker, so under
@@ -224,10 +341,10 @@ impl Batcher {
         let started = Instant::now();
         let results = decoder.decode_batch_with(&containers, &engines);
         self.metrics.record_batch(containers.len(), started.elapsed().as_micros() as u64);
-        for (reply, result) in replies.iter().zip(results) {
-            // A send error means the connection died while its job was
-            // queued; the result is simply dropped.
-            let _ = reply.send(result);
+        for (reply, result) in replies.into_iter().zip(results) {
+            // If the connection died while its job was queued the callback
+            // finds nobody to deliver to and the result is simply dropped.
+            reply(result);
         }
     }
 }
@@ -238,12 +355,34 @@ mod tests {
     use easz_codecs::{JpegLikeCodec, Quality};
     use easz_core::{EaszConfig, EaszEncoder, Reconstructor, ReconstructorConfig};
     use easz_data::Dataset;
+    use std::sync::mpsc;
 
     fn container(seed: u64) -> EaszEncoded {
         let enc = EaszEncoder::new(EaszConfig { mask_seed: seed, ..EaszConfig::default() })
             .expect("encoder");
         let img = Dataset::KodakLike.image(seed as usize % 8).crop(0, 0, 64, 64);
         enc.compress(&img, &JpegLikeCodec::new(), Quality::new(75)).expect("compress")
+    }
+
+    /// Submits through a channel-backed reply, mirroring the threaded path.
+    fn submit_chan(
+        batcher: &Batcher,
+        container: EaszEncoded,
+        engine: DecodeEngine,
+        source: u64,
+    ) -> Result<mpsc::Receiver<Result<ImageF32, EaszError>>, EaszEncoded> {
+        let (tx, rx) = mpsc::channel();
+        batcher
+            .submit(
+                container,
+                engine,
+                source,
+                Box::new(move |result| {
+                    let _ = tx.send(result);
+                }),
+            )
+            .map(|()| rx)
+            .map_err(|(c, _)| c)
     }
 
     /// Drives a batcher with a real decoder on scoped threads, shutting
@@ -289,7 +428,11 @@ mod tests {
             let containers = [container(1), container(2), container(3)];
             let receivers: Vec<_> = containers
                 .iter()
-                .map(|c| batcher.submit(c.clone(), DecodeEngine::TapeFree).expect("queue has room"))
+                .enumerate()
+                .map(|(i, c)| {
+                    submit_chan(batcher, c.clone(), DecodeEngine::TapeFree, i as u64)
+                        .expect("queue has room")
+                })
                 .collect();
             for (c, rx) in containers.iter().zip(receivers) {
                 let batched = rx.recv().expect("reply").expect("decode");
@@ -321,7 +464,7 @@ mod tests {
             ];
             let receivers: Vec<_> = tiers
                 .iter()
-                .map(|&tier| batcher.submit(c.clone(), tier).expect("queue has room"))
+                .map(|&tier| submit_chan(batcher, c.clone(), tier, 1).expect("queue has room"))
                 .collect();
             let mut images = Vec::new();
             for (&tier, rx) in tiers.iter().zip(receivers) {
@@ -341,7 +484,8 @@ mod tests {
     fn window_closes_on_max_wait() {
         let config = GatewayConfig { max_batch: 64, max_wait_us: 1_000, ..Default::default() };
         let ((), metrics) = with_batcher(config, |batcher, _| {
-            let rx = batcher.submit(container(5), DecodeEngine::TapeFree).expect("queue has room");
+            let rx = submit_chan(batcher, container(5), DecodeEngine::TapeFree, 1)
+                .expect("queue has room");
             rx.recv().expect("reply").expect("decode");
         });
         let stats = metrics.snapshot();
@@ -361,12 +505,12 @@ mod tests {
         let batcher = Batcher::new(config, Arc::new(ServerMetrics::new()));
         let c = container(9);
         let tier = DecodeEngine::TapeFree;
-        assert!(batcher.submit(c.clone(), tier).is_ok());
-        assert!(batcher.submit(c.clone(), tier).is_ok());
-        let refused = batcher.submit(c.clone(), tier).expect_err("queue is full");
+        assert!(submit_chan(&batcher, c.clone(), tier, 1).is_ok());
+        assert!(submit_chan(&batcher, c.clone(), tier, 2).is_ok());
+        let refused = submit_chan(&batcher, c.clone(), tier, 3).expect_err("queue is full");
         assert_eq!(refused, c, "the container comes back for inline decode");
         batcher.shutdown();
-        let refused = batcher.submit(c.clone(), tier).expect_err("shutdown refuses work");
+        let refused = submit_chan(&batcher, c.clone(), tier, 1).expect_err("shutdown refuses work");
         assert_eq!(refused, c);
     }
 
@@ -379,7 +523,8 @@ mod tests {
         let batcher = Batcher::new(config, metrics);
         let c = container(4);
         std::thread::scope(|scope| {
-            let rx = batcher.submit(c.clone(), DecodeEngine::TapeFree).expect("queue has room");
+            let rx = submit_chan(&batcher, c.clone(), DecodeEngine::TapeFree, 1)
+                .expect("queue has room");
             // Scheduler started *after* submission, with an hour-long wait
             // budget: only the shutdown flush can dispatch the window.
             scope.spawn(|| batcher.run_scheduler());
@@ -389,5 +534,84 @@ mod tests {
             let serial = decoder.decode(&c).expect("serial decode");
             assert_eq!(flushed.data(), serial.data());
         });
+    }
+
+    #[test]
+    fn window_draw_is_round_robin_across_sources() {
+        // One flooding source (4 jobs) plus two light ones: the draw must
+        // interleave one-per-source before giving the flooder extra slots.
+        let config = GatewayConfig { max_wait_us: 60_000_000, ..Default::default() };
+        let batcher = Batcher::new(config, Arc::new(ServerMetrics::new()));
+        let tier = DecodeEngine::TapeFree;
+        for _ in 0..4 {
+            submit_chan(&batcher, container(1), tier, 10).expect("room");
+        }
+        submit_chan(&batcher, container(2), tier, 20).expect("room");
+        submit_chan(&batcher, container(3), tier, 30).expect("room");
+        submit_chan(&batcher, container(2), tier, 20).expect("room");
+        let mut state = batcher.queue.lock().unwrap();
+        let drawn: Vec<u64> = state.draw_window(8).iter().map(|j| j.source).collect();
+        assert_eq!(drawn, vec![10, 20, 30, 10, 20, 10, 10], "one job per source per cycle");
+        assert_eq!(state.total, 0);
+        assert!(state.rotation.is_empty() && state.queues.is_empty());
+    }
+
+    #[test]
+    fn partial_draw_keeps_remaining_sources_rotated() {
+        let config = GatewayConfig { max_wait_us: 60_000_000, ..Default::default() };
+        let batcher = Batcher::new(config, Arc::new(ServerMetrics::new()));
+        let tier = DecodeEngine::TapeFree;
+        for source in [1u64, 2, 1, 2, 1] {
+            submit_chan(&batcher, container(source), tier, source).expect("room");
+        }
+        let mut state = batcher.queue.lock().unwrap();
+        let first: Vec<u64> = state.draw_window(3).iter().map(|j| j.source).collect();
+        assert_eq!(first, vec![1, 2, 1]);
+        assert_eq!(state.total, 2);
+        let second: Vec<u64> = state.draw_window(3).iter().map(|j| j.source).collect();
+        assert_eq!(second, vec![2, 1], "leftovers drain in rotation order");
+    }
+
+    #[test]
+    fn adaptive_wait_budget_tracks_arrival_rate() {
+        let fixed = GatewayConfig { max_batch: 8, max_wait_us: 2_000, ..Default::default() };
+        // Disabled or no estimate yet: always the full budget.
+        assert_eq!(effective_wait_us(&fixed, 3, 500), 2_000);
+        let adaptive = GatewayConfig { adaptive_wait: true, ..fixed };
+        assert_eq!(effective_wait_us(&adaptive, 3, 0), 2_000, "no estimate yet");
+        // Arrivals slower than the whole budget: dispatch immediately.
+        assert_eq!(effective_wait_us(&adaptive, 1, 2_000), 0);
+        assert_eq!(effective_wait_us(&adaptive, 1, 50_000), 0);
+        // Dense traffic: wait just long enough for the remaining slots
+        // (25% slack), never beyond the ceiling.
+        assert_eq!(effective_wait_us(&adaptive, 6, 100), 250, "2 slots * 100µs * 5/4");
+        assert_eq!(effective_wait_us(&adaptive, 0, 500), 2_000, "capped at max_wait_us");
+        assert_eq!(effective_wait_us(&adaptive, 8, 100), 0, "full window waits for nothing");
+    }
+
+    #[test]
+    fn submissions_feed_the_arrival_ewma() {
+        let config = GatewayConfig { max_wait_us: 60_000_000, ..Default::default() };
+        let metrics = Arc::new(ServerMetrics::new());
+        let batcher = Batcher::new(config, metrics.clone());
+        let tier = DecodeEngine::TapeFree;
+        submit_chan(&batcher, container(1), tier, 1).expect("room");
+        assert_eq!(metrics.arrival_ewma_us(), 0, "one sample has no interval yet");
+        std::thread::sleep(Duration::from_millis(2));
+        submit_chan(&batcher, container(2), tier, 1).expect("room");
+        let first = metrics.arrival_ewma_us();
+        assert!(first >= 1_000, "interval of >=2ms must register, got {first}µs");
+        // One back-to-back submission suffices logically ((7e + dt)/8 < e
+        // whenever dt < e), but a loaded machine can stall any single
+        // submit past `first`, so allow a few attempts before judging.
+        let mut second = first;
+        for _ in 0..50 {
+            submit_chan(&batcher, container(3), tier, 1).expect("room");
+            second = metrics.arrival_ewma_us();
+            if second < first {
+                break;
+            }
+        }
+        assert!(second < first, "back-to-back submissions must pull the EWMA down");
     }
 }

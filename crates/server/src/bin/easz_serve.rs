@@ -12,7 +12,7 @@
 //! bit-exact f32 path.
 
 use easz_core::zoo;
-use easz_server::{EaszServer, GatewayConfig, ServerConfig};
+use easz_server::{EaszServer, GatewayConfig, ReactorConfig, ServerConfig};
 use std::net::TcpListener;
 use std::process::exit;
 use std::time::Duration;
@@ -20,6 +20,8 @@ use std::time::Duration;
 const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--max-frame-len BYTES] [--max-batch N]
                   [--read-timeout-ms MS] [--gateway-max-batch N]
                   [--gateway-max-wait-us US] [--gateway-workers N]
+                  [--gateway-adaptive-wait] [--reactor]
+                  [--reactor-max-conns N] [--reactor-max-inflight N]
 
   --addr HOST:PORT        listen address (default 127.0.0.1:4860)
   --max-frame-len BYTES   largest accepted request frame payload (default 16 MiB)
@@ -30,12 +32,22 @@ const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--max-frame-len BYTES
                           (default 8). Passing ANY --gateway-* flag enables
                           the gateway; without one it stays disabled.
   --gateway-max-wait-us US window latency budget in microseconds (default 2000)
-  --gateway-workers N     gateway decode worker threads (default 2)";
+  --gateway-workers N     gateway decode worker threads (default 2)
+  --gateway-adaptive-wait scale the window wait budget by the observed
+                          arrival rate (sparse traffic dispatches early)
+  --reactor               serve through the epoll reactor front end (one
+                          readiness loop instead of one thread per
+                          connection; Linux only). Decodes always go through
+                          the gateway — a default adaptive one if no
+                          --gateway-* flag is given.
+  --reactor-max-conns N   connections admitted before BUSY (default 4096)
+  --reactor-max-inflight N per-connection in-flight decode cap (default 32)";
 
 fn main() {
     let mut addr = "127.0.0.1:4860".to_string();
     let mut config = ServerConfig::default();
     let mut gateway: Option<GatewayConfig> = None;
+    let mut reactor: Option<ReactorConfig> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -64,6 +76,20 @@ fn main() {
                 gateway.get_or_insert_with(GatewayConfig::default).workers =
                     parse(&value("--gateway-workers"));
             }
+            "--gateway-adaptive-wait" => {
+                gateway.get_or_insert_with(GatewayConfig::default).adaptive_wait = true;
+            }
+            "--reactor" => {
+                reactor.get_or_insert_with(ReactorConfig::default);
+            }
+            "--reactor-max-conns" => {
+                reactor.get_or_insert_with(ReactorConfig::default).max_connections =
+                    parse(&value("--reactor-max-conns"));
+            }
+            "--reactor-max-inflight" => {
+                reactor.get_or_insert_with(ReactorConfig::default).max_inflight =
+                    parse(&value("--reactor-max-inflight"));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -75,6 +101,7 @@ fn main() {
         }
     }
     config.gateway = gateway;
+    config.reactor = reactor;
 
     println!("loading (or pretraining once) the reconstruction model...");
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
@@ -88,13 +115,22 @@ fn main() {
     let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
     let gateway_desc = match &config.gateway {
         Some(g) => format!(
-            "gateway on: window {} reqs / {} µs, {} workers",
-            g.max_batch, g.max_wait_us, g.workers
+            "gateway on: window {} reqs / {} µs{}, {} workers",
+            g.max_batch,
+            g.max_wait_us,
+            if g.adaptive_wait { " (adaptive)" } else { "" },
+            g.workers
         ),
+        None if config.reactor.is_some() => "gateway on: reactor default (adaptive)".to_string(),
         None => "gateway off".to_string(),
     };
+    let front_desc = match &config.reactor {
+        Some(r) => format!("reactor front end, {} conns max", r.max_connections),
+        None => "threaded front end".to_string(),
+    };
     println!(
-        "easz-serve listening on {bound} (max frame {} B, max batch {}, {gateway_desc})",
+        "easz-serve listening on {bound} (max frame {} B, max batch {}, {front_desc}, \
+         {gateway_desc})",
         config.max_frame_len, config.max_batch
     );
     if let Err(e) = EaszServer::new(model).with_config(config).serve(listener) {

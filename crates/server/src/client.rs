@@ -4,8 +4,50 @@
 use crate::metrics::ServerStats;
 use crate::protocol::{self, EngineTier, WireError};
 use easz_image::ImageU8;
-use std::io;
+use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Writes one frame, surviving the partial-progress failure modes a
+/// backpressured or nonblocking-reactor peer exposes: short writes keep
+/// going from where they left off, `Interrupted` (EINTR) retries
+/// immediately, and `WouldBlock`/`TimedOut` — a socket send timeout firing
+/// mid-frame while the server's reply buffer backs up — retries after a
+/// short yield instead of abandoning the stream mid-frame (which would
+/// desynchronise the framing for every later request).
+///
+/// `std::io::Write::write_all` already covers short writes and EINTR, but
+/// treats `WouldBlock`/`TimedOut` as fatal — and a frame abandoned halfway
+/// is unrecoverable for a length-prefixed protocol.
+fn write_frame_resilient(w: &mut impl Write, frame_type: u8, payload: &[u8]) -> io::Result<()> {
+    let frame = protocol::frame_bytes(frame_type, payload);
+    let mut sent = 0;
+    while sent < frame.len() {
+        match w.write(&frame[sent..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting frame bytes",
+                ))
+            }
+            Ok(n) => sent += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                // The peer is applying backpressure; pause briefly and
+                // resume from the same offset.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    loop {
+        match w.flush() {
+            Ok(()) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 /// Failure of a client call.
 #[derive(Debug)]
@@ -102,7 +144,7 @@ impl EaszClient {
     /// Transport and protocol failures; see [`ClientError`].
     pub fn ping(&mut self) -> Result<u8, ClientError> {
         self.ensure_usable()?;
-        protocol::write_frame(&mut self.stream, protocol::PING, &[protocol::PROTOCOL_VERSION])?;
+        write_frame_resilient(&mut self.stream, protocol::PING, &[protocol::PROTOCOL_VERSION])?;
         let (frame_type, payload) = self.read_reply()?;
         match frame_type {
             protocol::PONG if payload.len() == 1 => Ok(payload[0]),
@@ -122,7 +164,7 @@ impl EaszClient {
     /// Transport and protocol failures; see [`ClientError`].
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         self.ensure_usable()?;
-        protocol::write_frame(&mut self.stream, protocol::STATS, &[])?;
+        write_frame_resilient(&mut self.stream, protocol::STATS, &[])?;
         let (frame_type, payload) = self.read_reply()?;
         match frame_type {
             protocol::STATS_REPLY => {
@@ -141,7 +183,7 @@ impl EaszClient {
     /// undecodable containers, otherwise transport/protocol failures.
     pub fn decode(&mut self, container: &[u8]) -> Result<ImageU8, ClientError> {
         self.ensure_usable()?;
-        protocol::write_frame(&mut self.stream, protocol::DECODE, container)?;
+        write_frame_resilient(&mut self.stream, protocol::DECODE, container)?;
         let (frame_type, payload) = self.read_reply()?;
         match frame_type {
             protocol::IMAGE => protocol::decode_image(&payload).map_err(ClientError::Protocol),
@@ -167,7 +209,7 @@ impl EaszClient {
         let mut payload = Vec::with_capacity(1 + container.len());
         payload.push(tier.wire_byte());
         payload.extend_from_slice(container);
-        protocol::write_frame(&mut self.stream, protocol::DECODE_TIERED, &payload)?;
+        write_frame_resilient(&mut self.stream, protocol::DECODE_TIERED, &payload)?;
         let (frame_type, payload) = self.read_reply()?;
         match frame_type {
             protocol::IMAGE => protocol::decode_image(&payload).map_err(ClientError::Protocol),
@@ -225,7 +267,7 @@ impl EaszClient {
                 tiered
             }
         };
-        protocol::write_frame(&mut self.stream, frame, &payload)?;
+        write_frame_resilient(&mut self.stream, frame, &payload)?;
         let mut results = Vec::with_capacity(containers.len());
         while results.len() < containers.len() {
             let (frame_type, payload) = self.read_reply()?;
@@ -293,5 +335,88 @@ impl EaszClient {
         } else {
             ClientError::Protocol(format!("unexpected reply frame 0x{frame_type:02x}"))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that takes one byte at a time and fails with a scripted
+    /// error before each accepted byte — the worst-case flaky peer.
+    struct FlakyWriter {
+        written: Vec<u8>,
+        /// One entry per upcoming `write` call: `Some(kind)` fails, `None`
+        /// accepts a single byte. Exhausted script = accept.
+        script: Vec<Option<io::ErrorKind>>,
+        flushes: usize,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            match if self.script.is_empty() { None } else { Some(self.script.remove(0)) } {
+                Some(Some(kind)) => Err(io::Error::new(kind, "scripted failure")),
+                _ => {
+                    self.written.push(buf[0]);
+                    Ok(1)
+                }
+            }
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn resilient_writer_survives_eintr_and_wouldblock_mid_frame() {
+        use io::ErrorKind::{Interrupted, TimedOut, WouldBlock};
+        let mut w = FlakyWriter {
+            written: Vec::new(),
+            // Interrupt before the header, stall twice inside the payload,
+            // time out once near the end: every byte must still land, in
+            // order, exactly once.
+            script: vec![
+                Some(Interrupted),
+                None,
+                None,
+                Some(WouldBlock),
+                None,
+                None,
+                None,
+                Some(WouldBlock),
+                Some(TimedOut),
+                None,
+            ],
+            flushes: 0,
+        };
+        write_frame_resilient(&mut w, protocol::DECODE, b"abcdef").expect("resilient write");
+        assert_eq!(w.written, protocol::frame_bytes(protocol::DECODE, b"abcdef"));
+        assert_eq!(w.flushes, 1);
+    }
+
+    #[test]
+    fn resilient_writer_reports_write_zero_and_real_errors() {
+        struct Zero;
+        impl Write for Zero {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_frame_resilient(&mut Zero, protocol::PING, &[1]).expect_err("write zero");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+
+        let mut broken = FlakyWriter {
+            written: Vec::new(),
+            script: vec![None, Some(io::ErrorKind::BrokenPipe)],
+            flushes: 0,
+        };
+        let err =
+            write_frame_resilient(&mut broken, protocol::PING, &[1]).expect_err("broken pipe");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
     }
 }

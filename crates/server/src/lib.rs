@@ -23,7 +23,8 @@
 //!   one handler thread per connection.
 //! * [`GatewayConfig`] — the cross-connection batching scheduler: window
 //!   size (`max_batch`), window latency budget (`max_wait_us`), decode
-//!   worker count, queue bound.
+//!   worker count, queue bound, adaptive windows (`adaptive_wait`).
+//! * [`ReactorConfig`] — the event-driven reactor front end (below).
 //! * [`ServerMetrics`] / [`ServerStats`] — per-error-code counters, the
 //!   batch-width histogram and queue-depth/latency gauges, served to
 //!   clients via the `STATS` frame and scrapeable in-process.
@@ -55,6 +56,43 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## The reactor front end
+//!
+//! The default front end spends one OS thread (stack, scheduler slot,
+//! blocking reads) per connection — fine for tens of clients, wrong for
+//! the paper's fleet topology of thousands of intermittent IoT encoders.
+//! [`EaszServer::with_reactor`] swaps it for a single **readiness loop**
+//! (Linux epoll via a thin in-crate syscall shim, no external
+//! dependencies): nonblocking listener and sockets, level-triggered
+//! readiness, and per-connection state machines.
+//!
+//! * **Framing state machine** — each connection incrementally assembles
+//!   length-prefixed frames across arbitrary packet boundaries, with the
+//!   payload buffer allocated only after the announced length passes
+//!   `max_frame_len`. Outbound replies survive partial writes in a
+//!   compacting buffer, and pipelined replies leave strictly in request
+//!   order even though decode workers complete out of order.
+//! * **Fairness draw** — the reactor submits every decode to the gateway
+//!   tagged with its connection id, and the gateway forms windows by a
+//!   round-robin draw across sources: one job per connection per cycle,
+//!   so a flooding client cannot fill every window.
+//! * **Admission control & shedding** — accepts beyond
+//!   [`ReactorConfig::max_connections`] and well-framed decodes that hit
+//!   a saturated gateway queue are answered with the typed `BUSY` error
+//!   frame (`docs/FORMAT.md` §2.2) instead of being silently dropped or
+//!   decoded inline on the loop.
+//! * **Backpressure** — a connection with too many decodes in flight or
+//!   too many unflushed reply bytes stops being read until it drains; the
+//!   kernel receive buffer then throttles the peer.
+//! * **Adaptive windows** — with [`GatewayConfig::adaptive_wait`] (the
+//!   reactor's default gateway enables it) the batching window's wait
+//!   budget follows the observed inter-arrival EWMA: sparse traffic
+//!   dispatches immediately, bursts wait just long enough to fill.
+//!
+//! Replies on the reactor path are byte-identical to the threaded path
+//! and to serial local decoding — enforced by the loopback test suite.
+//! The threaded path remains the default.
 
 #![warn(missing_docs)]
 
@@ -62,10 +100,12 @@ mod batcher;
 mod client;
 mod metrics;
 pub mod protocol;
+mod reactor;
 mod server;
 
 pub use batcher::GatewayConfig;
 pub use client::{ClientError, EaszClient};
 pub use metrics::{ServerMetrics, ServerStats, WIDTH_BUCKETS};
 pub use protocol::{EngineTier, ErrorCode, WireError};
+pub use reactor::ReactorConfig;
 pub use server::{EaszServer, ServerConfig, ServerHandle};

@@ -53,6 +53,19 @@ pub struct ServerMetrics {
     batch_widths: [AtomicU64; WIDTH_BUCKETS],
     /// `ERROR` frames sent, by code byte (protocol-level codes included).
     errors: [AtomicU64; MAX_ERROR_CODE + 1],
+    /// Connections currently being served (gauge).
+    connections_active: AtomicU64,
+    /// Connections accepted and served since start.
+    connections_accepted: AtomicU64,
+    /// Connections refused at accept (admission control: the connection
+    /// table was full, or the socket could not be registered).
+    connections_refused: AtomicU64,
+    /// Well-framed decode requests shed with a `BUSY` error because the
+    /// gateway queue was saturated and no inline fallback existed.
+    requests_shed: AtomicU64,
+    /// EWMA of the microseconds between consecutive gateway submissions
+    /// (gauge; `0` = no estimate yet). Drives the adaptive batching window.
+    arrival_ewma_us: AtomicU64,
 }
 
 impl Default for ServerMetrics {
@@ -69,6 +82,11 @@ impl Default for ServerMetrics {
             decode_us: AtomicU64::new(0),
             batch_widths: std::array::from_fn(|_| AtomicU64::new(0)),
             errors: std::array::from_fn(|_| AtomicU64::new(0)),
+            connections_active: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            arrival_ewma_us: AtomicU64::new(0),
         }
     }
 }
@@ -126,6 +144,38 @@ impl ServerMetrics {
         self.queue_wait_us.fetch_add(wait_us, Ordering::Relaxed);
     }
 
+    /// Counts one accepted connection entering service (gauge up).
+    pub fn record_connection_open(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one served connection closing (gauge down).
+    pub fn record_connection_close(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection refused at accept by admission control.
+    pub fn record_connection_refused(&self) {
+        self.connections_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one decode request shed with a `BUSY` error.
+    pub fn record_request_shed(&self) {
+        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the gateway's current inter-arrival EWMA (µs between
+    /// submissions; `0` clears the estimate).
+    pub fn record_arrival_ewma(&self, ewma_us: u64) {
+        self.arrival_ewma_us.store(ewma_us, Ordering::Relaxed);
+    }
+
+    /// The published inter-arrival EWMA in µs (`0` = no estimate yet).
+    pub fn arrival_ewma_us(&self) -> u64 {
+        self.arrival_ewma_us.load(Ordering::Relaxed)
+    }
+
     /// Takes a snapshot for a `STATS_REPLY`.
     pub fn snapshot(&self) -> ServerStats {
         let mut widths = [0u64; WIDTH_BUCKETS];
@@ -153,12 +203,19 @@ impl ServerMetrics {
             decode_us: self.decode_us.load(Ordering::Relaxed),
             batch_widths: widths,
             errors,
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            arrival_ewma_us: self.arrival_ewma_us.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Version byte leading a `STATS_REPLY` payload.
-pub const STATS_PAYLOAD_VERSION: u8 = 1;
+/// Version byte leading a `STATS_REPLY` payload. Version 2 appends the
+/// connection/admission block (five `u64`s) after the error entries;
+/// version-1 payloads still parse, with those fields reported as `0`.
+pub const STATS_PAYLOAD_VERSION: u8 = 2;
 
 /// A point-in-time snapshot of a server's [`ServerMetrics`], as carried by
 /// the `STATS_REPLY` frame.
@@ -189,6 +246,17 @@ pub struct ServerStats {
     /// `(error code byte, count)` for every code observed at least once,
     /// ascending by code.
     pub errors: Vec<(u8, u64)>,
+    /// Connections being served at snapshot time (gauge; payload v2).
+    pub connections_active: u64,
+    /// Connections accepted since start (payload v2).
+    pub connections_accepted: u64,
+    /// Connections refused at accept by admission control (payload v2).
+    pub connections_refused: u64,
+    /// Decode requests shed with a `BUSY` error (payload v2).
+    pub requests_shed: u64,
+    /// Inter-arrival EWMA of gateway submissions in µs (gauge; `0` = no
+    /// estimate yet; payload v2).
+    pub arrival_ewma_us: u64,
 }
 
 impl ServerStats {
@@ -201,7 +269,7 @@ impl ServerStats {
     /// `docs/FORMAT.md` §2.5).
     pub fn to_payload(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(
-            1 + 9 * 8 + 1 + self.batch_widths.len() * 8 + 1 + self.errors.len() * 9,
+            1 + 9 * 8 + 1 + self.batch_widths.len() * 8 + 1 + self.errors.len() * 9 + 5 * 8,
         );
         out.push(STATS_PAYLOAD_VERSION);
         for v in [
@@ -226,6 +294,15 @@ impl ServerStats {
             out.push(*code);
             out.extend_from_slice(&count.to_le_bytes());
         }
+        for v in [
+            self.connections_active,
+            self.connections_accepted,
+            self.connections_refused,
+            self.requests_shed,
+            self.arrival_ewma_us,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
         out
     }
 
@@ -238,7 +315,7 @@ impl ServerStats {
     pub fn from_payload(payload: &[u8]) -> Result<Self, String> {
         let mut r = Reader { payload, pos: 0 };
         let version = r.u8()?;
-        if version != STATS_PAYLOAD_VERSION {
+        if version == 0 || version > STATS_PAYLOAD_VERSION {
             return Err(format!("unknown stats payload version {version}"));
         }
         let decode_requests = r.u64()?;
@@ -266,6 +343,10 @@ impl ServerStats {
             let code = r.u8()?;
             errors.push((code, r.u64()?));
         }
+        let (connections_active, connections_accepted, connections_refused) =
+            if version >= 2 { (r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0) };
+        let (requests_shed, arrival_ewma_us) =
+            if version >= 2 { (r.u64()?, r.u64()?) } else { (0, 0) };
         if r.pos != payload.len() {
             return Err(format!(
                 "{} trailing bytes after the stats payload",
@@ -284,6 +365,11 @@ impl ServerStats {
             decode_us,
             batch_widths,
             errors,
+            connections_active,
+            connections_accepted,
+            connections_refused,
+            requests_shed,
+            arrival_ewma_us,
         })
     }
 }
@@ -336,6 +422,12 @@ mod tests {
         m.record_queue_depth(4);
         m.record_queue_depth(2);
         m.record_queue_wait(750);
+        m.record_connection_open();
+        m.record_connection_open();
+        m.record_connection_close();
+        m.record_connection_refused();
+        m.record_request_shed();
+        m.record_arrival_ewma(1234);
         let stats = m.snapshot();
         assert_eq!(stats.decode_requests, 5);
         assert_eq!((stats.decode_ok, stats.decode_err), (2, 1));
@@ -350,8 +442,27 @@ mod tests {
         assert_eq!(stats.inline_decodes, 1);
         assert_eq!((stats.queue_depth, stats.queue_peak), (2, 4));
         assert_eq!(stats.queue_wait_us, 750);
+        assert_eq!((stats.connections_active, stats.connections_accepted), (1, 2));
+        assert_eq!((stats.connections_refused, stats.requests_shed), (1, 1));
+        assert_eq!(stats.arrival_ewma_us, 1234);
         let back = ServerStats::from_payload(&stats.to_payload()).expect("parse");
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn stats_payload_v1_still_parses() {
+        let m = ServerMetrics::new();
+        m.record_requests(3);
+        m.record_connection_open();
+        m.record_request_shed();
+        let stats = m.snapshot();
+        let mut v1 = stats.to_payload();
+        v1.truncate(v1.len() - 5 * 8); // strip the v2 connection block
+        v1[0] = 1;
+        let back = ServerStats::from_payload(&v1).expect("v1 payload parses");
+        assert_eq!(back.decode_requests, 3);
+        assert_eq!(back.connections_active, 0, "v1 has no connection block");
+        assert_eq!(back.requests_shed, 0);
     }
 
     #[test]

@@ -135,6 +135,11 @@ pub enum ErrorCode {
     /// The frame type byte is not one this server knows. The connection is
     /// closed after this error.
     UnknownFrame = 34,
+    /// The server is saturated and shed this work instead of queueing it.
+    /// For a decode request refused by admission control the connection
+    /// stays open (retry later, ideally with backoff); for a connection
+    /// refused at accept the server closes right after this frame.
+    Busy = 35,
 }
 
 impl ErrorCode {
@@ -159,6 +164,7 @@ impl ErrorCode {
             32 => Protocol,
             33 => Oversize,
             34 => UnknownFrame,
+            35 => Busy,
             _ => return None,
         })
     }
@@ -287,6 +293,22 @@ pub fn write_frame(w: &mut impl Write, frame_type: u8, payload: &[u8]) -> io::Re
     w.flush()
 }
 
+/// Serializes one frame into owned bytes — the header of [`write_frame`]
+/// followed by the payload. This is what a readiness-driven writer queues
+/// into a connection's outbound buffer when it cannot block on a stream.
+///
+/// # Panics
+///
+/// As [`write_frame`], if `payload` exceeds `u32::MAX` bytes.
+pub fn frame_bytes(frame_type: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= u32::MAX as usize, "frame payload too large to announce");
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.push(frame_type);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
 /// Reads one frame, returning `Ok(None)` on a clean end-of-stream (the peer
 /// closed between frames).
 ///
@@ -412,6 +434,14 @@ mod tests {
     use super::*;
 
     #[test]
+    fn frame_bytes_matches_write_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, DECODE, b"payload").expect("write");
+        assert_eq!(frame_bytes(DECODE, b"payload"), wire);
+        assert_eq!(frame_bytes(PING, &[]), [PING, 0, 0, 0, 0]);
+    }
+
+    #[test]
     fn frame_round_trip() {
         let mut wire = Vec::new();
         write_frame(&mut wire, DECODE, b"hello").expect("write");
@@ -503,6 +533,7 @@ mod tests {
             ErrorCode::Protocol,
             ErrorCode::Oversize,
             ErrorCode::UnknownFrame,
+            ErrorCode::Busy,
         ] {
             assert_eq!(ErrorCode::from_byte(code.value()), Some(code));
         }

@@ -1,0 +1,354 @@
+//! Per-connection framing state for the reactor: an incremental frame
+//! assembler (the readiness-driven twin of [`protocol::read_frame`]), an
+//! outbound buffer that survives partial writes, and the ordered reply
+//! slots that keep pipelined responses in request order even though decode
+//! workers complete out of order.
+//!
+//! Everything here is plain state-machine code with no I/O, which is what
+//! makes the byte-boundary unit tests possible: `push` can be fed one byte
+//! at a time and must behave identically to feeding the whole frame.
+
+use crate::protocol::{self};
+use std::collections::VecDeque;
+
+/// One parse step's outcome (besides consuming input).
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete frame arrived.
+    Frame {
+        /// The frame-type byte.
+        frame_type: u8,
+        /// The payload, exactly as announced.
+        payload: Vec<u8>,
+    },
+    /// The header announced a payload beyond the limit. The assembler has
+    /// switched to draining the announced bytes; no payload was buffered.
+    Oversize {
+        /// Announced payload length.
+        announced: usize,
+        /// The assembler's limit.
+        limit: usize,
+    },
+}
+
+enum ParseState {
+    /// Collecting the 5-byte header.
+    Header { buf: [u8; protocol::FRAME_HEADER_LEN], have: usize },
+    /// Collecting `want` payload bytes.
+    Payload { frame_type: u8, payload: Vec<u8>, want: usize },
+    /// Swallowing the rest of an oversize frame so the eventual close does
+    /// not RST the error reply out from under the peer.
+    Draining { remaining: usize },
+}
+
+/// Incremental parser for the length-prefixed wire framing: feed it
+/// whatever chunk the socket produced, get back how much was consumed and
+/// at most one event per call.
+pub struct FrameAssembler {
+    max_payload: usize,
+    state: ParseState,
+}
+
+impl FrameAssembler {
+    /// An assembler enforcing `max_payload` (the server's
+    /// `max_frame_len`). The payload buffer is only allocated *after* the
+    /// announced length passes the limit check, so a hostile header cannot
+    /// balloon memory.
+    pub fn new(max_payload: usize) -> Self {
+        Self { max_payload, state: ParseState::Header { buf: [0; 5], have: 0 } }
+    }
+
+    /// Whether the assembler is swallowing an oversize frame's payload.
+    pub fn is_draining(&self) -> bool {
+        matches!(self.state, ParseState::Draining { .. })
+    }
+
+    /// Whether an oversize drain has consumed everything it announced.
+    pub fn drained(&self) -> bool {
+        matches!(self.state, ParseState::Draining { remaining: 0 })
+    }
+
+    /// Consumes bytes from `input`, returning how many were taken and at
+    /// most one event. Call in a loop over the unconsumed remainder until
+    /// it stops producing events or stops consuming.
+    pub fn push(&mut self, input: &[u8]) -> (usize, Option<FrameEvent>) {
+        let mut consumed = 0;
+        loop {
+            match &mut self.state {
+                ParseState::Header { buf, have } => {
+                    let take = (buf.len() - *have).min(input.len() - consumed);
+                    buf[*have..*have + take].copy_from_slice(&input[consumed..consumed + take]);
+                    *have += take;
+                    consumed += take;
+                    if *have < buf.len() {
+                        return (consumed, None);
+                    }
+                    let frame_type = buf[0];
+                    let announced =
+                        u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
+                    if announced > self.max_payload {
+                        let limit = self.max_payload;
+                        self.state = ParseState::Draining { remaining: announced };
+                        return (consumed, Some(FrameEvent::Oversize { announced, limit }));
+                    }
+                    if announced == 0 {
+                        self.state = ParseState::Header { buf: [0; 5], have: 0 };
+                        return (
+                            consumed,
+                            Some(FrameEvent::Frame { frame_type, payload: Vec::new() }),
+                        );
+                    }
+                    self.state = ParseState::Payload {
+                        frame_type,
+                        payload: Vec::with_capacity(announced),
+                        want: announced,
+                    };
+                }
+                ParseState::Payload { frame_type, payload, want } => {
+                    let take = (*want - payload.len()).min(input.len() - consumed);
+                    payload.extend_from_slice(&input[consumed..consumed + take]);
+                    consumed += take;
+                    if payload.len() < *want {
+                        return (consumed, None);
+                    }
+                    let frame_type = *frame_type;
+                    let payload = std::mem::take(payload);
+                    self.state = ParseState::Header { buf: [0; 5], have: 0 };
+                    return (consumed, Some(FrameEvent::Frame { frame_type, payload }));
+                }
+                ParseState::Draining { remaining } => {
+                    let take = (*remaining).min(input.len() - consumed);
+                    *remaining -= take;
+                    consumed += take;
+                    // Stays in Draining even at zero: an oversize frame is
+                    // terminal for the connection, nothing may follow it.
+                    return (consumed, None);
+                }
+            }
+        }
+    }
+}
+
+/// Outbound bytes surviving partial writes: a flat buffer plus a cursor of
+/// what the socket already took. Compacted once the cursor passes half the
+/// buffer so a slow reader cannot make it grow without bound from dead
+/// prefix bytes.
+#[derive(Default)]
+pub struct OutBuf {
+    buf: Vec<u8>,
+    sent: usize,
+}
+
+impl OutBuf {
+    /// Queues `bytes` behind whatever is still unsent.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The bytes the socket has not taken yet.
+    pub fn pending(&self) -> &[u8] {
+        &self.buf[self.sent..]
+    }
+
+    /// Whether everything queued has been handed to the socket.
+    pub fn is_empty(&self) -> bool {
+        self.sent == self.buf.len()
+    }
+
+    /// Unsent byte count.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.sent
+    }
+
+    /// Marks `n` pending bytes as written, compacting when the dead prefix
+    /// dominates the buffer.
+    pub fn advance(&mut self, n: usize) {
+        self.sent += n;
+        debug_assert!(self.sent <= self.buf.len(), "advanced past the queued bytes");
+        if self.sent == self.buf.len() {
+            self.buf.clear();
+            self.sent = 0;
+        } else if self.sent > 4096 && self.sent * 2 > self.buf.len() {
+            self.buf.drain(..self.sent);
+            self.sent = 0;
+        }
+    }
+}
+
+/// One pipelined reply slot: replies must leave in request order, but
+/// decode workers finish in any order, so each request reserves a slot
+/// that is later filled with its serialized reply frame.
+pub struct ReplySlot {
+    /// The request's sequence number on its connection.
+    pub seq: u64,
+    /// The serialized reply frame, once known.
+    pub frame: Option<Vec<u8>>,
+}
+
+/// The ordered reply queue of one connection.
+#[derive(Default)]
+pub struct ReplyQueue {
+    slots: VecDeque<ReplySlot>,
+    next_seq: u64,
+}
+
+impl ReplyQueue {
+    /// Reserves the next slot, returning its sequence number. Pass `frame`
+    /// for replies known immediately (PONG, typed errors); `None` parks
+    /// the slot until [`fill`](Self::fill).
+    pub fn reserve(&mut self, frame: Option<Vec<u8>>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots.push_back(ReplySlot { seq, frame });
+        seq
+    }
+
+    /// Fills the slot `seq` with its reply frame. A miss is fine — the
+    /// connection may have died and its slots been dropped.
+    pub fn fill(&mut self, seq: u64, frame: Vec<u8>) {
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.seq == seq) {
+            debug_assert!(slot.frame.is_none(), "reply slot filled twice");
+            slot.frame = Some(frame);
+        }
+    }
+
+    /// Pops every leading filled slot into `out`, preserving order. Stops
+    /// at the first slot still waiting on its decode.
+    pub fn flush_into(&mut self, out: &mut OutBuf) {
+        while let Some(front) = self.slots.front() {
+            if front.frame.is_none() {
+                break;
+            }
+            let slot = self.slots.pop_front().expect("front exists");
+            out.queue(&slot.frame.expect("front is filled"));
+        }
+    }
+
+    /// Slots not yet flushed (filled or waiting).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no reply is pending or waiting.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(frame_type: u8, payload: &[u8]) -> Vec<u8> {
+        protocol::frame_bytes(frame_type, payload)
+    }
+
+    /// Feeds `bytes` in two pieces split at `at`, returning every event.
+    fn feed_split(asm: &mut FrameAssembler, bytes: &[u8], at: usize) -> Vec<FrameEvent> {
+        let mut events = Vec::new();
+        for chunk in [&bytes[..at], &bytes[at..]] {
+            let mut rest = chunk;
+            while !rest.is_empty() {
+                let (n, event) = asm.push(rest);
+                events.extend(event);
+                if n == 0 {
+                    break;
+                }
+                rest = &rest[n..];
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn frame_split_at_every_byte_boundary_parses_identically() {
+        let bytes = frame(0x01, b"hello framing");
+        for at in 0..=bytes.len() {
+            let mut asm = FrameAssembler::new(1024);
+            let events = feed_split(&mut asm, &bytes, at);
+            assert_eq!(
+                events,
+                vec![FrameEvent::Frame { frame_type: 0x01, payload: b"hello framing".to_vec() }],
+                "split at byte {at}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_in_one_chunk_all_surface() {
+        let mut bytes = frame(0x03, &[1]);
+        bytes.extend(frame(0x04, &[]));
+        bytes.extend(frame(0x01, b"xyz"));
+        let mut asm = FrameAssembler::new(1024);
+        let events = feed_split(&mut asm, &bytes, 0);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], FrameEvent::Frame { frame_type: 0x03, payload: vec![1] });
+        assert_eq!(events[1], FrameEvent::Frame { frame_type: 0x04, payload: vec![] });
+        assert_eq!(events[2], FrameEvent::Frame { frame_type: 0x01, payload: b"xyz".to_vec() });
+    }
+
+    #[test]
+    fn single_byte_trickle_parses_a_zero_length_frame() {
+        let bytes = frame(0x04, &[]);
+        let mut asm = FrameAssembler::new(16);
+        let mut events = Vec::new();
+        for &b in &bytes {
+            let (n, event) = asm.push(&[b]);
+            assert_eq!(n, 1);
+            events.extend(event);
+        }
+        assert_eq!(events, vec![FrameEvent::Frame { frame_type: 0x04, payload: vec![] }]);
+    }
+
+    #[test]
+    fn oversize_header_reports_before_buffering_and_drains() {
+        let mut asm = FrameAssembler::new(8);
+        let bytes = frame(0x01, &[0u8; 20]);
+        let (consumed, event) = asm.push(&bytes);
+        assert_eq!(event, Some(FrameEvent::Oversize { announced: 20, limit: 8 }));
+        assert_eq!(consumed, 5, "only the header is consumed by the limit check");
+        assert!(asm.is_draining());
+        assert!(!asm.drained());
+        let (n, event) = asm.push(&bytes[consumed..]);
+        assert_eq!((n, event), (20, None), "drain swallows the announced payload");
+        assert!(asm.drained());
+        // Nothing after an oversize frame is ever parsed.
+        let (n, event) = asm.push(&frame(0x03, &[1]));
+        assert_eq!((n, event), (0, None));
+    }
+
+    #[test]
+    fn outbuf_tracks_partial_writes() {
+        let mut out = OutBuf::default();
+        out.queue(b"abcdef");
+        assert_eq!(out.pending(), b"abcdef");
+        out.advance(2);
+        assert_eq!(out.pending(), b"cdef");
+        out.queue(b"gh");
+        assert_eq!(out.pending(), b"cdefgh");
+        out.advance(6);
+        assert!(out.is_empty());
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn reply_queue_releases_in_request_order_only() {
+        let mut q = ReplyQueue::default();
+        let a = q.reserve(None);
+        let b = q.reserve(None);
+        let c = q.reserve(Some(b"C".to_vec()));
+        assert_eq!((a, b, c), (0, 1, 2));
+        let mut out = OutBuf::default();
+        // Out-of-order completion: c is ready, b completes before a.
+        q.fill(b, b"B".to_vec());
+        q.flush_into(&mut out);
+        assert!(out.is_empty(), "head reply still pending, nothing may leave");
+        q.fill(a, b"A".to_vec());
+        q.flush_into(&mut out);
+        assert_eq!(out.pending(), b"ABC", "replies leave strictly in request order");
+        assert!(q.is_empty());
+        // Filling a dropped/unknown slot is a no-op, not a panic.
+        q.fill(99, b"zombie".to_vec());
+        assert!(q.is_empty());
+    }
+}

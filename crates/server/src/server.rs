@@ -5,6 +5,7 @@
 use crate::batcher::{Batcher, GatewayConfig};
 use crate::metrics::{ServerMetrics, ServerStats};
 use crate::protocol::{self, EngineTier, ErrorCode, FrameReadError, WireError};
+use crate::reactor::{self, ReactorConfig};
 use easz_codecs::CodecRegistry;
 use easz_core::{DecodeEngine, EaszDecoder, EaszEncoded, EaszError, Reconstructor};
 use easz_image::ImageF32;
@@ -65,11 +66,24 @@ pub struct ServerConfig {
     /// a batching window so concurrent connections share transformer
     /// forwards (see [`GatewayConfig`]).
     pub gateway: Option<GatewayConfig>,
+    /// The event-driven reactor front end. `None` (the default) serves
+    /// each connection on its own blocking handler thread; `Some` runs one
+    /// epoll readiness loop over nonblocking sockets instead (see
+    /// [`ReactorConfig`]). The reactor always decodes through the gateway:
+    /// when no gateway is configured alongside it, a default one (with
+    /// adaptive batching windows) is used.
+    pub reactor: Option<ReactorConfig>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { max_frame_len: 16 << 20, max_batch: 64, read_timeout: None, gateway: None }
+        Self {
+            max_frame_len: 16 << 20,
+            max_batch: 64,
+            read_timeout: None,
+            gateway: None,
+            reactor: None,
+        }
     }
 }
 
@@ -150,6 +164,20 @@ impl EaszServer {
         self
     }
 
+    /// Selects the event-driven reactor front end: one epoll readiness
+    /// loop over nonblocking sockets replaces the thread-per-connection
+    /// accept loop, scaling in connections instead of threads and adding
+    /// admission control (`BUSY` beyond
+    /// [`max_connections`](ReactorConfig::max_connections)) and load
+    /// shedding (`BUSY` instead of inline decode when the gateway queue
+    /// saturates). Decode replies stay byte-identical to the threaded
+    /// path. Linux-only; serving fails with
+    /// [`io::ErrorKind::Unsupported`] elsewhere.
+    pub fn with_reactor(mut self, reactor: ReactorConfig) -> Self {
+        self.config.reactor = Some(reactor);
+        self
+    }
+
     /// The server's live metrics registry (also served to clients via the
     /// `STATS` frame). The handle survives the server, so an embedder can
     /// scrape it after shutdown.
@@ -197,53 +225,80 @@ impl EaszServer {
     ) -> io::Result<()> {
         let Self { model, registry, config, metrics } = self;
         let decoder = EaszDecoder::with_registry(&model, registry);
-        let batcher = config.gateway.clone().map(|g| Batcher::new(g, metrics.clone()));
+        // The reactor's event loop must never block on a forward, so it
+        // always decodes through a gateway — a default one (with adaptive
+        // windows, since the reactor targets bursty fleet traffic) when
+        // the embedder configured none.
+        let gateway = match (&config.reactor, config.gateway.clone()) {
+            (Some(_), None) => Some(GatewayConfig { adaptive_wait: true, ..Default::default() }),
+            (_, gateway) => gateway,
+        };
+        let batcher = gateway.clone().map(|g| Batcher::new(g, metrics.clone()));
         std::thread::scope(|scope| {
             // The gateway threads live inside the connection scope so they
             // can borrow the shared decoder; they exit when `shutdown()`
             // below flushes the queue.
             if let Some(batcher) = &batcher {
-                let workers = config.gateway.as_ref().expect("gateway config present").workers;
+                let workers = gateway.as_ref().expect("gateway config present").workers;
                 scope.spawn(|| batcher.run_scheduler());
                 for _ in 0..workers {
                     let decoder = &decoder;
                     scope.spawn(move || batcher.run_worker(decoder));
                 }
             }
-            let result = loop {
-                let (stream, _) = match listener.accept() {
-                    Ok(conn) => conn,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(e) => break Err(e),
-                };
-                if shutdown.load(Ordering::Acquire) {
-                    // The waking connection is dropped unanswered; the scope
-                    // drains in-flight handlers (unblocked by `shutdown_all`)
-                    // before we return.
-                    break Ok(());
-                }
-                let ctx = ConnCtx {
-                    decoder: &decoder,
-                    config: &config,
-                    metrics: &metrics,
-                    batcher: batcher.as_ref(),
-                };
-                scope.spawn(move || {
-                    // A connection that cannot be registered (fd pressure broke
-                    // the try_clone) could never be force-closed and would pin
-                    // shutdown forever — refuse it instead of serving it.
-                    let Some(id) = connections.register(&stream) else {
-                        return;
+            let result = if let Some(reactor_config) = &config.reactor {
+                reactor::run(
+                    listener,
+                    shutdown,
+                    &config,
+                    reactor_config,
+                    &metrics,
+                    batcher.as_ref().expect("the reactor always runs with a gateway"),
+                )
+            } else {
+                loop {
+                    let (stream, _) = match listener.accept() {
+                        Ok(conn) => conn,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => break Err(e),
                     };
-                    // Re-check after registering: a shutdown signalled between
-                    // accept and register has already swept the registry, and
-                    // this handler must not start a blocking read it would
-                    // never be woken from.
-                    if !shutdown.load(Ordering::Acquire) {
-                        let _ = handle_connection(stream, &ctx);
+                    if shutdown.load(Ordering::Acquire) {
+                        // The waking connection is dropped unanswered; the
+                        // scope drains in-flight handlers (unblocked by
+                        // `shutdown_all`) before we return.
+                        break Ok(());
                     }
-                    connections.deregister(id);
-                });
+                    let ctx = ConnCtx {
+                        decoder: &decoder,
+                        config: &config,
+                        metrics: &metrics,
+                        batcher: batcher.as_ref(),
+                        source: 0,
+                    };
+                    scope.spawn(move || {
+                        // A connection that cannot be registered (fd pressure
+                        // broke the try_clone) could never be force-closed and
+                        // would pin shutdown forever — refuse it instead of
+                        // serving it.
+                        let Some(id) = connections.register(&stream) else {
+                            ctx.metrics.record_connection_refused();
+                            return;
+                        };
+                        // The registry id doubles as the gateway fairness
+                        // source: one id per connection.
+                        let ctx = ConnCtx { source: id, ..ctx };
+                        // Re-check after registering: a shutdown signalled
+                        // between accept and register has already swept the
+                        // registry, and this handler must not start a blocking
+                        // read it would never be woken from.
+                        if !shutdown.load(Ordering::Acquire) {
+                            ctx.metrics.record_connection_open();
+                            let _ = handle_connection(stream, &ctx);
+                            ctx.metrics.record_connection_close();
+                        }
+                        connections.deregister(id);
+                    });
+                }
             };
             // Stop the gateway before the scope joins: the scheduler
             // flushes parked jobs into final windows, workers drain them
@@ -265,9 +320,33 @@ struct ConnCtx<'a> {
     config: &'a ServerConfig,
     metrics: &'a ServerMetrics,
     batcher: Option<&'a Batcher>,
+    /// This connection's gateway fairness source id.
+    source: u64,
 }
 
 impl ConnCtx<'_> {
+    /// Parks `encoded` in the gateway with a channel-backed reply, so this
+    /// handler thread can block on the receiver.
+    fn submit_gateway(
+        &self,
+        batcher: &Batcher,
+        encoded: EaszEncoded,
+        engine: DecodeEngine,
+    ) -> Result<std::sync::mpsc::Receiver<Result<ImageF32, EaszError>>, EaszEncoded> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        batcher
+            .submit(
+                encoded,
+                engine,
+                self.source,
+                Box::new(move |result| {
+                    let _ = tx.send(result);
+                }),
+            )
+            .map(|()| rx)
+            .map_err(|(back, _)| back)
+    }
+
     /// Decodes one parsed container on `engine` — through the gateway when
     /// enabled and willing, inline otherwise. `Err(())` means the gateway
     /// accepted the job but shut down before answering; the connection
@@ -278,7 +357,7 @@ impl ConnCtx<'_> {
         engine: DecodeEngine,
     ) -> Result<Result<ImageF32, EaszError>, ()> {
         if let Some(batcher) = self.batcher {
-            match batcher.submit(encoded, engine) {
+            match self.submit_gateway(batcher, encoded, engine) {
                 Ok(rx) => return rx.recv().map_err(|_| ()),
                 Err(back) => {
                     // Full queue or shutdown: degrade to inline decode.
@@ -493,13 +572,14 @@ enum BatchSlot {
     Pending(std::sync::mpsc::Receiver<Result<ImageF32, EaszError>>),
 }
 
-/// Splits the leading engine-tier byte off a tiered request payload.
+/// Splits the leading engine-tier byte off a tiered request payload
+/// (shared with the reactor's frame dispatcher).
 ///
 /// # Errors
 ///
 /// A `PROTOCOL`-class message for an empty payload or a reserved tier byte
 /// (the connection stays open; only the request is unhonourable).
-fn split_tier(payload: &[u8]) -> Result<(Option<EngineTier>, &[u8]), String> {
+pub(crate) fn split_tier(payload: &[u8]) -> Result<(Option<EngineTier>, &[u8]), String> {
     let (&tier_byte, rest) =
         payload.split_first().ok_or("tiered request is missing its engine byte")?;
     let tier = EngineTier::from_byte(tier_byte)
@@ -533,7 +613,7 @@ fn handle_decode_batch(
                 Err(e) => BatchSlot::ParseError(e),
                 Ok(encoded) => {
                     let engine = engine_for(&encoded);
-                    match batcher.submit(encoded, engine) {
+                    match ctx.submit_gateway(batcher, encoded, engine) {
                         Ok(rx) => BatchSlot::Pending(rx),
                         Err(back) => {
                             ctx.metrics.record_inline_decode();

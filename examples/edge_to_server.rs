@@ -7,21 +7,27 @@
 //!
 //! ```sh
 //! cargo run --release --example edge_to_server
+//! cargo run --release --example edge_to_server -- --reactor
 //! ```
 //!
+//! With `--reactor` the same traffic is served by the epoll reactor front
+//! end (one readiness loop instead of one thread per connection) — the
+//! replies must be byte-identical either way.
+//!
 //! Every reply is asserted byte-identical to a local serial decode — CI
-//! runs this example as the gateway's end-to-end smoke test and fails on
-//! any divergence. The wire protocol (framing, error codes, the container
-//! itself) is specified in `docs/FORMAT.md`.
+//! runs this example as the gateway's end-to-end smoke test (both front
+//! ends) and fails on any divergence. The wire protocol (framing, error
+//! codes, the container itself) is specified in `docs/FORMAT.md`.
 
 use easz::codecs::{BpgLikeCodec, ImageCodec, JpegLikeCodec, Quality};
 use easz::core::{zoo, EaszConfig, EaszDecoder, EaszEncoder};
 use easz::data::Dataset;
 use easz::metrics::psnr;
-use easz::server::{ClientError, EaszClient, EaszServer, GatewayConfig};
+use easz::server::{ClientError, EaszClient, EaszServer, GatewayConfig, ReactorConfig};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let use_reactor = std::env::args().skip(1).any(|a| a == "--reactor");
     println!("loading (or pretraining once) the reconstruction model...");
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
 
@@ -30,8 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // windows (up to 4 requests or 20 ms) decoded by a shared worker pool.
     let gateway =
         GatewayConfig { max_batch: 4, max_wait_us: 20_000, workers: 2, ..Default::default() };
-    let handle = EaszServer::new(model.clone()).with_gateway(gateway).spawn("127.0.0.1:0")?;
-    println!("easz-serve listening on {} (gateway: window 4 reqs / 20 ms)", handle.addr());
+    let mut server = EaszServer::new(model.clone()).with_gateway(gateway);
+    if use_reactor {
+        server = server.with_reactor(ReactorConfig::default());
+    }
+    let handle = server.spawn("127.0.0.1:0")?;
+    println!(
+        "easz-serve listening on {} ({} front end, gateway: window 4 reqs / 20 ms)",
+        handle.addr(),
+        if use_reactor { "reactor" } else { "threaded" }
+    );
 
     let mut client = EaszClient::connect(handle.addr())?;
     println!("server speaks protocol v{}", client.ping()?);
