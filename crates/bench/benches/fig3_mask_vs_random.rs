@@ -39,6 +39,7 @@ fn main() {
                     mask_seed: 11,
                     synthesize_grain: true,
                     allow_quantized: false,
+                    model_id: 0,
                 };
                 // File saving is edge-side only: no model needed.
                 let encoder = EaszEncoder::new(cfg).expect("encoder");

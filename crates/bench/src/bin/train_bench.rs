@@ -1,0 +1,191 @@
+//! Data-parallel training throughput: full forward+backward+AdamW steps of
+//! the quick-zoo recipe (4 gradient shards) driven by 1 worker vs 4 pool
+//! workers, plus the serial tape path as the baseline. The parallel
+//! trainer's contract is bit-identical results at any worker count, so the
+//! digest of the trained weights is asserted across the measured
+//! configurations — a sweep that diverged would be measuring two different
+//! computations.
+//!
+//! Like `loopback_bench`, this splices its rows (and the 4-worker-vs-1
+//! summary ratio) into the `BENCH_decode.json` that `decode_bench` wrote:
+//!
+//! ```text
+//! cargo run --release -p easz-bench --bin decode_bench           # step 1
+//! cargo run --release -p easz-bench --bin train_bench            # step 2
+//! cargo run --release -p easz-bench --bin train_bench -- --quick
+//! ```
+//!
+//! Read the ratio against the host: worker threads buy wall-clock only
+//! when there are cores to run them, so on a single-core host the honest
+//! number is ~1.0x (the determinism contract is then the whole point).
+
+use easz_core::{ParallelTrainer, Reconstructor, ReconstructorConfig, TrainConfig, Trainer};
+use easz_data::Dataset;
+use easz_image::ImageF32;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Patches per optimisation step (must stay a multiple of the shard count).
+const BATCH: usize = 16;
+/// Gradient shards — recipe-pinned, like the zoo's fine-tune spec.
+const SHARDS: usize = 4;
+
+struct Row {
+    name: String,
+    steps: u64,
+    total_ns: u128,
+}
+
+impl Row {
+    fn ns_per_step(&self) -> f64 {
+        self.total_ns as f64 / self.steps as f64
+    }
+
+    fn steps_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_step()
+    }
+}
+
+fn model() -> Reconstructor {
+    Reconstructor::new(ReconstructorConfig {
+        n: 16,
+        b: 4,
+        d_model: 48,
+        heads: 2,
+        ffn: 96,
+        ..ReconstructorConfig::fast()
+    })
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig { batch_size: BATCH, lr: 1e-3, seed: 31, ..TrainConfig::default() }
+}
+
+/// FNV-1a over the trained parameter bits: cheap cross-run equality proof.
+fn weight_digest(model: &Reconstructor) -> u64 {
+    let params = model.params();
+    let mut h = 0xcbf29ce484222325u64;
+    for id in params.ids() {
+        for &v in params.value(id).data() {
+            for b in v.to_bits().to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    h
+}
+
+/// Runs `steps` parallel training steps on a fresh model, returning wall
+/// time and the trained-weight digest.
+fn run_parallel(corpus: &[ImageF32], workers: usize, steps: usize) -> (u128, u64) {
+    let mut trainer = ParallelTrainer::new(model(), train_cfg(), SHARDS).with_workers(workers);
+    let start = Instant::now();
+    trainer.train(corpus, steps);
+    (start.elapsed().as_nanos(), weight_digest(trainer.model()))
+}
+
+/// The serial tape-path baseline (one tape, no sharding).
+fn run_serial(corpus: &[ImageF32], steps: usize) -> u128 {
+    let mut trainer = Trainer::new(model(), train_cfg());
+    let start = Instant::now();
+    trainer.train(corpus, steps);
+    start.elapsed().as_nanos()
+}
+
+/// Splices the training rows and the 4-worker speedup into
+/// `BENCH_decode.json`. Refuses to patch twice.
+fn patch_json(rows: &[Row], speedup: f64) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {} (run decode_bench first): {e}", path.display()));
+    assert!(
+        !text.contains("\"mode\": \"train\""),
+        "{} already holds training rows; re-run decode_bench for a fresh file",
+        path.display()
+    );
+
+    let mut inserted = String::new();
+    for r in rows {
+        let _ = write!(
+            inserted,
+            ",\n    {{ \"name\": \"{}\", \"engine\": \"tape\", \"mode\": \"train\", \"tile_px\": 16, \"batch\": {BATCH}, \"iters\": {}, \"total_ns\": {}, \"ns_per_container\": {:.1}, \"containers_per_sec\": {:.2} }}",
+            r.name,
+            r.steps,
+            r.total_ns,
+            r.ns_per_step(),
+            r.steps_per_sec(),
+        );
+    }
+    inserted.push('\n');
+    let results_end = "\n  ],\n  \"summary\": {\n";
+    assert!(text.contains(results_end), "unrecognized BENCH_decode.json layout");
+    let mut patched =
+        text.replacen(results_end, &format!("{}  ],\n  \"summary\": {{\n", inserted), 1);
+    let summary_start = "  \"summary\": {\n";
+    patched = patched.replacen(
+        summary_start,
+        &format!(
+            "  \"summary\": {{\n    \"train_parallel_speedup_vs_1worker\": {{ \"x4\": {speedup:.3} }},\n"
+        ),
+        1,
+    );
+    std::fs::write(&path, patched).expect("write BENCH_decode.json");
+    println!("patched {}", path.display());
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let diag = std::env::args().any(|a| a == "--diag");
+    let (steps, rounds) = if quick { (6usize, 2usize) } else { (16, 4) };
+    let corpus = Dataset::CifarLike.images(24);
+
+    // Warm-up (thread pool, allocator, caches), plus the determinism gate:
+    // 1-worker and 4-worker training must digest identically before any
+    // timing is trusted.
+    let (_, d1) = run_parallel(&corpus, 1, 4);
+    let (_, d4) = run_parallel(&corpus, 4, 4);
+    assert_eq!(
+        d1, d4,
+        "1-worker and 4-worker training diverged; the sweep would compare different computations"
+    );
+    run_serial(&corpus, 2);
+
+    // Interleaved rounds, rotation spreads host drift across the cases.
+    let mut totals = [0u128; 3]; // serial, 1 worker, 4 workers
+    for round in 0..rounds {
+        for idx in 0..3 {
+            match (round + idx) % 3 {
+                0 => totals[0] += run_serial(&corpus, steps),
+                1 => totals[1] += run_parallel(&corpus, 1, steps).0,
+                _ => totals[2] += run_parallel(&corpus, 4, steps).0,
+            }
+        }
+    }
+    let all_steps = (rounds * steps) as u64;
+    let rows = vec![
+        Row { name: "train_serial_tape".into(), steps: all_steps, total_ns: totals[0] },
+        Row { name: "train_shards4_workers1".into(), steps: all_steps, total_ns: totals[1] },
+        Row { name: "train_shards4_workers4".into(), steps: all_steps, total_ns: totals[2] },
+    ];
+
+    println!("== train_bench ({}) ==", if quick { "quick" } else { "full" });
+    for r in &rows {
+        println!(
+            "{:<24} {:>10.2} ms/step  ({:>6.2} steps/s, {} steps)",
+            r.name,
+            r.ns_per_step() / 1e6,
+            r.steps_per_sec(),
+            r.steps
+        );
+    }
+    let speedup = rows[1].ns_per_step() / rows[2].ns_per_step();
+    println!(
+        "4-shard training, 4 workers vs 1: {speedup:.2}x \
+         (host parallelism: {} cores)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    if !diag {
+        patch_json(&rows, speedup);
+    }
+}

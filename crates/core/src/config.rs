@@ -73,6 +73,13 @@ pub struct EaszConfig {
     /// honour it by default, and tiered request frames can override it
     /// per request. Off by default — bit-exact f32 decoding.
     pub allow_quantized: bool,
+    /// Which reconstructor in the server's model zoo decodes this stream.
+    /// Id 0 is the generic model every server holds; nonzero ids name
+    /// domain fine-tuned models ([`zoo::ModelRegistry`](crate::zoo::ModelRegistry))
+    /// and bump the written container version to 3 (header byte 9, spec
+    /// §1.5). A server without the named model rejects the stream with the
+    /// typed [`EaszError::UnknownModel`](crate::EaszError::UnknownModel).
+    pub model_id: u8,
 }
 
 impl Default for EaszConfig {
@@ -86,6 +93,7 @@ impl Default for EaszConfig {
             mask_seed: 1,
             synthesize_grain: true,
             allow_quantized: false,
+            model_id: 0,
         }
     }
 }
@@ -215,6 +223,14 @@ impl EaszConfigBuilder {
     /// see [`EaszConfig::allow_quantized`]).
     pub fn allow_quantized(mut self, on: bool) -> Self {
         self.cfg.allow_quantized = on;
+        self
+    }
+
+    /// Which zoo reconstructor decodes these containers (0 = the generic
+    /// model; nonzero ids write format version 3 — see
+    /// [`EaszConfig::model_id`]).
+    pub fn model_id(mut self, id: u8) -> Self {
+        self.cfg.model_id = id;
         self
     }
 

@@ -43,10 +43,14 @@ pub const MAGIC: [u8; 4] = *b"EASZ";
 pub const FORMAT_VERSION: u8 = 1;
 /// The newest container format version this build parses. Version 2 keeps
 /// the byte layout of version 1 identically and assigns meaning to flag
-/// bit 2 (the quantized-tier opt-in, spec §1.4); writers emit the lowest
-/// version that can express a container, so every pre-existing container
-/// stays byte-identical at version 1.
-pub const FORMAT_VERSION_MAX: u8 = 2;
+/// bit 2 (the quantized-tier opt-in, spec §1.4). Version 3 assigns the
+/// formerly reserved header byte 9 as the zoo **model id** (spec §1.5).
+/// Writers emit the lowest version that can express a container, so every
+/// pre-existing container stays byte-identical.
+pub const FORMAT_VERSION_MAX: u8 = 3;
+/// The highest version whose features a container may use while staying at
+/// version 2 (quantized-tier flag, no model id).
+const FORMAT_VERSION_QUANT: u8 = 2;
 /// Fixed header length in bytes (sections follow).
 pub const HEADER_LEN: usize = 46;
 
@@ -125,15 +129,24 @@ impl EaszEncoded {
         if self.config.allow_quantized {
             flags |= FLAG_QUANT;
         }
-        // Lowest sufficient version: the quantized-tier flag is the only
-        // version-2 feature, so containers without it stay version 1
-        // byte-for-byte.
-        out.push(if flags & FLAG_QUANT != 0 { FORMAT_VERSION_MAX } else { FORMAT_VERSION });
+        // Lowest sufficient version: a nonzero model id is the only
+        // version-3 feature and the quantized-tier flag the only version-2
+        // one, so containers using neither stay version 1 byte-for-byte.
+        let version = if self.config.model_id != 0 {
+            FORMAT_VERSION_MAX
+        } else if flags & FLAG_QUANT != 0 {
+            FORMAT_VERSION_QUANT
+        } else {
+            FORMAT_VERSION
+        };
+        out.push(version);
         out.push(self.codec_id.value());
         out.push(self.quality.value());
         out.push(self.config.strategy.wire_byte());
         out.push(flags);
-        out.push(0); // reserved
+        // Byte 9: the zoo model id from version 3 on; reserved-must-be-0
+        // before that. Id 0 writes the identical byte either way.
+        out.push(self.config.model_id);
         out.extend_from_slice(&(self.config.n as u16).to_le_bytes());
         out.extend_from_slice(&(self.config.b as u16).to_le_bytes());
         out.extend_from_slice(&(self.width as u32).to_le_bytes());
@@ -184,7 +197,11 @@ impl EaszEncoded {
                 "unknown flag bits 0x{flags:02x} for version {version}"
             )));
         }
-        if bytes[9] != 0 {
+        // Byte 9 is the zoo model id from version 3 on; versions 1 and 2
+        // keep rejecting nonzero values exactly as when it was reserved —
+        // that rejection is what made reassigning the byte safe.
+        let model_id = if version >= 3 { bytes[9] } else { 0 };
+        if version < 3 && bytes[9] != 0 {
             return Err(EaszError::Malformed(format!("reserved byte 0x{:02x} != 0", bytes[9])));
         }
         let read_u16 = |off: usize| u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
@@ -222,6 +239,7 @@ impl EaszEncoded {
             mask_seed,
             synthesize_grain: flags & FLAG_GRAIN != 0,
             allow_quantized: flags & FLAG_QUANT != 0,
+            model_id,
         };
         config.validate()?;
 
@@ -316,7 +334,7 @@ mod tests {
         let mut enc = sample();
         enc.config.allow_quantized = true;
         let bytes = enc.to_bytes();
-        assert_eq!(bytes[4], FORMAT_VERSION_MAX, "quant opt-in needs version 2");
+        assert_eq!(bytes[4], FORMAT_VERSION_QUANT, "quant opt-in needs version 2");
         assert_eq!(bytes[8] & FLAG_QUANT, FLAG_QUANT);
         let back = EaszEncoded::from_bytes(&bytes).expect("parse v2");
         assert_eq!(back, enc);
@@ -344,8 +362,8 @@ mod tests {
         assert_eq!(bytes[4], FORMAT_VERSION);
         bytes[8] |= FLAG_QUANT;
         assert!(matches!(EaszEncoded::from_bytes(&bytes), Err(EaszError::Malformed(_))));
-        // And both versions still reject the genuinely reserved bits 3-7.
-        for version in [FORMAT_VERSION, FORMAT_VERSION_MAX] {
+        // And every version still rejects the genuinely reserved bits 3-7.
+        for version in [FORMAT_VERSION, FORMAT_VERSION_QUANT, FORMAT_VERSION_MAX] {
             let mut bad = sample().to_bytes();
             bad[4] = version;
             bad[8] |= 1 << 5;
@@ -358,9 +376,64 @@ mod tests {
         // Readers accept any v2 container; writers just never emit this
         // form (they pick the lowest sufficient version).
         let mut bytes = sample().to_bytes();
-        bytes[4] = FORMAT_VERSION_MAX;
+        bytes[4] = FORMAT_VERSION_QUANT;
         let back = EaszEncoded::from_bytes(&bytes).expect("lenient v2 parse");
         assert!(!back.config.allow_quantized);
+    }
+
+    #[test]
+    fn nonzero_model_id_writes_version_3_and_round_trips() {
+        let mut enc = sample();
+        enc.config.model_id = 7;
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes[4], FORMAT_VERSION_MAX, "nonzero model id needs version 3");
+        assert_eq!(bytes[9], 7);
+        let back = EaszEncoded::from_bytes(&bytes).expect("parse v3");
+        assert_eq!(back, enc);
+        assert_eq!(back.config.model_id, 7);
+    }
+
+    #[test]
+    fn model_id_zero_keeps_pre_zoo_containers_byte_identical() {
+        // The compatibility contract of the version-3 bump: the generic
+        // model (id 0) writes the exact bytes the pre-zoo encoder wrote.
+        let enc = sample();
+        assert_eq!(enc.config.model_id, 0);
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes[4], FORMAT_VERSION);
+        assert_eq!(bytes[9], 0);
+        let mut quant = sample();
+        quant.config.allow_quantized = true;
+        assert_eq!(quant.to_bytes()[4], FORMAT_VERSION_QUANT);
+    }
+
+    #[test]
+    fn versions_before_3_still_reject_a_nonzero_byte_9() {
+        // Byte 9 only names a model from version 3 on; earlier versions
+        // treat any nonzero value as the malformed reserved byte they
+        // always rejected.
+        for version in [FORMAT_VERSION, FORMAT_VERSION_QUANT] {
+            let mut bytes = sample().to_bytes();
+            bytes[4] = version;
+            bytes[9] = 1;
+            match EaszEncoded::from_bytes(&bytes) {
+                Err(EaszError::Malformed(m)) => assert!(m.contains("reserved"), "got {m:?}"),
+                other => panic!("v{version} nonzero byte 9 must be malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn version_3_composes_model_id_with_the_quant_tier() {
+        let mut enc = sample();
+        enc.config.model_id = 2;
+        enc.config.allow_quantized = true;
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes[4], FORMAT_VERSION_MAX);
+        assert_eq!(bytes[8] & FLAG_QUANT, FLAG_QUANT);
+        let back = EaszEncoded::from_bytes(&bytes).expect("parse v3 quant");
+        assert_eq!(back, enc);
+        assert_eq!(back.preferred_engine(), crate::DecodeEngine::QuantizedInt8);
     }
 
     #[test]

@@ -55,27 +55,46 @@ pub enum DecodeEngine {
     QuantizedInt8,
 }
 
-/// The server-side session: a trained reconstructor plus the codec
-/// registry used to resolve inner codecs named by bitstream headers, plus
-/// the inference state that amortises decode cost across calls (cached
-/// [`DecodePlan`](crate::DecodePlan)s and pooled scratch arenas).
-pub struct EaszDecoder<'m> {
+/// One served reconstructor with its own plan cache. Plans are built from
+/// (mask, model geometry), so caches must not be shared across models with
+/// different weights or shapes; the scratch [`ArenaPool`] is pure buffer
+/// storage and *is* shared decoder-wide.
+struct ModelSlot<'m> {
+    id: u8,
     model: &'m Reconstructor,
-    registry: CodecRegistry,
     plans: PlanCache,
+}
+
+/// One fused forward group a batch decode dispatched: `(model id,
+/// containers in the group)`.
+pub type FusedGroup = (u8, usize);
+
+/// The server-side session: the served reconstructors (the model zoo,
+/// keyed by the container header's model id — byte 9, format version 3)
+/// plus the codec registry used to resolve inner codecs named by bitstream
+/// headers, plus the inference state that amortises decode cost across
+/// calls (per-model cached [`DecodePlan`](crate::DecodePlan)s and pooled
+/// scratch arenas).
+pub struct EaszDecoder<'m> {
+    /// Sorted by id; id 0 (the generic model) is always present.
+    slots: Vec<ModelSlot<'m>>,
+    registry: CodecRegistry,
     arenas: ArenaPool,
 }
 
 impl<'m> std::fmt::Debug for EaszDecoder<'m> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EaszDecoder").field("registry", &self.registry).finish()
+        f.debug_struct("EaszDecoder")
+            .field("models", &self.slots.iter().map(|s| s.id).collect::<Vec<_>>())
+            .field("registry", &self.registry)
+            .finish()
     }
 }
 
 impl<'m> EaszDecoder<'m> {
-    /// Creates a decoder around a trained reconstructor with every codec
-    /// shipped in `easz-codecs` registered
-    /// ([`CodecRegistry::with_defaults`]).
+    /// Creates a decoder around a trained reconstructor (served as the
+    /// generic model, id 0) with every codec shipped in `easz-codecs`
+    /// registered ([`CodecRegistry::with_defaults`]).
     pub fn new(model: &'m Reconstructor) -> Self {
         Self::with_registry(model, CodecRegistry::with_defaults())
     }
@@ -83,32 +102,66 @@ impl<'m> EaszDecoder<'m> {
     /// Creates a decoder with a caller-supplied registry (e.g. extended
     /// with custom codecs, or stripped to an allow-list).
     pub fn with_registry(model: &'m Reconstructor, registry: CodecRegistry) -> Self {
-        Self { model, registry, plans: PlanCache::new(), arenas: ArenaPool::new() }
+        Self {
+            slots: vec![ModelSlot { id: 0, model, plans: PlanCache::new() }],
+            registry,
+            arenas: ArenaPool::new(),
+        }
     }
 
-    /// Number of decode plans currently cached (one per effective mask
-    /// seen; bounded). Exposed for tests and server metrics.
+    /// Serves `model` under container model id `id` (replacing any previous
+    /// model at that id), with its own plan cache. Containers naming an id
+    /// never registered are rejected with [`EaszError::UnknownModel`].
+    pub fn add_model(&mut self, id: u8, model: &'m Reconstructor) {
+        match self.slots.binary_search_by_key(&id, |s| s.id) {
+            Ok(pos) => self.slots[pos] = ModelSlot { id, model, plans: PlanCache::new() },
+            Err(pos) => self.slots.insert(pos, ModelSlot { id, model, plans: PlanCache::new() }),
+        }
+    }
+
+    /// Builder-style [`add_model`](Self::add_model).
+    pub fn with_model(mut self, id: u8, model: &'m Reconstructor) -> Self {
+        self.add_model(id, model);
+        self
+    }
+
+    /// The model ids this decoder serves, ascending (id 0 always present).
+    pub fn model_ids(&self) -> impl Iterator<Item = u8> + '_ {
+        self.slots.iter().map(|s| s.id)
+    }
+
+    fn slot(&self, id: u8) -> Result<&ModelSlot<'m>, EaszError> {
+        self.slots
+            .binary_search_by_key(&id, |s| s.id)
+            .map(|pos| &self.slots[pos])
+            .map_err(|_| EaszError::UnknownModel(id))
+    }
+
+    /// Number of decode plans currently cached across all served models
+    /// (one per (model, effective mask) seen; bounded). Exposed for tests
+    /// and server metrics.
     pub fn cached_plans(&self) -> usize {
-        self.plans.len()
+        self.slots.iter().map(|s| s.plans.len()).sum()
     }
 
-    /// The transformer forward on the decoder's cached inference state:
-    /// plan looked up (or built) per effective mask, scratch arena leased
-    /// from the pool so concurrent decodes each reuse warm buffers. The
-    /// `quantized` flag selects the int8 session over the f32 one; both
-    /// share the same plans and arenas.
+    /// The transformer forward on one served model's cached inference
+    /// state: plan looked up (or built) in the slot's cache per effective
+    /// mask, scratch arena leased from the shared pool so concurrent
+    /// decodes each reuse warm buffers. The `quantized` flag selects the
+    /// int8 session over the f32 one; both share the same plans and arenas.
     fn reconstruct(
         &self,
+        slot: &ModelSlot<'m>,
         batch: &TokenBatch,
         mask: &EraseMask,
         quantized: bool,
     ) -> Vec<Vec<Vec<f32>>> {
-        let plan = self.plans.get_or_build(mask);
+        let plan = slot.plans.get_or_build(mask);
         let mut arena = self.arenas.take();
         let recon = if quantized {
-            self.model.infer_tokens_quant(batch, &plan, &mut arena)
+            slot.model.infer_tokens_quant(batch, &plan, &mut arena)
         } else {
-            self.model.infer_tokens(batch, &plan, &mut arena)
+            slot.model.infer_tokens(batch, &plan, &mut arena)
         };
         self.arenas.put(arena);
         recon
@@ -119,9 +172,9 @@ impl<'m> EaszDecoder<'m> {
         &self.registry
     }
 
-    /// The reconstructor this decoder reconstructs with.
+    /// The generic (id 0) reconstructor.
     pub fn model(&self) -> &Reconstructor {
-        self.model
+        self.slot(0).expect("id 0 is always served").model
     }
 
     /// Parses an `.easz` container and decodes it — the one-call server
@@ -200,15 +253,15 @@ impl<'m> EaszDecoder<'m> {
         codec: &dyn ImageCodec,
         engine: DecodeEngine,
     ) -> Result<ImageF32, EaszError> {
-        let (wire_mask, mask) = self.validate_masks(encoded)?;
+        let (slot, wire_mask, mask) = self.validate_masks(encoded)?;
         let prepared = self.prepare(encoded, codec, wire_mask, mask)?;
         let tokens: Vec<Vec<Vec<f32>>> =
             prepared.patches.iter().map(|p| patch_tokens(p, prepared.geometry)).collect();
         let batch = TokenBatch::from_patches(&tokens);
         let recon = match engine {
-            DecodeEngine::TapeFree => self.reconstruct(&batch, &prepared.mask, false),
-            DecodeEngine::QuantizedInt8 => self.reconstruct(&batch, &prepared.mask, true),
-            DecodeEngine::Graph => self.model.reconstruct_tokens_graph(&batch, &prepared.mask),
+            DecodeEngine::TapeFree => self.reconstruct(slot, &batch, &prepared.mask, false),
+            DecodeEngine::QuantizedInt8 => self.reconstruct(slot, &batch, &prepared.mask, true),
+            DecodeEngine::Graph => slot.model.reconstruct_tokens_graph(&batch, &prepared.mask),
         };
         Ok(finish(prepared, &recon))
     }
@@ -252,6 +305,21 @@ impl<'m> EaszDecoder<'m> {
         encoded: &[EaszEncoded],
         engines: &[DecodeEngine],
     ) -> Vec<Result<ImageF32, EaszError>> {
+        self.decode_batch_with_stats(encoded, engines).0
+    }
+
+    /// [`decode_batch_with`](Self::decode_batch_with), additionally
+    /// reporting each fused forward group the window dispatched as
+    /// `(model id, containers in the group)`, in dispatch order. A
+    /// single-model window of k fusable containers reports `[(id, k)]`; a
+    /// window spanning the zoo reports one entry per (model, kept count,
+    /// engine) group — the server's batch-width histogram records these, so
+    /// it can prove fusion never crossed a model boundary.
+    pub fn decode_batch_with_stats(
+        &self,
+        encoded: &[EaszEncoded],
+        engines: &[DecodeEngine],
+    ) -> (Vec<Result<ImageF32, EaszError>>, Vec<FusedGroup>) {
         assert_eq!(engines.len(), encoded.len(), "one engine per container");
         // Cheap wire-level validation first: grouping needs every effective
         // mask before any pixel work, and the expensive stages then run
@@ -260,31 +328,44 @@ impl<'m> EaszDecoder<'m> {
         let mut out: Vec<Option<Result<ImageF32, EaszError>>> =
             encoded.iter().map(|_| None).collect();
         let mut masks: Vec<Option<(EraseMask, EraseMask)>> = Vec::with_capacity(encoded.len());
+        let mut model_slots: Vec<Option<&ModelSlot<'m>>> = Vec::with_capacity(encoded.len());
         for (e, slot) in encoded.iter().zip(&mut out) {
             match self.validate_masks(e) {
-                Ok(pair) => masks.push(Some(pair)),
+                Ok((model_slot, wire, eff)) => {
+                    masks.push(Some((wire, eff)));
+                    model_slots.push(Some(model_slot));
+                }
                 Err(error) => {
                     *slot = Some(Err(error));
                     masks.push(None);
+                    model_slots.push(None);
                 }
             }
         }
-        // Group by (kept-token count, engine): the geometry is already
-        // pinned to the model's, so equal counts are sufficient for one
-        // fused forward even when the erase positions differ per stream —
-        // but only among streams running the same numeric tier.
-        let fusion_keys: Vec<Option<(usize, DecodeEngine)>> = masks
+        // Group by (model id, kept-token count, engine): the geometry is
+        // already pinned to the routed model's, so equal counts are
+        // sufficient for one fused forward even when the erase positions
+        // differ per stream — but only among streams decoded by the same
+        // model on the same numeric tier. Fusing across models would run
+        // one model's weights over another stream's pixels.
+        let fusion_keys: Vec<Option<(u8, usize, DecodeEngine)>> = masks
             .iter()
+            .zip(&model_slots)
             .zip(engines)
-            .map(|(m, &engine)| {
-                m.as_ref().map(|(_, eff)| (eff.iter().filter(|&(_, _, e)| !e).count(), engine))
+            .map(|((m, slot), &engine)| {
+                m.as_ref().map(|(_, eff)| {
+                    let id = slot.expect("validated streams have a model").id;
+                    (id, eff.iter().filter(|&(_, _, e)| !e).count(), engine)
+                })
             })
             .collect();
+        let mut group_stats: Vec<(u8, usize)> = Vec::new();
         for group in batch_groups(&fusion_keys) {
             // Heavy per-stream stage; failures here (unresolvable codec,
             // corrupt payload) drop the stream from the forward, not the
             // batch.
             let engine = engines[group[0]];
+            let slot = model_slots[group[0]].expect("grouped streams have a model");
             let mut members: Vec<(usize, PreparedStream)> = Vec::with_capacity(group.len());
             let mut tokens: Vec<Vec<Vec<f32>>> = Vec::new();
             for i in group {
@@ -306,6 +387,7 @@ impl<'m> EaszDecoder<'m> {
             if members.is_empty() {
                 continue;
             }
+            group_stats.push((slot.id, members.len()));
             // One transformer forward for the whole group. Uniform-mask
             // groups keep the cheaper broadcast positional embedding;
             // mixed-mask groups fuse through a MultiMaskPlan. The Graph
@@ -320,27 +402,27 @@ impl<'m> EaszDecoder<'m> {
                 for (_, p) in &members {
                     let count = p.patches.len();
                     let member_batch = TokenBatch::from_patches(&tokens[offset..offset + count]);
-                    recon.extend(self.model.reconstruct_tokens_graph(&member_batch, &p.mask));
+                    recon.extend(slot.model.reconstruct_tokens_graph(&member_batch, &p.mask));
                     offset += count;
                 }
                 recon
             } else if uniform {
                 let batch = TokenBatch::from_patches(&tokens);
-                self.reconstruct(&batch, &members[0].1.mask, quantized)
+                self.reconstruct(slot, &batch, &members[0].1.mask, quantized)
             } else {
                 let batch = TokenBatch::from_patches(&tokens);
                 let plans: Vec<(std::sync::Arc<DecodePlan>, usize)> = members
                     .iter()
-                    .map(|(_, p)| (self.plans.get_or_build(&p.mask), p.patches.len()))
+                    .map(|(_, p)| (slot.plans.get_or_build(&p.mask), p.patches.len()))
                     .collect();
                 let streams: Vec<(&DecodePlan, usize)> =
                     plans.iter().map(|(plan, count)| (plan.as_ref(), *count)).collect();
                 let fused = MultiMaskPlan::new(&streams);
                 let mut arena = self.arenas.take();
                 let recon = if quantized {
-                    self.model.infer_tokens_multi_quant(&batch, &fused, &mut arena)
+                    slot.model.infer_tokens_multi_quant(&batch, &fused, &mut arena)
                 } else {
-                    self.model.infer_tokens_multi(&batch, &fused, &mut arena)
+                    slot.model.infer_tokens_multi(&batch, &fused, &mut arena)
                 };
                 self.arenas.put(arena);
                 recon
@@ -352,21 +434,29 @@ impl<'m> EaszDecoder<'m> {
                 offset += count;
             }
         }
-        out.into_iter()
+        let results = out
+            .into_iter()
             .map(|slot| slot.expect("every stream is either rejected or finished"))
-            .collect()
+            .collect();
+        (results, group_stats)
     }
 
-    /// Wire-level validation shared by all decode paths: checks the
-    /// container's geometry against the model, parses the mask side channel
-    /// and resolves the squeeze orientation. Cheap — no pixel work.
+    /// Wire-level validation shared by all decode paths: routes the
+    /// container to its served model by header model id, checks the
+    /// container's geometry against that model, parses the mask side
+    /// channel and resolves the squeeze orientation. Cheap — no pixel work.
     ///
-    /// Returns `(wire mask, effective mask)`: the side channel as
-    /// transmitted (which drives the un-squeeze layout) and its
-    /// orientation-resolved form (which drives reconstruction and batch
-    /// grouping). For horizontal squeeze they are the same mask.
-    fn validate_masks(&self, encoded: &EaszEncoded) -> Result<(EraseMask, EraseMask), EaszError> {
-        let model_cfg = self.model.config();
+    /// Returns `(model slot, wire mask, effective mask)`: the slot that
+    /// decodes this stream, the side channel as transmitted (which drives
+    /// the un-squeeze layout) and its orientation-resolved form (which
+    /// drives reconstruction and batch grouping). For horizontal squeeze
+    /// the two masks are the same mask.
+    fn validate_masks(
+        &self,
+        encoded: &EaszEncoded,
+    ) -> Result<(&ModelSlot<'m>, EraseMask, EraseMask), EaszError> {
+        let slot = self.slot(encoded.config.model_id)?;
+        let model_cfg = slot.model.config();
         if (model_cfg.n, model_cfg.b) != (encoded.config.n, encoded.config.b) {
             return Err(EaszError::GeometryMismatch {
                 model: (model_cfg.n, model_cfg.b),
@@ -392,7 +482,7 @@ impl<'m> EaszDecoder<'m> {
             Orientation::Horizontal => mask.clone(),
             Orientation::Vertical => transpose_mask(&mask),
         };
-        Ok((mask, effective))
+        Ok((slot, mask, effective))
     }
 
     /// Stage 1 of decoding: inner-decode the payload and un-squeeze it back
@@ -496,8 +586,8 @@ fn finish(mut prepared: PreparedStream, recon: &[Vec<Vec<f32>>]) -> ImageF32 {
     out
 }
 
-/// Groups stream indices by a fusion key (today: kept-token count plus
-/// execution engine), preserving first-seen order within and across groups
+/// Groups stream indices by a fusion key (today: model id, kept-token
+/// count and execution engine), preserving first-seen order within and across groups
 /// (`None` slots — failed validations — are skipped). Each returned group
 /// is served by one transformer forward.
 fn batch_groups<K: PartialEq>(keys: &[Option<K>]) -> Vec<Vec<usize>> {
@@ -800,10 +890,97 @@ mod tests {
         // The engine joins the fusion key: same kept count on different
         // tiers must land in different forward groups, in first-seen order.
         use DecodeEngine::{QuantizedInt8 as Q, TapeFree as F};
-        let keys =
-            [Some((60usize, F)), Some((60, Q)), Some((60, F)), None, Some((48, Q)), Some((60, Q))];
+        let keys = [
+            Some((0u8, 60usize, F)),
+            Some((0, 60, Q)),
+            Some((0, 60, F)),
+            None,
+            Some((0, 48, Q)),
+            Some((0, 60, Q)),
+        ];
         let groups = batch_groups(&keys);
         assert_eq!(groups, vec![vec![0, 2], vec![1, 5], vec![4]]);
+    }
+
+    #[test]
+    fn mixed_model_windows_never_fuse() {
+        // The model id leads the fusion key: streams with equal kept counts
+        // on the same tier but different zoo models must decode in separate
+        // forward groups — fusing them would run one model's weights over
+        // another stream's pixels.
+        use DecodeEngine::TapeFree as F;
+        let keys = [
+            Some((0u8, 60usize, F)),
+            Some((1, 60, F)),
+            Some((0, 60, F)),
+            Some((2, 60, F)),
+            Some((1, 60, F)),
+        ];
+        let groups = batch_groups(&keys);
+        assert_eq!(groups, vec![vec![0, 2], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn unknown_model_id_is_a_typed_error() {
+        let model = quick_model();
+        let dec = EaszDecoder::new(&model);
+        let img = Dataset::KodakLike.image(3).crop(0, 0, 64, 64);
+        let cfg = EaszConfig { model_id: 9, ..EaszConfig::default() };
+        let enc = EaszEncoder::new(cfg).expect("encoder");
+        let encoded = enc.compress(&img, &JpegLikeCodec::new(), Quality::new(70)).expect("c");
+        assert!(matches!(dec.decode(&encoded), Err(EaszError::UnknownModel(9))));
+        // The batch path isolates it like any other per-stream error.
+        let ok = encoder().compress(&img, &JpegLikeCodec::new(), Quality::new(70)).expect("c");
+        let results = dec.decode_batch(&[encoded, ok]);
+        assert!(matches!(results[0], Err(EaszError::UnknownModel(9))));
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn multi_model_batch_routes_each_stream_to_its_own_model() {
+        // Two genuinely different models served under ids 0 and 1: each
+        // stream must decode exactly as a single-model decoder holding its
+        // model would, and the per-group stats must show one group per
+        // model with no cross-model fusion.
+        let generic = quick_model();
+        let other =
+            Reconstructor::new(ReconstructorConfig { seed: 99, ..ReconstructorConfig::fast() });
+        let dec = EaszDecoder::new(&generic).with_model(1, &other);
+        assert_eq!(dec.model_ids().collect::<Vec<_>>(), vec![0, 1]);
+        let codec = JpegLikeCodec::new();
+        let img = Dataset::KodakLike.image(6).crop(0, 0, 64, 64);
+        let on_model = |id: u8| {
+            let cfg = EaszConfig { model_id: id, ..EaszConfig::default() };
+            EaszEncoder::new(cfg)
+                .expect("encoder")
+                .compress(&img, &codec, Quality::new(80))
+                .expect("c")
+        };
+        let containers = vec![on_model(0), on_model(1), on_model(0), on_model(1)];
+        let engines = vec![DecodeEngine::TapeFree; containers.len()];
+        let (results, stats) = dec.decode_batch_with_stats(&containers, &engines);
+        assert_eq!(stats, vec![(0, 2), (1, 2)], "one fused group per model");
+        let dec0 = EaszDecoder::new(&generic);
+        let dec1 = EaszDecoder::new(&other);
+        for (i, r) in results.iter().enumerate() {
+            let single = if i % 2 == 0 { &dec0 } else { &dec1 };
+            // The single-model reference decoder does not serve the
+            // container's id; decode on a copy routed to id 0.
+            let mut c = containers[i].clone();
+            c.config.model_id = 0;
+            let serial = single.decode(&c).expect("serial decode");
+            assert_eq!(
+                r.as_ref().expect("batched").data(),
+                serial.data(),
+                "stream {i} must decode on its own model exactly"
+            );
+        }
+        // The two models must actually produce different pixels.
+        assert_ne!(
+            results[0].as_ref().expect("m0").data(),
+            results[1].as_ref().expect("m1").data(),
+            "distinct models must disagree somewhere"
+        );
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub enum EaszError {
     /// ([`CodecId::UNKNOWN`]), so its bitstream could never be resolved by
     /// a receiver.
     AnonymousCodec(String),
+    /// The container names a zoo model id the decoder does not serve
+    /// (container header byte 9, format version 3+).
+    UnknownModel(u8),
     /// The decoder's model was trained for a different patch geometry than
     /// the bitstream announces.
     GeometryMismatch {
@@ -68,6 +71,7 @@ impl fmt::Display for EaszError {
             Self::AnonymousCodec(name) => {
                 write!(f, "codec {name:?} has no wire id; register a CodecId to transmit it")
             }
+            Self::UnknownModel(id) => write!(f, "no zoo model served under id {id}"),
             Self::GeometryMismatch { model, bitstream } => write!(
                 f,
                 "model geometry (n={}, b={}) does not match bitstream (n={}, b={})",

@@ -26,8 +26,10 @@
 //!   split pipeline, talking through the versioned [`EaszEncoded`] `.easz`
 //!   container whose header names the inner codec by
 //!   [`CodecId`](easz_codecs::CodecId).
-//! * [`zoo`] — a deterministic pretrained-weights cache shared by tests,
-//!   examples and benches.
+//! * [`zoo`] — the versioned model zoo: a deterministic pretrained-weights
+//!   cache shared by tests, examples and benches, plus fine-tuned domain
+//!   variants ([`zoo::FinetuneDomain`]) served under container model ids
+//!   and a [`zoo::ModelRegistry`] for routing.
 //!
 //! The edge and the server share nothing but bytes: the encoder is
 //! constructible without a [`Reconstructor`] in scope, and the decoder
@@ -74,7 +76,7 @@ pub mod zoo;
 
 pub use config::{EaszConfig, EaszConfigBuilder, MaskStrategy};
 pub use container::{EaszEncoded, FORMAT_VERSION, FORMAT_VERSION_MAX, HEADER_LEN, MAGIC};
-pub use decoder::{DecodeEngine, EaszDecoder};
+pub use decoder::{DecodeEngine, EaszDecoder, FusedGroup};
 pub use encoder::EaszEncoder;
 pub use error::EaszError;
 pub use mask::{EraseMask, MaskKind, RowSamplerConfig};
@@ -84,4 +86,4 @@ pub use patchify::{
 };
 pub use plan::{BatchMaps, DecodePlan, MultiMaskPlan};
 pub use squeeze::{pixel_saving_ratio, squeeze_patch, unsqueeze_patch, FillMethod, Orientation};
-pub use train::{erased_region_mse, TrainConfig, Trainer};
+pub use train::{erased_region_mse, ParallelTrainer, TrainConfig, Trainer};

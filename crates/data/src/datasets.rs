@@ -19,13 +19,19 @@ pub enum Dataset {
     KodakLike,
     /// 1152×768 higher-detail test images (CLIC stand-in).
     ClicLike,
+    /// 32×32 heavily textured tiles (foliage/fabric-dominated content) —
+    /// the "textured" fine-tuning domain of the model zoo.
+    TexturedLike,
+    /// 32×32 flat, near-noiseless tiles (documents, walls, synthetic UI) —
+    /// the "flat" fine-tuning domain of the model zoo.
+    FlatLike,
 }
 
 impl Dataset {
     /// Image dimensions `(width, height)` for this dataset.
     pub fn dimensions(self) -> (usize, usize) {
         match self {
-            Dataset::CifarLike => (32, 32),
+            Dataset::CifarLike | Dataset::TexturedLike | Dataset::FlatLike => (32, 32),
             Dataset::KodakLike => (768, 512),
             Dataset::ClicLike => (1152, 768),
         }
@@ -59,6 +65,25 @@ impl Dataset {
                 micro_detail: 0.24,
                 sensor_noise: 0.006,
             },
+            // The two fine-tuning domains deliberately sit at opposite ends
+            // of the texture/detail axis so the zoo's per-domain models have
+            // genuinely different statistics to specialise to.
+            Dataset::TexturedLike => SceneConfig {
+                width,
+                height,
+                objects: 2,
+                texture: 0.85,
+                micro_detail: 0.38,
+                sensor_noise: 0.015,
+            },
+            Dataset::FlatLike => SceneConfig {
+                width,
+                height,
+                objects: 4,
+                texture: 0.02,
+                micro_detail: 0.02,
+                sensor_noise: 0.004,
+            },
         }
     }
 
@@ -68,6 +93,8 @@ impl Dataset {
             Dataset::CifarLike => 0x1000_0000u64,
             Dataset::KodakLike => 0x2000_0000u64,
             Dataset::ClicLike => 0x3000_0000u64,
+            Dataset::TexturedLike => 0x4000_0000u64,
+            Dataset::FlatLike => 0x5000_0000u64,
         };
         generate_scene(&self.scene_config(), tag + index as u64)
     }
@@ -131,6 +158,34 @@ mod tests {
         let a = Dataset::CifarLike.image(0);
         let b = Dataset::CifarLike.image(1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn finetuning_domains_sit_at_opposite_texture_extremes() {
+        // Mean absolute horizontal gradient as a cheap texture proxy: the
+        // textured domain must be markedly busier than the flat one, or the
+        // zoo's per-domain specialisation has nothing to learn.
+        let energy = |d: Dataset| {
+            let mut acc = 0.0f64;
+            let mut count = 0usize;
+            for img in d.images(6) {
+                for y in 0..img.height() {
+                    for x in 0..img.width() - 1 {
+                        acc += (img.get(x + 1, y, 0) - img.get(x, y, 0)).abs() as f64;
+                        count += 1;
+                    }
+                }
+            }
+            acc / count as f64
+        };
+        let textured = energy(Dataset::TexturedLike);
+        let flat = energy(Dataset::FlatLike);
+        assert!(
+            textured > flat * 3.0,
+            "domains must be statistically distinct: textured {textured:.4} flat {flat:.4}"
+        );
+        assert_eq!(Dataset::TexturedLike.dimensions(), (32, 32));
+        assert_eq!(Dataset::FlatLike.dimensions(), (32, 32));
     }
 
     #[test]

@@ -339,8 +339,27 @@ impl Batcher {
             replies.push(j.reply);
         }
         let started = Instant::now();
-        let results = decoder.decode_batch_with(&containers, &engines);
-        self.metrics.record_batch(containers.len(), started.elapsed().as_micros() as u64);
+        let (results, groups) = decoder.decode_batch_with_stats(&containers, &engines);
+        let decode_us = started.elapsed().as_micros() as u64;
+        // One histogram record per fused forward group, not per window: the
+        // batch-width histogram measures how many containers actually
+        // shared a transformer forward, so a window the decoder had to
+        // split (mixed models, mixed tiers, mixed kept counts) reports its
+        // true fusion widths. Decode time is apportioned by group width,
+        // remainder to the last group so the total is preserved. A window
+        // whose every job failed validation ran no forward and records
+        // nothing.
+        let fused: usize = groups.iter().map(|&(_, width)| width).sum();
+        let mut spent = 0u64;
+        for (gi, &(_, width)) in groups.iter().enumerate() {
+            let us = if gi + 1 == groups.len() {
+                decode_us - spent
+            } else {
+                decode_us * width as u64 / fused as u64
+            };
+            spent += us;
+            self.metrics.record_batch(width, us);
+        }
         for (reply, result) in replies.into_iter().zip(results) {
             // If the connection died while its job was queued the callback
             // finds nobody to deliver to and the result is simply dropped.
@@ -476,8 +495,12 @@ mod tests {
             assert_ne!(images[0].data(), images[1].data(), "tiers must differ numerically");
         });
         let stats = metrics.snapshot();
-        assert_eq!(stats.batches_dispatched, 1, "all four jobs share one window");
-        assert_eq!(stats.batch_widths[3], 1, "the one window holds 4 jobs");
+        // One window, but the decoder split it into two per-tier forwards —
+        // and the histogram records fusion groups, so it shows two width-2
+        // batches, never a width-4 one.
+        assert_eq!(stats.batches_dispatched, 2, "one forward group per tier");
+        assert_eq!(stats.batch_widths[1], 2, "each tier fused its own pair");
+        assert_eq!(stats.batch_widths[3], 0, "no cross-tier width-4 fusion");
     }
 
     #[test]
@@ -603,9 +626,11 @@ mod tests {
         assert!(first >= 1_000, "interval of >=2ms must register, got {first}µs");
         // One back-to-back submission suffices logically ((7e + dt)/8 < e
         // whenever dt < e), but a loaded machine can stall any single
-        // submit past `first`, so allow a few attempts before judging.
+        // submit past `first` (and a run of stalls inflates the EWMA, so
+        // one fast submit stops sufficing) — keep submitting until the
+        // geometric decay wins.
         let mut second = first;
-        for _ in 0..50 {
+        for _ in 0..500 {
             submit_chan(&batcher, container(3), tier, 1).expect("room");
             second = metrics.arrival_ewma_us();
             if second < first {

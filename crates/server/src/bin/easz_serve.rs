@@ -17,13 +17,19 @@ use std::net::TcpListener;
 use std::process::exit;
 use std::time::Duration;
 
-const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--max-frame-len BYTES] [--max-batch N]
+const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--model DOMAIN]...
+                  [--max-frame-len BYTES] [--max-batch N]
                   [--read-timeout-ms MS] [--gateway-max-batch N]
                   [--gateway-max-wait-us US] [--gateway-workers N]
                   [--gateway-adaptive-wait] [--reactor]
                   [--reactor-max-conns N] [--reactor-max-inflight N]
 
   --addr HOST:PORT        listen address (default 127.0.0.1:4860)
+  --model DOMAIN          also serve the fine-tuned zoo model for DOMAIN
+                          ('textured' or 'flat') under its zoo model id;
+                          repeatable. The generic model always serves id 0.
+                          First use fine-tunes from the pretrained weights
+                          (seconds), then loads from target/easz-weights/
   --max-frame-len BYTES   largest accepted request frame payload (default 16 MiB)
   --max-batch N           largest accepted DECODE_BATCH count (default 64)
   --read-timeout-ms MS    disconnect a connection idle for MS milliseconds
@@ -48,6 +54,7 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut gateway: Option<GatewayConfig> = None;
     let mut reactor: Option<ReactorConfig> = None;
+    let mut domains: Vec<zoo::FinetuneDomain> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -58,6 +65,16 @@ fn main() {
         };
         match flag.as_str() {
             "--addr" => addr = value("--addr"),
+            "--model" => {
+                let name = value("--model");
+                let Some(domain) = zoo::FinetuneDomain::parse(&name) else {
+                    eprintln!("unknown model domain {name:?} (try 'textured' or 'flat')\n{USAGE}");
+                    exit(2);
+                };
+                if !domains.contains(&domain) {
+                    domains.push(domain);
+                }
+            }
             "--max-frame-len" => config.max_frame_len = parse(&value("--max-frame-len")),
             "--max-batch" => config.max_batch = parse(&value("--max-batch")),
             "--read-timeout-ms" => {
@@ -105,6 +122,12 @@ fn main() {
 
     println!("loading (or pretraining once) the reconstruction model...");
     let model = zoo::pretrained(zoo::PretrainSpec::quick());
+    let mut server = EaszServer::new(model);
+    for &domain in &domains {
+        println!("loading (or fine-tuning once) the '{}' zoo model...", domain.name());
+        let tuned = zoo::finetuned(zoo::FinetuneSpec::quick(domain));
+        server = server.with_model(domain.model_id(), tuned);
+    }
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
         Err(e) => {
@@ -128,12 +151,24 @@ fn main() {
         Some(r) => format!("reactor front end, {} conns max", r.max_connections),
         None => "threaded front end".to_string(),
     };
+    let model_desc = if domains.is_empty() {
+        "generic model only".to_string()
+    } else {
+        format!(
+            "models: generic + {}",
+            domains
+                .iter()
+                .map(|d| format!("{} (id {})", d.name(), d.model_id()))
+                .collect::<Vec<_>>()
+                .join(" + ")
+        )
+    };
     println!(
         "easz-serve listening on {bound} (max frame {} B, max batch {}, {front_desc}, \
-         {gateway_desc})",
+         {gateway_desc}, {model_desc})",
         config.max_frame_len, config.max_batch
     );
-    if let Err(e) = EaszServer::new(model).with_config(config).serve(listener) {
+    if let Err(e) = server.with_config(config).serve(listener) {
         eprintln!("accept loop failed: {e}");
         exit(1);
     }

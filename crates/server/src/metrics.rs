@@ -33,8 +33,8 @@ pub struct ServerMetrics {
     decode_ok: AtomicU64,
     /// Per-container `ERROR` replies sent (codes `1..=15`).
     decode_err: AtomicU64,
-    /// Decode batches issued (gateway windows and direct `DECODE_BATCH`
-    /// bulk decodes).
+    /// Fused forward groups issued — one count per `(model id, tier,
+    /// geometry)` fusion group a batch or gateway window dispatched.
     batches_dispatched: AtomicU64,
     /// Containers decoded outside the gateway (gateway disabled, queue
     /// full, or shutdown in progress).
@@ -47,9 +47,9 @@ pub struct ServerMetrics {
     queue_wait_us: AtomicU64,
     /// Total microseconds workers spent inside `decode_batch`.
     decode_us: AtomicU64,
-    /// Histogram of decode batch widths (gateway windows and direct
-    /// `DECODE_BATCH` decodes); bucket `i` counts width `i + 1`, the last
-    /// bucket counts `>= WIDTH_BUCKETS`.
+    /// Histogram of fused forward group widths (containers per shared
+    /// model forward); bucket `i` counts width `i + 1`, the last bucket
+    /// counts `>= WIDTH_BUCKETS`.
     batch_widths: [AtomicU64; WIDTH_BUCKETS],
     /// `ERROR` frames sent, by code byte (protocol-level codes included).
     errors: [AtomicU64; MAX_ERROR_CODE + 1],
@@ -227,8 +227,8 @@ pub struct ServerStats {
     pub decode_ok: u64,
     /// Per-container `ERROR` replies sent.
     pub decode_err: u64,
-    /// Decode batches issued (gateway windows and direct `DECODE_BATCH`
-    /// bulk decodes).
+    /// Fused forward groups issued (one per `(model id, tier, geometry)`
+    /// fusion group dispatched).
     pub batches_dispatched: u64,
     /// Containers decoded outside the gateway.
     pub inline_decodes: u64,
@@ -240,8 +240,8 @@ pub struct ServerStats {
     pub queue_wait_us: u64,
     /// Total microseconds spent inside `decode_batch` calls.
     pub decode_us: u64,
-    /// Batch-width histogram; bucket `i` counts width `i + 1`, the last
-    /// bucket counts `>= WIDTH_BUCKETS`.
+    /// Fused-forward-group width histogram; bucket `i` counts groups of
+    /// width `i + 1` containers, the last bucket counts `>= WIDTH_BUCKETS`.
     pub batch_widths: [u64; WIDTH_BUCKETS],
     /// `(error code byte, count)` for every code observed at least once,
     /// ascending by code.

@@ -140,6 +140,9 @@ pub enum ErrorCode {
     /// stays open (retry later, ideally with backoff); for a connection
     /// refused at accept the server closes right after this frame.
     Busy = 35,
+    /// The container names a zoo model id this server does not serve. The
+    /// connection stays open; other model ids keep decoding.
+    UnknownModel = 36,
 }
 
 impl ErrorCode {
@@ -165,6 +168,7 @@ impl ErrorCode {
             33 => Oversize,
             34 => UnknownFrame,
             35 => Busy,
+            36 => UnknownModel,
             _ => return None,
         })
     }
@@ -181,6 +185,7 @@ impl ErrorCode {
             EaszError::GeometryMismatch { .. } => Self::GeometryMismatch,
             EaszError::Codec(_) => Self::Codec,
             EaszError::InvalidConfig(_) => Self::InvalidConfig,
+            EaszError::UnknownModel(_) => Self::UnknownModel,
             // `EaszError` is non-exhaustive; anything a future core adds is
             // at least a malformed-input report until it gets its own code.
             _ => Self::Malformed,
@@ -534,11 +539,13 @@ mod tests {
             ErrorCode::Oversize,
             ErrorCode::UnknownFrame,
             ErrorCode::Busy,
+            ErrorCode::UnknownModel,
         ] {
             assert_eq!(ErrorCode::from_byte(code.value()), Some(code));
         }
         assert_eq!(ErrorCode::from_byte(0), None);
         assert_eq!(ErrorCode::of(&EaszError::BadMagic), ErrorCode::BadMagic);
+        assert_eq!(ErrorCode::of(&EaszError::UnknownModel(7)), ErrorCode::UnknownModel);
         assert_eq!(
             ErrorCode::of(&EaszError::Truncated { needed: 46, got: 0 }),
             ErrorCode::Truncated

@@ -1,6 +1,6 @@
 //! The decode server: an accept loop handing each connection to a scoped
 //! handler thread, all sharing one [`EaszDecoder`] (and therefore one
-//! model) behind the framing protocol of [`crate::protocol`].
+//! model zoo) behind the framing protocol of [`crate::protocol`].
 
 use crate::batcher::{Batcher, GatewayConfig};
 use crate::metrics::{ServerMetrics, ServerStats};
@@ -89,10 +89,15 @@ impl Default for ServerConfig {
 
 /// A batched `.easz` decode server over TCP.
 ///
-/// One reconstructor serves every connection: handler threads run under
+/// One model zoo serves every connection: handler threads run under
 /// [`std::thread::scope`] and share a single [`EaszDecoder`], so a
 /// `DECODE_BATCH` request turns into [`EaszDecoder::decode_batch`] — one
 /// transformer forward per shared-mask group rather than one per stream.
+/// The generic model answers containers carrying model id 0 (including
+/// every pre-zoo container); [`with_model`](Self::with_model) mounts
+/// fine-tuned models under nonzero ids, and a container naming an
+/// unmounted id gets a typed `UNKNOWN_MODEL` error instead of a wrong
+/// reconstruction.
 ///
 /// ```no_run
 /// use easz_core::zoo;
@@ -106,6 +111,8 @@ impl Default for ServerConfig {
 /// ```
 pub struct EaszServer {
     model: Arc<Reconstructor>,
+    /// Fine-tuned zoo models mounted under nonzero ids, sorted by id.
+    extra_models: Vec<(u8, Arc<Reconstructor>)>,
     registry: CodecRegistry,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
@@ -126,6 +133,7 @@ impl EaszServer {
     pub fn new(model: Arc<Reconstructor>) -> Self {
         Self {
             model,
+            extra_models: Vec::new(),
             registry: CodecRegistry::with_defaults(),
             config: ServerConfig::default(),
             metrics: Arc::new(ServerMetrics::new()),
@@ -135,6 +143,23 @@ impl EaszServer {
     /// Replaces the codec registry (e.g. an allow-list of inner codecs).
     pub fn with_registry(mut self, registry: CodecRegistry) -> Self {
         self.registry = registry;
+        self
+    }
+
+    /// Mounts a zoo model under `id`, serving containers whose header
+    /// carries that model id. Id `0` replaces the generic model passed to
+    /// [`new`](Self::new); mounting the same nonzero id twice keeps the
+    /// later model. The gateway never fuses requests across model ids, so
+    /// mounted models stay bit-exact to their local serial decodes.
+    pub fn with_model(mut self, id: u8, model: Arc<Reconstructor>) -> Self {
+        if id == 0 {
+            self.model = model;
+            return self;
+        }
+        match self.extra_models.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => self.extra_models[pos].1 = model,
+            Err(pos) => self.extra_models.insert(pos, (id, model)),
+        }
         self
     }
 
@@ -223,8 +248,12 @@ impl EaszServer {
         shutdown: &AtomicBool,
         connections: &Connections,
     ) -> io::Result<()> {
-        let Self { model, registry, config, metrics } = self;
-        let decoder = EaszDecoder::with_registry(&model, registry);
+        let Self { model, extra_models, registry, config, metrics } = self;
+        let mut decoder = EaszDecoder::with_registry(&model, registry);
+        for (id, extra) in &extra_models {
+            decoder.add_model(*id, extra);
+        }
+        let decoder = decoder;
         // The reactor's event loop must never block on a forward, so it
         // always decodes through a gateway — a default one (with adaptive
         // windows, since the reactor targets bursty fleet traffic) when
@@ -638,10 +667,24 @@ fn handle_decode_batch(
             }
         }
         let started = std::time::Instant::now();
-        let mut decoded = ctx.decoder.decode_batch_with(&good, &engines).into_iter();
-        if !good.is_empty() {
-            ctx.metrics.record_batch(good.len(), started.elapsed().as_micros() as u64);
+        let (decoded, groups) = ctx.decoder.decode_batch_with_stats(&good, &engines);
+        let decode_us = started.elapsed().as_micros() as u64;
+        // One histogram entry per fused forward group, with the wall time
+        // apportioned by group width (the remainder lands on the last
+        // group so the totals stay exact) — same accounting as the
+        // gateway's decode windows.
+        let fused: usize = groups.iter().map(|&(_, width)| width).sum();
+        let mut spent = 0u64;
+        for (gi, &(_, width)) in groups.iter().enumerate() {
+            let us = if gi + 1 == groups.len() {
+                decode_us - spent
+            } else {
+                decode_us * width as u64 / fused as u64
+            };
+            spent += us;
+            ctx.metrics.record_batch(width, us);
         }
+        let mut decoded = decoded.into_iter();
         for status in statuses {
             slots.push(match status {
                 Ok(()) => BatchSlot::Done(decoded.next().expect("one decode per parsed container")),

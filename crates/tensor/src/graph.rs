@@ -146,6 +146,51 @@ impl Gradients {
             }
         }
     }
+
+    /// Sums per-shard gradients with a **fixed pairwise reduction tree**:
+    /// `((g0 + g1) + (g2 + g3)) + ...` over shard index, elementwise per
+    /// parameter in `ParamId` order.
+    ///
+    /// The grouping of the float additions depends only on the number of
+    /// shards — never on worker count, scheduling, or which thread produced
+    /// which shard — so a data-parallel backward pass that reduces through
+    /// here is bit-identical across any degree of execution parallelism.
+    /// This is the parallel-path extension of the [`iter`](Self::iter)/
+    /// [`global_norm`](Self::global_norm) determinism contract. A single
+    /// shard passes through untouched (no regrouping, no scaling).
+    pub fn tree_reduce(shards: Vec<Gradients>) -> Gradients {
+        let mut layer = shards;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut pairs = layer.into_iter();
+            while let Some(mut left) = pairs.next() {
+                if let Some(right) = pairs.next() {
+                    left.accumulate(&right);
+                }
+                next.push(left);
+            }
+            layer = next;
+        }
+        layer.pop().unwrap_or_default()
+    }
+
+    /// Adds `other` into `self` elementwise (`self[i] += other[i]` per
+    /// parameter); parameters only present in `other` are copied over.
+    fn accumulate(&mut self, other: &Gradients) {
+        for (id, g) in other.iter() {
+            match self.by_param.get_mut(&id) {
+                Some(acc) => {
+                    debug_assert_eq!(acc.shape(), g.shape(), "shard gradient shapes must agree");
+                    for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
+                        *a += *b;
+                    }
+                }
+                None => {
+                    self.by_param.insert(id, g.clone());
+                }
+            }
+        }
+    }
 }
 
 impl<'p> Graph<'p> {
@@ -816,5 +861,54 @@ mod tests {
         assert!((norm - 0.5f32.sqrt()).abs() < 1e-5);
         grads.scale(0.5);
         assert!((grads.global_norm() - norm * 0.5).abs() < 1e-6);
+    }
+
+    fn shard_with(id: ParamId, values: &[f32]) -> Gradients {
+        let mut by_param = HashMap::new();
+        by_param.insert(id, Tensor::from_vec(values.to_vec(), &[values.len()]));
+        Gradients { by_param }
+    }
+
+    #[test]
+    fn tree_reduce_pins_the_pairwise_grouping() {
+        // Values where the float grouping is observable: at f32 precision
+        // (1e8 + 1) == 1e8 and (-1e8 + 1) == -1e8, so the fixed pairwise
+        // tree ((g0+g1) + (g2+g3)) yields exactly 0.0 while a left fold
+        // (((g0+g1)+g2)+g3) yields 1.0. This is the regression pin for the
+        // reduction order: any regrouping of the shard sum changes the bits
+        // here before it can silently change training runs.
+        let mut p = ParamSet::new();
+        let w = p.add("w", Tensor::zeros(&[2]));
+        let shards =
+            vec![1e8f32, 1.0, -1e8, 1.0].into_iter().map(|v| shard_with(w, &[v, -v])).collect();
+        let reduced = Gradients::tree_reduce(shards);
+        let got = reduced.get(w).expect("reduced gradient");
+        assert_eq!(got.data()[0].to_bits(), 0.0f32.to_bits(), "pairwise tree changed");
+        assert_eq!(got.data()[1].to_bits(), 0.0f32.to_bits(), "pairwise tree changed");
+        // The same inputs left-folded really would differ — guards against
+        // the pin accidentally testing an order-insensitive quantity.
+        let fold = ((1e8f32 + 1.0) + -1e8) + 1.0;
+        assert_ne!(fold.to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn tree_reduce_edge_cases() {
+        // Zero shards: an empty gradient set.
+        assert!(Gradients::tree_reduce(Vec::new()).is_empty());
+        // One shard passes through bit-for-bit untouched.
+        let mut p = ParamSet::new();
+        let w = p.add("w", Tensor::zeros(&[3]));
+        let single = Gradients::tree_reduce(vec![shard_with(w, &[0.1, -2.5, 3e7])]);
+        let got = single.get(w).expect("gradient");
+        for (a, b) in got.data().iter().zip([0.1f32, -2.5, 3e7]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A parameter missing from some shards still reduces (sparse tapes).
+        let v = p.add("v", Tensor::zeros(&[1]));
+        let mut with_both = shard_with(w, &[1.0, 1.0, 1.0]);
+        with_both.by_param.insert(v, Tensor::from_vec(vec![5.0], &[1]));
+        let reduced = Gradients::tree_reduce(vec![with_both, shard_with(w, &[1.0, 1.0, 1.0])]);
+        assert_eq!(reduced.get(v).expect("sparse param").data(), &[5.0]);
+        assert_eq!(reduced.get(w).expect("dense param").data(), &[2.0, 2.0, 2.0]);
     }
 }

@@ -82,6 +82,16 @@ impl AdamW {
         self.step
     }
 
+    /// The first/second moment estimates for `id`, if the parameter has
+    /// received at least one update.
+    ///
+    /// Exposed so determinism harnesses can compare the *full* optimiser
+    /// state bit-for-bit — two training runs that merely end on equal
+    /// params can still diverge later if their moments differ.
+    pub fn moments(&self, id: ParamId) -> Option<(&Tensor, &Tensor)> {
+        Some((self.m.get(&id)?, self.v.get(&id)?))
+    }
+
     /// Applies one update from `grads` to `params`.
     pub fn step(&mut self, params: &mut ParamSet, grads: &Gradients) {
         self.step += 1;

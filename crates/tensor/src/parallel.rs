@@ -110,6 +110,36 @@ pub fn par_qmatmul(
     });
 }
 
+/// Runs `f(0..n_tasks)` across the persistent worker pool, blocking until
+/// every task has completed — the general-purpose face of the pool the
+/// matmul kernels dispatch through. Data-parallel training shards batches
+/// over it so the backward pass shares the same threads as the forward
+/// kernels instead of spawning its own.
+///
+/// Scheduling notes, none of which may affect results (callers must keep
+/// tasks independent and deterministic per index):
+///
+/// - Which thread runs which task is unspecified; tasks may all run on the
+///   calling thread (pool busy, single-core host, or `n_tasks == 1`).
+/// - A single task runs inline *without* claiming the pool's dispatch slot,
+///   so nested `par_matmul` calls inside it keep their own parallelism.
+/// - With multiple tasks the dispatch slot is held for the duration, so
+///   nested pool calls (e.g. a large matmul inside a task) fall back to
+///   inline execution — bit-identical either way.
+///
+/// # Panics
+///
+/// Propagates a panic if any task panics (the pool itself stays usable).
+pub fn run_tasks(n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n_tasks <= 1 {
+        if n_tasks == 1 {
+            f(0);
+        }
+        return;
+    }
+    pool::run(n_tasks, f);
+}
+
 /// Raw mutable base pointer that may cross thread boundaries; the row-block
 /// partition guarantees disjoint access.
 #[derive(Clone, Copy)]
@@ -494,6 +524,21 @@ mod tests {
         let expect = naive(&a, &b, m, k, n);
         for (x, y) in c.iter().zip(expect.iter()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn run_tasks_covers_every_index_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for n in [0usize, 1, 2, 7, 64] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            run_tasks(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "every task index must run exactly once for n={n}"
+            );
         }
     }
 

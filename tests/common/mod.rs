@@ -14,3 +14,20 @@ pub fn quick_model() -> Arc<Reconstructor> {
     static MODEL: OnceLock<Arc<Reconstructor>> = OnceLock::new();
     MODEL.get_or_init(|| zoo::pretrained(zoo::PretrainSpec::quick())).clone()
 }
+
+/// The process-wide fine-tuned zoo model for `domain`.
+///
+/// Same deal as [`quick_model`]: the first caller per domain pays the
+/// one-off fine-tune (or a warm file read from `target/easz-weights/`), and
+/// everyone after shares the `Arc`. The base pretrain is the shared
+/// [`quick_model`] weights, so a cold run trains the base exactly once.
+#[allow(dead_code)] // not every test binary linking `common` uses the zoo
+pub fn finetuned_model(domain: zoo::FinetuneDomain) -> Arc<Reconstructor> {
+    static TEXTURED: OnceLock<Arc<Reconstructor>> = OnceLock::new();
+    static FLAT: OnceLock<Arc<Reconstructor>> = OnceLock::new();
+    let cell = match domain {
+        zoo::FinetuneDomain::Textured => &TEXTURED,
+        zoo::FinetuneDomain::Flat => &FLAT,
+    };
+    cell.get_or_init(|| zoo::finetuned(zoo::FinetuneSpec::quick(domain))).clone()
+}

@@ -146,6 +146,126 @@ fn header_byte_flips_are_typed_errors_never_panics() {
     assert!(matches!(decoder.decode(&enc), Err(EaszError::UnknownCodec(CodecId(_)))));
 }
 
+// ---------------------------------------------------------------------------
+// Golden vectors: the exact header bytes each format version must emit.
+//
+// Captured from the implementation that introduced each version and pinned
+// here verbatim; a failure in these tests means the wire format changed,
+// which requires a version bump per docs/FORMAT.md §1.5, not a re-pin.
+// ---------------------------------------------------------------------------
+
+/// Version-1 header: `EASZ`, grain flag only, reserved byte 9 = 0.
+const GOLDEN_V1_HEADER: &str =
+    "4541535a01014b0001002000040060000000400000000900000000000000000000000000d03f0c00000040000000";
+/// Version-2 header: identical to v1 except the version byte and the
+/// quantized opt-in flag bit (0x04).
+const GOLDEN_V2_HEADER: &str =
+    "4541535a02014b0005002000040060000000400000000900000000000000000000000000d03f0c00000040000000";
+/// Version-3 header: identical to v1 except the version byte and byte 9
+/// now carrying zoo model id 2.
+const GOLDEN_V3_HEADER: &str =
+    "4541535a03014b0001022000040060000000400000000900000000000000000000000000d03f0c00000040000000";
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex")).collect()
+}
+
+/// A deterministic container whose sections are fixed by construction (not
+/// by an inner codec), so the golden header is a pure function of the
+/// format version under test.
+fn golden_sample(model_id: u8, allow_quantized: bool) -> EaszEncoded {
+    let config = EaszConfig { mask_seed: 9, model_id, allow_quantized, ..EaszConfig::default() };
+    EaszEncoded {
+        payload: (0u8..64).collect(),
+        mask_bytes: config.make_mask().to_bytes(),
+        width: 96,
+        height: 64,
+        config,
+        quality: Quality::new(75),
+        codec_id: easz::codecs::CodecId::JPEG_LIKE,
+    }
+}
+
+#[test]
+fn golden_headers_are_byte_exact_across_format_versions() {
+    for (expected_hex, model_id, quant, version) in [
+        (GOLDEN_V1_HEADER, 0u8, false, 1u8),
+        (GOLDEN_V2_HEADER, 0, true, 2),
+        (GOLDEN_V3_HEADER, 2, false, 3),
+    ] {
+        let enc = golden_sample(model_id, quant);
+        let bytes = enc.to_bytes();
+        assert_eq!(
+            hex(&bytes[..HEADER_LEN]),
+            expected_hex,
+            "v{version} header drifted from its golden bytes"
+        );
+        assert_eq!(bytes[4], version, "writer must emit the lowest sufficient version");
+        assert_eq!(bytes[9], model_id, "byte 9 carries the model id (0 = reserved encoding)");
+        let back = EaszEncoded::from_bytes(&bytes).expect("golden container parses");
+        assert_eq!(back, enc, "v{version} golden container must round-trip exactly");
+    }
+    // The version-3 header differs from version 1 in exactly the version
+    // byte and the model-id byte: the zoo is an append-only format change.
+    let (v1, v3) = (unhex(GOLDEN_V1_HEADER), unhex(GOLDEN_V3_HEADER));
+    let diff: Vec<usize> = (0..v1.len()).filter(|&i| v1[i] != v3[i]).collect();
+    assert_eq!(diff, vec![4, 9], "v3 may only touch the version and model-id bytes");
+}
+
+#[test]
+fn pre_zoo_golden_bytes_still_parse_with_model_id_zero() {
+    // Rebuild a pre-zoo container from the pinned v1 header plus its
+    // deterministic sections; today's parser must accept it unchanged and
+    // default the model id to the generic model.
+    let enc = golden_sample(0, false);
+    let mut bytes = unhex(GOLDEN_V1_HEADER);
+    bytes.extend_from_slice(&enc.mask_bytes);
+    bytes.extend_from_slice(&enc.payload);
+    let back = EaszEncoded::from_bytes(&bytes).expect("pre-zoo golden bytes parse");
+    assert_eq!(back.config.model_id, 0, "old containers route to the generic model");
+    assert_eq!(back, enc, "pre-zoo bytes decode to the same container");
+}
+
+#[test]
+fn model_id_byte_abuse_is_always_a_typed_error() {
+    // Versions 1 and 2 must keep rejecting every nonzero value of the
+    // (then-reserved) byte 9 — that rejection is what made reassigning the
+    // byte in version 3 a compatible change.
+    for quant in [false, true] {
+        let bytes = golden_sample(0, quant).to_bytes();
+        for v in [1u8, 2, 7, 0x80, 0xFF] {
+            let mut bad = bytes.clone();
+            bad[9] = v;
+            match EaszEncoded::from_bytes(&bad) {
+                Err(EaszError::Malformed(msg)) => {
+                    assert!(msg.contains("reserved"), "v{} byte 9 = {v}: {msg}", bytes[4]);
+                }
+                other => panic!("v{} byte 9 = {v} must be Malformed, got {other:?}", bytes[4]),
+            }
+        }
+    }
+    // Version 3 treats byte 9 as data: any value parses, and an id the
+    // serving zoo does not hold fails *decode* with the typed
+    // UnknownModel error (never a wrong-model reconstruction).
+    let bytes = golden_sample(1, false).to_bytes();
+    let model = common::quick_model();
+    let decoder = EaszDecoder::new(&model); // serves only the generic id 0
+    for v in [1u8, 5, 0xFF] {
+        let mut bad = bytes.clone();
+        bad[9] = v;
+        let enc = EaszEncoded::from_bytes(&bad).expect("v3 model id byte always parses");
+        assert_eq!(enc.config.model_id, v);
+        match decoder.decode(&enc) {
+            Err(EaszError::UnknownModel(id)) => assert_eq!(id, v),
+            other => panic!("unserved model id {v} must be UnknownModel, got {other:?}"),
+        }
+    }
+}
+
 #[test]
 fn payload_corruption_never_panics() {
     // Flips inside the inner-codec payload are the codec's problem; the

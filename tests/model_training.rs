@@ -3,11 +3,13 @@
 //! round-trips a trained model exactly.
 
 use easz::core::{
-    erased_region_mse, MaskKind, Reconstructor, ReconstructorConfig, RowSamplerConfig, TrainConfig,
-    Trainer,
+    erased_region_mse, zoo, MaskKind, Reconstructor, ReconstructorConfig, RowSamplerConfig,
+    TrainConfig, Trainer,
 };
 use easz::data::Dataset;
 use easz::tensor::{load_params, save_params};
+
+mod common;
 
 fn tiny_cfg() -> ReconstructorConfig {
     ReconstructorConfig {
@@ -85,6 +87,36 @@ fn trained_weights_round_trip_preserves_behaviour() {
     let a = erased_region_mse(&model, &test, &mask);
     let b = erased_region_mse(&restored, &test, &mask);
     assert!((a - b).abs() < 1e-9, "identical weights must reconstruct identically: {a} vs {b}");
+}
+
+#[test]
+fn zoo_finetuned_models_beat_the_generic_model_on_their_domain() {
+    // The model zoo's reason to exist: each served fine-tuned model must
+    // reconstruct its own domain's erased content better than the generic
+    // pretrained model it started from. Held-out images (the quick recipe
+    // fine-tunes on indices 0..48) and a fixed eval mask keep this a pure
+    // weights comparison; both models come through the shared process-wide
+    // fixtures, so a warm weight cache makes this a load, not a train.
+    let generic = common::quick_model();
+    let grid = generic.config().geometry().grid();
+    let mask = MaskKind::RowConditional(RowSamplerConfig::with_ratio(grid, 0.25)).generate(11);
+    for domain in zoo::FinetuneDomain::ALL {
+        let tuned = common::finetuned_model(domain);
+        let eval: Vec<_> = (0..6).map(|i| domain.dataset().image(200 + i)).collect();
+        let g = erased_region_mse(&generic, &eval, &mask);
+        let t = erased_region_mse(&tuned, &eval, &mask);
+        println!(
+            "zoo[{}] held-out erased-region MSE: generic {g:.5} -> fine-tuned {t:.5} \
+             ({:.1}% lower)",
+            domain.name(),
+            (1.0 - t / g) * 100.0
+        );
+        assert!(
+            t < g,
+            "the '{}' zoo model must beat the generic model on its domain: {t:.5} vs {g:.5}",
+            domain.name()
+        );
+    }
 }
 
 #[test]

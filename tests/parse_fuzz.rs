@@ -43,18 +43,21 @@ impl Rng {
     }
 }
 
-/// Seed corpus: genuine containers across strategies, geometries and both
-/// format versions (the quantized opt-in produces a v2 header).
+/// Seed corpus: genuine containers across strategies, geometries and all
+/// three format versions (the quantized opt-in produces a v2 header, a
+/// nonzero zoo model id a v3 one).
 fn corpus() -> Vec<Vec<u8>> {
     let codec = JpegLikeCodec::new();
     let mut out = Vec::new();
-    for (strategy, quantized, side, index) in [
-        (MaskStrategy::Proposed, false, 32usize, 1usize),
-        (MaskStrategy::Random, false, 64, 2),
-        (MaskStrategy::Diagonal, false, 32, 3),
-        (MaskStrategy::Proposed, true, 64, 4),
+    for (strategy, quantized, model_id, side, index) in [
+        (MaskStrategy::Proposed, false, 0u8, 32usize, 1usize),
+        (MaskStrategy::Random, false, 0, 64, 2),
+        (MaskStrategy::Diagonal, false, 0, 32, 3),
+        (MaskStrategy::Proposed, true, 0, 64, 4),
+        (MaskStrategy::Proposed, false, 1, 32, 5),
     ] {
-        let cfg = EaszConfig { strategy, allow_quantized: quantized, ..EaszConfig::default() };
+        let cfg =
+            EaszConfig { strategy, allow_quantized: quantized, model_id, ..EaszConfig::default() };
         let encoder = EaszEncoder::new(cfg).expect("encoder");
         let img = Dataset::KodakLike.image(index).crop(0, 0, side, side);
         out.push(encoder.compress(&img, &codec, Quality::new(80)).expect("compress").to_bytes());
@@ -66,7 +69,7 @@ fn corpus() -> Vec<Vec<u8>> {
 /// splice of two corpus members, or a dimension bomb in the header.
 fn mutate(rng: &mut Rng, base: &[u8], other: &[u8]) -> Vec<u8> {
     let mut bytes = base.to_vec();
-    match rng.below(6) {
+    match rng.below(7) {
         // Flip 1..=8 random bytes anywhere (header, mask channel, payload).
         0 | 1 => {
             for _ in 0..=rng.below(8) {
@@ -86,10 +89,19 @@ fn mutate(rng: &mut Rng, base: &[u8], other: &[u8]) -> Vec<u8> {
             bytes.extend_from_slice(&other[from..]);
         }
         // Dimension bomb: per-side-plausible but terabyte-scale canvas.
-        _ => {
+        5 => {
             let (w, h) = ((1u32 << (10 + rng.below(10))), (1u32 << (10 + rng.below(10))));
             bytes[14..18].copy_from_slice(&w.to_le_bytes());
             bytes[18..22].copy_from_slice(&h.to_le_bytes());
+        }
+        // Model-id byte: random value, sometimes paired with a version
+        // flip, probing the reserved-byte rejection (v1/v2) against the
+        // routing field it became (v3).
+        _ => {
+            bytes[9] = rng.next() as u8;
+            if rng.below(2) == 0 {
+                bytes[4] = 1 + (rng.next() % 3) as u8;
+            }
         }
     }
     bytes

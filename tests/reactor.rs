@@ -104,6 +104,96 @@ fn reactor_replies_byte_identical_to_threaded_and_local() {
 }
 
 #[test]
+fn reactor_routes_zoo_models_exactly_and_never_fuses_across_ids() {
+    // The mixed-model identity contract on the reactor path: concurrent
+    // clients pinned to different zoo model ids must get replies
+    // byte-identical to local per-model serial decodes, and the batch-width
+    // histogram must show no window fused across model ids (all ids
+    // distinct + one in-flight request per client ⇒ every fused forward
+    // group has width 1).
+    let generic = model();
+    let zoo: Vec<Arc<Reconstructor>> = [71u64, 72, 73]
+        .iter()
+        .map(|&seed| {
+            Arc::new(Reconstructor::new(ReconstructorConfig {
+                seed,
+                ..ReconstructorConfig::fast()
+            }))
+        })
+        .collect();
+    let codec = JpegLikeCodec::new();
+    let wires: Vec<Vec<u8>> = [0u8, 1, 2, 3]
+        .iter()
+        .map(|&id| {
+            let enc = EaszEncoder::new(EaszConfig {
+                mask_seed: 177,
+                model_id: id,
+                ..EaszConfig::default()
+            })
+            .expect("encoder");
+            let img = Dataset::KodakLike.image(id as usize % 8).crop(0, 0, 96, 64);
+            enc.compress(&img, &codec, Quality::new(80)).expect("compress").to_bytes()
+        })
+        .collect();
+
+    let mut local = EaszDecoder::new(&generic);
+    for (i, m) in zoo.iter().enumerate() {
+        local.add_model(i as u8 + 1, m);
+    }
+    let references: Vec<ImageU8> =
+        wires.iter().map(|w| local.decode_bytes(w).expect("local decode").to_u8()).collect();
+    assert!(
+        references.windows(2).any(|p| p[0].data() != p[1].data()),
+        "zoo models must reconstruct differently for this test to mean anything"
+    );
+
+    let gateway =
+        GatewayConfig { max_batch: 4, max_wait_us: 50_000, workers: 2, ..Default::default() };
+    let mut server = EaszServer::new(generic.clone())
+        .with_gateway(gateway)
+        .with_reactor(ReactorConfig::default());
+    for (i, m) in zoo.iter().enumerate() {
+        server = server.with_model(i as u8 + 1, m.clone());
+    }
+    let handle = server.spawn("127.0.0.1:0").expect("spawn");
+
+    std::thread::scope(|scope| {
+        let threads: Vec<_> = wires
+            .iter()
+            .zip(&references)
+            .map(|(wire, reference)| {
+                let addr = handle.addr();
+                scope.spawn(move || {
+                    let mut client = EaszClient::connect(addr).expect("connect");
+                    for _ in 0..3 {
+                        let img = client.decode(wire).expect("zoo decode via reactor");
+                        assert_eq!(
+                            img.data(),
+                            reference.data(),
+                            "reactor reply must match the per-model local serial decode"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+    });
+
+    let stats = handle.metrics().snapshot();
+    assert_eq!(stats.decode_ok, 12, "every request must decode");
+    let histogram_total: u64 = stats.batch_widths.iter().sum();
+    assert_eq!(histogram_total, stats.batches_dispatched, "histogram covers every group");
+    assert!(stats.batches_dispatched >= 1, "decodes must flow through the gateway");
+    assert_eq!(
+        stats.batch_widths[0], histogram_total,
+        "all-distinct model ids must keep every fused forward group at width 1"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn pipelined_requests_reply_in_request_order() {
     // Six DECODE frames written back-to-back before any reply is read:
     // decode workers finish in whatever order, but the reply queue must

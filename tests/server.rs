@@ -462,6 +462,119 @@ fn gateway_stress_mixed_tiers_abusive_peers_and_disconnects_reconcile() {
     assert!(stats.batches_dispatched >= 1, "the storm must have dispatched through windows");
 }
 
+/// One container per zoo model id, all sharing one mask seed and geometry:
+/// every stream is fusable with every other by shape, so the *only* thing
+/// keeping them out of a shared forward is the model id in the gateway's
+/// fusion key.
+fn zoo_containers(model_ids: &[u8]) -> Vec<Vec<u8>> {
+    let codec = JpegLikeCodec::new();
+    model_ids
+        .iter()
+        .map(|&id| {
+            let enc = EaszEncoder::new(EaszConfig {
+                mask_seed: 77,
+                model_id: id,
+                ..EaszConfig::default()
+            })
+            .expect("encoder");
+            let img = Dataset::KodakLike.image(id as usize % 8).crop(0, 0, 96, 64);
+            enc.compress(&img, &codec, Quality::new(80)).expect("compress").to_bytes()
+        })
+        .collect()
+}
+
+/// Distinctly seeded (so behaviourally distinct) zoo models for ids 1..=3.
+fn zoo_models() -> Vec<Arc<Reconstructor>> {
+    [91u64, 92, 93]
+        .iter()
+        .map(|&seed| {
+            Arc::new(Reconstructor::new(ReconstructorConfig {
+                seed,
+                ..ReconstructorConfig::fast()
+            }))
+        })
+        .collect()
+}
+
+#[test]
+fn gateway_routes_models_exactly_and_never_fuses_across_ids() {
+    // K concurrent clients, each pinned to a different zoo model id, decode
+    // through the cross-connection gateway. Every reply must be
+    // byte-identical to a local per-model serial decode, and the
+    // batch-width histogram must show that no window fused containers
+    // across model ids: with one in-flight request per client and all ids
+    // distinct, every fused forward group has width exactly 1.
+    let generic = model();
+    let zoo = zoo_models();
+    let gateway =
+        GatewayConfig { max_batch: 4, max_wait_us: 50_000, workers: 2, ..GatewayConfig::default() };
+    let mut server = EaszServer::new(generic.clone()).with_gateway(gateway);
+    for (i, m) in zoo.iter().enumerate() {
+        server = server.with_model(i as u8 + 1, m.clone());
+    }
+    let handle = server.spawn("127.0.0.1:0").expect("spawn");
+
+    let wires = zoo_containers(&[0, 1, 2, 3]);
+    let mut local = EaszDecoder::new(&generic);
+    for (i, m) in zoo.iter().enumerate() {
+        local.add_model(i as u8 + 1, m);
+    }
+    let references: Vec<ImageU8> =
+        wires.iter().map(|w| local.decode_bytes(w).expect("local decode").to_u8()).collect();
+    // The models must actually disagree, or routing bugs would be invisible.
+    assert!(
+        references.windows(2).any(|p| p[0].data() != p[1].data()),
+        "zoo models must reconstruct differently for this test to mean anything"
+    );
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = wires
+            .iter()
+            .zip(&references)
+            .map(|(wire, reference)| {
+                let addr = handle.addr();
+                scope.spawn(move || {
+                    let mut client = EaszClient::connect(addr).expect("connect");
+                    for _ in 0..3 {
+                        let remote = client.decode(wire).expect("zoo decode");
+                        assert_eq!(
+                            remote.data(),
+                            reference.data(),
+                            "gateway decode must match the per-model local serial decode"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    let stats = handle.metrics().snapshot();
+    assert_eq!(stats.decode_ok, 12, "every request must decode");
+    let histogram_total: u64 = stats.batch_widths.iter().sum();
+    assert_eq!(histogram_total, stats.batches_dispatched, "histogram covers every group");
+    assert!(stats.batches_dispatched >= 1, "windows must dispatch through the gateway");
+    assert_eq!(
+        stats.batch_widths[0], histogram_total,
+        "all-distinct model ids must make every fused forward group width 1 \
+         (a wider group means the gateway fused across models)"
+    );
+
+    // An id nobody mounted is the typed UnknownModel error, not a wrong
+    // reconstruction — and the connection survives it.
+    let stray = zoo_containers(&[9]).remove(0);
+    let mut client = EaszClient::connect(handle.addr()).expect("connect");
+    match client.decode(&stray) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::UnknownModel),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    assert!(client.decode(&wires[1]).is_ok(), "connection must survive an unknown model id");
+    drop(client);
+    handle.shutdown().expect("clean shutdown");
+}
+
 #[test]
 fn stats_frame_round_trips_and_counts_errors() {
     let handle = EaszServer::new(model()).spawn("127.0.0.1:0").expect("spawn");

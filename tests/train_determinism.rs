@@ -1,0 +1,188 @@
+//! Determinism/equivalence harness for data-parallel training.
+//!
+//! The contract under test (see `ParallelTrainer`): shard count is part of
+//! the training *recipe*, worker count and matmul threading are pure
+//! *scheduling*. So after any number of full AdamW steps, the trained
+//! parameters, the optimizer moments, and the per-step loss history must be
+//! bit-identical across worker counts 1/2/4/8, identical to the serial
+//! `Trainer` when `shards == 1`, and identical under every
+//! `EASZ_MATMUL_THREADS` setting (checked via subprocesses, since the
+//! thread count is read once per process).
+
+use easz::core::{ParallelTrainer, Reconstructor, ReconstructorConfig, TrainConfig, Trainer};
+use easz::data::Dataset;
+
+fn tiny_cfg() -> ReconstructorConfig {
+    ReconstructorConfig {
+        n: 16,
+        b: 4,
+        d_model: 32,
+        heads: 2,
+        ffn: 64,
+        ..ReconstructorConfig::fast()
+    }
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig { batch_size: 8, lr: 2e-3, seed: 23, ..TrainConfig::default() }
+}
+
+/// FNV-1a over a byte stream; enough to detect any single-bit divergence.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// Digests everything a full optimisation step touches: parameter values,
+/// both AdamW moment tensors, the optimizer step counter, and the loss
+/// history. Exact f32 bit patterns — no tolerance.
+fn training_digest(trainer: &ParallelTrainer) -> u64 {
+    let mut fnv = Fnv::new();
+    let params = trainer.model().params();
+    for id in params.ids() {
+        fnv.update(params.name(id).as_bytes());
+        for &v in params.value(id).data() {
+            fnv.update(&v.to_bits().to_le_bytes());
+        }
+        if let Some((m, v)) = trainer.optimizer().moments(id) {
+            for &x in m.data().iter().chain(v.data()) {
+                fnv.update(&x.to_bits().to_le_bytes());
+            }
+        }
+    }
+    fnv.update(&trainer.optimizer().steps().to_le_bytes());
+    for &loss in trainer.history() {
+        fnv.update(&loss.to_bits().to_le_bytes());
+    }
+    fnv.0
+}
+
+/// Runs `steps` data-parallel steps with a fixed recipe (4 shards) on
+/// `workers` pool workers and digests the result.
+fn run_with_workers(workers: usize, steps: usize) -> u64 {
+    let corpus = Dataset::CifarLike.images(12);
+    let mut trainer =
+        ParallelTrainer::new(Reconstructor::new(tiny_cfg()), train_cfg(), 4).with_workers(workers);
+    trainer.train(&corpus, steps);
+    training_digest(&trainer)
+}
+
+#[test]
+fn parallel_training_is_bit_identical_across_worker_counts() {
+    let reference = run_with_workers(1, 6);
+    for workers in [2usize, 4, 8] {
+        let digest = run_with_workers(workers, 6);
+        assert_eq!(
+            digest, reference,
+            "{workers} workers diverged from 1 worker: worker count must be pure scheduling"
+        );
+    }
+}
+
+#[test]
+fn single_shard_parallel_matches_serial_trainer_bitwise() {
+    let corpus = Dataset::CifarLike.images(12);
+    let steps = 6;
+
+    let mut serial = Trainer::new(Reconstructor::new(tiny_cfg()), train_cfg());
+    serial.train(&corpus, steps);
+
+    let mut parallel = ParallelTrainer::new(Reconstructor::new(tiny_cfg()), train_cfg(), 1);
+    parallel.train(&corpus, steps);
+
+    // Loss histories first (clearer failure than a digest mismatch)...
+    assert_eq!(
+        serial.history(),
+        parallel.history(),
+        "shards == 1 must replay the serial tape path step for step"
+    );
+    // ...then every parameter and optimizer moment, bit for bit.
+    let (sp, pp) = (serial.model().params(), parallel.model().params());
+    for id in sp.ids() {
+        let (a, b) = (sp.value(id).data(), pp.value(id).data());
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "parameter {:?} diverged between serial and 1-shard parallel",
+            sp.name(id)
+        );
+        let (sm, pm) = (serial.optimizer().moments(id), parallel.optimizer().moments(id));
+        match (sm, pm) {
+            (Some((m1, v1)), Some((m2, v2))) => {
+                let same = m1.data().iter().zip(m2.data()).all(|(x, y)| x.to_bits() == y.to_bits())
+                    && v1.data().iter().zip(v2.data()).all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "AdamW moments diverged for {:?}", sp.name(id));
+            }
+            (None, None) => {}
+            _ => panic!("moment presence diverged for {:?}", sp.name(id)),
+        }
+    }
+}
+
+#[test]
+fn shard_recipe_is_pinned_by_digest_stability() {
+    // The fixed pairwise reduction tree makes the 4-shard digest a pure
+    // function of the recipe. Running the identical recipe twice in one
+    // process (fresh model, fresh trainer) must reproduce it exactly —
+    // any hidden global state (thread pools, arenas, RNG) would break this.
+    assert_eq!(
+        run_with_workers(2, 4),
+        run_with_workers(3, 4),
+        "same recipe, different worker counts and a reused process must redigest identically"
+    );
+}
+
+/// Child half of the matmul-thread sweep: prints the digest and exits.
+/// `EASZ_MATMUL_THREADS` is read once per process, so each setting needs
+/// its own process; the parent spawns this test under different values.
+#[test]
+fn matmul_thread_digest_helper() {
+    if std::env::var("EASZ_TRAIN_DETERMINISM_CHILD").is_err() {
+        return; // only meaningful as a child of the sweep below
+    }
+    println!("TRAIN_DIGEST={:016x}", run_with_workers(2, 4));
+}
+
+#[test]
+fn training_digest_is_invariant_under_matmul_thread_counts() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut digests = Vec::new();
+    for threads in ["1", "2", "4", "8"] {
+        let out = std::process::Command::new(&exe)
+            .args(["matmul_thread_digest_helper", "--exact", "--nocapture", "--test-threads=1"])
+            .env("EASZ_TRAIN_DETERMINISM_CHILD", "1")
+            .env("EASZ_MATMUL_THREADS", threads)
+            .output()
+            .expect("spawn child test process");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(out.status.success(), "child with {threads} matmul threads failed:\n{stdout}");
+        // The libtest banner can share the digest's line under
+        // `--nocapture`, so scan for the marker rather than whole lines.
+        let at = stdout
+            .find("TRAIN_DIGEST=")
+            .unwrap_or_else(|| panic!("no digest from child with {threads} threads:\n{stdout}"));
+        let digest = stdout[at + "TRAIN_DIGEST=".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_hexdigit())
+            .collect::<String>();
+        assert_eq!(digest.len(), 16, "malformed digest from child with {threads} threads");
+        digests.push((threads, digest));
+    }
+    let (_, reference) = &digests[0];
+    for (threads, digest) in &digests {
+        assert_eq!(
+            digest, reference,
+            "EASZ_MATMUL_THREADS={threads} changed the training digest: \
+             matmul threading must be pure scheduling"
+        );
+    }
+}
