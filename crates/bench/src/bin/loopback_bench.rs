@@ -170,6 +170,7 @@ fn main() {
         workers: 2,
         queue_depth: 2 * CONNS,
         adaptive_wait: true,
+        deadline_us: 0,
     };
 
     let threaded = EaszServer::new(model.clone())

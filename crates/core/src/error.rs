@@ -53,6 +53,13 @@ pub enum EaszError {
         /// `(n, b)` the bitstream header announces.
         bitstream: (usize, usize),
     },
+    /// The decode itself failed unexpectedly — a panic caught at an
+    /// isolation boundary. The request that triggered it gets this typed
+    /// error instead of taking a worker (or the process) down with it.
+    Internal(String),
+    /// The request's deadline expired before a decode slot opened; the
+    /// work was swept unstarted rather than parking its handler forever.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for EaszError {
@@ -77,6 +84,8 @@ impl fmt::Display for EaszError {
                 "model geometry (n={}, b={}) does not match bitstream (n={}, b={})",
                 model.0, model.1, bitstream.0, bitstream.1
             ),
+            Self::Internal(m) => write!(f, "internal decode failure: {m}"),
+            Self::DeadlineExceeded => write!(f, "deadline expired before the decode was scheduled"),
         }
     }
 }
@@ -109,5 +118,8 @@ mod tests {
         let e: EaszError = CodecError::Format("x".into()).into();
         assert!(matches!(e, EaszError::Codec(_)));
         assert!(Error::source(&e).is_some());
+        let e = EaszError::Internal("worker panicked: boom".into());
+        assert!(e.to_string().contains("boom"));
+        assert!(EaszError::DeadlineExceeded.to_string().contains("deadline"));
     }
 }

@@ -28,12 +28,23 @@
 //! which decodes it inline (threaded path) or sheds it with a typed `BUSY`
 //! error (reactor path).
 
+use crate::fault;
 use crate::metrics::ServerMetrics;
 use easz_core::{DecodeEngine, EaszDecoder, EaszEncoded, EaszError};
 use easz_image::ImageF32;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Turns a caught panic payload into the `Internal` error's message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
 
 /// Tunables of the decode gateway (see
 /// [`EaszServer::with_gateway`](crate::EaszServer::with_gateway)).
@@ -57,6 +68,14 @@ pub struct GatewayConfig {
     /// `max_wait_us`, dispatch early instead of sleeping out the full
     /// budget. `max_wait_us` remains the hard ceiling either way.
     pub adaptive_wait: bool,
+    /// Per-request deadline in microseconds, measured from admission
+    /// (`0` = no deadline). A job that no worker has picked up when its
+    /// deadline passes is swept unstarted and answered with the typed
+    /// `DEADLINE_EXCEEDED` error instead of parking its handler in
+    /// `reply.recv()` for as long as the pool is stalled. The deadline
+    /// bounds *scheduling*, not decode duration: a job whose decode began
+    /// in time completes normally even if it finishes late.
+    pub deadline_us: u64,
 }
 
 impl Default for GatewayConfig {
@@ -67,6 +86,7 @@ impl Default for GatewayConfig {
             workers: 2,
             queue_depth: 256,
             adaptive_wait: false,
+            deadline_us: 0,
         }
     }
 }
@@ -87,7 +107,15 @@ struct Job {
     #[cfg_attr(not(test), allow(dead_code))]
     source: u64,
     enqueued: Instant,
+    /// Sweep-by instant ([`GatewayConfig::deadline_us`]; `None` = never).
+    deadline: Option<Instant>,
     reply: ReplyFn,
+}
+
+impl Job {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
 }
 
 /// Shared scheduler state behind the queue mutex: per-source queues plus a
@@ -140,6 +168,20 @@ struct ReadyState {
     windows: VecDeque<Vec<Job>>,
     /// Set once the scheduler has exited; workers drain and stop.
     scheduler_done: bool,
+}
+
+/// Why [`Batcher::run_worker`] returned — the supervisor's signal to
+/// either stop (clean shutdown) or respawn the worker (a caught panic may
+/// have left thread-affine decode state inconsistent, so the crash-only
+/// answer is a fresh worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// The scheduler finished and every window is drained.
+    Shutdown,
+    /// A decode panic was caught in this worker's last window; every job
+    /// in the window was still answered. Re-enter [`Batcher::run_worker`]
+    /// to resume with a clean slate.
+    Poisoned,
 }
 
 /// The wait budget (µs) for the currently open window, given how many jobs
@@ -209,6 +251,11 @@ impl Batcher {
         source: u64,
         reply: ReplyFn,
     ) -> Result<(), (EaszEncoded, ReplyFn)> {
+        // Fault hook (compiles out of default builds): refuse as if the
+        // queue were saturated, exercising the inline/shed degradation.
+        if fault::submit_refuse() {
+            return Err((container, reply));
+        }
         let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if state.shutdown || state.total >= self.config.queue_depth {
             return Err((container, reply));
@@ -221,7 +268,9 @@ impl Batcher {
             self.metrics.record_arrival_ewma(state.arrival_ewma_us);
         }
         state.last_arrival = Some(now);
-        let job = Job { container, engine, source, enqueued: now, reply };
+        let deadline = (self.config.deadline_us > 0)
+            .then(|| now + Duration::from_micros(self.config.deadline_us));
+        let job = Job { container, engine, source, enqueued: now, deadline, reply };
         let queue = state.queues.entry(source).or_default();
         let newly_active = queue.is_empty();
         queue.push_back(job);
@@ -245,14 +294,102 @@ impl Batcher {
         self.ready_cond.notify_all();
     }
 
+    /// The sweep cadence when deadlines are enabled: expired jobs are
+    /// answered at most one tick past their deadline, and the scheduler's
+    /// waits tick at this period instead of blocking indefinitely.
+    fn sweep_tick(&self) -> Option<Duration> {
+        (self.config.deadline_us > 0)
+            .then(|| Duration::from_micros((self.config.deadline_us / 4).clamp(1_000, 50_000)))
+    }
+
+    /// Sweeps expired jobs from everywhere they can park — the submission
+    /// queues, the dispatched-window backlog, and `local` (a window the
+    /// scheduler holds while waiting for a backlog slot) — and answers
+    /// each with `DEADLINE_EXCEEDED` outside all locks. No-op when
+    /// deadlines are off.
+    fn sweep_expired(&self, local: &mut Vec<Job>) {
+        if self.config.deadline_us == 0 {
+            return;
+        }
+        let now = Instant::now();
+        let mut expired: Vec<ReplyFn> = Vec::new();
+        {
+            let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let QueueState { queues, rotation, total, .. } = &mut *state;
+            for queue in queues.values_mut() {
+                // Deadlines are admission-ordered within a source, so the
+                // expired jobs are exactly a front prefix.
+                while queue.front().is_some_and(|j| j.expired(now)) {
+                    expired.push(queue.pop_front().expect("checked front").reply);
+                    *total -= 1;
+                }
+            }
+            queues.retain(|_, q| !q.is_empty());
+            rotation.retain(|s| queues.contains_key(s));
+            self.metrics.record_queue_depth(state.total);
+        }
+        {
+            let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+            for window in ready.windows.iter_mut() {
+                Self::sweep_window(window, now, &mut expired);
+            }
+            let emptied = ready.windows.iter().any(|w| w.is_empty());
+            if emptied {
+                ready.windows.retain(|w| !w.is_empty());
+                // Empty windows freed backlog slots the scheduler may be
+                // waiting on.
+                self.ready_cond.notify_all();
+            }
+        }
+        Self::sweep_window(local, now, &mut expired);
+        for reply in expired {
+            self.metrics.record_deadline_expired();
+            reply(Err(EaszError::DeadlineExceeded));
+        }
+    }
+
+    /// Moves the expired jobs of one window into `expired`, preserving the
+    /// order of the survivors.
+    fn sweep_window(window: &mut Vec<Job>, now: Instant, expired: &mut Vec<ReplyFn>) {
+        if window.iter().any(|j| j.expired(now)) {
+            let jobs = std::mem::take(window);
+            for job in jobs {
+                if job.expired(now) {
+                    expired.push(job.reply);
+                } else {
+                    window.push(job);
+                }
+            }
+        }
+    }
+
     /// The scheduler thread: forms batching windows and hands them to the
     /// workers. Runs until [`shutdown`](Self::shutdown) and the queue is
     /// drained.
     pub fn run_scheduler(&self) {
+        let tick = self.sweep_tick();
         loop {
             let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
             while state.total == 0 && !state.shutdown {
-                state = self.queue_cond.wait(state).unwrap_or_else(|e| e.into_inner());
+                match tick {
+                    None => {
+                        state = self.queue_cond.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(tick) => {
+                        // Tick even while idle: the ready backlog can still
+                        // hold jobs aging toward their deadline.
+                        let (next, timeout) = self
+                            .queue_cond
+                            .wait_timeout(state, tick)
+                            .unwrap_or_else(|e| e.into_inner());
+                        state = next;
+                        if timeout.timed_out() {
+                            drop(state);
+                            self.sweep_expired(&mut Vec::new());
+                            state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                        }
+                    }
+                }
             }
             if state.total == 0 {
                 break; // shutdown with nothing left to flush
@@ -282,7 +419,7 @@ impl Batcher {
                     break;
                 }
             }
-            let window = state.draw_window(self.config.max_batch);
+            let mut window = state.draw_window(self.config.max_batch);
             self.metrics.record_queue_depth(state.total);
             drop(state);
             // Hand over — but never outrun the workers: the ready backlog
@@ -290,11 +427,33 @@ impl Batcher {
             // sustained overload jobs pile up in the *submission* queue,
             // whose bound is what makes `submit` refuse and degrade to
             // inline decode (and what the queue-depth metrics watch).
+            // With deadlines on, the wait ticks and sweeps instead of
+            // parking: a stalled worker pool must not let drawn or queued
+            // jobs age past their deadline unanswered.
             let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
             while ready.windows.len() >= self.config.workers {
-                ready = self.ready_cond.wait(ready).unwrap_or_else(|e| e.into_inner());
+                match tick {
+                    None => {
+                        ready = self.ready_cond.wait(ready).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(tick) => {
+                        let (next, _) = self
+                            .ready_cond
+                            .wait_timeout(ready, tick)
+                            .unwrap_or_else(|e| e.into_inner());
+                        ready = next;
+                        drop(ready);
+                        self.sweep_expired(&mut window);
+                        ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+                        if window.is_empty() {
+                            break; // the whole window expired while parked
+                        }
+                    }
+                }
             }
-            ready.windows.push_back(window);
+            if !window.is_empty() {
+                ready.windows.push_back(window);
+            }
             drop(ready);
             self.ready_cond.notify_all();
         }
@@ -305,31 +464,56 @@ impl Batcher {
     }
 
     /// A decode worker: drains dispatched windows through the shared
-    /// decoder until the scheduler is done and no windows remain.
-    pub fn run_worker(&self, decoder: &EaszDecoder<'_>) {
+    /// decoder until the scheduler is done and no windows remain — or
+    /// until a caught decode panic poisons it, at which point it returns
+    /// [`WorkerExit::Poisoned`] (every job of the poisoned window was
+    /// still answered) and the supervisor re-enters with a clean slate.
+    pub fn run_worker(&self, decoder: &EaszDecoder<'_>) -> WorkerExit {
         loop {
             let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
             while ready.windows.is_empty() && !ready.scheduler_done {
                 ready = self.ready_cond.wait(ready).unwrap_or_else(|e| e.into_inner());
             }
             let Some(window) = ready.windows.pop_front() else {
-                break; // scheduler done and nothing left
+                return WorkerExit::Shutdown; // scheduler done and nothing left
             };
             drop(ready);
             // The pop freed a backlog slot; the scheduler may be waiting
             // for exactly that.
             self.ready_cond.notify_all();
-            self.decode_window(window, decoder);
+            if self.decode_window(window, decoder) {
+                return WorkerExit::Poisoned;
+            }
         }
     }
 
     /// Decodes one window and routes each result to its connection.
-    fn decode_window(&self, window: Vec<Job>, decoder: &EaszDecoder<'_>) {
+    /// Returns `true` if a panic was caught (the worker should be
+    /// respawned); even then, every job received exactly one reply.
+    fn decode_window(&self, window: Vec<Job>, decoder: &EaszDecoder<'_>) -> bool {
         let dispatched = Instant::now();
+        // Jobs already past their deadline at dispatch are answered
+        // without decoding — the deadline bounds time-to-decode-start.
+        let (window, expired): (Vec<Job>, Vec<Job>) =
+            window.into_iter().partition(|j| !j.expired(dispatched));
+        for job in expired {
+            self.metrics.record_deadline_expired();
+            (job.reply)(Err(EaszError::DeadlineExceeded));
+        }
+        if window.is_empty() {
+            return false;
+        }
         for job in &window {
             let waited = dispatched.saturating_duration_since(job.enqueued);
             self.metrics.record_queue_wait(waited.as_micros() as u64);
         }
+        // Fault hooks (compile out of default builds): a stalled decode
+        // for the deadline machinery, per-job forced panics for the
+        // isolation machinery.
+        if let Some(delay) = fault::decode_delay() {
+            std::thread::sleep(delay);
+        }
+        let injected: Vec<bool> = window.iter().map(|_| fault::decode_panic()).collect();
         let mut containers = Vec::with_capacity(window.len());
         let mut engines = Vec::with_capacity(window.len());
         let mut replies = Vec::with_capacity(window.len());
@@ -339,8 +523,27 @@ impl Batcher {
             replies.push(j.reply);
         }
         let started = Instant::now();
-        let (results, groups) = decoder.decode_batch_with_stats(&containers, &engines);
+        let fused = catch_unwind(AssertUnwindSafe(|| {
+            if injected.contains(&true) {
+                panic!("{}", fault::INJECTED_PANIC);
+            }
+            decoder.decode_batch_with_stats(&containers, &engines)
+        }));
         let decode_us = started.elapsed().as_micros() as u64;
+        let (results, groups) = match fused {
+            Ok(out) => out,
+            Err(_) => {
+                // The fused forward panicked. Serial decode is
+                // byte-identical to the fused path (the standing
+                // invariant), so re-decoding each job alone under its own
+                // isolation boundary loses nothing — only the culprit
+                // answers with `INTERNAL`, its windowmates still get their
+                // images, and the worker reports itself poisoned.
+                self.metrics.record_panic_caught();
+                self.decode_serial_isolated(&containers, &engines, replies, &injected, decoder);
+                return true;
+            }
+        };
         // One histogram record per fused forward group, not per window: the
         // batch-width histogram measures how many containers actually
         // shared a transformer forward, so a window the decoder had to
@@ -349,13 +552,13 @@ impl Batcher {
         // remainder to the last group so the total is preserved. A window
         // whose every job failed validation ran no forward and records
         // nothing.
-        let fused: usize = groups.iter().map(|&(_, width)| width).sum();
+        let fused_width: usize = groups.iter().map(|&(_, width)| width).sum();
         let mut spent = 0u64;
         for (gi, &(_, width)) in groups.iter().enumerate() {
             let us = if gi + 1 == groups.len() {
                 decode_us - spent
             } else {
-                decode_us * width as u64 / fused as u64
+                decode_us * width as u64 / fused_width as u64
             };
             spent += us;
             self.metrics.record_batch(width, us);
@@ -364,6 +567,41 @@ impl Batcher {
             // If the connection died while its job was queued the callback
             // finds nobody to deliver to and the result is simply dropped.
             reply(result);
+        }
+        false
+    }
+
+    /// The poisoned-window fallback: decodes each job alone, each under
+    /// its own `catch_unwind`, so exactly the panicking container fails
+    /// (with `INTERNAL`) and every other job still gets its result.
+    fn decode_serial_isolated(
+        &self,
+        containers: &[EaszEncoded],
+        engines: &[DecodeEngine],
+        replies: Vec<ReplyFn>,
+        injected: &[bool],
+        decoder: &EaszDecoder<'_>,
+    ) {
+        for (i, reply) in replies.into_iter().enumerate() {
+            let started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if injected[i] {
+                    panic!("{}", fault::INJECTED_PANIC);
+                }
+                decoder.decode_as(&containers[i], engines[i])
+            }));
+            match outcome {
+                Ok(result) => {
+                    if result.is_ok() {
+                        self.metrics.record_batch(1, started.elapsed().as_micros() as u64);
+                    }
+                    reply(result);
+                }
+                Err(payload) => {
+                    self.metrics.record_panic_caught();
+                    reply(Err(EaszError::Internal(panic_message(payload))));
+                }
+            }
         }
     }
 }
@@ -431,7 +669,15 @@ mod tests {
             scope.spawn(move || b.run_scheduler());
             for _ in 0..workers {
                 let decoder = &decoder;
-                scope.spawn(move || b.run_worker(decoder));
+                let metrics = &metrics;
+                // The same supervisor loop the server runs: a poisoned
+                // worker is respawned until clean shutdown.
+                scope.spawn(move || loop {
+                    match b.run_worker(decoder) {
+                        WorkerExit::Shutdown => break,
+                        WorkerExit::Poisoned => metrics.record_worker_respawn(),
+                    }
+                });
             }
             body(b, &decoder)
         });
@@ -638,5 +884,102 @@ mod tests {
             }
         }
         assert!(second < first, "back-to-back submissions must pull the EWMA down");
+    }
+
+    #[test]
+    fn deadline_sweeps_parked_jobs_when_workers_stall() {
+        // One-slot windows, a 20ms deadline, and *no* workers: every job
+        // parks — in the ready backlog, in the scheduler's hand, or in the
+        // queue — and only the sweep can answer. Pre-deadline every reply
+        // channel must be blocked; post-deadline every job must surface as
+        // `DEADLINE_EXCEEDED` instead of parking its handler forever.
+        let config = GatewayConfig {
+            max_batch: 1,
+            max_wait_us: 1_000,
+            workers: 1,
+            deadline_us: 20_000,
+            ..Default::default()
+        };
+        let metrics = Arc::new(ServerMetrics::new());
+        let batcher = Batcher::new(config, metrics.clone());
+        std::thread::scope(|scope| {
+            let receivers: Vec<_> = (0..3u64)
+                .map(|i| {
+                    submit_chan(&batcher, container(i), DecodeEngine::TapeFree, i).expect("room")
+                })
+                .collect();
+            scope.spawn(|| batcher.run_scheduler());
+            for rx in receivers {
+                let result = rx.recv_timeout(Duration::from_secs(20)).expect("swept reply");
+                assert!(
+                    matches!(result, Err(EaszError::DeadlineExceeded)),
+                    "stalled job must be swept, got {result:?}"
+                );
+            }
+            batcher.shutdown();
+        });
+        assert_eq!(metrics.snapshot().deadlines_expired, 3);
+    }
+
+    #[test]
+    fn injected_panic_fails_only_its_job_and_the_worker_respawns() {
+        let _fault = fault::install(fault::FaultPlan {
+            decode_panic_oneshot: 1,
+            ..fault::FaultPlan::default()
+        });
+        let config = GatewayConfig {
+            max_batch: 3,
+            max_wait_us: 60_000_000,
+            workers: 1,
+            ..Default::default()
+        };
+        let ((), metrics) = with_batcher(config, |batcher, decoder| {
+            let containers = [container(1), container(2), container(3)];
+            let receivers: Vec<_> = containers
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    submit_chan(batcher, c.clone(), DecodeEngine::TapeFree, i as u64)
+                        .expect("queue has room")
+                })
+                .collect();
+            // The oneshot fires on the window's first job: it alone gets
+            // the typed `Internal`, its windowmates still decode to the
+            // serial reference.
+            let mut results = receivers.iter().map(|rx| rx.recv().expect("reply"));
+            let first = results.next().expect("first job");
+            match first {
+                Err(EaszError::Internal(msg)) => {
+                    assert!(msg.contains(fault::INJECTED_PANIC), "got {msg:?}")
+                }
+                other => panic!("expected Internal for the panicking job, got {other:?}"),
+            }
+            for (c, result) in containers[1..].iter().zip(results) {
+                let image = result.expect("windowmates survive the panic");
+                let serial = decoder.decode(c).expect("serial decode");
+                assert_eq!(image.data(), serial.data(), "windowmate must match serial");
+            }
+            // The pool recovered: a fresh job decodes on the respawned
+            // worker.
+            let rx = submit_chan(batcher, container(9), DecodeEngine::TapeFree, 9)
+                .expect("queue has room");
+            rx.recv().expect("reply").expect("respawned worker decodes");
+        });
+        let stats = metrics.snapshot();
+        assert!(stats.panics_caught >= 1, "the catch must be counted");
+        assert_eq!(stats.worker_respawns, 1, "exactly one respawn");
+    }
+
+    #[test]
+    fn injected_submit_refusal_degrades_like_a_full_queue() {
+        let _fault = fault::install(fault::FaultPlan {
+            submit_refuse_permille: 1000,
+            ..fault::FaultPlan::default()
+        });
+        let batcher = Batcher::new(GatewayConfig::default(), Arc::new(ServerMetrics::new()));
+        let c = container(2);
+        let refused = submit_chan(&batcher, c.clone(), DecodeEngine::TapeFree, 1)
+            .expect_err("every submit refused");
+        assert_eq!(refused, c, "the container comes back for inline decode");
     }
 }

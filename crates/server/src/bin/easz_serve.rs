@@ -21,8 +21,9 @@ const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--model DOMAIN]...
                   [--max-frame-len BYTES] [--max-batch N]
                   [--read-timeout-ms MS] [--gateway-max-batch N]
                   [--gateway-max-wait-us US] [--gateway-workers N]
-                  [--gateway-adaptive-wait] [--reactor]
-                  [--reactor-max-conns N] [--reactor-max-inflight N]
+                  [--gateway-adaptive-wait] [--gateway-deadline-us US]
+                  [--reactor] [--reactor-max-conns N]
+                  [--reactor-max-inflight N]
 
   --addr HOST:PORT        listen address (default 127.0.0.1:4860)
   --model DOMAIN          also serve the fine-tuned zoo model for DOMAIN
@@ -41,6 +42,9 @@ const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--model DOMAIN]...
   --gateway-workers N     gateway decode worker threads (default 2)
   --gateway-adaptive-wait scale the window wait budget by the observed
                           arrival rate (sparse traffic dispatches early)
+  --gateway-deadline-us US answer a queued decode with DEADLINE_EXCEEDED when
+                          no worker starts it within US microseconds
+                          (default 0 = wait forever)
   --reactor               serve through the epoll reactor front end (one
                           readiness loop instead of one thread per
                           connection; Linux only). Decodes always go through
@@ -95,6 +99,10 @@ fn main() {
             }
             "--gateway-adaptive-wait" => {
                 gateway.get_or_insert_with(GatewayConfig::default).adaptive_wait = true;
+            }
+            "--gateway-deadline-us" => {
+                gateway.get_or_insert_with(GatewayConfig::default).deadline_us =
+                    parse(&value("--gateway-deadline-us")) as u64;
             }
             "--reactor" => {
                 reactor.get_or_insert_with(ReactorConfig::default);
@@ -168,9 +176,90 @@ fn main() {
          {gateway_desc}, {model_desc})",
         config.max_frame_len, config.max_batch
     );
-    if let Err(e) = server.with_config(config).serve(listener) {
+    let server = server.with_config(config);
+    #[cfg(unix)]
+    match sig::install() {
+        Ok(pipe) => {
+            let handle = match server.spawn_on(listener) {
+                Ok(handle) => handle,
+                Err(e) => {
+                    eprintln!("cannot start server: {e}");
+                    exit(1);
+                }
+            };
+            sig::wait(pipe);
+            println!("shutdown signal received; draining in-flight connections...");
+            if let Err(e) = handle.shutdown() {
+                eprintln!("accept loop failed: {e}");
+                exit(1);
+            }
+            println!("drained; bye");
+            return;
+        }
+        Err(e) => {
+            eprintln!("cannot install signal handlers ({e}); serving without graceful drain");
+        }
+    }
+    if let Err(e) = server.serve(listener) {
         eprintln!("accept loop failed: {e}");
         exit(1);
+    }
+}
+
+/// SIGTERM/SIGINT → graceful drain, via the classic self-pipe trick: the
+/// handler does one async-signal-safe `write(2)` to a pipe the main thread
+/// blocks reading, and the drain itself (stop accepting, flush the gateway,
+/// answer everything in flight) runs on the main thread through
+/// `ServerHandle::shutdown`. No `libc` crate: the two syscalls are declared
+/// against the libc the standard library already links, same as the
+/// reactor's epoll shim.
+#[cfg(unix)]
+mod sig {
+    use std::io::Read;
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+    use std::sync::OnceLock;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    static WRITE_FD: OnceLock<RawFd> = OnceLock::new();
+
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(&fd) = WRITE_FD.get() {
+            let byte = 1u8;
+            // SAFETY: write(2) is async-signal-safe; the fd is leaked for
+            // the life of the process so it cannot dangle.
+            unsafe { write(fd, &byte, 1) };
+        }
+    }
+
+    /// Installs the handlers and returns the read half of the self-pipe;
+    /// one byte arrives per delivered signal.
+    pub fn install() -> std::io::Result<UnixStream> {
+        let (reader, writer) = UnixStream::pair()?;
+        let fd = writer.as_raw_fd();
+        // The handler may fire at any point for the rest of the process:
+        // the write half must never close.
+        std::mem::forget(writer);
+        WRITE_FD.set(fd).expect("signal handlers installed once");
+        // SAFETY: on_signal only touches async-signal-safe state.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+        Ok(reader)
+    }
+
+    /// Blocks until the first signal lands.
+    pub fn wait(mut pipe: UnixStream) {
+        let mut byte = [0u8; 1];
+        let _ = pipe.read(&mut byte);
     }
 }
 

@@ -2,11 +2,82 @@
 //! wire, or any consumer that wants decoded frames back from a server.
 
 use crate::metrics::ServerStats;
-use crate::protocol::{self, EngineTier, WireError};
+use crate::protocol::{self, EngineTier, ErrorCode, WireError};
 use easz_image::ImageU8;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Capped exponential backoff with seeded jitter — the client half of the
+/// server's failure model (`BUSY` is an explicit "retry later, with
+/// backoff").
+///
+/// The policy drives two retry sites, both idempotent by construction:
+/// connect attempts ([`EaszClient::connect_with`]) and single-container
+/// decode requests answered with `BUSY` or a dead socket
+/// ([`EaszClient::decode`] / [`EaszClient::decode_tiered`] on a client
+/// built [`with_retry`](EaszClient::with_retry)). Batch requests are never
+/// retried automatically: a batch interrupted mid-reply has delivered
+/// partial results the caller may have acted on.
+///
+/// Delays are a pure function of `(policy, attempt)` — the jitter comes
+/// from a seeded xorshift, not the clock — so tests replay schedules
+/// exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (`0` = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff delay (pre-jitter).
+    pub max_delay: Duration,
+    /// Seed for the jitter stream: each delay is scaled into
+    /// `[50%, 100%]` of its exponential value by a deterministic draw.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The no-retry policy: every failure is final. This is what
+    /// [`EaszClient::connect`] and [`EaszClient::from_stream`] start with,
+    /// keeping the fail-fast behaviour unless a policy is opted into.
+    pub fn none() -> Self {
+        Self { max_retries: 0, ..Self::default() }
+    }
+
+    /// The backoff before retry `attempt` (0-based): `base_delay * 2^n`
+    /// capped at `max_delay`, then jittered into `[50%, 100%]` by a draw
+    /// seeded from `(jitter_seed, attempt)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        let capped_us = exp.as_micros().min(u64::MAX as u128) as u64;
+        // Split-mix then xorshift, as everywhere else in this workspace.
+        let mut x = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt) + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x0123_4567_89AB_CDEF)
+            | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let half = capped_us / 2;
+        Duration::from_micros(half + x % (capped_us - half + 1))
+    }
+}
 
 /// Writes one frame, surviving the partial-progress failure modes a
 /// backpressured or nonblocking-reactor peer exposes: short writes keep
@@ -110,10 +181,18 @@ pub struct EaszClient {
     /// payload was never consumed): every later request would read pixel
     /// bytes as frame headers, so the client refuses instead.
     poisoned: bool,
+    /// Backoff applied to `BUSY` replies and dead-socket resends on
+    /// idempotent requests; [`RetryPolicy::none`] unless opted into.
+    retry: RetryPolicy,
+    /// The peer we connected to, kept so a retry can re-dial after the
+    /// server dropped the connection (e.g. an admission-control `BUSY`
+    /// that closes, or a crashed-and-restarted server).
+    addr: Option<SocketAddr>,
 }
 
 impl EaszClient {
-    /// Connects to a decode server.
+    /// Connects to a decode server. Fails fast; see
+    /// [`connect_with`](Self::connect_with) for retrying connects.
     ///
     /// # Errors
     ///
@@ -122,10 +201,48 @@ impl EaszClient {
         Ok(Self::from_stream(TcpStream::connect(addr)?))
     }
 
+    /// Connects with retry: connection failures back off per `policy`
+    /// until an attempt succeeds or the retry budget is spent. The
+    /// returned client keeps the policy, so `BUSY` replies and dead
+    /// sockets on idempotent requests retry with the same backoff.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's connection failure once `policy.max_retries`
+    /// retries are exhausted.
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: RetryPolicy) -> io::Result<Self> {
+        let mut attempt = 0;
+        let stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => break stream,
+                Err(e) => {
+                    if attempt >= policy.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+            }
+        };
+        Ok(Self::from_stream(stream).with_retry(policy))
+    }
+
     /// Wraps an already-connected stream (e.g. for tests driving both
     /// halves over a loopback pair).
     pub fn from_stream(stream: TcpStream) -> Self {
-        Self { stream, max_reply_len: 256 << 20, poisoned: false }
+        let addr = stream.peer_addr().ok();
+        Self { stream, max_reply_len: 256 << 20, poisoned: false, retry: RetryPolicy::none(), addr }
+    }
+
+    /// Sets the retry policy for subsequent idempotent requests
+    /// ([`decode`](Self::decode) and [`decode_tiered`](Self::decode_tiered)):
+    /// `BUSY` replies and dead-socket transport failures are retried with
+    /// the policy's backoff, re-dialing the peer when the connection died.
+    /// Batch requests never retry automatically (partial replies may
+    /// already have been delivered).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     /// Caps the reply payload size this client will accept. The default of
@@ -181,14 +298,10 @@ impl EaszClient {
     ///
     /// [`ClientError::Remote`] carrying the server's typed error frame for
     /// undecodable containers, otherwise transport/protocol failures.
+    /// Under a [`with_retry`](Self::with_retry) policy, `BUSY` replies and
+    /// dead-socket failures are retried with backoff first.
     pub fn decode(&mut self, container: &[u8]) -> Result<ImageU8, ClientError> {
-        self.ensure_usable()?;
-        write_frame_resilient(&mut self.stream, protocol::DECODE, container)?;
-        let (frame_type, payload) = self.read_reply()?;
-        match frame_type {
-            protocol::IMAGE => protocol::decode_image(&payload).map_err(ClientError::Protocol),
-            other => Err(self.unexpected(other, &payload)),
-        }
+        self.image_request_with_retry(protocol::DECODE, container)
     }
 
     /// As [`decode`](Self::decode), but names the engine tier explicitly
@@ -205,16 +318,79 @@ impl EaszClient {
         container: &[u8],
         tier: EngineTier,
     ) -> Result<ImageU8, ClientError> {
-        self.ensure_usable()?;
         let mut payload = Vec::with_capacity(1 + container.len());
         payload.push(tier.wire_byte());
         payload.extend_from_slice(container);
-        write_frame_resilient(&mut self.stream, protocol::DECODE_TIERED, &payload)?;
+        self.image_request_with_retry(protocol::DECODE_TIERED, &payload)
+    }
+
+    /// One request/reply round expecting an `IMAGE` back, wrapped in the
+    /// client's [`RetryPolicy`]: `BUSY` replies back off and resend, dead
+    /// sockets re-dial the remembered peer address and resend. Safe only
+    /// because a single-container decode is idempotent — the server holds
+    /// no state for it and the reply is a pure function of the payload.
+    fn image_request_with_retry(
+        &mut self,
+        frame: u8,
+        payload: &[u8],
+    ) -> Result<ImageU8, ClientError> {
+        let mut attempt = 0;
+        loop {
+            match self.image_request_once(frame, payload) {
+                Err(e) if attempt < self.retry.max_retries && Self::retryable(&e) => {
+                    std::thread::sleep(self.retry.delay(attempt));
+                    attempt += 1;
+                    if matches!(e, ClientError::Io(_)) {
+                        // The socket is gone; a failed re-dial leaves the
+                        // dead stream in place, so the next attempt fails
+                        // fast and keeps consuming the retry budget.
+                        let _ = self.reconnect();
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn image_request_once(&mut self, frame: u8, payload: &[u8]) -> Result<ImageU8, ClientError> {
+        self.ensure_usable()?;
+        write_frame_resilient(&mut self.stream, frame, payload)?;
         let (frame_type, payload) = self.read_reply()?;
         match frame_type {
             protocol::IMAGE => protocol::decode_image(&payload).map_err(ClientError::Protocol),
             other => Err(self.unexpected(other, &payload)),
         }
+    }
+
+    /// The failures the server's failure model declares retryable: an
+    /// explicit `BUSY` shed, or transport errors that mean the connection
+    /// died cleanly between requests (so the request provably never
+    /// produced a reply this client consumed).
+    fn retryable(e: &ClientError) -> bool {
+        match e {
+            ClientError::Remote(err) => err.code == ErrorCode::Busy,
+            ClientError::Io(io) => matches!(
+                io.kind(),
+                io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::UnexpectedEof
+            ),
+            ClientError::Protocol(_) => false,
+        }
+    }
+
+    /// Re-dials the peer recorded at connect time, replacing the dead
+    /// stream and clearing the poison flag (the new connection's framing
+    /// starts clean).
+    fn reconnect(&mut self) -> io::Result<()> {
+        let addr = self.addr.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "peer address unknown; cannot re-dial")
+        })?;
+        self.stream = TcpStream::connect(addr)?;
+        self.poisoned = false;
+        Ok(())
     }
 
     /// Sends a batch of serialized containers in one frame and collects one
@@ -280,9 +456,16 @@ impl EaszClient {
                 }
                 protocol::ERROR => {
                     let err = WireError::from_payload(&payload).map_err(ClientError::Protocol)?;
-                    if err.code.value() >= protocol::ErrorCode::Protocol.value() {
-                        // Whole-request failure (the batch itself was
-                        // rejected): the server sends exactly one frame.
+                    // Per-container codes occupy a reply position: the
+                    // container class (1..=15), UNKNOWN_MODEL (36), a shed
+                    // slot (BUSY, 35), and the robustness pair INTERNAL
+                    // (37) / DEADLINE_EXCEEDED (38). Only envelope
+                    // failures — PROTOCOL, OVERSIZE, UNKNOWN_FRAME — abort
+                    // the whole call with a single frame.
+                    if matches!(
+                        err.code,
+                        ErrorCode::Protocol | ErrorCode::Oversize | ErrorCode::UnknownFrame
+                    ) {
                         return Err(ClientError::Remote(err));
                     }
                     results.push(Err(err));
@@ -418,5 +601,147 @@ mod tests {
         let err =
             write_frame_resilient(&mut broken, protocol::PING, &[1]).expect_err("broken pipe");
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn retry_policy_delays_are_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            jitter_seed: 42,
+        };
+        // Deterministic: the same (policy, attempt) always yields the same
+        // delay, and a different seed yields a different schedule.
+        let schedule: Vec<Duration> = (0..8).map(|n| policy.delay(n)).collect();
+        assert_eq!(schedule, (0..8).map(|n| policy.delay(n)).collect::<Vec<_>>());
+        let reseeded = RetryPolicy { jitter_seed: 43, ..policy.clone() };
+        assert_ne!(schedule, (0..8).map(|n| reseeded.delay(n)).collect::<Vec<_>>());
+        // Jitter bounds: each delay lands in [50%, 100%] of the capped
+        // exponential value.
+        for (n, d) in schedule.iter().enumerate() {
+            let exp =
+                (Duration::from_millis(10) * (1 << n.min(3)) as u32).min(Duration::from_millis(80));
+            assert!(
+                *d >= exp / 2 && *d <= exp,
+                "attempt {n}: {d:?} outside [{:?}, {exp:?}]",
+                exp / 2
+            );
+        }
+        // Huge attempt numbers must not overflow, and stay within the cap.
+        assert!(policy.delay(u32::MAX) <= Duration::from_millis(80));
+    }
+
+    /// A scripted peer: binds a listener and runs `serve` on a thread,
+    /// returning the address and the join handle.
+    fn scripted_server(
+        serve: impl FnOnce(std::net::TcpListener) + Send + 'static,
+    ) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        (addr, std::thread::spawn(move || serve(listener)))
+    }
+
+    fn tiny_image_payload() -> (ImageU8, Vec<u8>) {
+        let img = ImageU8::from_vec(2, 1, easz_image::Channels::Gray, vec![7, 250]);
+        let payload = protocol::encode_image(&img);
+        (img, payload)
+    }
+
+    #[test]
+    fn busy_replies_are_retried_with_backoff_until_the_shed_clears() {
+        let (img, image_payload) = tiny_image_payload();
+        let (addr, server) = scripted_server(move |listener| {
+            let (mut conn, _) = listener.accept().expect("accept");
+            // Shed the first two sends, then serve the third.
+            for _ in 0..2 {
+                let (frame, _) =
+                    protocol::read_frame(&mut conn, 1 << 20).expect("read").expect("open");
+                assert_eq!(frame, protocol::DECODE);
+                let busy = WireError { code: ErrorCode::Busy, message: "shed".into() };
+                protocol::write_frame(&mut conn, protocol::ERROR, &busy.to_payload())
+                    .expect("busy frame");
+            }
+            let (frame, _) = protocol::read_frame(&mut conn, 1 << 20).expect("read").expect("open");
+            assert_eq!(frame, protocol::DECODE);
+            protocol::write_frame(&mut conn, protocol::IMAGE, &image_payload).expect("image frame");
+        });
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            jitter_seed: 7,
+        };
+        let mut client = EaszClient::connect_with(addr, policy).expect("connect");
+        let restored = client.decode(b"container-bytes").expect("decode after retries");
+        assert_eq!(restored, img);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn busy_replies_without_a_policy_fail_fast() {
+        let (addr, server) = scripted_server(|listener| {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let _ = protocol::read_frame(&mut conn, 1 << 20).expect("read").expect("open");
+            let busy = WireError { code: ErrorCode::Busy, message: "shed".into() };
+            protocol::write_frame(&mut conn, protocol::ERROR, &busy.to_payload())
+                .expect("busy frame");
+        });
+        let mut client = EaszClient::connect(addr).expect("connect");
+        match client.decode(b"container-bytes") {
+            Err(ClientError::Remote(err)) => assert_eq!(err.code, ErrorCode::Busy),
+            other => panic!("expected fail-fast BUSY, got {other:?}"),
+        }
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn dead_socket_resend_re_dials_the_peer() {
+        let (img, image_payload) = tiny_image_payload();
+        let (addr, server) = scripted_server(move |listener| {
+            // First connection: take the request, close without replying —
+            // the crashed-server case.
+            let (mut conn, _) = listener.accept().expect("accept 1");
+            let _ = protocol::read_frame(&mut conn, 1 << 20).expect("read").expect("open");
+            drop(conn);
+            // Second connection: the re-dialed client resends; serve it.
+            let (mut conn, _) = listener.accept().expect("accept 2");
+            let (frame, _) = protocol::read_frame(&mut conn, 1 << 20).expect("read").expect("open");
+            assert_eq!(frame, protocol::DECODE);
+            protocol::write_frame(&mut conn, protocol::IMAGE, &image_payload).expect("image frame");
+        });
+        let policy = RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            jitter_seed: 11,
+        };
+        let mut client = EaszClient::connect_with(addr, policy).expect("connect");
+        let restored = client.decode(b"container-bytes").expect("decode after re-dial");
+        assert_eq!(restored, img);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn connect_with_retries_until_the_listener_appears() {
+        // Reserve a port, free it, and only re-bind after the client has
+        // started retrying against the closed port.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve");
+        let addr = listener.local_addr().expect("local addr");
+        drop(listener);
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            let listener = std::net::TcpListener::bind(addr).expect("re-bind");
+            let _conn = listener.accept().expect("accept");
+        });
+        let policy = RetryPolicy {
+            max_retries: 200,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            jitter_seed: 3,
+        };
+        let client = EaszClient::connect_with(addr, policy).expect("connect with retry");
+        assert!(client.addr.is_some());
+        server.join().expect("server thread");
     }
 }

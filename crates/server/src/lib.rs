@@ -93,18 +93,54 @@
 //! Replies on the reactor path are byte-identical to the threaded path
 //! and to serial local decoding — enforced by the loopback test suite.
 //! The threaded path remains the default.
+//!
+//! ## Failure model
+//!
+//! The server degrades instead of dying, in a fixed order of escalation —
+//! each stage answers with a *typed* error frame and each stage's blast
+//! radius is one request (never a worker, never a connection, never the
+//! process):
+//!
+//! 1. **`BUSY` shed (code 35)** — overload. Admission control refuses
+//!    connections beyond [`ReactorConfig::max_connections`]; a saturated
+//!    gateway queue sheds the decode. Cheapest refusal, fired first.
+//! 2. **Deadline expiry (code 38, `DEADLINE_EXCEEDED`)** — a job admitted
+//!    to the gateway carries a deadline ([`GatewayConfig::deadline_us`]);
+//!    if no worker picks it up in time it is swept unstarted and answered,
+//!    so a stalled pool can never park a handler in `reply.recv()`
+//!    forever.
+//! 3. **Panic isolation (code 37, `INTERNAL`)** — every decode (gateway
+//!    worker, threaded handler, reactor job) runs under `catch_unwind`; a
+//!    panicking container fails *its own* request, the supervisor respawns
+//!    the poisoned worker, and the connection keeps serving.
+//! 4. **Graceful drain** — shutdown (or SIGTERM in `easz-serve`) stops
+//!    accepting, flushes parked gateway jobs, and answers everything
+//!    in-flight before closing — the shutdown-flush invariant.
+//!
+//! The client side mirrors this: [`EaszClient`] takes a [`RetryPolicy`]
+//! (capped exponential backoff with seeded jitter) and retries exactly the
+//! failures the model declares retryable — connect errors and `BUSY` —
+//! on idempotent requests only.
+//!
+//! Every stage is testable on demand: the [`fault`] module injects seeded,
+//! deterministic faults (torn writes, EINTR storms, aborted accepts,
+//! stalled or panicking decodes) at the syscall shim, protocol, and
+//! gateway layers; `tests/chaos.rs` soaks both front ends under
+//! randomized schedules and asserts exactly-one-reply, metrics
+//! reconciliation, and byte-identity of every successful reply.
 
 #![warn(missing_docs)]
 
 mod batcher;
 mod client;
+pub mod fault;
 mod metrics;
 pub mod protocol;
 mod reactor;
 mod server;
 
 pub use batcher::GatewayConfig;
-pub use client::{ClientError, EaszClient};
+pub use client::{ClientError, EaszClient, RetryPolicy};
 pub use metrics::{ServerMetrics, ServerStats, WIDTH_BUCKETS};
 pub use protocol::{EngineTier, ErrorCode, WireError};
 pub use reactor::ReactorConfig;

@@ -66,6 +66,15 @@ pub struct ServerMetrics {
     /// EWMA of the microseconds between consecutive gateway submissions
     /// (gauge; `0` = no estimate yet). Drives the adaptive batching window.
     arrival_ewma_us: AtomicU64,
+    /// Decode panics caught at an isolation boundary (each answered with
+    /// the `INTERNAL` error on its own request).
+    panics_caught: AtomicU64,
+    /// Gateway decode workers respawned by the supervisor after a panic
+    /// poisoned them.
+    worker_respawns: AtomicU64,
+    /// Gateway jobs swept unstarted because their deadline expired (each
+    /// answered with `DEADLINE_EXCEEDED`).
+    deadlines_expired: AtomicU64,
 }
 
 impl Default for ServerMetrics {
@@ -87,6 +96,9 @@ impl Default for ServerMetrics {
             connections_refused: AtomicU64::new(0),
             requests_shed: AtomicU64::new(0),
             arrival_ewma_us: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            deadlines_expired: AtomicU64::new(0),
         }
     }
 }
@@ -176,6 +188,21 @@ impl ServerMetrics {
         self.arrival_ewma_us.load(Ordering::Relaxed)
     }
 
+    /// Counts one decode panic caught at an isolation boundary.
+    pub fn record_panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one gateway worker respawned after a panic poisoned it.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one gateway job swept unstarted past its deadline.
+    pub fn record_deadline_expired(&self) {
+        self.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot for a `STATS_REPLY`.
     pub fn snapshot(&self) -> ServerStats {
         let mut widths = [0u64; WIDTH_BUCKETS];
@@ -208,14 +235,20 @@ impl ServerMetrics {
             connections_refused: self.connections_refused.load(Ordering::Relaxed),
             requests_shed: self.requests_shed.load(Ordering::Relaxed),
             arrival_ewma_us: self.arrival_ewma_us.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            deadlines_expired: self.deadlines_expired.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Version byte leading a `STATS_REPLY` payload. Version 2 appends the
+/// Version byte leading a `STATS_REPLY` payload. Version 2 appended the
 /// connection/admission block (five `u64`s) after the error entries;
-/// version-1 payloads still parse, with those fields reported as `0`.
-pub const STATS_PAYLOAD_VERSION: u8 = 2;
+/// version 3 appends the robustness block (three `u64`s: panics caught,
+/// worker respawns, deadlines expired). Every version is a strict prefix
+/// of its successors; lower-version payloads still parse, with the missing
+/// fields reported as `0`.
+pub const STATS_PAYLOAD_VERSION: u8 = 3;
 
 /// A point-in-time snapshot of a server's [`ServerMetrics`], as carried by
 /// the `STATS_REPLY` frame.
@@ -257,6 +290,12 @@ pub struct ServerStats {
     /// Inter-arrival EWMA of gateway submissions in µs (gauge; `0` = no
     /// estimate yet; payload v2).
     pub arrival_ewma_us: u64,
+    /// Decode panics caught at an isolation boundary (payload v3).
+    pub panics_caught: u64,
+    /// Gateway workers respawned by the supervisor (payload v3).
+    pub worker_respawns: u64,
+    /// Gateway jobs swept unstarted past their deadline (payload v3).
+    pub deadlines_expired: u64,
 }
 
 impl ServerStats {
@@ -269,7 +308,7 @@ impl ServerStats {
     /// `docs/FORMAT.md` §2.5).
     pub fn to_payload(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(
-            1 + 9 * 8 + 1 + self.batch_widths.len() * 8 + 1 + self.errors.len() * 9 + 5 * 8,
+            1 + 9 * 8 + 1 + self.batch_widths.len() * 8 + 1 + self.errors.len() * 9 + 8 * 8,
         );
         out.push(STATS_PAYLOAD_VERSION);
         for v in [
@@ -300,6 +339,9 @@ impl ServerStats {
             self.connections_refused,
             self.requests_shed,
             self.arrival_ewma_us,
+            self.panics_caught,
+            self.worker_respawns,
+            self.deadlines_expired,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -347,6 +389,8 @@ impl ServerStats {
             if version >= 2 { (r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0) };
         let (requests_shed, arrival_ewma_us) =
             if version >= 2 { (r.u64()?, r.u64()?) } else { (0, 0) };
+        let (panics_caught, worker_respawns, deadlines_expired) =
+            if version >= 3 { (r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0) };
         if r.pos != payload.len() {
             return Err(format!(
                 "{} trailing bytes after the stats payload",
@@ -370,6 +414,9 @@ impl ServerStats {
             connections_refused,
             requests_shed,
             arrival_ewma_us,
+            panics_caught,
+            worker_respawns,
+            deadlines_expired,
         })
     }
 }
@@ -428,6 +475,10 @@ mod tests {
         m.record_connection_refused();
         m.record_request_shed();
         m.record_arrival_ewma(1234);
+        m.record_panic_caught();
+        m.record_panic_caught();
+        m.record_worker_respawn();
+        m.record_deadline_expired();
         let stats = m.snapshot();
         assert_eq!(stats.decode_requests, 5);
         assert_eq!((stats.decode_ok, stats.decode_err), (2, 1));
@@ -445,6 +496,8 @@ mod tests {
         assert_eq!((stats.connections_active, stats.connections_accepted), (1, 2));
         assert_eq!((stats.connections_refused, stats.requests_shed), (1, 1));
         assert_eq!(stats.arrival_ewma_us, 1234);
+        assert_eq!(stats.panics_caught, 2);
+        assert_eq!((stats.worker_respawns, stats.deadlines_expired), (1, 1));
         let back = ServerStats::from_payload(&stats.to_payload()).expect("parse");
         assert_eq!(back, stats);
     }
@@ -457,12 +510,33 @@ mod tests {
         m.record_request_shed();
         let stats = m.snapshot();
         let mut v1 = stats.to_payload();
-        v1.truncate(v1.len() - 5 * 8); // strip the v2 connection block
+        v1.truncate(v1.len() - 8 * 8); // strip the v2 connection + v3 robustness blocks
         v1[0] = 1;
         let back = ServerStats::from_payload(&v1).expect("v1 payload parses");
         assert_eq!(back.decode_requests, 3);
         assert_eq!(back.connections_active, 0, "v1 has no connection block");
         assert_eq!(back.requests_shed, 0);
+        assert_eq!(back.panics_caught, 0);
+    }
+
+    #[test]
+    fn stats_payload_v2_still_parses() {
+        let m = ServerMetrics::new();
+        m.record_requests(4);
+        m.record_connection_open();
+        m.record_request_shed();
+        m.record_panic_caught();
+        m.record_deadline_expired();
+        let stats = m.snapshot();
+        let mut v2 = stats.to_payload();
+        v2.truncate(v2.len() - 3 * 8); // strip the v3 robustness block
+        v2[0] = 2;
+        let back = ServerStats::from_payload(&v2).expect("v2 payload parses");
+        assert_eq!(back.decode_requests, 4);
+        assert_eq!(back.connections_accepted, 1, "v2 keeps its connection block");
+        assert_eq!(back.requests_shed, 1);
+        assert_eq!(back.panics_caught, 0, "v2 has no robustness block");
+        assert_eq!((back.worker_respawns, back.deadlines_expired), (0, 0));
     }
 
     #[test]

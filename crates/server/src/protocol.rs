@@ -143,6 +143,14 @@ pub enum ErrorCode {
     /// The container names a zoo model id this server does not serve. The
     /// connection stays open; other model ids keep decoding.
     UnknownModel = 36,
+    /// The decode panicked inside the server; the panic was caught at an
+    /// isolation boundary and only this request failed. The connection
+    /// stays open and the worker pool recovers.
+    Internal = 37,
+    /// The request's per-decode deadline expired before the gateway could
+    /// schedule it; the job was swept unstarted. The connection stays open
+    /// — retry with backoff, the server is overloaded or stalled.
+    DeadlineExceeded = 38,
 }
 
 impl ErrorCode {
@@ -169,6 +177,8 @@ impl ErrorCode {
             34 => UnknownFrame,
             35 => Busy,
             36 => UnknownModel,
+            37 => Internal,
+            38 => DeadlineExceeded,
             _ => return None,
         })
     }
@@ -186,6 +196,8 @@ impl ErrorCode {
             EaszError::Codec(_) => Self::Codec,
             EaszError::InvalidConfig(_) => Self::InvalidConfig,
             EaszError::UnknownModel(_) => Self::UnknownModel,
+            EaszError::Internal(_) => Self::Internal,
+            EaszError::DeadlineExceeded => Self::DeadlineExceeded,
             // `EaszError` is non-exhaustive; anything a future core adds is
             // at least a malformed-input report until it gets its own code.
             _ => Self::Malformed,
@@ -294,6 +306,15 @@ pub fn write_frame(w: &mut impl Write, frame_type: u8, payload: &[u8]) -> io::Re
     header[0] = frame_type;
     header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     w.write_all(&header)?;
+    // Fault hook (compiles out of default builds): tear the payload across
+    // two flushed writes so the peer must reassemble the frame from partial
+    // reads — the wire-level shape of a short write.
+    if let Some(split) = crate::fault::write_split(payload.len()) {
+        w.write_all(&payload[..split])?;
+        w.flush()?;
+        w.write_all(&payload[split..])?;
+        return w.flush();
+    }
     w.write_all(payload)?;
     w.flush()
 }
@@ -329,6 +350,11 @@ pub fn read_frame(
 ) -> Result<Option<(u8, Vec<u8>)>, FrameReadError> {
     let mut first = [0u8; 1];
     loop {
+        // Fault hook (compiles out of default builds): a simulated transport
+        // EINTR takes the same retry branch a real one would.
+        if crate::fault::read_interrupted() {
+            continue;
+        }
         match r.read(&mut first) {
             Ok(0) => return Ok(None),
             Ok(_) => break,
@@ -540,12 +566,18 @@ mod tests {
             ErrorCode::UnknownFrame,
             ErrorCode::Busy,
             ErrorCode::UnknownModel,
+            ErrorCode::Internal,
+            ErrorCode::DeadlineExceeded,
         ] {
             assert_eq!(ErrorCode::from_byte(code.value()), Some(code));
         }
         assert_eq!(ErrorCode::from_byte(0), None);
+        assert_eq!(ErrorCode::Internal.value(), 37);
+        assert_eq!(ErrorCode::DeadlineExceeded.value(), 38);
         assert_eq!(ErrorCode::of(&EaszError::BadMagic), ErrorCode::BadMagic);
         assert_eq!(ErrorCode::of(&EaszError::UnknownModel(7)), ErrorCode::UnknownModel);
+        assert_eq!(ErrorCode::of(&EaszError::Internal("x".into())), ErrorCode::Internal);
+        assert_eq!(ErrorCode::of(&EaszError::DeadlineExceeded), ErrorCode::DeadlineExceeded);
         assert_eq!(
             ErrorCode::of(&EaszError::Truncated { needed: 46, got: 0 }),
             ErrorCode::Truncated

@@ -412,6 +412,11 @@ mod linux {
                 }
                 Err(e) => return Err(e),
             };
+            if crate::fault::accept_abort() {
+                // Injected ECONNABORTED-after-accept: the peer vanished
+                // between SYN and our accept; drop it and keep accepting.
+                continue;
+            }
             if stream.set_nonblocking(true).is_err() {
                 continue; // dropped: an unpollable socket cannot be served
             }
@@ -454,7 +459,12 @@ mod linux {
     ) {
         let mut budget = READ_BUDGET;
         while budget > 0 && !conn.read_closed && !conn.paused(reactor) {
-            let want = budget.min(scratch.len());
+            let mut want = budget.min(scratch.len());
+            if crate::fault::short_read() {
+                // Injected short read: the kernel hands over one byte, so
+                // the frame assembler must survive arbitrary fragmentation.
+                want = 1;
+            }
             let n = match conn.stream.read(&mut scratch[..want]) {
                 Ok(0) => {
                     // EOF: no more requests, but replies already owed are
@@ -686,7 +696,11 @@ mod linux {
         let Some(conn) = conns.get_mut(&token) else { return true };
         conn.replies.flush_into(&mut conn.out);
         while !conn.out.is_empty() {
-            match conn.stream.write(conn.out.pending()) {
+            let pending = conn.out.pending();
+            // Injected torn write: hand the kernel a prefix, forcing the
+            // compacting out-buffer to resume mid-frame.
+            let take = crate::fault::write_split(pending.len()).unwrap_or(pending.len());
+            match conn.stream.write(&pending[..take]) {
                 Ok(0) => return false,
                 Ok(n) => {
                     conn.out.advance(n);

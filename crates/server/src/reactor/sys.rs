@@ -142,6 +142,12 @@ impl Epoll {
     /// The syscall's failure (other than `EINTR`).
     pub fn wait(&self, events: &mut Vec<EpollEvent>, timeout: Option<Duration>) -> io::Result<()> {
         events.clear();
+        // Injected EINTR storm: report a spurious empty wakeup, exactly
+        // what a signal landing mid-wait produces. The level-triggered
+        // loop must absorb it (the next wait reports the level again).
+        if crate::fault::epoll_spurious() {
+            return Ok(());
+        }
         if events.capacity() == 0 {
             events.reserve(64);
         }

@@ -2,7 +2,8 @@
 //! handler thread, all sharing one [`EaszDecoder`] (and therefore one
 //! model zoo) behind the framing protocol of [`crate::protocol`].
 
-use crate::batcher::{Batcher, GatewayConfig};
+use crate::batcher::{panic_message, Batcher, GatewayConfig, WorkerExit};
+use crate::fault;
 use crate::metrics::{ServerMetrics, ServerStats};
 use crate::protocol::{self, EngineTier, ErrorCode, FrameReadError, WireError};
 use crate::reactor::{self, ReactorConfig};
@@ -230,7 +231,17 @@ impl EaszServer {
     ///
     /// Bind or thread-spawn failures.
     pub fn spawn(self, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
-        let listener = TcpListener::bind(addr)?;
+        self.spawn_on(TcpListener::bind(addr)?)
+    }
+
+    /// As [`spawn`](Self::spawn), but serves an already-bound listener —
+    /// for embedders (and `easz-serve`) that bind themselves and keep the
+    /// handle around for signal-driven graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Local-address lookup or thread-spawn failures.
+    pub fn spawn_on(self, listener: TcpListener) -> io::Result<ServerHandle> {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(Connections::default());
@@ -272,7 +283,16 @@ impl EaszServer {
                 scope.spawn(|| batcher.run_scheduler());
                 for _ in 0..workers {
                     let decoder = &decoder;
-                    scope.spawn(move || batcher.run_worker(decoder));
+                    let metrics = &metrics;
+                    // Supervisor loop: a worker poisoned by a caught decode
+                    // panic is respawned in place (same thread, fresh
+                    // `run_worker`), so the pool never shrinks under faults.
+                    scope.spawn(move || loop {
+                        match batcher.run_worker(decoder) {
+                            WorkerExit::Shutdown => break,
+                            WorkerExit::Poisoned => metrics.record_worker_respawn(),
+                        }
+                    });
                 }
             }
             let result = if let Some(reactor_config) = &config.reactor {
@@ -391,12 +411,42 @@ impl ConnCtx<'_> {
                 Err(back) => {
                     // Full queue or shutdown: degrade to inline decode.
                     self.metrics.record_inline_decode();
-                    return Ok(self.decoder.decode_as(&back, engine));
+                    return Ok(decode_isolated(self.decoder, self.metrics, &back, engine));
                 }
             }
         }
         self.metrics.record_inline_decode();
-        Ok(self.decoder.decode_as(&encoded, engine))
+        Ok(decode_isolated(self.decoder, self.metrics, &encoded, engine))
+    }
+}
+
+/// Runs one inline decode under the same isolation boundary as the gateway
+/// workers: the fault hooks (injected stalls and panics) apply, and a
+/// panicking container fails *its own* request with a typed
+/// [`EaszError::Internal`] instead of unwinding through the handler thread
+/// and killing the connection.
+fn decode_isolated(
+    decoder: &EaszDecoder<'_>,
+    metrics: &ServerMetrics,
+    encoded: &EaszEncoded,
+    engine: DecodeEngine,
+) -> Result<ImageF32, EaszError> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    if let Some(delay) = fault::decode_delay() {
+        std::thread::sleep(delay);
+    }
+    let injected = fault::decode_panic();
+    match catch_unwind(AssertUnwindSafe(|| {
+        if injected {
+            panic!("{}", fault::INJECTED_PANIC);
+        }
+        decoder.decode_as(encoded, engine)
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            metrics.record_panic_caught();
+            Err(EaszError::Internal(panic_message(payload)))
+        }
     }
 }
 
@@ -646,7 +696,12 @@ fn handle_decode_batch(
                         Ok(rx) => BatchSlot::Pending(rx),
                         Err(back) => {
                             ctx.metrics.record_inline_decode();
-                            BatchSlot::Done(ctx.decoder.decode_as(&back, engine))
+                            BatchSlot::Done(decode_isolated(
+                                ctx.decoder,
+                                ctx.metrics,
+                                &back,
+                                engine,
+                            ))
                         }
                     }
                 }
@@ -666,24 +721,72 @@ fn handle_decode_batch(
                 Err(e) => statuses.push(Err(e)),
             }
         }
-        let started = std::time::Instant::now();
-        let (decoded, groups) = ctx.decoder.decode_batch_with_stats(&good, &engines);
-        let decode_us = started.elapsed().as_micros() as u64;
-        // One histogram entry per fused forward group, with the wall time
-        // apportioned by group width (the remainder lands on the last
-        // group so the totals stay exact) — same accounting as the
-        // gateway's decode windows.
-        let fused: usize = groups.iter().map(|&(_, width)| width).sum();
-        let mut spent = 0u64;
-        for (gi, &(_, width)) in groups.iter().enumerate() {
-            let us = if gi + 1 == groups.len() {
-                decode_us - spent
-            } else {
-                decode_us * width as u64 / fused as u64
-            };
-            spent += us;
-            ctx.metrics.record_batch(width, us);
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        if let Some(delay) = fault::decode_delay() {
+            std::thread::sleep(delay);
         }
+        // Fault flags are drawn per container *before* the fused attempt so
+        // the serial fallback re-fires the same panics: only the culprit
+        // containers fail, their batchmates decode byte-identically.
+        let injected: Vec<bool> = good.iter().map(|_| fault::decode_panic()).collect();
+        let started = std::time::Instant::now();
+        let fused_attempt = catch_unwind(AssertUnwindSafe(|| {
+            if injected.contains(&true) {
+                panic!("{}", fault::INJECTED_PANIC);
+            }
+            ctx.decoder.decode_batch_with_stats(&good, &engines)
+        }));
+        let decoded: Vec<Result<ImageF32, EaszError>> = match fused_attempt {
+            Ok((decoded, groups)) => {
+                let decode_us = started.elapsed().as_micros() as u64;
+                // One histogram entry per fused forward group, with the wall
+                // time apportioned by group width (the remainder lands on the
+                // last group so the totals stay exact) — same accounting as
+                // the gateway's decode windows.
+                let fused: usize = groups.iter().map(|&(_, width)| width).sum();
+                let mut spent = 0u64;
+                for (gi, &(_, width)) in groups.iter().enumerate() {
+                    let us = if gi + 1 == groups.len() {
+                        decode_us - spent
+                    } else {
+                        decode_us * width as u64 / fused as u64
+                    };
+                    spent += us;
+                    ctx.metrics.record_batch(width, us);
+                }
+                decoded
+            }
+            Err(_) => {
+                // The fused forward panicked: isolate per container so only
+                // the culprit fails with a typed INTERNAL.
+                ctx.metrics.record_panic_caught();
+                good.iter()
+                    .zip(&engines)
+                    .enumerate()
+                    .map(|(i, (encoded, &engine))| {
+                        let started = std::time::Instant::now();
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            if injected[i] {
+                                panic!("{}", fault::INJECTED_PANIC);
+                            }
+                            ctx.decoder.decode_as(encoded, engine)
+                        })) {
+                            Ok(result) => {
+                                if result.is_ok() {
+                                    ctx.metrics
+                                        .record_batch(1, started.elapsed().as_micros() as u64);
+                                }
+                                result
+                            }
+                            Err(payload) => {
+                                ctx.metrics.record_panic_caught();
+                                Err(EaszError::Internal(panic_message(payload)))
+                            }
+                        }
+                    })
+                    .collect()
+            }
+        };
         let mut decoded = decoded.into_iter();
         for status in statuses {
             slots.push(match status {

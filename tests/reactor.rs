@@ -400,6 +400,7 @@ fn reactor_sheds_decode_overload_with_busy() {
         workers: 1,
         queue_depth: 4,
         adaptive_wait: false,
+        deadline_us: 0,
     };
     let handle = EaszServer::new(model)
         .with_gateway(gateway)
