@@ -20,8 +20,9 @@
 //! ```
 //!
 //! `--diag` prints each server's metrics snapshot (batch-width histogram,
-//! decode/queue-wait totals) after the sweeps and skips the JSON patch —
-//! the tool that caught the reactor's shallow accept backlog.
+//! queue-wait/decode/service percentiles from the always-on log2 latency
+//! histograms) after the sweeps and skips the JSON patch — the tool that
+//! caught the reactor's shallow accept backlog.
 
 use easz_codecs::{JpegLikeCodec, Quality};
 use easz_core::{EaszConfig, EaszEncoder, Reconstructor, ReconstructorConfig};
@@ -115,10 +116,11 @@ fn run_rounds(cases: &mut [SweepCase<'_>], rounds: usize) -> Vec<Row> {
 }
 
 /// Splices the measured rows (and, when the reactor ran, the
-/// reactor-vs-threaded summary ratio) into the `BENCH_decode.json` that
+/// reactor-vs-threaded summary ratio), plus each front end's p50/p99
+/// service-time percentiles, into the `BENCH_decode.json` that
 /// `decode_bench` wrote. Refuses to patch twice: re-run `decode_bench`
 /// for a fresh file first.
-fn patch_json(rows: &[Row], speedup: Option<f64>) {
+fn patch_json(rows: &[Row], speedup: Option<f64>, latency: &[(&str, &easz_server::ServerStats)]) {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("read {} (run decode_bench first): {e}", path.display()));
@@ -145,18 +147,50 @@ fn patch_json(rows: &[Row], speedup: Option<f64>) {
     assert!(text.contains(results_end), "unrecognized BENCH_decode.json layout");
     let mut patched =
         text.replacen(results_end, &format!("{}  ],\n  \"summary\": {{\n", inserted), 1);
-    if let Some(ratio) = speedup {
-        let summary_start = "  \"summary\": {\n";
-        patched = patched.replacen(
-            summary_start,
-            &format!(
-                "  \"summary\": {{\n    \"loopback_reactor_speedup_vs_threaded\": {{ \"x{CONNS}\": {ratio:.3} }},\n"
-            ),
-            1,
+    let mut summary_rows = String::new();
+    if !latency.is_empty() {
+        let fields: Vec<String> = latency
+            .iter()
+            .map(|(name, snap)| {
+                format!(
+                    "\"{name}\": {{ \"p50\": {}, \"p99\": {} }}",
+                    snap.service_percentile_us(0.50),
+                    snap.service_percentile_us(0.99)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            summary_rows,
+            "    \"loopback_service_latency_us\": {{ {} }},",
+            fields.join(", ")
         );
+    }
+    if let Some(ratio) = speedup {
+        let _ = writeln!(
+            summary_rows,
+            "    \"loopback_reactor_speedup_vs_threaded\": {{ \"x{CONNS}\": {ratio:.3} }},"
+        );
+    }
+    if !summary_rows.is_empty() {
+        let summary_start = "  \"summary\": {\n";
+        patched = patched.replacen(summary_start, &format!("  \"summary\": {{\n{summary_rows}"), 1);
     }
     std::fs::write(&path, patched).expect("write BENCH_decode.json");
     println!("patched {}", path.display());
+}
+
+/// Service-time percentile lines for one front end, read from the always-on
+/// log2 latency histograms — the same numbers `easz-top` renders live.
+fn print_latency_diag(name: &str, snap: &easz_server::ServerStats) {
+    eprintln!(
+        "{name}:  queue-wait p50={} p99={}  decode p50={} p99={}  service p50={} p99={} (µs)",
+        snap.queue_wait_percentile_us(0.50),
+        snap.queue_wait_percentile_us(0.99),
+        snap.decode_percentile_us(0.50),
+        snap.decode_percentile_us(0.99),
+        snap.service_percentile_us(0.50),
+        snap.service_percentile_us(0.99),
+    );
 }
 
 fn main() {
@@ -212,15 +246,18 @@ fn main() {
     drop(cases);
 
     let diag = std::env::args().any(|a| a == "--diag");
+    let threaded_snap = threaded.metrics().snapshot();
+    let reactor_snap = reactor.as_ref().map(|h| h.metrics().snapshot());
     if diag {
-        let t = threaded.metrics().snapshot();
+        let t = &threaded_snap;
         eprintln!(
             "threaded: batches={} widths={:?} decode_us={} queue_wait_us={} ewma={}",
             t.batches_dispatched, t.batch_widths, t.decode_us, t.queue_wait_us, t.arrival_ewma_us
         );
+        print_latency_diag("threaded", t);
     }
     if let Some(handle) = reactor {
-        let snap = handle.metrics().snapshot();
+        let snap = reactor_snap.as_ref().expect("reactor snapshot");
         if diag {
             eprintln!(
                 "reactor:  batches={} widths={:?} decode_us={} queue_wait_us={} ewma={}",
@@ -230,6 +267,7 @@ fn main() {
                 snap.queue_wait_us,
                 snap.arrival_ewma_us
             );
+            print_latency_diag("reactor", snap);
         }
         let shed = snap.requests_shed;
         assert_eq!(shed, 0, "the loopback sweep must complete without shedding");
@@ -255,6 +293,11 @@ fn main() {
         println!("loopback x{CONNS} served connections, reactor vs threaded: {ratio:.2}x");
     }
     if !diag {
-        patch_json(&rows, speedup);
+        let mut latency: Vec<(&str, &easz_server::ServerStats)> =
+            vec![("threaded", &threaded_snap)];
+        if let Some(snap) = &reactor_snap {
+            latency.push(("reactor", snap));
+        }
+        patch_json(&rows, speedup, &latency);
     }
 }

@@ -80,6 +80,10 @@ pub struct EaszDecoder<'m> {
     slots: Vec<ModelSlot<'m>>,
     registry: CodecRegistry,
     arenas: ArenaPool,
+    /// Optional decode-stage timing subscriber (see [`crate::StageSink`]).
+    /// `None` — the default — keeps every instrumented site a single
+    /// inlined branch: no clock reads, no allocation.
+    stage_sink: Option<crate::StageSink>,
 }
 
 impl<'m> std::fmt::Debug for EaszDecoder<'m> {
@@ -106,6 +110,30 @@ impl<'m> EaszDecoder<'m> {
             slots: vec![ModelSlot { id: 0, model, plans: PlanCache::new() }],
             registry,
             arenas: ArenaPool::new(),
+            stage_sink: None,
+        }
+    }
+
+    /// Installs a decode-stage timing subscriber (see [`crate::StageSink`]):
+    /// each parse / plan / forward / finish stage executed reports its wall
+    /// time. Observation only — decode output is unaffected. Without a sink
+    /// the stage sites cost one inlined branch and read no clocks.
+    pub fn set_stage_sink(&mut self, sink: crate::StageSink) {
+        self.stage_sink = Some(sink);
+    }
+
+    /// Starts timing one stage execution — `None` (free) when no sink is
+    /// installed.
+    #[inline]
+    fn stage_start(&self) -> Option<std::time::Instant> {
+        self.stage_sink.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Reports one stage execution started by [`stage_start`](Self::stage_start).
+    #[inline]
+    fn stage_end(&self, start: Option<std::time::Instant>, stage: crate::DecodeStage) {
+        if let (Some(sink), Some(start)) = (&self.stage_sink, start) {
+            sink(stage, start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         }
     }
 
@@ -156,13 +184,17 @@ impl<'m> EaszDecoder<'m> {
         mask: &EraseMask,
         quantized: bool,
     ) -> Vec<Vec<Vec<f32>>> {
+        let t = self.stage_start();
         let plan = slot.plans.get_or_build(mask);
+        self.stage_end(t, crate::DecodeStage::Plan);
         let mut arena = self.arenas.take();
+        let t = self.stage_start();
         let recon = if quantized {
             slot.model.infer_tokens_quant(batch, &plan, &mut arena)
         } else {
             slot.model.infer_tokens(batch, &plan, &mut arena)
         };
+        self.stage_end(t, crate::DecodeStage::Forward);
         self.arenas.put(arena);
         recon
     }
@@ -263,7 +295,10 @@ impl<'m> EaszDecoder<'m> {
             DecodeEngine::QuantizedInt8 => self.reconstruct(slot, &batch, &prepared.mask, true),
             DecodeEngine::Graph => slot.model.reconstruct_tokens_graph(&batch, &prepared.mask),
         };
-        Ok(finish(prepared, &recon))
+        let t = self.stage_start();
+        let out = finish(prepared, &recon);
+        self.stage_end(t, crate::DecodeStage::Finish);
+        Ok(out)
     }
 
     /// Decodes a batch of containers, amortising the transformer across
@@ -411,6 +446,7 @@ impl<'m> EaszDecoder<'m> {
                 self.reconstruct(slot, &batch, &members[0].1.mask, quantized)
             } else {
                 let batch = TokenBatch::from_patches(&tokens);
+                let t = self.stage_start();
                 let plans: Vec<(std::sync::Arc<DecodePlan>, usize)> = members
                     .iter()
                     .map(|(_, p)| (slot.plans.get_or_build(&p.mask), p.patches.len()))
@@ -418,21 +454,26 @@ impl<'m> EaszDecoder<'m> {
                 let streams: Vec<(&DecodePlan, usize)> =
                     plans.iter().map(|(plan, count)| (plan.as_ref(), *count)).collect();
                 let fused = MultiMaskPlan::new(&streams);
+                self.stage_end(t, crate::DecodeStage::Plan);
                 let mut arena = self.arenas.take();
+                let t = self.stage_start();
                 let recon = if quantized {
                     slot.model.infer_tokens_multi_quant(&batch, &fused, &mut arena)
                 } else {
                     slot.model.infer_tokens_multi(&batch, &fused, &mut arena)
                 };
+                self.stage_end(t, crate::DecodeStage::Forward);
                 self.arenas.put(arena);
                 recon
             };
             let mut offset = 0usize;
+            let t = self.stage_start();
             for (i, p) in members {
                 let count = p.patches.len();
                 out[i] = Some(Ok(finish(p, &recon[offset..offset + count])));
                 offset += count;
             }
+            self.stage_end(t, crate::DecodeStage::Finish);
         }
         let results = out
             .into_iter()
@@ -452,6 +493,16 @@ impl<'m> EaszDecoder<'m> {
     /// drives reconstruction and batch grouping). For horizontal squeeze
     /// the two masks are the same mask.
     fn validate_masks(
+        &self,
+        encoded: &EaszEncoded,
+    ) -> Result<(&ModelSlot<'m>, EraseMask, EraseMask), EaszError> {
+        let t = self.stage_start();
+        let result = self.validate_masks_inner(encoded);
+        self.stage_end(t, crate::DecodeStage::Parse);
+        result
+    }
+
+    fn validate_masks_inner(
         &self,
         encoded: &EaszEncoded,
     ) -> Result<(&ModelSlot<'m>, EraseMask, EraseMask), EaszError> {
@@ -491,6 +542,19 @@ impl<'m> EaszDecoder<'m> {
     /// drives the squeeze layout, the effective mask rides along into the
     /// [`PreparedStream`] for reconstruction.
     fn prepare(
+        &self,
+        encoded: &EaszEncoded,
+        codec: &dyn ImageCodec,
+        wire_mask: EraseMask,
+        mask: EraseMask,
+    ) -> Result<PreparedStream, EaszError> {
+        let t = self.stage_start();
+        let result = self.prepare_inner(encoded, codec, wire_mask, mask);
+        self.stage_end(t, crate::DecodeStage::Parse);
+        result
+    }
+
+    fn prepare_inner(
         &self,
         encoded: &EaszEncoded,
         codec: &dyn ImageCodec,
@@ -747,6 +811,46 @@ mod tests {
         // Even with an untrained model, kept pixels survive the inner codec,
         // so overall PSNR is bounded below by the erase ratio.
         assert!(psnr(&img, &out) > 10.0, "psnr {}", psnr(&img, &out));
+    }
+
+    #[test]
+    fn stage_sink_reports_every_stage_without_changing_output() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let model = quick_model();
+        let img = Dataset::KodakLike.image(2).crop(0, 0, 96, 64);
+        let enc =
+            encoder().compress(&img, &JpegLikeCodec::new(), Quality::new(80)).expect("compress");
+        let silent = EaszDecoder::new(&model);
+        let reference = silent.decode(&enc).expect("decode without sink");
+
+        let counts: Arc<[AtomicU64; crate::DECODE_STAGES]> =
+            Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
+        let mut traced = EaszDecoder::new(&model);
+        let sink_counts = counts.clone();
+        traced.set_stage_sink(Arc::new(move |stage: crate::DecodeStage, _us| {
+            sink_counts[stage.index()].fetch_add(1, Ordering::Relaxed);
+        }));
+        let observed = traced.decode(&enc).expect("decode with sink");
+        assert_eq!(observed.data(), reference.data(), "the sink must not perturb decode output");
+        for stage in [
+            crate::DecodeStage::Parse,
+            crate::DecodeStage::Plan,
+            crate::DecodeStage::Forward,
+            crate::DecodeStage::Finish,
+        ] {
+            assert!(
+                counts[stage.index()].load(Ordering::Relaxed) >= 1,
+                "stage {} must report at least once",
+                stage.name()
+            );
+        }
+        // The batch path reports through the same sink.
+        let before: u64 = counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let batched = traced.decode_batch(std::slice::from_ref(&enc));
+        assert!(batched[0].is_ok());
+        let after: u64 = counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert!(after > before, "batch decode must report stages too");
     }
 
     #[test]

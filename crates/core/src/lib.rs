@@ -71,6 +71,7 @@ mod model;
 mod patchify;
 mod plan;
 mod squeeze;
+mod stagetrace;
 mod train;
 pub mod zoo;
 
@@ -86,4 +87,5 @@ pub use patchify::{
 };
 pub use plan::{BatchMaps, DecodePlan, MultiMaskPlan};
 pub use squeeze::{pixel_saving_ratio, squeeze_patch, unsqueeze_patch, FillMethod, Orientation};
+pub use stagetrace::{DecodeStage, StageSink, DECODE_STAGES};
 pub use train::{erased_region_mse, ParallelTrainer, TrainConfig, Trainer};

@@ -1,0 +1,58 @@
+//! Decode-stage timing hooks: the decoder-side half of the serving tier's
+//! tracing subsystem.
+//!
+//! [`EaszDecoder`](crate::EaszDecoder) can carry an optional [`StageSink`]
+//! — a subscriber called with `(stage, wall µs)` once per pipeline stage
+//! executed. The server installs one when request tracing is enabled and
+//! aggregates the samples into the per-stage breakdown its `TRACE` frame
+//! reports.
+//!
+//! The hooks follow the same discipline as the server's fault-injection
+//! module: when no sink is installed (the default, and the only state the
+//! bit-identity and chaos suites run under) the instrumented sites reduce
+//! to one inlined `Option` check — no clock reads, no allocation, no
+//! synchronisation. Installing a sink changes *observation only*; decode
+//! output stays byte-identical.
+
+/// One stage of the decode pipeline, as reported to a [`StageSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeStage {
+    /// Wire-level validation and inner decode: model routing, geometry and
+    /// mask checks, entropy/codec decode, un-squeeze onto the patch grid.
+    Parse = 0,
+    /// Decode-plan lookup or build (including multi-mask fusion planning).
+    Plan = 1,
+    /// The transformer forward (fused across a batch group's streams).
+    Forward = 2,
+    /// Token scatter, feathering, grain synthesis and canvas assembly.
+    Finish = 3,
+}
+
+/// Number of [`DecodeStage`] variants (sized for dense per-stage arrays).
+pub const DECODE_STAGES: usize = 4;
+
+impl DecodeStage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [DecodeStage; DECODE_STAGES] =
+        [Self::Parse, Self::Plan, Self::Forward, Self::Finish];
+
+    /// Stable lowercase name, as rendered by observability tooling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Parse => "parse",
+            Self::Plan => "plan",
+            Self::Forward => "forward",
+            Self::Finish => "finish",
+        }
+    }
+
+    /// Dense index for per-stage accumulator arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A decode-stage subscriber: called with the stage and the wall time one
+/// execution of it took, in microseconds. Must be cheap and non-blocking —
+/// it runs inline on the decode path of every worker thread.
+pub type StageSink = std::sync::Arc<dyn Fn(DecodeStage, u64) + Send + Sync>;

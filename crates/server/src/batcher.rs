@@ -30,6 +30,7 @@
 
 use crate::fault;
 use crate::metrics::ServerMetrics;
+use crate::trace::{SpanCtx, TraceStage};
 use easz_core::{DecodeEngine, EaszDecoder, EaszEncoded, EaszError};
 use easz_image::ImageF32;
 use std::collections::{HashMap, VecDeque};
@@ -93,8 +94,11 @@ impl Default for GatewayConfig {
 
 /// How a decode result travels back to its connection: the threaded path
 /// wraps an `mpsc` sender, the reactor path serialises the reply frame and
-/// posts it to the event loop's completion queue.
-pub(crate) type ReplyFn = Box<dyn FnOnce(Result<ImageF32, EaszError>) + Send + 'static>;
+/// posts it to the event loop's completion queue. The request's trace span
+/// (if tracing is on) rides along so the connection side can stamp the
+/// reply milestones and close it.
+pub(crate) type ReplyFn =
+    Box<dyn FnOnce(Result<ImageF32, EaszError>, Option<SpanCtx>) + Send + 'static>;
 
 /// One parked decode request: the parsed container, the engine tier it
 /// decodes on, the submitting source (connection) and the callback its
@@ -109,7 +113,19 @@ struct Job {
     enqueued: Instant,
     /// Sweep-by instant ([`GatewayConfig::deadline_us`]; `None` = never).
     deadline: Option<Instant>,
+    /// Trace span carried with the request (`None` when tracing is off).
+    span: Option<SpanCtx>,
     reply: ReplyFn,
+}
+
+impl Job {
+    /// Stamps a trace milestone, if this job carries a span.
+    #[inline]
+    fn stamp(&mut self, stage: TraceStage) {
+        if let Some(span) = &mut self.span {
+            span.stamp(stage);
+        }
+    }
 }
 
 impl Job {
@@ -149,8 +165,9 @@ impl QueueState {
         while window.len() < max_batch {
             let Some(source) = self.rotation.pop_front() else { break };
             let queue = self.queues.get_mut(&source).expect("rotated source has a queue");
-            let job = queue.pop_front().expect("rotated source queue is nonempty");
+            let mut job = queue.pop_front().expect("rotated source queue is nonempty");
             self.total -= 1;
+            job.stamp(TraceStage::WindowClosed);
             window.push(job);
             if queue.is_empty() {
                 self.queues.remove(&source);
@@ -249,16 +266,17 @@ impl Batcher {
         container: EaszEncoded,
         engine: DecodeEngine,
         source: u64,
+        span: Option<SpanCtx>,
         reply: ReplyFn,
-    ) -> Result<(), (EaszEncoded, ReplyFn)> {
+    ) -> Result<(), (EaszEncoded, Option<SpanCtx>, ReplyFn)> {
         // Fault hook (compiles out of default builds): refuse as if the
         // queue were saturated, exercising the inline/shed degradation.
         if fault::submit_refuse() {
-            return Err((container, reply));
+            return Err((container, span, reply));
         }
         let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if state.shutdown || state.total >= self.config.queue_depth {
-            return Err((container, reply));
+            return Err((container, span, reply));
         }
         let now = Instant::now();
         if let Some(prev) = state.last_arrival {
@@ -270,7 +288,8 @@ impl Batcher {
         state.last_arrival = Some(now);
         let deadline = (self.config.deadline_us > 0)
             .then(|| now + Duration::from_micros(self.config.deadline_us));
-        let job = Job { container, engine, source, enqueued: now, deadline, reply };
+        let mut job = Job { container, engine, source, enqueued: now, deadline, span, reply };
+        job.stamp(TraceStage::Enqueued);
         let queue = state.queues.entry(source).or_default();
         let newly_active = queue.is_empty();
         queue.push_back(job);
@@ -312,7 +331,7 @@ impl Batcher {
             return;
         }
         let now = Instant::now();
-        let mut expired: Vec<ReplyFn> = Vec::new();
+        let mut expired: Vec<(Option<SpanCtx>, ReplyFn)> = Vec::new();
         {
             let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
             let QueueState { queues, rotation, total, .. } = &mut *state;
@@ -320,7 +339,8 @@ impl Batcher {
                 // Deadlines are admission-ordered within a source, so the
                 // expired jobs are exactly a front prefix.
                 while queue.front().is_some_and(|j| j.expired(now)) {
-                    expired.push(queue.pop_front().expect("checked front").reply);
+                    let job = queue.pop_front().expect("checked front");
+                    expired.push((job.span, job.reply));
                     *total -= 1;
                 }
             }
@@ -342,20 +362,24 @@ impl Batcher {
             }
         }
         Self::sweep_window(local, now, &mut expired);
-        for reply in expired {
+        for (span, reply) in expired {
             self.metrics.record_deadline_expired();
-            reply(Err(EaszError::DeadlineExceeded));
+            reply(Err(EaszError::DeadlineExceeded), span);
         }
     }
 
     /// Moves the expired jobs of one window into `expired`, preserving the
     /// order of the survivors.
-    fn sweep_window(window: &mut Vec<Job>, now: Instant, expired: &mut Vec<ReplyFn>) {
+    fn sweep_window(
+        window: &mut Vec<Job>,
+        now: Instant,
+        expired: &mut Vec<(Option<SpanCtx>, ReplyFn)>,
+    ) {
         if window.iter().any(|j| j.expired(now)) {
             let jobs = std::mem::take(window);
             for job in jobs {
                 if job.expired(now) {
-                    expired.push(job.reply);
+                    expired.push((job.span, job.reply));
                 } else {
                     window.push(job);
                 }
@@ -494,18 +518,19 @@ impl Batcher {
         let dispatched = Instant::now();
         // Jobs already past their deadline at dispatch are answered
         // without decoding — the deadline bounds time-to-decode-start.
-        let (window, expired): (Vec<Job>, Vec<Job>) =
+        let (mut window, expired): (Vec<Job>, Vec<Job>) =
             window.into_iter().partition(|j| !j.expired(dispatched));
         for job in expired {
             self.metrics.record_deadline_expired();
-            (job.reply)(Err(EaszError::DeadlineExceeded));
+            (job.reply)(Err(EaszError::DeadlineExceeded), job.span);
         }
         if window.is_empty() {
             return false;
         }
-        for job in &window {
+        for job in &mut window {
             let waited = dispatched.saturating_duration_since(job.enqueued);
             self.metrics.record_queue_wait(waited.as_micros() as u64);
+            job.stamp(TraceStage::Dispatched);
         }
         // Fault hooks (compile out of default builds): a stalled decode
         // for the deadline machinery, per-job forced panics for the
@@ -517,10 +542,13 @@ impl Batcher {
         let mut containers = Vec::with_capacity(window.len());
         let mut engines = Vec::with_capacity(window.len());
         let mut replies = Vec::with_capacity(window.len());
-        for j in window {
+        let mut spans = Vec::with_capacity(window.len());
+        for mut j in window {
+            j.stamp(TraceStage::DecodeStart);
             containers.push(j.container);
             engines.push(j.engine);
             replies.push(j.reply);
+            spans.push(j.span);
         }
         let started = Instant::now();
         let fused = catch_unwind(AssertUnwindSafe(|| {
@@ -530,6 +558,9 @@ impl Batcher {
             decoder.decode_batch_with_stats(&containers, &engines)
         }));
         let decode_us = started.elapsed().as_micros() as u64;
+        for span in spans.iter_mut().flatten() {
+            span.stamp(TraceStage::DecodeEnd);
+        }
         let (results, groups) = match fused {
             Ok(out) => out,
             Err(_) => {
@@ -540,7 +571,14 @@ impl Batcher {
                 // answers with `INTERNAL`, its windowmates still get their
                 // images, and the worker reports itself poisoned.
                 self.metrics.record_panic_caught();
-                self.decode_serial_isolated(&containers, &engines, replies, &injected, decoder);
+                self.decode_serial_isolated(
+                    &containers,
+                    &engines,
+                    replies,
+                    spans,
+                    &injected,
+                    decoder,
+                );
                 return true;
             }
         };
@@ -563,10 +601,15 @@ impl Batcher {
             spent += us;
             self.metrics.record_batch(width, us);
         }
-        for (reply, result) in replies.into_iter().zip(results) {
+        // Every job in the window rode the same fused decode, so the
+        // window's decode wall time is each job's decode latency.
+        for _ in 0..replies.len() {
+            self.metrics.record_decode_sample(decode_us);
+        }
+        for ((reply, result), span) in replies.into_iter().zip(results).zip(spans) {
             // If the connection died while its job was queued the callback
             // finds nobody to deliver to and the result is simply dropped.
-            reply(result);
+            reply(result, span);
         }
         false
     }
@@ -579,10 +622,11 @@ impl Batcher {
         containers: &[EaszEncoded],
         engines: &[DecodeEngine],
         replies: Vec<ReplyFn>,
+        spans: Vec<Option<SpanCtx>>,
         injected: &[bool],
         decoder: &EaszDecoder<'_>,
     ) {
-        for (i, reply) in replies.into_iter().enumerate() {
+        for ((i, reply), mut span) in replies.into_iter().enumerate().zip(spans) {
             let started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if injected[i] {
@@ -590,16 +634,21 @@ impl Batcher {
                 }
                 decoder.decode_as(&containers[i], engines[i])
             }));
+            let decode_us = started.elapsed().as_micros() as u64;
+            self.metrics.record_decode_sample(decode_us);
+            if let Some(span) = &mut span {
+                span.stamp(TraceStage::DecodeEnd);
+            }
             match outcome {
                 Ok(result) => {
                     if result.is_ok() {
-                        self.metrics.record_batch(1, started.elapsed().as_micros() as u64);
+                        self.metrics.record_batch(1, decode_us);
                     }
-                    reply(result);
+                    reply(result, span);
                 }
                 Err(payload) => {
                     self.metrics.record_panic_caught();
-                    reply(Err(EaszError::Internal(panic_message(payload))));
+                    reply(Err(EaszError::Internal(panic_message(payload))), span);
                 }
             }
         }
@@ -634,12 +683,13 @@ mod tests {
                 container,
                 engine,
                 source,
-                Box::new(move |result| {
+                None,
+                Box::new(move |result, _span| {
                     let _ = tx.send(result);
                 }),
             )
             .map(|()| rx)
-            .map_err(|(c, _)| c)
+            .map_err(|(c, _, _)| c)
     }
 
     /// Drives a batcher with a real decoder on scoped threads, shutting
@@ -802,6 +852,42 @@ mod tests {
             let flushed = rx.recv().expect("flushed reply").expect("decode");
             let serial = decoder.decode(&c).expect("serial decode");
             assert_eq!(flushed.data(), serial.data());
+        });
+    }
+
+    #[test]
+    fn gateway_stamps_every_queue_milestone_on_the_span() {
+        use crate::trace::{TraceConfig, Tracer};
+        let tracer = Tracer::new(TraceConfig::default());
+        let config = GatewayConfig { max_batch: 1, max_wait_us: 1_000, ..Default::default() };
+        let ((), _) = with_batcher(config, |batcher, _| {
+            let mut span = tracer.begin(crate::protocol::DECODE, 1);
+            span.stamp(TraceStage::Admitted);
+            let (tx, rx) = mpsc::channel();
+            batcher
+                .submit(
+                    container(1),
+                    DecodeEngine::TapeFree,
+                    1,
+                    Some(span),
+                    Box::new(move |result, span| {
+                        let _ = tx.send((result, span));
+                    }),
+                )
+                .unwrap_or_else(|_| panic!("queue has room"));
+            let (result, span) = rx.recv().expect("reply");
+            result.expect("decode");
+            let span = span.expect("the span rides back with the reply");
+            for stage in [
+                TraceStage::Admitted,
+                TraceStage::Enqueued,
+                TraceStage::WindowClosed,
+                TraceStage::Dispatched,
+                TraceStage::DecodeStart,
+                TraceStage::DecodeEnd,
+            ] {
+                assert!(span.stamped(stage), "stage {} must be stamped", stage.name());
+            }
         });
     }
 

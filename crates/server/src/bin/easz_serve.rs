@@ -12,7 +12,7 @@
 //! bit-exact f32 path.
 
 use easz_core::zoo;
-use easz_server::{EaszServer, GatewayConfig, ReactorConfig, ServerConfig};
+use easz_server::{EaszServer, GatewayConfig, ReactorConfig, ServerConfig, TraceConfig};
 use std::net::TcpListener;
 use std::process::exit;
 use std::time::Duration;
@@ -24,6 +24,7 @@ const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--model DOMAIN]...
                   [--gateway-adaptive-wait] [--gateway-deadline-us US]
                   [--reactor] [--reactor-max-conns N]
                   [--reactor-max-inflight N]
+                  [--trace-sample N] [--trace-slow-us US] [--trace-ring N]
 
   --addr HOST:PORT        listen address (default 127.0.0.1:4860)
   --model DOMAIN          also serve the fine-tuned zoo model for DOMAIN
@@ -51,13 +52,23 @@ const USAGE: &str = "usage: easz-serve [--addr HOST:PORT] [--model DOMAIN]...
                           the gateway — a default adaptive one if no
                           --gateway-* flag is given.
   --reactor-max-conns N   connections admitted before BUSY (default 4096)
-  --reactor-max-inflight N per-connection in-flight decode cap (default 32)";
+  --reactor-max-inflight N per-connection in-flight decode cap (default 32)
+  --trace-sample N        capture every Nth request as a trace span served
+                          through TRACE frames / easz-top (0 = only slow
+                          requests). Passing ANY --trace-* flag enables
+                          tracing; without one it stays off (latency
+                          histograms in STATS are always on).
+  --trace-slow-us US      always capture requests slower than US
+                          microseconds into the slow-request log
+                          (default 50000; 0 disables slow capture)
+  --trace-ring N          recent-span ring capacity (default 512)";
 
 fn main() {
     let mut addr = "127.0.0.1:4860".to_string();
     let mut config = ServerConfig::default();
     let mut gateway: Option<GatewayConfig> = None;
     let mut reactor: Option<ReactorConfig> = None;
+    let mut trace: Option<TraceConfig> = None;
     let mut domains: Vec<zoo::FinetuneDomain> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -115,6 +126,18 @@ fn main() {
                 reactor.get_or_insert_with(ReactorConfig::default).max_inflight =
                     parse(&value("--reactor-max-inflight"));
             }
+            "--trace-sample" => {
+                trace.get_or_insert_with(TraceConfig::default).sample_every =
+                    parse(&value("--trace-sample")) as u64;
+            }
+            "--trace-slow-us" => {
+                trace.get_or_insert_with(TraceConfig::default).slow_threshold_us =
+                    parse(&value("--trace-slow-us")) as u64;
+            }
+            "--trace-ring" => {
+                trace.get_or_insert_with(TraceConfig::default).capacity =
+                    parse(&value("--trace-ring"));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -127,6 +150,7 @@ fn main() {
     }
     config.gateway = gateway;
     config.reactor = reactor;
+    config.trace = trace;
 
     println!("loading (or pretraining once) the reconstruction model...");
     let model = zoo::pretrained(zoo::PretrainSpec::quick());

@@ -3,6 +3,7 @@
 
 use crate::metrics::ServerStats;
 use crate::protocol::{self, EngineTier, ErrorCode, WireError};
+use crate::trace::TraceReport;
 use easz_image::ImageU8;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -286,6 +287,26 @@ impl EaszClient {
         match frame_type {
             protocol::STATS_REPLY => {
                 ServerStats::from_payload(&payload).map_err(ClientError::Protocol)
+            }
+            other => Err(self.unexpected(other, &payload)),
+        }
+    }
+
+    /// Round-trips a `TRACE` request, draining the server's recent trace
+    /// spans, slow-request log and decode-stage accumulators (see
+    /// [`TraceReport`]). A server running with tracing disabled answers
+    /// with a valid empty report, so callers need no capability probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures; see [`ClientError`].
+    pub fn trace(&mut self) -> Result<TraceReport, ClientError> {
+        self.ensure_usable()?;
+        write_frame_resilient(&mut self.stream, protocol::TRACE, &[])?;
+        let (frame_type, payload) = self.read_reply()?;
+        match frame_type {
+            protocol::TRACE_REPLY => {
+                TraceReport::from_payload(&payload).map_err(ClientError::Protocol)
             }
             other => Err(self.unexpected(other, &payload)),
         }

@@ -128,6 +128,37 @@
 //! gateway layers; `tests/chaos.rs` soaks both front ends under
 //! randomized schedules and asserts exactly-one-reply, metrics
 //! reconciliation, and byte-identity of every successful reply.
+//!
+//! ## Observability
+//!
+//! Three layers, identical on both front ends:
+//!
+//! 1. **Latency histograms (always on)** — [`ServerMetrics`] buckets queue
+//!    wait, decode time, and end-to-end service time into log2 µs
+//!    histograms ([`LATENCY_BUCKETS`] buckets), served in the `STATS`
+//!    payload (v4, `docs/FORMAT.md` §2.5) with derivable
+//!    p50/p90/p99/p999 via [`ServerStats::service_percentile_us`] and
+//!    friends. The cost is one atomic increment per sample, so it is not
+//!    gated.
+//! 2. **Request tracing (opt-in)** — [`EaszServer::with_trace`] attaches a
+//!    [`Tracer`]: every request carries a `Copy` [`SpanCtx`] stamping
+//!    frame-assembled → admitted → enqueued → window-closed → dispatched
+//!    → decode start/end → reply-queued → reply-written in monotonic µs.
+//!    A 1-in-N sampling knob ([`TraceConfig::sample_every`]) bounds
+//!    retention; requests slower than
+//!    [`TraceConfig::slow_threshold_us`] are *always* captured into a
+//!    slow-request log. Kept spans land in a fixed-size lock-light ring
+//!    drained by the `TRACE` frame (`docs/FORMAT.md` §2.7). Decode-side
+//!    stage hooks (parse / plan / fused-forward / finish, via
+//!    [`easz_core::StageSink`]) aggregate per-stage wall time into the
+//!    same report. With tracing off nothing allocates and no clock is
+//!    read — the byte-identity and chaos suites run in that state.
+//! 3. **`easz-top`** — a terminal inspector polling `STATS` + `TRACE`:
+//!    throughput, latency percentiles, queue depth, batch-width
+//!    histogram, decode-stage breakdown and the latest slow requests.
+//!    `cargo run --release -p easz-server --bin easz-top -- --addr
+//!    127.0.0.1:4860` (add `--once` for a single non-interactive
+//!    snapshot).
 
 #![warn(missing_docs)]
 
@@ -138,10 +169,17 @@ mod metrics;
 pub mod protocol;
 mod reactor;
 mod server;
+mod trace;
 
 pub use batcher::GatewayConfig;
 pub use client::{ClientError, EaszClient, RetryPolicy};
-pub use metrics::{ServerMetrics, ServerStats, WIDTH_BUCKETS};
+pub use metrics::{
+    latency_bucket, latency_bucket_upper_us, latency_percentile_us, ServerMetrics, ServerStats,
+    LATENCY_BUCKETS, WIDTH_BUCKETS,
+};
 pub use protocol::{EngineTier, ErrorCode, WireError};
 pub use reactor::ReactorConfig;
 pub use server::{EaszServer, ServerConfig, ServerHandle};
+pub use trace::{
+    SpanCtx, TraceConfig, TraceReport, TraceSpan, TraceStage, Tracer, STAMP_UNSET, TRACE_STAGES,
+};

@@ -15,10 +15,53 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// exactly, the last bucket collects everything `>= WIDTH_BUCKETS`.
 pub const WIDTH_BUCKETS: usize = 16;
 
+/// Buckets in each log2 latency histogram: bucket `0` counts samples of
+/// `0 µs`, bucket `i >= 1` counts samples in `[2^(i-1), 2^i)` µs, and the
+/// last bucket absorbs everything at or above `2^(LATENCY_BUCKETS-2)` µs
+/// (~18 minutes) — wide enough that no serving-path latency saturates it.
+pub const LATENCY_BUCKETS: usize = 32;
+
 /// Highest error-code byte tracked per-code (the protocol's codes are
-/// `1..=9` and `32..=34`; anything above lands in the last slot so a future
+/// `1..=15` for the container class and `32..=38` for request/framing and
+/// robustness reports; anything above lands in the last slot so a future
 /// code is never silently dropped).
 const MAX_ERROR_CODE: usize = 63;
+
+/// The log2 bucket a microsecond sample lands in (see [`LATENCY_BUCKETS`]).
+pub fn latency_bucket(us: u64) -> usize {
+    ((u64::BITS - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// The inclusive upper bound (µs) of a log2 latency bucket — the value a
+/// percentile read out of the histogram reports. The last bucket is
+/// unbounded; it reports its lower bound.
+pub fn latency_bucket_upper_us(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        b if b >= LATENCY_BUCKETS - 1 => 1 << (LATENCY_BUCKETS - 2),
+        b => (1 << b) - 1,
+    }
+}
+
+/// Reads the `q`-quantile (`0.0..=1.0`) out of a log2 latency histogram:
+/// the upper bound of the bucket holding the `ceil(q * N)`-th sample.
+/// Returns `0` for an empty histogram. Conservative by construction — the
+/// true quantile is never above the reported value's bucket.
+pub fn latency_percentile_us(histogram: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (bucket, count) in histogram.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return latency_bucket_upper_us(bucket);
+        }
+    }
+    latency_bucket_upper_us(LATENCY_BUCKETS - 1)
+}
 
 /// The live metrics registry of one [`EaszServer`](crate::EaszServer).
 ///
@@ -47,6 +90,14 @@ pub struct ServerMetrics {
     queue_wait_us: AtomicU64,
     /// Total microseconds workers spent inside `decode_batch`.
     decode_us: AtomicU64,
+    /// Log2 histogram of per-job queue wait (µs); see [`latency_bucket`].
+    queue_wait_histo: [AtomicU64; LATENCY_BUCKETS],
+    /// Log2 histogram of per-container decode time (µs) — each container's
+    /// share of its fused forward group's wall time.
+    decode_histo: [AtomicU64; LATENCY_BUCKETS],
+    /// Log2 histogram of end-to-end service time (µs): request frame
+    /// assembled to reply bytes written.
+    service_histo: [AtomicU64; LATENCY_BUCKETS],
     /// Histogram of fused forward group widths (containers per shared
     /// model forward); bucket `i` counts width `i + 1`, the last bucket
     /// counts `>= WIDTH_BUCKETS`.
@@ -89,6 +140,9 @@ impl Default for ServerMetrics {
             queue_peak: AtomicU64::new(0),
             queue_wait_us: AtomicU64::new(0),
             decode_us: AtomicU64::new(0),
+            queue_wait_histo: std::array::from_fn(|_| AtomicU64::new(0)),
+            decode_histo: std::array::from_fn(|_| AtomicU64::new(0)),
+            service_histo: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_widths: std::array::from_fn(|_| AtomicU64::new(0)),
             errors: std::array::from_fn(|_| AtomicU64::new(0)),
             connections_active: AtomicU64::new(0),
@@ -151,9 +205,23 @@ impl ServerMetrics {
         self.queue_peak.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// Adds one job's time-in-queue to the latency accumulator.
+    /// Adds one job's time-in-queue to the latency accumulator and its
+    /// log2 histogram bucket.
     pub fn record_queue_wait(&self, wait_us: u64) {
         self.queue_wait_us.fetch_add(wait_us, Ordering::Relaxed);
+        self.queue_wait_histo[latency_bucket(wait_us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one container's decode time (its share of the fused forward
+    /// group's wall time) into the decode latency histogram.
+    pub fn record_decode_sample(&self, decode_us: u64) {
+        self.decode_histo[latency_bucket(decode_us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's end-to-end service time (frame assembled to
+    /// reply written) into the service latency histogram.
+    pub fn record_service(&self, service_us: u64) {
+        self.service_histo[latency_bucket(service_us)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one accepted connection entering service (gauge up).
@@ -209,6 +277,13 @@ impl ServerMetrics {
         for (out, w) in widths.iter_mut().zip(&self.batch_widths) {
             *out = w.load(Ordering::Relaxed);
         }
+        let load_histo = |h: &[AtomicU64; LATENCY_BUCKETS]| {
+            let mut out = [0u64; LATENCY_BUCKETS];
+            for (out, b) in out.iter_mut().zip(h) {
+                *out = b.load(Ordering::Relaxed);
+            }
+            out
+        };
         let errors: Vec<(u8, u64)> = self
             .errors
             .iter()
@@ -230,6 +305,9 @@ impl ServerMetrics {
             decode_us: self.decode_us.load(Ordering::Relaxed),
             batch_widths: widths,
             errors,
+            queue_wait_histo: load_histo(&self.queue_wait_histo),
+            decode_histo: load_histo(&self.decode_histo),
+            service_histo: load_histo(&self.service_histo),
             connections_active: self.connections_active.load(Ordering::Relaxed),
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_refused: self.connections_refused.load(Ordering::Relaxed),
@@ -244,11 +322,13 @@ impl ServerMetrics {
 
 /// Version byte leading a `STATS_REPLY` payload. Version 2 appended the
 /// connection/admission block (five `u64`s) after the error entries;
-/// version 3 appends the robustness block (three `u64`s: panics caught,
-/// worker respawns, deadlines expired). Every version is a strict prefix
-/// of its successors; lower-version payloads still parse, with the missing
-/// fields reported as `0`.
-pub const STATS_PAYLOAD_VERSION: u8 = 3;
+/// version 3 appended the robustness block (three `u64`s: panics caught,
+/// worker respawns, deadlines expired); version 4 appends the latency
+/// block (a bucket-count byte followed by three [`LATENCY_BUCKETS`]-wide
+/// log2 histograms: queue wait, decode, end-to-end service time). Every
+/// version is a strict prefix of its successors; lower-version payloads
+/// still parse, with the missing fields reported as `0`.
+pub const STATS_PAYLOAD_VERSION: u8 = 4;
 
 /// A point-in-time snapshot of a server's [`ServerMetrics`], as carried by
 /// the `STATS_REPLY` frame.
@@ -296,6 +376,14 @@ pub struct ServerStats {
     pub worker_respawns: u64,
     /// Gateway jobs swept unstarted past their deadline (payload v3).
     pub deadlines_expired: u64,
+    /// Log2 histogram of per-job gateway queue wait in µs (payload v4);
+    /// bucket semantics in [`latency_bucket`].
+    pub queue_wait_histo: [u64; LATENCY_BUCKETS],
+    /// Log2 histogram of per-container decode time in µs (payload v4).
+    pub decode_histo: [u64; LATENCY_BUCKETS],
+    /// Log2 histogram of end-to-end service time in µs — request frame
+    /// assembled to reply bytes written (payload v4).
+    pub service_histo: [u64; LATENCY_BUCKETS],
 }
 
 impl ServerStats {
@@ -304,11 +392,33 @@ impl ServerStats {
         self.errors.iter().find(|(c, _)| *c == code.value()).map_or(0, |(_, n)| *n)
     }
 
+    /// The `q`-quantile of queue wait in µs (see [`latency_percentile_us`]).
+    pub fn queue_wait_percentile_us(&self, q: f64) -> u64 {
+        latency_percentile_us(&self.queue_wait_histo, q)
+    }
+
+    /// The `q`-quantile of per-container decode time in µs.
+    pub fn decode_percentile_us(&self, q: f64) -> u64 {
+        latency_percentile_us(&self.decode_histo, q)
+    }
+
+    /// The `q`-quantile of end-to-end service time in µs.
+    pub fn service_percentile_us(&self, q: f64) -> u64 {
+        latency_percentile_us(&self.service_histo, q)
+    }
+
     /// Serializes into a `STATS_REPLY` frame payload (layout in
     /// `docs/FORMAT.md` §2.5).
     pub fn to_payload(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(
-            1 + 9 * 8 + 1 + self.batch_widths.len() * 8 + 1 + self.errors.len() * 9 + 8 * 8,
+            1 + 9 * 8
+                + 1
+                + self.batch_widths.len() * 8
+                + 1
+                + self.errors.len() * 9
+                + 8 * 8
+                + 1
+                + 3 * LATENCY_BUCKETS * 8,
         );
         out.push(STATS_PAYLOAD_VERSION);
         for v in [
@@ -344,6 +454,12 @@ impl ServerStats {
             self.deadlines_expired,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(LATENCY_BUCKETS as u8);
+        for histo in [&self.queue_wait_histo, &self.decode_histo, &self.service_histo] {
+            for b in histo {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
         }
         out
     }
@@ -391,6 +507,22 @@ impl ServerStats {
             if version >= 2 { (r.u64()?, r.u64()?) } else { (0, 0) };
         let (panics_caught, worker_respawns, deadlines_expired) =
             if version >= 3 { (r.u64()?, r.u64()?, r.u64()?) } else { (0, 0, 0) };
+        let mut queue_wait_histo = [0u64; LATENCY_BUCKETS];
+        let mut decode_histo = [0u64; LATENCY_BUCKETS];
+        let mut service_histo = [0u64; LATENCY_BUCKETS];
+        if version >= 4 {
+            let n_latency = r.u8()? as usize;
+            if n_latency != LATENCY_BUCKETS {
+                return Err(format!(
+                    "stats latency histograms have {n_latency} buckets, expected {LATENCY_BUCKETS}"
+                ));
+            }
+            for histo in [&mut queue_wait_histo, &mut decode_histo, &mut service_histo] {
+                for b in histo.iter_mut() {
+                    *b = r.u64()?;
+                }
+            }
+        }
         if r.pos != payload.len() {
             return Err(format!(
                 "{} trailing bytes after the stats payload",
@@ -417,6 +549,9 @@ impl ServerStats {
             panics_caught,
             worker_respawns,
             deadlines_expired,
+            queue_wait_histo,
+            decode_histo,
+            service_histo,
         })
     }
 }
@@ -469,6 +604,8 @@ mod tests {
         m.record_queue_depth(4);
         m.record_queue_depth(2);
         m.record_queue_wait(750);
+        m.record_decode_sample(1500);
+        m.record_service(2500);
         m.record_connection_open();
         m.record_connection_open();
         m.record_connection_close();
@@ -498,9 +635,15 @@ mod tests {
         assert_eq!(stats.arrival_ewma_us, 1234);
         assert_eq!(stats.panics_caught, 2);
         assert_eq!((stats.worker_respawns, stats.deadlines_expired), (1, 1));
+        assert_eq!(stats.queue_wait_histo[latency_bucket(750)], 1);
+        assert_eq!(stats.decode_histo[latency_bucket(1500)], 1);
+        assert_eq!(stats.service_histo[latency_bucket(2500)], 1);
         let back = ServerStats::from_payload(&stats.to_payload()).expect("parse");
         assert_eq!(back, stats);
     }
+
+    /// The v4 latency block in bytes: bucket-count byte + three histograms.
+    const V4_BLOCK: usize = 1 + 3 * LATENCY_BUCKETS * 8;
 
     #[test]
     fn stats_payload_v1_still_parses() {
@@ -510,7 +653,8 @@ mod tests {
         m.record_request_shed();
         let stats = m.snapshot();
         let mut v1 = stats.to_payload();
-        v1.truncate(v1.len() - 8 * 8); // strip the v2 connection + v3 robustness blocks
+        // Strip the v2 connection, v3 robustness and v4 latency blocks.
+        v1.truncate(v1.len() - 8 * 8 - V4_BLOCK);
         v1[0] = 1;
         let back = ServerStats::from_payload(&v1).expect("v1 payload parses");
         assert_eq!(back.decode_requests, 3);
@@ -529,7 +673,7 @@ mod tests {
         m.record_deadline_expired();
         let stats = m.snapshot();
         let mut v2 = stats.to_payload();
-        v2.truncate(v2.len() - 3 * 8); // strip the v3 robustness block
+        v2.truncate(v2.len() - 3 * 8 - V4_BLOCK); // strip the v3 + v4 blocks
         v2[0] = 2;
         let back = ServerStats::from_payload(&v2).expect("v2 payload parses");
         assert_eq!(back.decode_requests, 4);
@@ -537,6 +681,25 @@ mod tests {
         assert_eq!(back.requests_shed, 1);
         assert_eq!(back.panics_caught, 0, "v2 has no robustness block");
         assert_eq!((back.worker_respawns, back.deadlines_expired), (0, 0));
+    }
+
+    #[test]
+    fn stats_payload_v3_still_parses() {
+        let m = ServerMetrics::new();
+        m.record_requests(6);
+        m.record_panic_caught();
+        m.record_queue_wait(900);
+        m.record_service(1800);
+        let stats = m.snapshot();
+        let mut v3 = stats.to_payload();
+        v3.truncate(v3.len() - V4_BLOCK); // strip the v4 latency block
+        v3[0] = 3;
+        let back = ServerStats::from_payload(&v3).expect("v3 payload parses");
+        assert_eq!(back.decode_requests, 6);
+        assert_eq!(back.panics_caught, 1, "v3 keeps its robustness block");
+        assert_eq!(back.queue_wait_us, 900, "the v1 sum accumulator survives");
+        assert_eq!(back.queue_wait_histo, [0; LATENCY_BUCKETS], "v3 has no latency block");
+        assert_eq!(back.service_histo, [0; LATENCY_BUCKETS]);
     }
 
     #[test]
@@ -549,8 +712,54 @@ mod tests {
         let mut bad_version = payload.clone();
         bad_version[0] = 9;
         assert!(ServerStats::from_payload(&bad_version).is_err(), "unknown version");
-        let mut bad_buckets = payload;
+        let mut bad_buckets = payload.clone();
         bad_buckets[1 + 9 * 8] = 3;
         assert!(ServerStats::from_payload(&bad_buckets).is_err(), "bucket count");
+        let mut bad_latency = payload;
+        let count_at = bad_latency.len() - V4_BLOCK;
+        bad_latency[count_at] = 7;
+        assert!(ServerStats::from_payload(&bad_latency).is_err(), "latency bucket count");
+    }
+
+    #[test]
+    fn latency_buckets_split_exactly_at_powers_of_two() {
+        // Bucket 0 is the zero bucket; bucket i >= 1 holds [2^(i-1), 2^i).
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 1);
+        for i in 1..LATENCY_BUCKETS - 2 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(latency_bucket(lo), i, "lower boundary of bucket {i}");
+            assert_eq!(latency_bucket(hi), i, "upper boundary of bucket {i}");
+            assert_eq!(latency_bucket(hi + 1), i + 1, "first sample past bucket {i}");
+            assert_eq!(latency_bucket_upper_us(i), hi);
+        }
+        // Everything at or past 2^(LATENCY_BUCKETS-2) lands in the last
+        // bucket, including u64::MAX.
+        let last_lo = 1u64 << (LATENCY_BUCKETS - 2);
+        assert_eq!(latency_bucket(last_lo), LATENCY_BUCKETS - 1);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+        assert_eq!(latency_bucket_upper_us(LATENCY_BUCKETS - 1), last_lo);
+        assert_eq!(latency_bucket_upper_us(0), 0);
+    }
+
+    #[test]
+    fn latency_percentiles_read_the_right_buckets() {
+        let mut h = [0u64; LATENCY_BUCKETS];
+        assert_eq!(latency_percentile_us(&h, 0.5), 0, "empty histogram reads 0");
+        // 90 samples in [256, 512), 9 in [4096, 8192), 1 in [65536, 131072).
+        h[latency_bucket(300)] = 90;
+        h[latency_bucket(5000)] = 9;
+        h[latency_bucket(100_000)] = 1;
+        assert_eq!(latency_percentile_us(&h, 0.50), 511);
+        assert_eq!(latency_percentile_us(&h, 0.90), 511);
+        assert_eq!(latency_percentile_us(&h, 0.99), 8191);
+        assert_eq!(latency_percentile_us(&h, 0.999), 131_071);
+        assert_eq!(latency_percentile_us(&h, 1.0), 131_071);
+        // A single sample answers every quantile with its own bucket.
+        let mut one = [0u64; LATENCY_BUCKETS];
+        one[latency_bucket(42)] = 1;
+        assert_eq!(latency_percentile_us(&one, 0.01), 63);
+        assert_eq!(latency_percentile_us(&one, 0.999), 63);
     }
 }

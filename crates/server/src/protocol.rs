@@ -46,6 +46,10 @@ pub const DECODE_TIERED: u8 = 0x05;
 /// Request: a 1-byte [`EngineTier`] then a [batch](encode_batch) payload;
 /// as [`DECODE_BATCH`], with every container decoded on the named tier.
 pub const DECODE_BATCH_TIERED: u8 = 0x06;
+/// Request: empty payload; answered with [`TRACE_REPLY`] draining the
+/// server's recent sampled trace spans and its slow-request log
+/// (`docs/FORMAT.md` §2.7).
+pub const TRACE: u8 = 0x07;
 /// Response: payload is a [decoded image](encode_image).
 pub const IMAGE: u8 = 0x81;
 /// Response to [`PING`]: payload is the server's 1-byte protocol version.
@@ -53,6 +57,9 @@ pub const PONG: u8 = 0x83;
 /// Response to [`STATS`]: payload is a serialized
 /// [`ServerStats`](crate::ServerStats) snapshot (`docs/FORMAT.md` §2.5).
 pub const STATS_REPLY: u8 = 0x84;
+/// Response to [`TRACE`]: payload is a serialized
+/// [`TraceReport`](crate::TraceReport) (`docs/FORMAT.md` §2.7).
+pub const TRACE_REPLY: u8 = 0x85;
 /// Response: payload is an [error code](ErrorCode) byte, a u16 LE message
 /// length, and the UTF-8 message.
 pub const ERROR: u8 = 0xEE;

@@ -9,7 +9,9 @@
 //! at a time and must behave identically to feeding the whole frame.
 
 use crate::protocol::{self};
+use crate::trace::{SpanCtx, TraceStage};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// One parse step's outcome (besides consuming input).
 #[derive(Debug, PartialEq, Eq)]
@@ -175,6 +177,35 @@ impl OutBuf {
     }
 }
 
+/// Observability bookkeeping carried by a reply slot: when the request's
+/// frame was assembled (for the always-on service-time histogram), its
+/// trace span (when tracing is on), and whether it was a decode request
+/// with a successful result.
+pub struct ReplyMeta {
+    /// When the request frame was fully assembled off the socket.
+    pub received: Instant,
+    /// The request's trace span (`None` when tracing is off or for
+    /// non-decode frames).
+    pub span: Option<SpanCtx>,
+    /// Whether this slot answers a decode request (only those feed the
+    /// service-time histogram).
+    pub decode: bool,
+    /// Whether the decode succeeded (set when the slot is filled).
+    pub ok: bool,
+}
+
+impl ReplyMeta {
+    /// Metadata for an inline, non-decode reply (PONG, STATS, errors).
+    pub fn inline() -> Self {
+        Self { received: Instant::now(), span: None, decode: false, ok: false }
+    }
+
+    /// Metadata for a decode request assembled at `received`.
+    pub fn for_decode(received: Instant, span: Option<SpanCtx>) -> Self {
+        Self { received, span, decode: true, ok: false }
+    }
+}
+
 /// One pipelined reply slot: replies must leave in request order, but
 /// decode workers finish in any order, so each request reserves a slot
 /// that is later filled with its serialized reply frame.
@@ -183,6 +214,8 @@ pub struct ReplySlot {
     pub seq: u64,
     /// The serialized reply frame, once known.
     pub frame: Option<Vec<u8>>,
+    /// Observability bookkeeping, released with the frame on flush.
+    pub meta: ReplyMeta,
 }
 
 /// The ordered reply queue of one connection.
@@ -196,31 +229,40 @@ impl ReplyQueue {
     /// Reserves the next slot, returning its sequence number. Pass `frame`
     /// for replies known immediately (PONG, typed errors); `None` parks
     /// the slot until [`fill`](Self::fill).
-    pub fn reserve(&mut self, frame: Option<Vec<u8>>) -> u64 {
+    pub fn reserve(&mut self, frame: Option<Vec<u8>>, meta: ReplyMeta) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.slots.push_back(ReplySlot { seq, frame });
+        self.slots.push_back(ReplySlot { seq, frame, meta });
         seq
     }
 
-    /// Fills the slot `seq` with its reply frame. A miss is fine — the
-    /// connection may have died and its slots been dropped.
-    pub fn fill(&mut self, seq: u64, frame: Vec<u8>) {
+    /// Fills the slot `seq` with its reply frame, the span that rode
+    /// through the gateway with it (now stamped `ReplyQueued`), and the
+    /// decode's ok-ness. A miss is fine — the connection may have died and
+    /// its slots been dropped.
+    pub fn fill(&mut self, seq: u64, frame: Vec<u8>, mut span: Option<SpanCtx>, ok: bool) {
         if let Some(slot) = self.slots.iter_mut().find(|s| s.seq == seq) {
             debug_assert!(slot.frame.is_none(), "reply slot filled twice");
+            if let Some(span) = &mut span {
+                span.stamp(TraceStage::ReplyQueued);
+            }
             slot.frame = Some(frame);
+            slot.meta.span = span;
+            slot.meta.ok = ok;
         }
     }
 
-    /// Pops every leading filled slot into `out`, preserving order. Stops
-    /// at the first slot still waiting on its decode.
-    pub fn flush_into(&mut self, out: &mut OutBuf) {
+    /// Pops every leading filled slot into `out`, preserving order and
+    /// appending each released slot's metadata to `released`. Stops at the
+    /// first slot still waiting on its decode.
+    pub fn flush_into(&mut self, out: &mut OutBuf, released: &mut Vec<ReplyMeta>) {
         while let Some(front) = self.slots.front() {
             if front.frame.is_none() {
                 break;
             }
             let slot = self.slots.pop_front().expect("front exists");
             out.queue(&slot.frame.expect("front is filled"));
+            released.push(slot.meta);
         }
     }
 
@@ -334,21 +376,30 @@ mod tests {
     #[test]
     fn reply_queue_releases_in_request_order_only() {
         let mut q = ReplyQueue::default();
-        let a = q.reserve(None);
-        let b = q.reserve(None);
-        let c = q.reserve(Some(b"C".to_vec()));
+        let received = Instant::now();
+        let a = q.reserve(None, ReplyMeta::for_decode(received, None));
+        let b = q.reserve(None, ReplyMeta::for_decode(received, None));
+        let c = q.reserve(Some(b"C".to_vec()), ReplyMeta::inline());
         assert_eq!((a, b, c), (0, 1, 2));
         let mut out = OutBuf::default();
+        let mut released = Vec::new();
         // Out-of-order completion: c is ready, b completes before a.
-        q.fill(b, b"B".to_vec());
-        q.flush_into(&mut out);
+        q.fill(b, b"B".to_vec(), None, true);
+        q.flush_into(&mut out, &mut released);
         assert!(out.is_empty(), "head reply still pending, nothing may leave");
-        q.fill(a, b"A".to_vec());
-        q.flush_into(&mut out);
+        assert!(released.is_empty());
+        q.fill(a, b"A".to_vec(), None, false);
+        q.flush_into(&mut out, &mut released);
         assert_eq!(out.pending(), b"ABC", "replies leave strictly in request order");
         assert!(q.is_empty());
+        // The released metadata tracks the flushed slots, in order.
+        assert_eq!(released.len(), 3);
+        assert_eq!(
+            released.iter().map(|m| (m.decode, m.ok)).collect::<Vec<_>>(),
+            vec![(true, false), (true, true), (false, false)],
+        );
         // Filling a dropped/unknown slot is a no-op, not a panic.
-        q.fill(99, b"zombie".to_vec());
+        q.fill(99, b"zombie".to_vec(), None, true);
         assert!(q.is_empty());
     }
 }

@@ -82,6 +82,7 @@ pub(crate) fn run(
     _reactor: &ReactorConfig,
     _metrics: &std::sync::Arc<crate::metrics::ServerMetrics>,
     _batcher: &crate::batcher::Batcher,
+    _tracer: Option<&crate::trace::Tracer>,
 ) -> std::io::Result<()> {
     Err(std::io::Error::new(
         std::io::ErrorKind::Unsupported,
@@ -91,13 +92,14 @@ pub(crate) fn run(
 
 #[cfg(target_os = "linux")]
 mod linux {
-    use super::conn::{FrameAssembler, FrameEvent, OutBuf, ReplyQueue};
+    use super::conn::{FrameAssembler, FrameEvent, OutBuf, ReplyMeta, ReplyQueue};
     use super::sys::{Epoll, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
     use super::ReactorConfig;
     use crate::batcher::Batcher;
     use crate::metrics::ServerMetrics;
     use crate::protocol::{self, EngineTier, ErrorCode, WireError};
     use crate::server::ServerConfig;
+    use crate::trace::{SpanCtx, TraceStage, Tracer};
     use easz_core::EaszEncoded;
     use std::collections::HashMap;
     use std::io::{self, Read, Write};
@@ -125,21 +127,26 @@ mod linux {
     /// reply out from under the peer (the threaded path's `drain_bounded`).
     const OVERSIZE_LINGER: Duration = Duration::from_secs(2);
 
-    /// Decode completions crossing from worker threads to the loop: the
-    /// serialized reply frame, addressed by connection id and reply slot.
+    /// One decode completion crossing from a worker thread to the loop:
+    /// `(connection id, reply slot, serialized reply frame, trace span,
+    /// ok)` — the span (if sampled) and outcome ride along so the reply
+    /// slot can account them at write time.
+    type Completion = (u64, u64, Vec<u8>, Option<SpanCtx>, bool);
+
+    /// Decode completions posted by worker threads, drained by the loop.
     struct Completions {
-        posted: Mutex<Vec<(u64, u64, Vec<u8>)>>,
+        posted: Mutex<Vec<Completion>>,
         /// Write half of the waker socketpair; one byte per post batch
         /// (best-effort — a full pipe already guarantees a pending wake).
         waker: UnixStream,
     }
 
     impl Completions {
-        fn post(&self, conn_id: u64, seq: u64, frame: Vec<u8>) {
+        fn post(&self, conn_id: u64, seq: u64, frame: Vec<u8>, span: Option<SpanCtx>, ok: bool) {
             let was_empty = {
                 let mut posted = self.posted.lock().unwrap_or_else(|e| e.into_inner());
                 let was_empty = posted.is_empty();
-                posted.push((conn_id, seq, frame));
+                posted.push((conn_id, seq, frame, span, ok));
                 was_empty
             };
             // Only the empty→non-empty transition needs a wake: a post that
@@ -151,7 +158,7 @@ mod linux {
             }
         }
 
-        fn drain(&self) -> Vec<(u64, u64, Vec<u8>)> {
+        fn drain(&self) -> Vec<Completion> {
             std::mem::take(&mut *self.posted.lock().unwrap_or_else(|e| e.into_inner()))
         }
     }
@@ -209,6 +216,7 @@ mod linux {
         reactor: &ReactorConfig,
         metrics: &Arc<ServerMetrics>,
         batcher: &Batcher,
+        tracer: Option<&Tracer>,
     ) -> io::Result<()> {
         let epoll = Epoll::new()?;
         listener.set_nonblocking(true)?;
@@ -297,6 +305,7 @@ mod linux {
                                 reactor,
                                 metrics,
                                 batcher,
+                                tracer,
                                 &completions,
                                 &mut scratch,
                             );
@@ -312,10 +321,11 @@ mod linux {
 
             // Route decode completions to their reply slots. A missing
             // connection simply drops the frame — it died while its job
-            // was queued.
-            for (conn_id, seq, frame) in completions.drain() {
+            // was queued (the span dies with it: the reply was never
+            // written, so `reply-written` would be a lie).
+            for (conn_id, seq, frame, span, ok) in completions.drain() {
                 if let Some(conn) = conns.get_mut(&conn_id) {
-                    conn.replies.fill(seq, frame);
+                    conn.replies.fill(seq, frame, span, ok);
                     touched.push(conn_id);
                 }
             }
@@ -328,7 +338,7 @@ mod linux {
             touched.sort_unstable();
             touched.dedup();
             for token in touched {
-                if !pump(&mut conns, token, &epoll, reactor, now) {
+                if !pump(&mut conns, token, &epoll, reactor, metrics, tracer, now) {
                     close_conn(&epoll, &mut conns, token, metrics);
                 }
             }
@@ -360,7 +370,7 @@ mod linux {
                     .map(|(t, _)| *t)
                     .collect();
                 for token in expired {
-                    let _ = pump(&mut conns, token, &epoll, reactor, now);
+                    let _ = pump(&mut conns, token, &epoll, reactor, metrics, tracer, now);
                     close_conn(&epoll, &mut conns, token, metrics);
                 }
                 if let Some(timeout) = idle_timeout {
@@ -454,6 +464,7 @@ mod linux {
         reactor: &ReactorConfig,
         metrics: &Arc<ServerMetrics>,
         batcher: &Batcher,
+        tracer: Option<&Tracer>,
         completions: &Arc<Completions>,
         scratch: &mut [u8],
     ) {
@@ -500,6 +511,7 @@ mod linux {
                             config,
                             metrics,
                             batcher,
+                            tracer,
                             completions,
                         );
                     }
@@ -508,10 +520,13 @@ mod linux {
                         // long enough to swallow the announced bytes so
                         // the close does not RST the reply away.
                         metrics.record_error(ErrorCode::Oversize);
-                        conn.replies.reserve(Some(error_frame(
-                            ErrorCode::Oversize,
-                            format!("frame announces {announced} bytes, limit is {limit}"),
-                        )));
+                        conn.replies.reserve(
+                            Some(error_frame(
+                                ErrorCode::Oversize,
+                                format!("frame announces {announced} bytes, limit is {limit}"),
+                            )),
+                            ReplyMeta::inline(),
+                        );
                         conn.close_when_flushed = true;
                         conn.close_deadline = Some(Instant::now() + OVERSIZE_LINGER);
                     }
@@ -538,6 +553,7 @@ mod linux {
         config: &ServerConfig,
         metrics: &Arc<ServerMetrics>,
         batcher: &Batcher,
+        tracer: Option<&Tracer>,
         completions: &Arc<Completions>,
     ) {
         match frame_type {
@@ -547,7 +563,10 @@ mod linux {
                         Ok(pair) => pair,
                         Err(message) => {
                             metrics.record_error(ErrorCode::Protocol);
-                            conn.replies.reserve(Some(error_frame(ErrorCode::Protocol, message)));
+                            conn.replies.reserve(
+                                Some(error_frame(ErrorCode::Protocol, message)),
+                                ReplyMeta::inline(),
+                            );
                             return;
                         }
                     }
@@ -555,7 +574,17 @@ mod linux {
                     (None, payload.as_slice())
                 };
                 metrics.record_requests(1);
-                submit_container(conn, token, container, tier, metrics, batcher, completions);
+                submit_container(
+                    conn,
+                    token,
+                    frame_type,
+                    container,
+                    tier,
+                    metrics,
+                    batcher,
+                    tracer,
+                    completions,
+                );
             }
             protocol::DECODE_BATCH | protocol::DECODE_BATCH_TIERED => {
                 let (tier, batch_payload) = if frame_type == protocol::DECODE_BATCH_TIERED {
@@ -563,7 +592,10 @@ mod linux {
                         Ok(pair) => pair,
                         Err(message) => {
                             metrics.record_error(ErrorCode::Protocol);
-                            conn.replies.reserve(Some(error_frame(ErrorCode::Protocol, message)));
+                            conn.replies.reserve(
+                                Some(error_frame(ErrorCode::Protocol, message)),
+                                ReplyMeta::inline(),
+                            );
                             return;
                         }
                     }
@@ -573,7 +605,10 @@ mod linux {
                 match protocol::decode_batch_payload(batch_payload, config.max_batch) {
                     Err(message) => {
                         metrics.record_error(ErrorCode::Protocol);
-                        conn.replies.reserve(Some(error_frame(ErrorCode::Protocol, message)));
+                        conn.replies.reserve(
+                            Some(error_frame(ErrorCode::Protocol, message)),
+                            ReplyMeta::inline(),
+                        );
                     }
                     Ok(containers) => {
                         metrics.record_requests(containers.len() as u64);
@@ -581,10 +616,12 @@ mod linux {
                             submit_container(
                                 conn,
                                 token,
+                                frame_type,
                                 container,
                                 tier,
                                 metrics,
                                 batcher,
+                                tracer,
                                 completions,
                             );
                         }
@@ -593,35 +630,65 @@ mod linux {
             }
             protocol::PING => {
                 if payload.len() == 1 {
-                    conn.replies.reserve(Some(protocol::frame_bytes(
-                        protocol::PONG,
-                        &[protocol::PROTOCOL_VERSION],
-                    )));
+                    conn.replies.reserve(
+                        Some(protocol::frame_bytes(protocol::PONG, &[protocol::PROTOCOL_VERSION])),
+                        ReplyMeta::inline(),
+                    );
                 } else {
                     let message = format!("ping payload must be 1 byte, got {}", payload.len());
                     metrics.record_error(ErrorCode::Protocol);
-                    conn.replies.reserve(Some(error_frame(ErrorCode::Protocol, message)));
+                    conn.replies.reserve(
+                        Some(error_frame(ErrorCode::Protocol, message)),
+                        ReplyMeta::inline(),
+                    );
                 }
             }
             protocol::STATS => {
                 if payload.is_empty() {
-                    conn.replies.reserve(Some(protocol::frame_bytes(
-                        protocol::STATS_REPLY,
-                        &metrics.snapshot().to_payload(),
-                    )));
+                    conn.replies.reserve(
+                        Some(protocol::frame_bytes(
+                            protocol::STATS_REPLY,
+                            &metrics.snapshot().to_payload(),
+                        )),
+                        ReplyMeta::inline(),
+                    );
                 } else {
                     let message = format!("stats payload must be empty, got {}", payload.len());
                     metrics.record_error(ErrorCode::Protocol);
-                    conn.replies.reserve(Some(error_frame(ErrorCode::Protocol, message)));
+                    conn.replies.reserve(
+                        Some(error_frame(ErrorCode::Protocol, message)),
+                        ReplyMeta::inline(),
+                    );
+                }
+            }
+            protocol::TRACE => {
+                if payload.is_empty() {
+                    // Tracing disabled still answers with a valid empty
+                    // report so inspectors degrade instead of erroring.
+                    let report = tracer.map(Tracer::drain).unwrap_or_default();
+                    conn.replies.reserve(
+                        Some(protocol::frame_bytes(protocol::TRACE_REPLY, &report.to_payload())),
+                        ReplyMeta::inline(),
+                    );
+                } else {
+                    let message = format!("trace payload must be empty, got {}", payload.len());
+                    metrics.record_error(ErrorCode::Protocol);
+                    conn.replies.reserve(
+                        Some(error_frame(ErrorCode::Protocol, message)),
+                        ReplyMeta::inline(),
+                    );
                 }
             }
             other => {
                 // The peer speaks something else: answer once and close.
                 metrics.record_error(ErrorCode::UnknownFrame);
-                conn.replies.reserve(Some(error_frame(
-                    ErrorCode::UnknownFrame,
-                    format!("unknown frame type 0x{other:02x}"),
-                )));
+                conn.replies.reserve(
+                    Some(error_frame(
+                        ErrorCode::UnknownFrame,
+                        format!("unknown frame type 0x{other:02x}"),
+                    )),
+                    ReplyMeta::inline(),
+                );
                 conn.read_closed = true;
                 conn.close_when_flushed = true;
             }
@@ -632,54 +699,73 @@ mod linux {
     /// ordered reply slot. Parse failures answer immediately with the
     /// container-level typed error; a refused submission (full queue or
     /// shutdown) sheds with `BUSY` — the loop never decodes inline.
+    #[allow(clippy::too_many_arguments)]
     fn submit_container(
         conn: &mut Connection,
         token: u64,
+        frame_type: u8,
         container: &[u8],
         tier: Option<EngineTier>,
         metrics: &Arc<ServerMetrics>,
         batcher: &Batcher,
+        tracer: Option<&Tracer>,
         completions: &Arc<Completions>,
     ) {
+        let received = Instant::now();
         let encoded = match EaszEncoded::from_bytes(container) {
             Ok(encoded) => encoded,
             Err(e) => {
                 metrics.record_decode(false);
                 let err = WireError::from_easz(&e);
                 metrics.record_error(err.code);
-                conn.replies.reserve(Some(error_frame(err.code, err.message)));
+                conn.replies.reserve(Some(error_frame(err.code, err.message)), ReplyMeta::inline());
                 return;
             }
         };
+        let span = tracer.map(|tracer| {
+            let mut span = tracer.begin(frame_type, token);
+            span.stamp(TraceStage::Admitted);
+            span
+        });
         let engine = tier.map_or_else(|| encoded.preferred_engine(), EngineTier::engine);
-        let seq = conn.replies.reserve(None);
+        let seq = conn.replies.reserve(None, ReplyMeta::for_decode(received, None));
         let reply_completions = Arc::clone(completions);
         let reply_metrics = Arc::clone(metrics);
-        let reply = Box::new(move |result: Result<easz_image::ImageF32, easz_core::EaszError>| {
-            // Serialize on the worker thread: `to_u8` + frame assembly are
-            // per-reply costs the event loop must not pay.
-            let frame = match result {
-                Ok(image) => {
-                    reply_metrics.record_decode(true);
-                    protocol::frame_bytes(protocol::IMAGE, &protocol::encode_image(&image.to_u8()))
-                }
-                Err(e) => {
-                    reply_metrics.record_decode(false);
-                    let err = WireError::from_easz(&e);
-                    reply_metrics.record_error(err.code);
-                    protocol::frame_bytes(protocol::ERROR, &err.to_payload())
-                }
-            };
-            reply_completions.post(token, seq, frame);
-        });
-        if batcher.submit(encoded, engine, token, reply).is_err() {
+        let reply = Box::new(
+            move |result: Result<easz_image::ImageF32, easz_core::EaszError>,
+                  span: Option<SpanCtx>| {
+                // Serialize on the worker thread: `to_u8` + frame assembly
+                // are per-reply costs the event loop must not pay.
+                let ok = result.is_ok();
+                let frame = match result {
+                    Ok(image) => {
+                        reply_metrics.record_decode(true);
+                        protocol::frame_bytes(
+                            protocol::IMAGE,
+                            &protocol::encode_image(&image.to_u8()),
+                        )
+                    }
+                    Err(e) => {
+                        reply_metrics.record_decode(false);
+                        let err = WireError::from_easz(&e);
+                        reply_metrics.record_error(err.code);
+                        protocol::frame_bytes(protocol::ERROR, &err.to_payload())
+                    }
+                };
+                reply_completions.post(token, seq, frame, span, ok);
+            },
+        );
+        if let Err((_, span, _)) = batcher.submit(encoded, engine, token, span, reply) {
             // Load shed: the queue is saturated and the loop cannot decode
-            // inline without stalling every other connection.
+            // inline without stalling every other connection. The refused
+            // span still rides the reply slot so shed requests trace too.
             metrics.record_request_shed();
             metrics.record_error(ErrorCode::Busy);
             conn.replies.fill(
                 seq,
                 error_frame(ErrorCode::Busy, "decode queue is saturated, retry later".into()),
+                span,
+                false,
             );
         }
     }
@@ -691,25 +777,51 @@ mod linux {
         token: u64,
         epoll: &Epoll,
         reactor: &ReactorConfig,
+        metrics: &Arc<ServerMetrics>,
+        tracer: Option<&Tracer>,
         now: Instant,
     ) -> bool {
         let Some(conn) = conns.get_mut(&token) else { return true };
-        conn.replies.flush_into(&mut conn.out);
+        let mut released = Vec::new();
+        conn.replies.flush_into(&mut conn.out, &mut released);
+        let mut alive = true;
         while !conn.out.is_empty() {
             let pending = conn.out.pending();
             // Injected torn write: hand the kernel a prefix, forcing the
             // compacting out-buffer to resume mid-frame.
             let take = crate::fault::write_split(pending.len()).unwrap_or(pending.len());
             match conn.stream.write(&pending[..take]) {
-                Ok(0) => return false,
+                Ok(0) => {
+                    alive = false;
+                    break;
+                }
                 Ok(n) => {
                     conn.out.advance(n);
                     conn.last_activity = now;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => return false,
+                Err(_) => {
+                    alive = false;
+                    break;
+                }
             }
+        }
+        // Account the replies whose bytes just reached the out-buffer /
+        // socket: end-to-end service time for decode replies, and the
+        // final two span stamps. A connection that died mid-write still
+        // closes its spans — the decode outcome is what `ok` records.
+        for meta in released {
+            if meta.decode {
+                metrics.record_service(meta.received.elapsed().as_micros() as u64);
+            }
+            if let (Some(tracer), Some(mut span)) = (tracer, meta.span) {
+                span.stamp(TraceStage::ReplyWritten);
+                tracer.finish(span, meta.ok);
+            }
+        }
+        if !alive {
+            return false;
         }
         if conn.close_when_flushed && conn.replies.is_empty() && conn.out.is_empty() {
             // An oversize linger keeps the socket open (still swallowing

@@ -7,6 +7,7 @@ use crate::fault;
 use crate::metrics::{ServerMetrics, ServerStats};
 use crate::protocol::{self, EngineTier, ErrorCode, FrameReadError, WireError};
 use crate::reactor::{self, ReactorConfig};
+use crate::trace::{SpanCtx, TraceConfig, TraceStage, Tracer};
 use easz_codecs::CodecRegistry;
 use easz_core::{DecodeEngine, EaszDecoder, EaszEncoded, EaszError, Reconstructor};
 use easz_image::ImageF32;
@@ -15,7 +16,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Registry of live connection sockets so shutdown can unblock handler
 /// threads stuck in a read — a blocked `recv` only returns once its socket
@@ -74,6 +75,13 @@ pub struct ServerConfig {
     /// when no gateway is configured alongside it, a default one (with
     /// adaptive batching windows) is used.
     pub reactor: Option<ReactorConfig>,
+    /// Request tracing. `None` (the default) captures no spans — request
+    /// structs carry no trace context and the instrumented sites reduce to
+    /// inlined `Option` checks; `Some` attaches a [`Tracer`] whose sampled
+    /// spans and slow-request log are served via the `TRACE` frame (see
+    /// [`TraceConfig`]). The always-on latency histograms in
+    /// [`ServerMetrics`] do not depend on this.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +92,7 @@ impl Default for ServerConfig {
             read_timeout: None,
             gateway: None,
             reactor: None,
+            trace: None,
         }
     }
 }
@@ -204,6 +213,18 @@ impl EaszServer {
         self
     }
 
+    /// Enables request tracing on both front ends: every request carries a
+    /// span stamping its pipeline milestones, every `sample_every`-th span
+    /// (plus every request slower than `slow_threshold_us`, always) is
+    /// kept in a fixed-size ring, and decode-stage hooks are installed on
+    /// the shared decoder. Drain the spans with [`EaszClient::trace`]
+    /// (crate::EaszClient::trace) or the `easz-top` inspector. Replies
+    /// stay byte-identical with tracing on or off.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.config.trace = Some(trace);
+        self
+    }
+
     /// The server's live metrics registry (also served to clients via the
     /// `STATS` frame). The handle survives the server, so an embedder can
     /// scrape it after shutdown.
@@ -264,6 +285,14 @@ impl EaszServer {
         for (id, extra) in &extra_models {
             decoder.add_model(*id, extra);
         }
+        // With tracing on, the shared decoder reports its per-stage wall
+        // times (parse/plan/forward/finish) into the tracer's accumulators.
+        let tracer = config.trace.map(|cfg| Arc::new(Tracer::new(cfg)));
+        if let Some(tracer) = &tracer {
+            let sink = tracer.clone();
+            decoder.set_stage_sink(Arc::new(move |stage, us| sink.record_decode_stage(stage, us)));
+        }
+        let tracer = tracer.as_deref();
         let decoder = decoder;
         // The reactor's event loop must never block on a forward, so it
         // always decodes through a gateway — a default one (with adaptive
@@ -303,6 +332,7 @@ impl EaszServer {
                     reactor_config,
                     &metrics,
                     batcher.as_ref().expect("the reactor always runs with a gateway"),
+                    tracer,
                 )
             } else {
                 loop {
@@ -322,6 +352,7 @@ impl EaszServer {
                         config: &config,
                         metrics: &metrics,
                         batcher: batcher.as_ref(),
+                        tracer,
                         source: 0,
                     };
                     scope.spawn(move || {
@@ -369,11 +400,28 @@ struct ConnCtx<'a> {
     config: &'a ServerConfig,
     metrics: &'a ServerMetrics,
     batcher: Option<&'a Batcher>,
+    /// The request tracer, when tracing is enabled.
+    tracer: Option<&'a Tracer>,
     /// This connection's gateway fairness source id.
     source: u64,
 }
 
+/// What a gateway-parked request's channel carries back: the result plus
+/// the request's trace span (stamped through the queue milestones).
+type GatewayReply = (Result<ImageF32, EaszError>, Option<SpanCtx>);
+
 impl ConnCtx<'_> {
+    /// Opens a trace span for a freshly read request frame (`None` when
+    /// tracing is off), already stamped `Admitted` — the threaded front
+    /// end has no admission gate, so assembly is admission.
+    fn begin_span(&self, frame_type: u8) -> Option<SpanCtx> {
+        self.tracer.map(|t| {
+            let mut span = t.begin(frame_type, self.source);
+            span.stamp(TraceStage::Admitted);
+            span
+        })
+    }
+
     /// Parks `encoded` in the gateway with a channel-backed reply, so this
     /// handler thread can block on the receiver.
     fn submit_gateway(
@@ -381,19 +429,21 @@ impl ConnCtx<'_> {
         batcher: &Batcher,
         encoded: EaszEncoded,
         engine: DecodeEngine,
-    ) -> Result<std::sync::mpsc::Receiver<Result<ImageF32, EaszError>>, EaszEncoded> {
+        span: Option<SpanCtx>,
+    ) -> Result<std::sync::mpsc::Receiver<GatewayReply>, Box<(EaszEncoded, Option<SpanCtx>)>> {
         let (tx, rx) = std::sync::mpsc::channel();
         batcher
             .submit(
                 encoded,
                 engine,
                 self.source,
-                Box::new(move |result| {
-                    let _ = tx.send(result);
+                span,
+                Box::new(move |result, span| {
+                    let _ = tx.send((result, span));
                 }),
             )
             .map(|()| rx)
-            .map_err(|(back, _)| back)
+            .map_err(|(back, span, _)| Box::new((back, span)))
     }
 
     /// Decodes one parsed container on `engine` — through the gateway when
@@ -404,19 +454,41 @@ impl ConnCtx<'_> {
         &self,
         encoded: EaszEncoded,
         engine: DecodeEngine,
-    ) -> Result<Result<ImageF32, EaszError>, ()> {
+        span: Option<SpanCtx>,
+    ) -> Result<GatewayReply, ()> {
         if let Some(batcher) = self.batcher {
-            match self.submit_gateway(batcher, encoded, engine) {
+            match self.submit_gateway(batcher, encoded, engine, span) {
                 Ok(rx) => return rx.recv().map_err(|_| ()),
-                Err(back) => {
+                Err(refused) => {
                     // Full queue or shutdown: degrade to inline decode.
+                    let (back, span) = *refused;
                     self.metrics.record_inline_decode();
-                    return Ok(decode_isolated(self.decoder, self.metrics, &back, engine));
+                    return Ok(self.decode_inline(&back, engine, span));
                 }
             }
         }
         self.metrics.record_inline_decode();
-        Ok(decode_isolated(self.decoder, self.metrics, &encoded, engine))
+        Ok(self.decode_inline(&encoded, engine, span))
+    }
+
+    /// Inline decode on this handler thread, with the decode milestones
+    /// stamped and the decode-time histogram fed.
+    fn decode_inline(
+        &self,
+        encoded: &EaszEncoded,
+        engine: DecodeEngine,
+        mut span: Option<SpanCtx>,
+    ) -> GatewayReply {
+        if let Some(span) = &mut span {
+            span.stamp(TraceStage::DecodeStart);
+        }
+        let started = Instant::now();
+        let result = decode_isolated(self.decoder, self.metrics, encoded, engine);
+        self.metrics.record_decode_sample(started.elapsed().as_micros() as u64);
+        if let Some(span) = &mut span {
+            span.stamp(TraceStage::DecodeEnd);
+        }
+        (result, span)
     }
 }
 
@@ -549,6 +621,9 @@ fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) -> io::Result<()>
                 };
             }
         };
+        // The frame is assembled: the service-time clock (always on) and
+        // the request's trace span (tracing only) both start here.
+        let received = Instant::now();
         match frame_type {
             protocol::DECODE | protocol::DECODE_TIERED => {
                 // A tiered request prefixes the container with one engine
@@ -565,20 +640,20 @@ fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) -> io::Result<()>
                     (None, payload.as_slice())
                 };
                 metrics.record_requests(1);
-                let result = match EaszEncoded::from_bytes(container) {
-                    Err(e) => Err(e),
+                let (result, span) = match EaszEncoded::from_bytes(container) {
+                    Err(e) => (Err(e), ctx.begin_span(frame_type)),
                     // A gateway recv failure means shutdown beat the reply;
                     // the connection is closing anyway.
                     Ok(encoded) => {
                         let engine =
                             tier.map_or_else(|| encoded.preferred_engine(), EngineTier::engine);
-                        match ctx.decode(encoded, engine) {
-                            Ok(result) => result,
+                        match ctx.decode(encoded, engine, ctx.begin_span(frame_type)) {
+                            Ok(reply) => reply,
                             Err(()) => return Ok(()),
                         }
                     }
                 };
-                send_decode_result(&mut stream, result, metrics)?;
+                write_traced_reply(&mut stream, ctx, result, span, received)?;
             }
             protocol::DECODE_BATCH | protocol::DECODE_BATCH_TIERED => {
                 let (tier, batch_payload) = if frame_type == protocol::DECODE_BATCH_TIERED {
@@ -598,7 +673,14 @@ fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) -> io::Result<()>
                     }
                     Ok(containers) => {
                         metrics.record_requests(containers.len() as u64);
-                        handle_decode_batch(&mut stream, ctx, &containers, tier)?;
+                        handle_decode_batch(
+                            &mut stream,
+                            ctx,
+                            &containers,
+                            tier,
+                            frame_type,
+                            received,
+                        )?;
                     }
                 }
             }
@@ -627,6 +709,21 @@ fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) -> io::Result<()>
                     send_wire_error(&mut stream, ErrorCode::Protocol, message, metrics)?;
                 }
             }
+            protocol::TRACE => {
+                if payload.is_empty() {
+                    // With tracing off the reply is a valid empty report,
+                    // so inspectors degrade instead of erroring.
+                    let report = ctx.tracer.map(Tracer::drain).unwrap_or_default();
+                    protocol::write_frame(
+                        &mut stream,
+                        protocol::TRACE_REPLY,
+                        &report.to_payload(),
+                    )?;
+                } else {
+                    let message = format!("trace payload must be empty, got {}", payload.len());
+                    send_wire_error(&mut stream, ErrorCode::Protocol, message, metrics)?;
+                }
+            }
             other => {
                 let err = WireError {
                     code: ErrorCode::UnknownFrame,
@@ -645,10 +742,10 @@ enum BatchSlot {
     /// The container did not parse; answered with its typed error.
     ParseError(EaszError),
     /// Result already in hand (ungatewayed bulk decode, or inline
-    /// fallback).
-    Done(Result<ImageF32, EaszError>),
+    /// fallback), with the member's trace span.
+    Done(Result<ImageF32, EaszError>, Option<SpanCtx>),
     /// Parked in the gateway; the result arrives on this channel.
-    Pending(std::sync::mpsc::Receiver<Result<ImageF32, EaszError>>),
+    Pending(std::sync::mpsc::Receiver<GatewayReply>),
 }
 
 /// Splits the leading engine-tier byte off a tiered request payload
@@ -680,11 +777,15 @@ fn handle_decode_batch(
     ctx: &ConnCtx<'_>,
     containers: &[&[u8]],
     tier: Option<EngineTier>,
+    frame_type: u8,
+    received: Instant,
 ) -> io::Result<()> {
     let engine_for =
         |encoded: &EaszEncoded| tier.map_or_else(|| encoded.preferred_engine(), EngineTier::engine);
     // Parse every container first so decodable streams share batched
-    // forwards regardless of corrupt neighbours.
+    // forwards regardless of corrupt neighbours. Each parsed member gets
+    // its own trace span — a batch frame is one wire frame but many
+    // requests.
     let mut slots: Vec<BatchSlot> = Vec::with_capacity(containers.len());
     if let Some(batcher) = ctx.batcher {
         for container in containers {
@@ -692,16 +793,14 @@ fn handle_decode_batch(
                 Err(e) => BatchSlot::ParseError(e),
                 Ok(encoded) => {
                     let engine = engine_for(&encoded);
-                    match ctx.submit_gateway(batcher, encoded, engine) {
+                    let span = ctx.begin_span(frame_type);
+                    match ctx.submit_gateway(batcher, encoded, engine, span) {
                         Ok(rx) => BatchSlot::Pending(rx),
-                        Err(back) => {
+                        Err(refused) => {
+                            let (back, span) = *refused;
                             ctx.metrics.record_inline_decode();
-                            BatchSlot::Done(decode_isolated(
-                                ctx.decoder,
-                                ctx.metrics,
-                                &back,
-                                engine,
-                            ))
+                            let (result, span) = ctx.decode_inline(&back, engine, span);
+                            BatchSlot::Done(result, span)
                         }
                     }
                 }
@@ -721,6 +820,8 @@ fn handle_decode_batch(
                 Err(e) => statuses.push(Err(e)),
             }
         }
+        let mut spans: Vec<Option<SpanCtx>> =
+            good.iter().map(|_| ctx.begin_span(frame_type)).collect();
         use std::panic::{catch_unwind, AssertUnwindSafe};
         if let Some(delay) = fault::decode_delay() {
             std::thread::sleep(delay);
@@ -729,6 +830,9 @@ fn handle_decode_batch(
         // the serial fallback re-fires the same panics: only the culprit
         // containers fail, their batchmates decode byte-identically.
         let injected: Vec<bool> = good.iter().map(|_| fault::decode_panic()).collect();
+        for span in spans.iter_mut().flatten() {
+            span.stamp(TraceStage::DecodeStart);
+        }
         let started = std::time::Instant::now();
         let fused_attempt = catch_unwind(AssertUnwindSafe(|| {
             if injected.contains(&true) {
@@ -736,6 +840,13 @@ fn handle_decode_batch(
             }
             ctx.decoder.decode_batch_with_stats(&good, &engines)
         }));
+        let fused_us = started.elapsed().as_micros() as u64;
+        for span in spans.iter_mut().flatten() {
+            span.stamp(TraceStage::DecodeEnd);
+        }
+        for _ in 0..good.len() {
+            ctx.metrics.record_decode_sample(fused_us);
+        }
         let decoded: Vec<Result<ImageF32, EaszError>> = match fused_attempt {
             Ok((decoded, groups)) => {
                 let decode_us = started.elapsed().as_micros() as u64;
@@ -787,25 +898,28 @@ fn handle_decode_batch(
                     .collect()
             }
         };
-        let mut decoded = decoded.into_iter();
+        let mut decoded = decoded.into_iter().zip(spans);
         for status in statuses {
             slots.push(match status {
-                Ok(()) => BatchSlot::Done(decoded.next().expect("one decode per parsed container")),
+                Ok(()) => {
+                    let (result, span) = decoded.next().expect("one decode per parsed container");
+                    BatchSlot::Done(result, span)
+                }
                 Err(e) => BatchSlot::ParseError(e),
             });
         }
     }
     for slot in slots {
-        let result = match slot {
-            BatchSlot::ParseError(e) => Err(e),
-            BatchSlot::Done(result) => result,
+        let (result, span) = match slot {
+            BatchSlot::ParseError(e) => (Err(e), None),
+            BatchSlot::Done(result, span) => (result, span),
             BatchSlot::Pending(rx) => match rx.recv() {
-                Ok(result) => result,
+                Ok(reply) => reply,
                 // Gateway shutdown dropped the job; close the connection.
                 Err(_) => return Ok(()),
             },
         };
-        send_decode_result(stream, result, ctx.metrics)?;
+        write_traced_reply(stream, ctx, result, span, received)?;
     }
     Ok(())
 }
@@ -830,6 +944,30 @@ fn drain_bounded(stream: &mut TcpStream, limit: usize) {
             Ok(n) => remaining -= n,
         }
     }
+}
+
+/// Writes a decode reply with the observability bookkeeping of the
+/// threaded path: the always-on service-time histogram sample (assembled
+/// frame → reply written) and, with tracing on, the span's reply
+/// milestones and its hand-off to the tracer.
+fn write_traced_reply(
+    stream: &mut TcpStream,
+    ctx: &ConnCtx<'_>,
+    result: Result<ImageF32, EaszError>,
+    mut span: Option<SpanCtx>,
+    received: Instant,
+) -> io::Result<()> {
+    if let Some(span) = &mut span {
+        span.stamp(TraceStage::ReplyQueued);
+    }
+    let ok = result.is_ok();
+    let written = send_decode_result(stream, result, ctx.metrics);
+    ctx.metrics.record_service(received.elapsed().as_micros() as u64);
+    if let (Some(tracer), Some(mut span)) = (ctx.tracer, span) {
+        span.stamp(TraceStage::ReplyWritten);
+        tracer.finish(span, ok && written.is_ok());
+    }
+    written
 }
 
 fn send_decode_result(
